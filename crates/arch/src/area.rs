@@ -1,0 +1,297 @@
+//! Analytic 22 nm area and power model (paper Fig. 10 and Table II).
+//!
+//! The paper implements EdgeMM with Cadence Genus/Innovus at 1 GHz in a
+//! TSMC 22 nm process and reports three calibration points:
+//!
+//! * the SA coprocessor occupies **62 %** of a CC core,
+//! * the CIM macro occupies **81 %** of an MC core,
+//! * the chip consumes **112 mW** post-P&R.
+//!
+//! We do not have the RTL or the PDK, so this module provides an analytic
+//! model anchored to those published ratios. Absolute areas are estimates
+//! derived from bit-cell / PE densities typical for 22 nm, but the *ratios*
+//! (which the figures depend on) are calibrated to the paper.
+
+use crate::config::{ChipConfig, ClusterKind};
+
+/// Area of one component in square millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Area of the RISC-V host core (integer pipeline, L0 buffers).
+    pub host_core_mm2: f64,
+    /// Area of the AI coprocessor (SA or CIM macro).
+    pub coprocessor_mm2: f64,
+    /// Area of per-core load/store, vector unit and control glue.
+    pub glue_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total core area.
+    pub fn total_mm2(&self) -> f64 {
+        self.host_core_mm2 + self.coprocessor_mm2 + self.glue_mm2
+    }
+
+    /// Fraction of the core occupied by the coprocessor.
+    pub fn coprocessor_fraction(&self) -> f64 {
+        self.coprocessor_mm2 / self.total_mm2()
+    }
+}
+
+/// Chip-level power estimate in milliwatts split by component class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Power of all CC cores (hosts + SA coprocessors).
+    pub cc_cores_mw: f64,
+    /// Power of all MC cores (hosts + CIM macros).
+    pub mc_cores_mw: f64,
+    /// Power of cluster/chip interconnect, DMA engines and the DRAM PHY digital side.
+    pub uncore_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total chip power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.cc_cores_mw + self.mc_cores_mw + self.uncore_mw
+    }
+
+    /// Total chip power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.total_mw() / 1000.0
+    }
+}
+
+/// Analytic area model calibrated to the paper's Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Estimated area of one systolic-array PE (BF16 MAC + registers), mm^2.
+    pub sa_pe_mm2: f64,
+    /// Estimated area per CIM bit-cell column slice, mm^2 per stored weight bit.
+    pub cim_bitcell_mm2: f64,
+    /// Estimated area of a Snitch-class RISC-V host core, mm^2.
+    pub host_core_mm2: f64,
+    /// Fraction of core area taken by glue (LSU, vector unit, pruner).
+    pub glue_fraction: f64,
+}
+
+impl AreaModel {
+    /// Model constants chosen so the paper's published ratios are reproduced
+    /// for the default geometries (SA = 62 % of a CC core, CIM = 81 % of an
+    /// MC core).
+    pub fn calibrated_22nm() -> Self {
+        AreaModel {
+            sa_pe_mm2: 2.3e-4,
+            cim_bitcell_mm2: 4.5e-7,
+            host_core_mm2: 0.026,
+            glue_fraction: 0.08,
+        }
+    }
+
+    /// Area breakdown of a compute-centric core for the given chip config.
+    pub fn cc_core(&self, config: &ChipConfig) -> AreaBreakdown {
+        let sa = &config.cc_cluster.core.systolic;
+        let coproc = self.sa_pe_mm2 * (sa.rows * sa.cols) as f64
+            + self.sa_pe_mm2 * 0.5 * (sa.matrix_registers * sa.rows * sa.cols) as f64 * 0.1;
+        let host = self.host_core_mm2;
+        let glue = (coproc + host) * self.glue_fraction;
+        AreaBreakdown {
+            host_core_mm2: host,
+            coprocessor_mm2: coproc,
+            glue_mm2: glue,
+        }
+    }
+
+    /// Area breakdown of a memory-centric core for the given chip config.
+    pub fn mc_core(&self, config: &ChipConfig) -> AreaBreakdown {
+        let cim = &config.mc_cluster.core.cim;
+        let coproc = self.cim_bitcell_mm2 * cim.weight_capacity_bits() as f64
+            // adder trees + shift-accumulate per column
+            + 1.2e-4 * cim.cols as f64;
+        let host = self.host_core_mm2;
+        let glue = (coproc + host) * self.glue_fraction * 0.5;
+        AreaBreakdown {
+            host_core_mm2: host,
+            coprocessor_mm2: coproc,
+            glue_mm2: glue,
+        }
+    }
+
+    /// Total chip area in mm^2 (cores + 20 % uncore for crossbars, DMA and pads).
+    pub fn chip_mm2(&self, config: &ChipConfig) -> f64 {
+        let cc = self.cc_core(config).total_mm2() * config.total_cores(ClusterKind::ComputeCentric) as f64;
+        let mc = self.mc_core(config).total_mm2() * config.total_cores(ClusterKind::MemoryCentric) as f64;
+        (cc + mc) * 1.2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::calibrated_22nm()
+    }
+}
+
+/// Analytic power model calibrated to the 112 mW post-P&R report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Dynamic + leakage power per CC core at 1 GHz, mW.
+    pub cc_core_mw: f64,
+    /// Dynamic + leakage power per MC core at 1 GHz, mW.
+    pub mc_core_mw: f64,
+    /// Uncore (crossbars, DMA, DRAM controller digital) power, mW.
+    pub uncore_mw: f64,
+}
+
+impl PowerModel {
+    /// Constants calibrated so the paper-default chip draws ~112 mW at 1 GHz.
+    ///
+    /// CIM macros are substantially more power-efficient per core than the
+    /// systolic cores, consistent with the paper's motivation for using them
+    /// on the memory-bound phase.
+    pub fn calibrated_22nm() -> Self {
+        PowerModel {
+            cc_core_mw: 2.4,
+            mc_core_mw: 1.1,
+            uncore_mw: 17.6,
+        }
+    }
+
+    /// Chip power breakdown at the configured clock (power scales linearly
+    /// with frequency relative to the 1 GHz calibration point).
+    pub fn chip_power(&self, config: &ChipConfig) -> PowerBreakdown {
+        let scale = config.clock_mhz as f64 / 1000.0;
+        PowerBreakdown {
+            cc_cores_mw: self.cc_core_mw * config.total_cores(ClusterKind::ComputeCentric) as f64 * scale,
+            mc_cores_mw: self.mc_core_mw * config.total_cores(ClusterKind::MemoryCentric) as f64 * scale,
+            uncore_mw: self.uncore_mw * scale,
+        }
+    }
+
+    /// Energy per token in joules for a given steady-state throughput.
+    ///
+    /// Used to reproduce the paper's token/J efficiency headline: at 138
+    /// tokens/s and ~112 mW core power plus DRAM access energy the paper
+    /// reports 0.217-0.28 token/J.
+    ///
+    /// `dram_energy_pj_per_byte` accounts for the external LPDDR access
+    /// energy which dominates at the system level.
+    pub fn energy_per_token_j(
+        &self,
+        config: &ChipConfig,
+        tokens_per_s: f64,
+        bytes_per_token: f64,
+        dram_energy_pj_per_byte: f64,
+    ) -> f64 {
+        assert!(tokens_per_s > 0.0, "throughput must be positive");
+        let chip_w = self.chip_power(config).total_w();
+        let chip_j_per_token = chip_w / tokens_per_s;
+        let dram_j_per_token = bytes_per_token * dram_energy_pj_per_byte * 1e-12;
+        chip_j_per_token + dram_j_per_token
+    }
+
+    /// Tokens per joule, the efficiency metric quoted in the paper's abstract.
+    pub fn tokens_per_joule(
+        &self,
+        config: &ChipConfig,
+        tokens_per_s: f64,
+        bytes_per_token: f64,
+        dram_energy_pj_per_byte: f64,
+    ) -> f64 {
+        1.0 / self.energy_per_token_j(config, tokens_per_s, bytes_per_token, dram_energy_pj_per_byte)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::calibrated_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sa_fraction_matches_paper() {
+        let cfg = ChipConfig::paper_default();
+        let model = AreaModel::calibrated_22nm();
+        let frac = model.cc_core(&cfg).coprocessor_fraction();
+        // Paper: SA coprocessor is 62% of a CC core. Accept +-8 points.
+        assert!((frac - 0.62).abs() < 0.08, "SA fraction = {frac}");
+    }
+
+    #[test]
+    fn cim_fraction_matches_paper() {
+        let cfg = ChipConfig::paper_default();
+        let model = AreaModel::calibrated_22nm();
+        let frac = model.mc_core(&cfg).coprocessor_fraction();
+        // Paper: CIM macro is 81% of an MC core. Accept +-8 points.
+        assert!((frac - 0.81).abs() < 0.08, "CIM fraction = {frac}");
+    }
+
+    #[test]
+    fn chip_power_matches_paper() {
+        let cfg = ChipConfig::paper_default();
+        let model = PowerModel::calibrated_22nm();
+        let mw = model.chip_power(&cfg).total_mw();
+        // Paper: 112 mW post-P&R. Accept +-15%.
+        assert!((mw - 112.0).abs() / 112.0 < 0.15, "chip power = {mw} mW");
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let model = PowerModel::calibrated_22nm();
+        let full = model.chip_power(&ChipConfig::paper_default()).total_mw();
+        let half_cfg = ChipConfig::builder().clock_mhz(500).build().expect("valid");
+        let half = model.chip_power(&half_cfg).total_mw();
+        assert!((half * 2.0 - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_token_positive_and_monotonic_in_traffic() {
+        let cfg = ChipConfig::paper_default();
+        let model = PowerModel::calibrated_22nm();
+        let low = model.energy_per_token_j(&cfg, 100.0, 1.0e6, 20.0);
+        let high = model.energy_per_token_j(&cfg, 100.0, 1.0e9, 20.0);
+        assert!(low > 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn tokens_per_joule_is_physically_consistent() {
+        // The paper's abstract quotes 0.217-0.28 token/J, which is not
+        // reconstructible from its own 112 mW / 138 tokens/s figures (see
+        // EXPERIMENTS.md). Our model is anchored to the published power and
+        // throughput instead and must simply be positive, finite, and
+        // dominated by DRAM energy for large per-token traffic.
+        let cfg = ChipConfig::paper_default();
+        let model = PowerModel::calibrated_22nm();
+        let tpj = model.tokens_per_joule(&cfg, 138.0, 150.0e6, 20.0);
+        assert!(tpj.is_finite() && tpj > 0.0);
+        let tpj_heavy = model.tokens_per_joule(&cfg, 138.0, 1.5e9, 20.0);
+        assert!(tpj_heavy < tpj, "more DRAM traffic must cost more energy");
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn zero_throughput_panics() {
+        let cfg = ChipConfig::paper_default();
+        PowerModel::calibrated_22nm().energy_per_token_j(&cfg, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn chip_area_is_reasonable_for_22nm() {
+        let cfg = ChipConfig::paper_default();
+        let model = AreaModel::calibrated_22nm();
+        let mm2 = model.chip_mm2(&cfg);
+        // A 48-core edge SoC compute fabric should be a few mm^2 to a few
+        // tens of mm^2 at 22 nm.
+        assert!(mm2 > 1.0 && mm2 < 60.0, "chip area = {mm2} mm^2");
+    }
+
+    #[test]
+    fn area_breakdown_total_is_sum() {
+        let cfg = ChipConfig::paper_default();
+        let b = AreaModel::calibrated_22nm().cc_core(&cfg);
+        let sum = b.host_core_mm2 + b.coprocessor_mm2 + b.glue_mm2;
+        assert!((b.total_mm2() - sum).abs() < 1e-12);
+    }
+}

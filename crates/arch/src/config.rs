@@ -1,0 +1,670 @@
+//! Static configuration of an EdgeMM chip.
+//!
+//! The default values reproduce the configuration of the paper's Fig. 10:
+//! 4 groups, each containing 2 compute-centric (CC) clusters and 2
+//! memory-centric (MC) clusters; each CC cluster holds 4 CC cores plus a
+//! host/DMA core, each MC cluster holds 2 MC cores plus a host/DMA core. The
+//! chip runs at 1 GHz in a 22 nm technology.
+
+use crate::error::ConfigError;
+
+/// The two coprocessor families attached to EdgeMM cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoprocessorKind {
+    /// Weight-stationary systolic array, tuned for GEMM (compute-bound).
+    SystolicArray,
+    /// Digital compute-in-memory macro, tuned for GEMV (memory-bound).
+    ComputeInMemory,
+}
+
+impl std::fmt::Display for CoprocessorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoprocessorKind::SystolicArray => write!(f, "systolic-array"),
+            CoprocessorKind::ComputeInMemory => write!(f, "digital-CIM"),
+        }
+    }
+}
+
+/// Cluster flavour: compute-centric or memory-centric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterKind {
+    /// Cluster of systolic-array cores sharing instruction and data memory.
+    ComputeCentric,
+    /// Cluster of CIM cores with fused data memory and a small shared buffer.
+    MemoryCentric,
+}
+
+impl ClusterKind {
+    /// The coprocessor attached to cores of this cluster kind.
+    pub fn coprocessor(self) -> CoprocessorKind {
+        match self {
+            ClusterKind::ComputeCentric => CoprocessorKind::SystolicArray,
+            ClusterKind::MemoryCentric => CoprocessorKind::ComputeInMemory,
+        }
+    }
+
+    /// Short label used in reports ("CC" / "MC").
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterKind::ComputeCentric => "CC",
+            ClusterKind::MemoryCentric => "MC",
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Geometry of the weight-stationary systolic array in a CC core.
+///
+/// The array holds `rows x cols` multiply-accumulate processing elements.
+/// Loading an `rows x cols` weight tile and streaming an `cols x m`
+/// activation block through it takes `2*rows + cols + m - 3` cycles
+/// (paper Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystolicGeometry {
+    /// Number of PE rows (R).
+    pub rows: usize,
+    /// Number of PE columns (C). Vector instructions operate on `cols` lanes.
+    pub cols: usize,
+    /// Number of R x C matrix registers available to the coprocessor.
+    pub matrix_registers: usize,
+}
+
+impl SystolicGeometry {
+    /// Geometry used by the paper's 22 nm implementation (16 x 16 PEs,
+    /// 4 matrix registers).
+    pub fn paper_default() -> Self {
+        SystolicGeometry {
+            rows: 16,
+            cols: 16,
+            matrix_registers: 4,
+        }
+    }
+
+    /// Multiply-accumulate operations performed per cycle at full utilisation.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for SystolicGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Geometry of the digital CIM macro in an MC core.
+///
+/// A macro has `cols` columns; each column contains `subarrays` SRAM
+/// subarrays of `subarray_rows x weight_bits` 6T bit-cells, an adder tree and
+/// a shift-and-accumulate unit. A GEMV over `m` weight rows with `w`-bit
+/// activations completes in `m * w + 1` cycles (paper Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CimGeometry {
+    /// Number of CIM columns (C) — the output-channel parallelism.
+    pub cols: usize,
+    /// Number of subarrays per column (R) — the reduction parallelism.
+    pub subarrays: usize,
+    /// Rows of each subarray (M) — how many weight rows a column stores.
+    pub subarray_rows: usize,
+    /// Bit-width of a stored weight (N).
+    pub weight_bits: u8,
+    /// Bit-width of the bit-serially broadcast activation (W).
+    pub activation_bits: u8,
+}
+
+impl CimGeometry {
+    /// Geometry used by the paper's 22 nm in-house CIM macro IP.
+    pub fn paper_default() -> Self {
+        CimGeometry {
+            cols: 64,
+            subarrays: 16,
+            subarray_rows: 64,
+            weight_bits: 8,
+            activation_bits: 8,
+        }
+    }
+
+    /// Number of weight bit-cells in the macro.
+    pub fn weight_capacity_bits(&self) -> usize {
+        self.cols * self.subarrays * self.subarray_rows * self.weight_bits as usize
+    }
+
+    /// Number of weights (of `weight_bits` each) the macro stores.
+    pub fn weight_capacity(&self) -> usize {
+        self.cols * self.subarrays * self.subarray_rows
+    }
+
+    /// Effective multiply-accumulate operations per cycle for GEMV
+    /// (bit-serial: one full-precision MAC every `activation_bits` cycles per
+    /// cell column).
+    pub fn effective_macs_per_cycle(&self) -> f64 {
+        (self.cols * self.subarrays) as f64 / self.activation_bits as f64
+    }
+}
+
+impl Default for CimGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Per-core configuration: the host core plus its coprocessor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreConfig {
+    /// Which coprocessor family the core carries.
+    pub coprocessor: CoprocessorKind,
+    /// Systolic geometry (meaningful when `coprocessor` is a systolic array).
+    pub systolic: SystolicGeometry,
+    /// CIM geometry (meaningful when `coprocessor` is a CIM macro).
+    pub cim: CimGeometry,
+}
+
+impl CoreConfig {
+    /// A compute-centric core with the given systolic geometry.
+    pub fn compute_centric(systolic: SystolicGeometry) -> Self {
+        CoreConfig {
+            coprocessor: CoprocessorKind::SystolicArray,
+            systolic,
+            cim: CimGeometry::paper_default(),
+        }
+    }
+
+    /// A memory-centric core with the given CIM geometry.
+    pub fn memory_centric(cim: CimGeometry) -> Self {
+        CoreConfig {
+            coprocessor: CoprocessorKind::ComputeInMemory,
+            systolic: SystolicGeometry::paper_default(),
+            cim,
+        }
+    }
+}
+
+/// On-chip memory sizes of a cluster, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryConfig {
+    /// Shared instruction memory per cluster.
+    pub instruction_memory: usize,
+    /// Shared data memory (CC cluster) or aggregate CIM + shared buffer (MC cluster).
+    pub data_memory: usize,
+    /// Small shared buffer for inter-core transfer in MC clusters.
+    pub shared_buffer: usize,
+}
+
+impl MemoryConfig {
+    /// Memory sizes of a paper-default CC cluster (128 KiB data TCDM).
+    pub fn cc_default() -> Self {
+        MemoryConfig {
+            instruction_memory: 16 * 1024,
+            data_memory: 128 * 1024,
+            shared_buffer: 0,
+        }
+    }
+
+    /// Memory sizes of a paper-default MC cluster. The CIM-fused data memory
+    /// is significantly larger than the CC data memory, which lets MC
+    /// clusters move larger DMA blocks at once (paper Fig. 6b discussion).
+    pub fn mc_default() -> Self {
+        MemoryConfig {
+            instruction_memory: 16 * 1024,
+            data_memory: 512 * 1024,
+            shared_buffer: 16 * 1024,
+        }
+    }
+}
+
+/// Configuration of one cluster: its kind, how many AI cores it holds and
+/// its memory sizes. Every cluster additionally has a dedicated host core
+/// that drives the cluster DMA engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterConfig {
+    /// Cluster flavour.
+    pub kind: ClusterKind,
+    /// Number of AI-extended cores (excluding the DMA host core).
+    pub cores: usize,
+    /// Per-core configuration.
+    pub core: CoreConfig,
+    /// Cluster memory sizes.
+    pub memory: MemoryConfig,
+}
+
+impl ClusterConfig {
+    /// The paper-default CC cluster: 4 systolic-array cores.
+    pub fn cc_default() -> Self {
+        ClusterConfig {
+            kind: ClusterKind::ComputeCentric,
+            cores: 4,
+            core: CoreConfig::compute_centric(SystolicGeometry::paper_default()),
+            memory: MemoryConfig::cc_default(),
+        }
+    }
+
+    /// The paper-default MC cluster: 2 CIM cores.
+    pub fn mc_default() -> Self {
+        ClusterConfig {
+            kind: ClusterKind::MemoryCentric,
+            cores: 2,
+            core: CoreConfig::memory_centric(CimGeometry::paper_default()),
+            memory: MemoryConfig::mc_default(),
+        }
+    }
+}
+
+/// Full chip configuration: hierarchy, clock and DRAM interface.
+///
+/// Use [`ChipConfig::paper_default`] for the published design point or
+/// [`ChipConfig::builder`] to explore other points, e.g. homo-CC / homo-MC
+/// configurations for the Fig. 11 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Number of groups on the chip.
+    pub groups: usize,
+    /// CC clusters per group.
+    pub cc_clusters_per_group: usize,
+    /// MC clusters per group.
+    pub mc_clusters_per_group: usize,
+    /// CC cluster configuration.
+    pub cc_cluster: ClusterConfig,
+    /// MC cluster configuration.
+    pub mc_cluster: ClusterConfig,
+    /// Core clock frequency in MHz (paper: 1000 MHz).
+    pub clock_mhz: u32,
+    /// Peak DRAM bandwidth in GiB/s available to the whole chip.
+    pub dram_bandwidth_gib_s: f64,
+}
+
+impl ChipConfig {
+    /// The configuration of the paper's 22 nm implementation: 4 groups, each
+    /// with 2 CC clusters (4 cores each) and 2 MC clusters (2 cores each),
+    /// clocked at 1 GHz with an LPDDR-class external memory.
+    pub fn paper_default() -> Self {
+        ChipConfig {
+            groups: 4,
+            cc_clusters_per_group: 2,
+            mc_clusters_per_group: 2,
+            cc_cluster: ClusterConfig::cc_default(),
+            mc_cluster: ClusterConfig::mc_default(),
+            clock_mhz: 1000,
+            dram_bandwidth_gib_s: 68.0,
+        }
+    }
+
+    /// Start building a custom configuration from the paper default.
+    pub fn builder() -> ChipConfigBuilder {
+        ChipConfigBuilder::new()
+    }
+
+    /// A homogeneous design containing only CC clusters (Fig. 11 "homo-CC").
+    ///
+    /// The total cluster count per group is preserved so the comparison is
+    /// iso-cluster-count, as in the paper.
+    pub fn homo_cc() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.cc_clusters_per_group += cfg.mc_clusters_per_group;
+        cfg.mc_clusters_per_group = 0;
+        cfg
+    }
+
+    /// A homogeneous design containing only MC clusters (Fig. 11 "homo-MC").
+    pub fn homo_mc() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.mc_clusters_per_group += cfg.cc_clusters_per_group;
+        cfg.cc_clusters_per_group = 0;
+        cfg
+    }
+
+    /// Total number of clusters of the given kind on the chip.
+    pub fn total_clusters(&self, kind: ClusterKind) -> usize {
+        let per_group = match kind {
+            ClusterKind::ComputeCentric => self.cc_clusters_per_group,
+            ClusterKind::MemoryCentric => self.mc_clusters_per_group,
+        };
+        self.groups * per_group
+    }
+
+    /// Total number of AI cores of the given kind on the chip.
+    pub fn total_cores(&self, kind: ClusterKind) -> usize {
+        let per_cluster = match kind {
+            ClusterKind::ComputeCentric => self.cc_cluster.cores,
+            ClusterKind::MemoryCentric => self.mc_cluster.cores,
+        };
+        self.total_clusters(kind) * per_cluster
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_period_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz as f64
+    }
+
+    /// Peak BF16 throughput of the chip in TFLOP/s, counting both systolic
+    /// and CIM resources (a multiply-accumulate is 2 FLOPs).
+    pub fn peak_tflops(&self) -> f64 {
+        let cc = self.total_cores(ClusterKind::ComputeCentric) as f64
+            * self.cc_cluster.core.systolic.macs_per_cycle() as f64;
+        let mc = self.total_cores(ClusterKind::MemoryCentric) as f64
+            * self.mc_cluster.core.cim.effective_macs_per_cycle();
+        2.0 * (cc + mc) * self.clock_mhz as f64 * 1.0e6 / 1.0e12
+    }
+
+    /// Validate the configuration, returning the first inconsistency found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any structural count or coprocessor
+    /// dimension is zero, if a cluster data memory cannot hold one tile, if
+    /// the weight bit-width is unsupported, or if the clock frequency is
+    /// outside 100-2000 MHz.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.groups == 0 {
+            return Err(ConfigError::ZeroCount { field: "groups" });
+        }
+        if self.cc_clusters_per_group + self.mc_clusters_per_group == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "clusters_per_group",
+            });
+        }
+        if self.cc_clusters_per_group > 0 && self.cc_cluster.cores == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "cc_cluster.cores",
+            });
+        }
+        if self.mc_clusters_per_group > 0 && self.mc_cluster.cores == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "mc_cluster.cores",
+            });
+        }
+        let sa = &self.cc_cluster.core.systolic;
+        if sa.rows == 0 || sa.cols == 0 {
+            return Err(ConfigError::ZeroDimension {
+                field: "systolic.rows/cols",
+            });
+        }
+        if sa.matrix_registers == 0 {
+            return Err(ConfigError::ZeroDimension {
+                field: "systolic.matrix_registers",
+            });
+        }
+        let cim = &self.mc_cluster.core.cim;
+        if cim.cols == 0 || cim.subarrays == 0 || cim.subarray_rows == 0 {
+            return Err(ConfigError::ZeroDimension {
+                field: "cim.cols/subarrays/subarray_rows",
+            });
+        }
+        if !matches!(cim.weight_bits, 4 | 8 | 16) {
+            return Err(ConfigError::UnsupportedWeightBits {
+                bits: cim.weight_bits,
+            });
+        }
+        if !matches!(cim.activation_bits, 4 | 8 | 16) {
+            return Err(ConfigError::UnsupportedWeightBits {
+                bits: cim.activation_bits,
+            });
+        }
+        // A CC tile is rows*cols BF16 values; the data memory must hold at
+        // least the four matrix registers' worth of tiles.
+        let tile_bytes = sa.rows * sa.cols * 2 * sa.matrix_registers;
+        if self.cc_clusters_per_group > 0 && self.cc_cluster.memory.data_memory < tile_bytes {
+            return Err(ConfigError::MemoryTooSmall {
+                region: "cc_data_memory",
+                required: tile_bytes,
+                configured: self.cc_cluster.memory.data_memory,
+            });
+        }
+        let cim_bytes = cim.weight_capacity_bits() / 8;
+        if self.mc_clusters_per_group > 0 && self.mc_cluster.memory.data_memory < cim_bytes {
+            return Err(ConfigError::MemoryTooSmall {
+                region: "mc_data_memory",
+                required: cim_bytes,
+                configured: self.mc_cluster.memory.data_memory,
+            });
+        }
+        if !(100..=2000).contains(&self.clock_mhz) {
+            return Err(ConfigError::ImplausibleFrequency {
+                mhz: self.clock_mhz,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Builder for [`ChipConfig`], starting from the paper default.
+///
+/// # Example
+///
+/// ```
+/// use edgemm_arch::ChipConfig;
+///
+/// # fn main() -> Result<(), edgemm_arch::ConfigError> {
+/// let chip = ChipConfig::builder()
+///     .groups(2)
+///     .clock_mhz(800)
+///     .dram_bandwidth_gib_s(12.8)
+///     .build()?;
+/// assert_eq!(chip.groups, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipConfigBuilder {
+    config: ChipConfig,
+}
+
+impl ChipConfigBuilder {
+    /// Create a builder seeded with [`ChipConfig::paper_default`].
+    pub fn new() -> Self {
+        ChipConfigBuilder {
+            config: ChipConfig::paper_default(),
+        }
+    }
+
+    /// Set the number of groups.
+    pub fn groups(mut self, groups: usize) -> Self {
+        self.config.groups = groups;
+        self
+    }
+
+    /// Set the number of CC clusters per group.
+    pub fn cc_clusters_per_group(mut self, n: usize) -> Self {
+        self.config.cc_clusters_per_group = n;
+        self
+    }
+
+    /// Set the number of MC clusters per group.
+    pub fn mc_clusters_per_group(mut self, n: usize) -> Self {
+        self.config.mc_clusters_per_group = n;
+        self
+    }
+
+    /// Set the CC cluster configuration.
+    pub fn cc_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.config.cc_cluster = cluster;
+        self
+    }
+
+    /// Set the MC cluster configuration.
+    pub fn mc_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.config.mc_cluster = cluster;
+        self
+    }
+
+    /// Set the systolic-array geometry of CC cores.
+    pub fn systolic(mut self, geometry: SystolicGeometry) -> Self {
+        self.config.cc_cluster.core.systolic = geometry;
+        self
+    }
+
+    /// Set the CIM geometry of MC cores.
+    pub fn cim(mut self, geometry: CimGeometry) -> Self {
+        self.config.mc_cluster.core.cim = geometry;
+        self
+    }
+
+    /// Set the clock frequency in MHz.
+    pub fn clock_mhz(mut self, mhz: u32) -> Self {
+        self.config.clock_mhz = mhz;
+        self
+    }
+
+    /// Set the peak DRAM bandwidth in GiB/s.
+    pub fn dram_bandwidth_gib_s(mut self, bw: f64) -> Self {
+        self.config.dram_bandwidth_gib_s = bw;
+        self
+    }
+
+    /// Finish building, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ConfigError`] reported by [`ChipConfig::validate`].
+    pub fn build(self) -> Result<ChipConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl Default for ChipConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = ChipConfig::paper_default();
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_default_core_counts_match_figure_10() {
+        let cfg = ChipConfig::paper_default();
+        // 4 groups x 2 CC clusters x 4 cores = 32 CC cores
+        assert_eq!(cfg.total_cores(ClusterKind::ComputeCentric), 32);
+        // 4 groups x 2 MC clusters x 2 cores = 16 MC cores
+        assert_eq!(cfg.total_cores(ClusterKind::MemoryCentric), 16);
+        assert_eq!(cfg.total_clusters(ClusterKind::ComputeCentric), 8);
+        assert_eq!(cfg.total_clusters(ClusterKind::MemoryCentric), 8);
+    }
+
+    #[test]
+    fn peak_tflops_close_to_paper_headline() {
+        // Table II reports 18 TFLOP/s (BF16) for the whole chip; the default
+        // geometry should land in the same ballpark (within 25%).
+        let cfg = ChipConfig::paper_default();
+        let tflops = cfg.peak_tflops();
+        assert!(tflops > 13.0 && tflops < 23.0, "got {tflops}");
+    }
+
+    #[test]
+    fn homo_configurations_preserve_cluster_count() {
+        let hetero = ChipConfig::paper_default();
+        let cc = ChipConfig::homo_cc();
+        let mc = ChipConfig::homo_mc();
+        let total = |c: &ChipConfig| {
+            c.total_clusters(ClusterKind::ComputeCentric)
+                + c.total_clusters(ClusterKind::MemoryCentric)
+        };
+        assert_eq!(total(&hetero), total(&cc));
+        assert_eq!(total(&hetero), total(&mc));
+        assert_eq!(cc.total_clusters(ClusterKind::MemoryCentric), 0);
+        assert_eq!(mc.total_clusters(ClusterKind::ComputeCentric), 0);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let cfg = ChipConfig::builder()
+            .groups(2)
+            .clock_mhz(500)
+            .dram_bandwidth_gib_s(12.8)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.groups, 2);
+        assert_eq!(cfg.clock_mhz, 500);
+        assert!((cfg.dram_bandwidth_gib_s - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_groups_rejected() {
+        let err = ChipConfig::builder().groups(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCount { field: "groups" });
+    }
+
+    #[test]
+    fn zero_clusters_rejected() {
+        let err = ChipConfig::builder()
+            .cc_clusters_per_group(0)
+            .mc_clusters_per_group(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroCount {
+                field: "clusters_per_group"
+            }
+        );
+    }
+
+    #[test]
+    fn bad_weight_bits_rejected() {
+        let mut cim = CimGeometry::paper_default();
+        cim.weight_bits = 7;
+        let err = ChipConfig::builder().cim(cim).build().unwrap_err();
+        assert_eq!(err, ConfigError::UnsupportedWeightBits { bits: 7 });
+    }
+
+    #[test]
+    fn implausible_clock_rejected() {
+        let err = ChipConfig::builder().clock_mhz(5000).build().unwrap_err();
+        assert_eq!(err, ConfigError::ImplausibleFrequency { mhz: 5000 });
+    }
+
+    #[test]
+    fn tiny_data_memory_rejected() {
+        let mut cluster = ClusterConfig::cc_default();
+        cluster.memory.data_memory = 64;
+        let err = ChipConfig::builder().cc_cluster(cluster).build().unwrap_err();
+        assert!(matches!(err, ConfigError::MemoryTooSmall { .. }));
+    }
+
+    #[test]
+    fn cim_capacity_consistent() {
+        let cim = CimGeometry::paper_default();
+        assert_eq!(
+            cim.weight_capacity_bits(),
+            cim.weight_capacity() * cim.weight_bits as usize
+        );
+    }
+
+    #[test]
+    fn cluster_kind_coprocessor_mapping() {
+        assert_eq!(
+            ClusterKind::ComputeCentric.coprocessor(),
+            CoprocessorKind::SystolicArray
+        );
+        assert_eq!(
+            ClusterKind::MemoryCentric.coprocessor(),
+            CoprocessorKind::ComputeInMemory
+        );
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(ClusterKind::ComputeCentric.to_string(), "CC");
+        assert_eq!(ClusterKind::MemoryCentric.to_string(), "MC");
+        assert_eq!(CoprocessorKind::SystolicArray.to_string(), "systolic-array");
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for architecture configuration.
+
+use std::fmt;
+
+/// Error produced when validating a [`ChipConfig`](crate::ChipConfig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural count (groups, clusters, cores) was zero.
+    ZeroCount {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A coprocessor geometry dimension was zero.
+    ZeroDimension {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A memory size is too small to hold a single coprocessor tile.
+    MemoryTooSmall {
+        /// Name of the memory region.
+        region: &'static str,
+        /// Required minimum in bytes.
+        required: usize,
+        /// Configured size in bytes.
+        configured: usize,
+    },
+    /// The weight bit-width is not one of the supported values (4, 8, 16).
+    UnsupportedWeightBits {
+        /// The rejected bit-width.
+        bits: u8,
+    },
+    /// The clock frequency is outside the plausible range for 22 nm edge silicon.
+    ImplausibleFrequency {
+        /// Frequency in MHz.
+        mhz: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCount { field } => {
+                write!(f, "configuration field `{field}` must be non-zero")
+            }
+            ConfigError::ZeroDimension { field } => {
+                write!(f, "coprocessor dimension `{field}` must be non-zero")
+            }
+            ConfigError::MemoryTooSmall {
+                region,
+                required,
+                configured,
+            } => write!(
+                f,
+                "memory region `{region}` of {configured} bytes cannot hold a tile of {required} bytes"
+            ),
+            ConfigError::UnsupportedWeightBits { bits } => {
+                write!(f, "weight bit-width {bits} is not supported (expected 4, 8 or 16)")
+            }
+            ConfigError::ImplausibleFrequency { mhz } => {
+                write!(f, "clock frequency {mhz} MHz is outside the supported 100-2000 MHz range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_count() {
+        let err = ConfigError::ZeroCount { field: "groups" };
+        assert_eq!(err.to_string(), "configuration field `groups` must be non-zero");
+    }
+
+    #[test]
+    fn display_memory_too_small() {
+        let err = ConfigError::MemoryTooSmall {
+            region: "cc_data_memory",
+            required: 2048,
+            configured: 1024,
+        };
+        assert!(err.to_string().contains("cc_data_memory"));
+        assert!(err.to_string().contains("2048"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

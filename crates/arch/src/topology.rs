@@ -1,0 +1,231 @@
+//! Chip topology: stable identifiers for groups, clusters and cores.
+//!
+//! The EdgeMM programming model exposes read-only CSRs holding each core's
+//! index and type so software can compute tensor-shard offsets. The
+//! [`Topology`] type enumerates every core of a [`ChipConfig`] in the same
+//! deterministic order the hardware would, so the simulator, the scheduler
+//! and the ISA-level CSR file all agree on core numbering.
+
+use crate::config::{ChipConfig, ClusterKind};
+
+/// Identifier of a group on the chip (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub usize);
+
+/// Identifier of a cluster within the whole chip (0-based, groups first
+/// enumerate their CC clusters, then their MC clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub usize);
+
+/// Identifier of an AI core within the whole chip (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cl{}", self.0)
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Full hierarchical address of one AI core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorePath {
+    /// Group the core belongs to.
+    pub group: GroupId,
+    /// Cluster the core belongs to (chip-wide numbering).
+    pub cluster: ClusterId,
+    /// Chip-wide core number.
+    pub core: CoreId,
+    /// Index of the core within its cluster.
+    pub core_in_cluster: usize,
+    /// Flavour of the owning cluster.
+    pub kind: ClusterKind,
+}
+
+impl std::fmt::Display for CorePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{} ({})",
+            self.group,
+            self.cluster,
+            self.core,
+            self.kind.label()
+        )
+    }
+}
+
+/// Enumerated topology of a chip configuration.
+///
+/// # Example
+///
+/// ```
+/// use edgemm_arch::{ChipConfig, Topology, ClusterKind};
+///
+/// let topo = Topology::new(&ChipConfig::paper_default());
+/// assert_eq!(topo.cores().len(), 48);
+/// assert_eq!(topo.cores_of_kind(ClusterKind::MemoryCentric).count(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    cores: Vec<CorePath>,
+    clusters: Vec<(ClusterId, GroupId, ClusterKind, usize)>,
+}
+
+impl Topology {
+    /// Enumerate the topology of `config`.
+    ///
+    /// Cores are numbered group by group; within a group the CC clusters come
+    /// first, then the MC clusters, matching the CSR numbering described in
+    /// the paper's programming model.
+    pub fn new(config: &ChipConfig) -> Self {
+        let mut cores = Vec::new();
+        let mut clusters = Vec::new();
+        let mut cluster_id = 0usize;
+        let mut core_id = 0usize;
+        for g in 0..config.groups {
+            let group = GroupId(g);
+            for _ in 0..config.cc_clusters_per_group {
+                let cid = ClusterId(cluster_id);
+                clusters.push((cid, group, ClusterKind::ComputeCentric, config.cc_cluster.cores));
+                for i in 0..config.cc_cluster.cores {
+                    cores.push(CorePath {
+                        group,
+                        cluster: cid,
+                        core: CoreId(core_id),
+                        core_in_cluster: i,
+                        kind: ClusterKind::ComputeCentric,
+                    });
+                    core_id += 1;
+                }
+                cluster_id += 1;
+            }
+            for _ in 0..config.mc_clusters_per_group {
+                let cid = ClusterId(cluster_id);
+                clusters.push((cid, group, ClusterKind::MemoryCentric, config.mc_cluster.cores));
+                for i in 0..config.mc_cluster.cores {
+                    cores.push(CorePath {
+                        group,
+                        cluster: cid,
+                        core: CoreId(core_id),
+                        core_in_cluster: i,
+                        kind: ClusterKind::MemoryCentric,
+                    });
+                    core_id += 1;
+                }
+                cluster_id += 1;
+            }
+        }
+        Topology { cores, clusters }
+    }
+
+    /// All AI cores, in chip order.
+    pub fn cores(&self) -> &[CorePath] {
+        &self.cores
+    }
+
+    /// All clusters as `(cluster, group, kind, core_count)` tuples, in chip order.
+    pub fn clusters(&self) -> &[(ClusterId, GroupId, ClusterKind, usize)] {
+        &self.clusters
+    }
+
+    /// Iterator over cores belonging to clusters of `kind`.
+    pub fn cores_of_kind(&self, kind: ClusterKind) -> impl Iterator<Item = &CorePath> {
+        self.cores.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Iterator over clusters of `kind`.
+    pub fn clusters_of_kind(
+        &self,
+        kind: ClusterKind,
+    ) -> impl Iterator<Item = &(ClusterId, GroupId, ClusterKind, usize)> {
+        self.clusters.iter().filter(move |(_, _, k, _)| *k == kind)
+    }
+
+    /// Look up the path of a core by chip-wide id.
+    pub fn core(&self, id: CoreId) -> Option<&CorePath> {
+        self.cores.get(id.0)
+    }
+
+    /// Number of clusters on the chip.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_topology_counts() {
+        let topo = Topology::new(&ChipConfig::paper_default());
+        assert_eq!(topo.cores().len(), 48);
+        assert_eq!(topo.cluster_count(), 16);
+        assert_eq!(topo.cores_of_kind(ClusterKind::ComputeCentric).count(), 32);
+        assert_eq!(topo.cores_of_kind(ClusterKind::MemoryCentric).count(), 16);
+    }
+
+    #[test]
+    fn core_ids_are_dense_and_ordered() {
+        let topo = Topology::new(&ChipConfig::paper_default());
+        for (i, core) in topo.cores().iter().enumerate() {
+            assert_eq!(core.core, CoreId(i));
+        }
+    }
+
+    #[test]
+    fn cc_clusters_enumerate_before_mc_within_group() {
+        let topo = Topology::new(&ChipConfig::paper_default());
+        // First cluster of group 0 is CC, third is MC (2 CC then 2 MC).
+        assert_eq!(topo.clusters()[0].2, ClusterKind::ComputeCentric);
+        assert_eq!(topo.clusters()[2].2, ClusterKind::MemoryCentric);
+    }
+
+    #[test]
+    fn homo_mc_topology_has_no_cc_cores() {
+        let topo = Topology::new(&ChipConfig::homo_mc());
+        assert_eq!(topo.cores_of_kind(ClusterKind::ComputeCentric).count(), 0);
+        assert!(topo.cores_of_kind(ClusterKind::MemoryCentric).count() > 0);
+    }
+
+    #[test]
+    fn core_lookup_round_trips() {
+        let topo = Topology::new(&ChipConfig::paper_default());
+        let path = topo.core(CoreId(17)).expect("core 17 exists");
+        assert_eq!(path.core, CoreId(17));
+        assert!(topo.core(CoreId(10_000)).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let topo = Topology::new(&ChipConfig::paper_default());
+        let s = topo.cores()[0].to_string();
+        assert!(s.contains("g0"));
+        assert!(s.contains("CC"));
+    }
+
+    #[test]
+    fn core_in_cluster_wraps() {
+        let cfg = ChipConfig::paper_default();
+        let topo = Topology::new(&cfg);
+        for core in topo.cores_of_kind(ClusterKind::ComputeCentric) {
+            assert!(core.core_in_cluster < cfg.cc_cluster.cores);
+        }
+        for core in topo.cores_of_kind(ClusterKind::MemoryCentric) {
+            assert!(core.core_in_cluster < cfg.mc_cluster.cores);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The unextended Snitch-cluster baseline (Fig. 11 normalisation point).
+//!
+//! The original Snitch cluster pairs tiny RISC-V integer cores with SIMD
+//! FPUs; without matrix extensions every GEMM/GEMV goes through the regular
+//! FPU datapath and the load/store port of the core, which caps both the
+//! achievable FLOP rate and the usable memory bandwidth well below the AI
+//! coprocessors of EdgeMM.
+
+use edgemm_mem::DramModel;
+use edgemm_mllm::{MatmulOp, ModelWorkload, Phase};
+
+use crate::RooflineDevice;
+
+/// Roofline model of the iso-area Snitch-cluster chip without AI extensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnitchBaseline {
+    /// Number of clusters (matches the EdgeMM cluster count for an iso-cluster comparison).
+    pub clusters: usize,
+    /// SIMD FPU cores per cluster.
+    pub cores_per_cluster: usize,
+    /// FLOPs per core per cycle achieved on dense kernels (FMA on a 2-wide SIMD FPU).
+    pub flops_per_core_per_cycle: f64,
+    /// Fraction of the DRAM bandwidth the narrow core load/store path can use.
+    pub bandwidth_efficiency: f64,
+    /// Core clock in MHz.
+    pub clock_mhz: u32,
+    /// External memory model (shared with EdgeMM for a fair comparison).
+    pub dram: DramModel,
+}
+
+impl SnitchBaseline {
+    /// Baseline matching the paper's setup: the same 16-cluster fabric,
+    /// 8 Snitch cores per cluster, 4 FLOP/cycle/core, at the EdgeMM clock.
+    pub fn paper_default() -> Self {
+        SnitchBaseline {
+            clusters: 16,
+            cores_per_cluster: 8,
+            flops_per_core_per_cycle: 4.0,
+            bandwidth_efficiency: 0.6,
+            clock_mhz: 1000,
+            dram: DramModel::paper_default(),
+        }
+    }
+
+    /// Peak FLOP/s of the whole baseline chip.
+    pub fn peak_flops(&self) -> f64 {
+        self.clusters as f64
+            * self.cores_per_cluster as f64
+            * self.flops_per_core_per_cycle
+            * self.clock_mhz as f64
+            * 1.0e6
+    }
+
+    /// Achievable DRAM bandwidth in bytes/s.
+    pub fn achievable_bandwidth(&self) -> f64 {
+        self.dram.peak_gib_s * (1u64 << 30) as f64 * self.bandwidth_efficiency
+    }
+
+    /// Seconds to execute a set of operators (roofline: the max of compute
+    /// and memory time, summed over ops).
+    pub fn ops_seconds(&self, ops: &[MatmulOp], bytes_per_weight: usize) -> f64 {
+        ops.iter()
+            .map(|op| {
+                let compute = op.flops() as f64 / self.peak_flops();
+                let bytes = op.weight_bytes(bytes_per_weight) + op.activation_bytes();
+                let memory = bytes as f64 / self.achievable_bandwidth();
+                compute.max(memory)
+            })
+            .sum()
+    }
+}
+
+impl Default for SnitchBaseline {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl RooflineDevice for SnitchBaseline {
+    fn phase_seconds(&self, workload: &ModelWorkload, phase: Phase) -> f64 {
+        let bytes_per_weight = workload.config().weight_bytes;
+        match phase {
+            Phase::Decode => {
+                self.ops_seconds(&workload.average_decode_step_ops(), bytes_per_weight)
+                    * workload.output_tokens() as f64
+            }
+            _ => self.ops_seconds(&workload.phase_ops(phase), bytes_per_weight),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "snitch-simd-baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgemm_mllm::zoo;
+
+    fn workload() -> ModelWorkload {
+        ModelWorkload::new(zoo::sphinx_tiny(), 20, 32)
+    }
+
+    #[test]
+    fn peak_flops_is_sub_tflop() {
+        // 16 clusters x 8 cores x 4 FLOP/cycle at 1 GHz = 0.512 TFLOP/s —
+        // orders of magnitude below the 18 TFLOP/s of the extended chip.
+        let b = SnitchBaseline::paper_default();
+        assert!((b.peak_flops() - 0.512e12).abs() / 0.512e12 < 1e-9);
+    }
+
+    #[test]
+    fn gemm_phases_are_compute_bound_on_the_baseline() {
+        let b = SnitchBaseline::paper_default();
+        let w = workload();
+        let prefill = b.phase_seconds(&w, Phase::Prefill);
+        // Pure-compute lower bound.
+        let flops: u64 = w.prefill_ops().iter().map(MatmulOp::flops).sum();
+        let compute_bound = flops as f64 / b.peak_flops();
+        assert!(prefill >= compute_bound * 0.99);
+        assert!(prefill < compute_bound * 1.5, "prefill should be dominated by compute");
+    }
+
+    #[test]
+    fn request_latency_is_positive_and_dominated_by_decode_for_long_outputs() {
+        let b = SnitchBaseline::paper_default();
+        let long = ModelWorkload::new(zoo::sphinx_tiny(), 20, 512);
+        let decode = b.phase_seconds(&long, Phase::Decode);
+        let total = b.request_seconds(&long);
+        assert!(decode / total > 0.5);
+    }
+
+    #[test]
+    fn decode_scales_linearly_with_output_tokens() {
+        let b = SnitchBaseline::paper_default();
+        let w32 = ModelWorkload::new(zoo::sphinx_tiny(), 20, 32);
+        let w64 = ModelWorkload::new(zoo::sphinx_tiny(), 20, 64);
+        let ratio = b.phase_seconds(&w64, Phase::Decode) / b.phase_seconds(&w32, Phase::Decode);
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(SnitchBaseline::paper_default().name(), "snitch-simd-baseline");
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benches of the coprocessor functional/timing models: one per
+//! kernel class the paper's figures depend on (SA GEMM, CIM GEMV, pruner).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgemm::arch::{CimGeometry, SystolicGeometry};
+use edgemm::coproc::{ActAwarePruner, CimMacro, SystolicArray};
+
+fn bench_systolic_gemm(c: &mut Criterion) {
+    let sa = SystolicArray::new(SystolicGeometry::paper_default());
+    let mut group = c.benchmark_group("systolic_gemm");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = vec![0.5f32; n * n];
+        let b = vec![0.25f32; n * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| sa.gemm(black_box(&a), black_box(&b), n, n, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cim_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cim_gemv");
+    group.sample_size(10);
+    for &k in &[512usize, 2048] {
+        let n = 512;
+        let mut cim = CimMacro::new(CimGeometry::paper_default());
+        let weights: Vec<f32> = (0..k * n).map(|i| (i % 13) as f32 * 0.01).collect();
+        cim.load_weights(&weights, k, n);
+        let x: Vec<f32> = (0..k).map(|i| (i % 7) as f32 * 0.1).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, _| {
+            bencher.iter(|| cim.gemv(black_box(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardware_pruner(c: &mut Criterion) {
+    let pruner = ActAwarePruner::default();
+    let slice: Vec<f32> = (0..2048).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01).collect();
+    c.bench_function("act_aware_pruner_2048", |b| {
+        b.iter(|| pruner.prune(black_box(&slice), 128, 16, 0))
+    });
+}
+
+criterion_group!(benches, bench_systolic_gemm, bench_cim_gemv, bench_hardware_pruner);
+criterion_main!(benches);

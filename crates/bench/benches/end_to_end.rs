@@ -1,0 +1,58 @@
+//! Criterion benches regenerating the headline experiments: one bench per
+//! table/figure that involves the full simulator, so regressions in the
+//! model's own runtime are visible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgemm::figures;
+use edgemm::{EdgeMm, RequestOptions};
+use edgemm_mllm::{zoo, ModelWorkload};
+
+fn bench_fig11_hetero(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("hetero_comparison", |b| {
+        b.iter(|| figures::fig11_hetero(black_box(&zoo::sphinx_tiny()), 64))
+    });
+    group.finish();
+}
+
+fn bench_fig12_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("pruning_evaluation", |b| {
+        b.iter(|| figures::fig12_pruning(black_box(&zoo::sphinx_tiny()), 512, 1024, 7))
+    });
+    group.finish();
+}
+
+fn bench_fig13_management(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("bandwidth_sweep", |b| {
+        b.iter(|| figures::fig13_bandwidth(black_box(&zoo::sphinx_tiny()), &[16, 128, 1024]))
+    });
+    group.finish();
+}
+
+fn bench_table2_request(c: &mut Criterion) {
+    let system = EdgeMm::paper_default();
+    let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 64);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("edgemm_request", |b| {
+        b.iter(|| system.run(black_box(&workload), RequestOptions::default()))
+    });
+    group.bench_function("edgemm_request_pruned", |b| {
+        b.iter(|| system.run(black_box(&workload), RequestOptions::with_pruning()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig11_hetero,
+    bench_fig12_pruning,
+    bench_fig13_management,
+    bench_table2_request
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 2 — workload analysis of SPHINX-Tiny and KarmaVLM.
+
+use edgemm::figures::fig2_workload;
+use edgemm_bench::format_seconds;
+use edgemm_mllm::zoo;
+
+fn main() {
+    for model in [zoo::sphinx_tiny(), zoo::karmavlm()] {
+        println!("== Fig. 2 workload analysis: {} ==", model.name);
+        for row in fig2_workload(&model, &[16, 64, 256]) {
+            println!("-- output tokens = {} --", row.output_tokens);
+            let total: f64 = row.gpu_phase_seconds.iter().map(|(_, s)| s).sum();
+            for ((phase, secs), (_, flops)) in row.gpu_phase_seconds.iter().zip(&row.phase_flops) {
+                let (_, bytes) = row
+                    .phase_weight_bytes
+                    .iter()
+                    .find(|(p, _)| p == phase)
+                    .expect("phase present");
+                println!(
+                    "  {:<16} latency(3060) {:>12}  share {:>5.1}%  flops {:>8.2} G  weight traffic {}",
+                    phase.to_string(),
+                    format_seconds(*secs),
+                    100.0 * secs / total,
+                    *flops as f64 / 1e9,
+                    edgemm_bench::format_bytes(*bytes),
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fig. 3 — activation channel sparsity across decoder layers.
+
+use edgemm::figures::fig3_sparsity;
+use edgemm_mllm::zoo;
+
+fn main() {
+    let model = zoo::sphinx_tiny();
+    println!("== Fig. 3 FFN activation sparsity: {} ==", model.name);
+    println!("{:>5} {:>10} {:>10} {:>12} {:>10}", "layer", "max|v|", "mean|v|", "sparse frac", "kurtosis");
+    for row in fig3_sparsity(&model, 7) {
+        println!(
+            "{:>5} {:>10.3} {:>10.4} {:>12.3} {:>10.2}",
+            row.layer, row.max_abs, row.mean_abs, row.negligible_fraction, row.kurtosis
+        );
+    }
+}

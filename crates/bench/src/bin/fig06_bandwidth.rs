@@ -1,0 +1,12 @@
+//! Fig. 6b — effective DMA/DRAM bandwidth vs transfer block size.
+
+use edgemm::figures::fig6_effective_bandwidth;
+use edgemm_bench::format_bytes;
+
+fn main() {
+    println!("== Fig. 6b effective bandwidth vs transfer size ==");
+    let sizes: Vec<u64> = (10..=23).map(|p| 1u64 << p).collect();
+    for (block, bw) in fig6_effective_bandwidth(&sizes) {
+        println!("{:>12}  {:>8.2} GiB/s", format_bytes(block), bw);
+    }
+}

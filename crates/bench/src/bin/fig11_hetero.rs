@@ -1,0 +1,23 @@
+//! Fig. 11 — homogeneous vs heterogeneous speedups over the Snitch baseline.
+
+use edgemm::figures::fig11_hetero;
+use edgemm_mllm::zoo;
+
+fn main() {
+    let report = fig11_hetero(&zoo::sphinx_tiny(), 64);
+    println!("== Fig. 11 speedup over the Snitch SIMD baseline (SPHINX-Tiny, 64 output tokens) ==");
+    println!("{:<16} {:>10} {:>10} {:>10}", "phase", "homo-CC", "homo-MC", "hetero");
+    for i in 0..report.hetero.len() {
+        println!(
+            "{:<16} {:>9.1}x {:>9.1}x {:>9.1}x",
+            report.hetero[i].0.to_string(),
+            report.homo_cc[i].1,
+            report.homo_mc[i].1,
+            report.hetero[i].1
+        );
+    }
+    println!(
+        "whole MLLM: hetero is {:.2}x faster than homo-CC (paper: 1.79x) and {:.2}x faster than homo-MC (paper: 2.65x)",
+        report.hetero_vs_homo_cc, report.hetero_vs_homo_mc
+    );
+}

@@ -1,0 +1,34 @@
+//! Fig. 13 — token-length-driven bandwidth management gains.
+
+use edgemm::figures::fig13_bandwidth;
+use edgemm_bench::format_seconds;
+use edgemm_mllm::zoo;
+
+fn main() {
+    let report = fig13_bandwidth(&zoo::sphinx_tiny(), &[8, 16, 36, 64, 128, 256, 512, 1024]);
+    println!("== Fig. 13 bandwidth and workload management (SPHINX-Tiny) ==");
+    println!(
+        "expected token length l_e = {} (paper: 36), batching threshold l_b = {} (paper: 131)",
+        report.expected_token_length, report.batching_threshold
+    );
+    println!(
+        "{:>6} {:>8} {:>6} {:>14} {:>14} {:>10} {:>10}",
+        "l", "Bc:Bm", "batch", "unmanaged", "managed", "lat. gain", "thpt gain"
+    );
+    for row in &report.rows {
+        let ratio = row
+            .ratio_bm_per_bc
+            .map(|r| format!("1:{r:.0}"))
+            .unwrap_or_else(|| "mc-only".to_string());
+        println!(
+            "{:>6} {:>8} {:>6} {:>14} {:>14} {:>9.1}% {:>9.2}x",
+            row.output_tokens,
+            ratio,
+            row.batch,
+            format_seconds(row.unmanaged_period_s),
+            format_seconds(row.managed_period_s),
+            100.0 * row.latency_reduction,
+            row.throughput_gain
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Table I — representative MLLMs and efficient edge MLLMs.
+
+use edgemm::figures::table1_models;
+
+fn main() {
+    println!("== Table I representative MLLMs ==");
+    println!("{:<14} {:<28} {:<10} {:<20} {:>10}", "model", "visual encoder", "projector", "language model", "params");
+    for row in table1_models() {
+        println!(
+            "{:<14} {:<28} {:<10} {:<20} {:>9.2}B",
+            row.name,
+            row.encoder,
+            row.projector,
+            row.llm,
+            row.total_params as f64 / 1e9
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Table II — EdgeMM vs the RTX 3060 Laptop GPU.
+
+use edgemm::figures::table2_gpu_comparison;
+use edgemm_mllm::zoo;
+
+fn main() {
+    let report = table2_gpu_comparison(&zoo::sphinx_tiny(), 64);
+    println!("== Table II EdgeMM vs mobile GPU (SPHINX-Tiny, 64 output tokens) ==");
+    println!("RTX 3060 Laptop:        {:>8.1} tokens/s  (1.00x)", report.gpu_tokens_per_second);
+    println!(
+        "EdgeMM:                 {:>8.1} tokens/s  ({:.2}x, paper: 2.15x)",
+        report.edgemm_tokens_per_second, report.edgemm_speedup
+    );
+    println!(
+        "EdgeMM + weight pruning:{:>8.1} tokens/s  ({:.2}x, paper: 2.84x)",
+        report.edgemm_pruned_tokens_per_second, report.edgemm_pruned_speedup
+    );
+    println!(
+        "EdgeMM + pruning efficiency: {:.3} tokens/J (paper: 0.217-0.28 token/J; see EXPERIMENTS.md)",
+        report.edgemm_tokens_per_joule
+    );
+}

@@ -1,0 +1,203 @@
+//! Vector unit: element-wise operations, activation functions and precision
+//! conversion.
+//!
+//! Both core kinds carry a vector unit executing a subset of the RISC-V
+//! vector ISA. Vector instructions share the matrix registers on CC cores
+//! and have an element width of `C` lanes, so one instruction processes one
+//! row of a matrix register per cycle (plus a small issue overhead).
+
+use crate::quant::bf16_round;
+use crate::Cycles;
+use edgemm_isa::{ActivationFn, Precision, VectorOp};
+
+/// Result of executing a vector operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorUnitResult {
+    /// Output elements.
+    pub output: Vec<f32>,
+    /// Cycles spent, assuming `lanes` elements are processed per cycle.
+    pub cycles: Cycles,
+}
+
+/// Functional + timing model of the vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorUnit {
+    lanes: usize,
+    /// Fixed instruction issue overhead in cycles.
+    issue_overhead: u64,
+}
+
+impl VectorUnit {
+    /// Create a vector unit with `lanes` parallel lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "vector unit must have at least one lane");
+        VectorUnit {
+            lanes,
+            issue_overhead: 1,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycle cost of processing `n` elements.
+    pub fn cycles_for(&self, n: usize) -> Cycles {
+        Cycles(self.issue_overhead + n.div_ceil(self.lanes) as u64)
+    }
+
+    /// SiLU (swish) activation.
+    pub fn silu(x: f32) -> f32 {
+        x / (1.0 + (-x).exp())
+    }
+
+    /// GELU activation (tanh approximation, as used by ViT encoders).
+    pub fn gelu(x: f32) -> f32 {
+        0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+    }
+
+    /// Apply an activation function element-wise.
+    pub fn activation(&self, act: ActivationFn, x: &[f32]) -> VectorUnitResult {
+        let output = x
+            .iter()
+            .map(|&v| match act {
+                ActivationFn::Silu => Self::silu(v),
+                ActivationFn::Gelu => Self::gelu(v),
+                ActivationFn::Relu => v.max(0.0),
+                ActivationFn::Identity => v,
+            })
+            .map(bf16_round)
+            .collect();
+        VectorUnitResult {
+            output,
+            cycles: self.cycles_for(x.len()),
+        }
+    }
+
+    /// Execute a two-operand element-wise operation.
+    ///
+    /// For [`VectorOp::Activation`] and [`VectorOp::Convert`] the second
+    /// operand is ignored, matching the ISA encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two operands have different lengths for a two-operand op.
+    pub fn execute(&self, op: VectorOp, a: &[f32], b: &[f32]) -> VectorUnitResult {
+        match op {
+            VectorOp::Activation(act) => self.activation(act, a),
+            VectorOp::Convert(prec) => self.convert(prec, a),
+            VectorOp::Add | VectorOp::Sub | VectorOp::Mul | VectorOp::Max => {
+                assert_eq!(a.len(), b.len(), "operand length mismatch");
+                let output = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| match op {
+                        VectorOp::Add => x + y,
+                        VectorOp::Sub => x - y,
+                        VectorOp::Mul => x * y,
+                        VectorOp::Max => x.max(y),
+                        _ => unreachable!(),
+                    })
+                    .map(bf16_round)
+                    .collect();
+                VectorUnitResult {
+                    output,
+                    cycles: self.cycles_for(a.len()),
+                }
+            }
+        }
+    }
+
+    /// Convert precision (the functional effect is rounding to the target
+    /// precision and widening back to `f32`).
+    pub fn convert(&self, prec: Precision, x: &[f32]) -> VectorUnitResult {
+        let output = x
+            .iter()
+            .map(|&v| match prec {
+                Precision::Fp32 => v,
+                Precision::Bf16 => bf16_round(v),
+                Precision::Int8 => v.round().clamp(-128.0, 127.0),
+                Precision::Int4 => v.round().clamp(-8.0, 7.0),
+            })
+            .collect();
+        VectorUnitResult {
+            output,
+            cycles: self.cycles_for(x.len()),
+        }
+    }
+}
+
+impl Default for VectorUnit {
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silu_reference_points() {
+        assert!((VectorUnit::silu(0.0)).abs() < 1e-6);
+        assert!((VectorUnit::silu(10.0) - 10.0).abs() < 1e-3);
+        assert!(VectorUnit::silu(-10.0).abs() < 1e-3);
+        // silu(1) = 1 / (1 + e^-1) = 0.7310...
+        assert!((VectorUnit::silu(1.0) - 0.731_058_6).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        assert!((VectorUnit::gelu(0.0)).abs() < 1e-6);
+        assert!((VectorUnit::gelu(5.0) - 5.0).abs() < 1e-3);
+        assert!(VectorUnit::gelu(-5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let vu = VectorUnit::new(4);
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 0.5, -3.0];
+        assert_eq!(vu.execute(VectorOp::Add, &a, &b).output, vec![5.0, 2.5, 0.0]);
+        assert_eq!(vu.execute(VectorOp::Sub, &a, &b).output, vec![-3.0, 1.5, 6.0]);
+        assert_eq!(vu.execute(VectorOp::Mul, &a, &b).output, vec![4.0, 1.0, -9.0]);
+        assert_eq!(vu.execute(VectorOp::Max, &a, &b).output, vec![4.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_and_identity() {
+        let vu = VectorUnit::default();
+        let x = [-1.0, 0.0, 2.0];
+        assert_eq!(vu.activation(ActivationFn::Relu, &x).output, vec![0.0, 0.0, 2.0]);
+        assert_eq!(vu.activation(ActivationFn::Identity, &x).output, vec![-1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn convert_clamps() {
+        let vu = VectorUnit::default();
+        let x = [300.0, -300.0, 3.4];
+        assert_eq!(vu.convert(Precision::Int8, &x).output, vec![127.0, -128.0, 3.0]);
+        assert_eq!(vu.convert(Precision::Int4, &x).output, vec![7.0, -8.0, 3.0]);
+    }
+
+    #[test]
+    fn cycle_model_scales_with_length_and_lanes() {
+        let narrow = VectorUnit::new(4);
+        let wide = VectorUnit::new(16);
+        assert_eq!(narrow.cycles_for(16), Cycles(1 + 4));
+        assert_eq!(wide.cycles_for(16), Cycles(1 + 1));
+        assert!(narrow.cycles_for(64) > narrow.cycles_for(16));
+        assert_eq!(narrow.lanes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand length mismatch")]
+    fn mismatched_operands_panic() {
+        VectorUnit::default().execute(VectorOp::Add, &[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The assembled EdgeMM system: simulator + power model + pruning loop.
+
+use edgemm_arch::PowerModel;
+use edgemm_mllm::{ActivationGenerator, ActivationProfile, ModelWorkload, Phase};
+use edgemm_pruning::{DynamicTopK, Pruner};
+use edgemm_sched::{Pipeline, RooflineStage};
+use edgemm_sim::{DecodeOptions, Machine, PruningEffect, RunReport, SimConfig};
+
+/// How one request should be executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOptions {
+    /// Enable activation-aware dynamic Top-k weight pruning for the decode FFN.
+    pub pruning: bool,
+    /// Stream-batch size for decode (1 = no batching).
+    pub batch: usize,
+    /// Seed for the synthetic activation generator used to measure the
+    /// pruning keep ratio.
+    pub seed: u64,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions {
+            pruning: false,
+            batch: 1,
+            seed: 7,
+        }
+    }
+}
+
+impl RequestOptions {
+    /// Options with pruning enabled.
+    pub fn with_pruning() -> Self {
+        RequestOptions {
+            pruning: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured behaviour of the dynamic Top-k scheme on synthetic activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruningMeasurement {
+    /// Average fraction of FFN channels kept across layers and tokens.
+    pub average_keep_ratio: f64,
+    /// Per-layer pruning ratio (1 - keep), averaged over tokens (Fig. 12a).
+    pub layer_pruning_ratio: Vec<f64>,
+    /// Per-layer kurtosis of the activation vectors (Fig. 12a).
+    pub layer_kurtosis: Vec<f64>,
+}
+
+/// The outcome of executing one request on EdgeMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Per-phase simulation report.
+    pub run: RunReport,
+    /// End-to-end request latency in seconds (sequential phases).
+    pub latency_s: f64,
+    /// Output tokens per second over the request.
+    pub tokens_per_second: f64,
+    /// Tokens per joule, counting chip power and DRAM access energy.
+    pub tokens_per_joule: f64,
+    /// Measured pruning behaviour, when pruning was enabled.
+    pub pruning: Option<PruningMeasurement>,
+}
+
+/// The assembled EdgeMM system.
+#[derive(Debug, Clone)]
+pub struct EdgeMm {
+    machine: Machine,
+    power: PowerModel,
+}
+
+impl EdgeMm {
+    /// Build a system from a simulator configuration.
+    pub fn new(config: SimConfig) -> Self {
+        EdgeMm {
+            machine: Machine::new(config),
+            power: PowerModel::calibrated_22nm(),
+        }
+    }
+
+    /// The paper's design point.
+    pub fn paper_default() -> Self {
+        Self::new(SimConfig::paper_default())
+    }
+
+    /// The homogeneous compute-centric ablation (Fig. 11).
+    pub fn homo_cc() -> Self {
+        Self::new(SimConfig::homo_cc())
+    }
+
+    /// The homogeneous memory-centric ablation (Fig. 11).
+    pub fn homo_mc() -> Self {
+        Self::new(SimConfig::homo_mc())
+    }
+
+    /// The underlying machine model.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (to change the bandwidth allocation).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Measure the dynamic Top-k pruning behaviour on synthetic activations
+    /// with the Fig. 3 channel statistics, for `tokens` generated tokens.
+    pub fn measure_pruning(&self, workload: &ModelWorkload, seed: u64, tokens: usize) -> PruningMeasurement {
+        let llm = &workload.config().llm;
+        let profile = ActivationProfile::sphinx_tiny_like(llm.layers, llm.d_model);
+        let generator = ActivationGenerator::new(profile, seed);
+        let mut pruner = DynamicTopK::paper_default(llm.d_model);
+        let mut layer_keep = vec![0.0f64; llm.layers];
+        let mut layer_kurt = vec![0.0f64; llm.layers];
+        let tokens = tokens.max(1);
+        for token in 0..tokens {
+            pruner.reset();
+            for layer in 0..llm.layers {
+                let activations = generator.generate(layer, token);
+                let selection = pruner.select(layer, &activations);
+                layer_keep[layer] += selection.keep_ratio();
+                layer_kurt[layer] += edgemm_pruning::metrics::kurtosis(&activations);
+            }
+        }
+        for v in layer_keep.iter_mut().chain(layer_kurt.iter_mut()) {
+            *v /= tokens as f64;
+        }
+        let average_keep_ratio =
+            layer_keep.iter().sum::<f64>() / layer_keep.len().max(1) as f64;
+        PruningMeasurement {
+            average_keep_ratio,
+            layer_pruning_ratio: layer_keep.iter().map(|k| 1.0 - k).collect(),
+            layer_kurtosis: layer_kurt,
+        }
+    }
+
+    fn decode_options(&self, workload: &ModelWorkload, options: RequestOptions) -> (DecodeOptions, Option<PruningMeasurement>) {
+        if options.pruning {
+            let measurement = self.measure_pruning(workload, options.seed, 4);
+            (
+                DecodeOptions {
+                    pruning: PruningEffect::with_keep_ratio(
+                        measurement.average_keep_ratio.clamp(0.01, 1.0),
+                    ),
+                    batch: options.batch,
+                },
+                Some(measurement),
+            )
+        } else {
+            (
+                DecodeOptions {
+                    pruning: PruningEffect::disabled(),
+                    batch: options.batch,
+                },
+                None,
+            )
+        }
+    }
+
+    /// Execute one request end to end (sequential phases, heterogeneous
+    /// schedule: GEMM phases on CC clusters, decode on MC clusters).
+    pub fn run(&self, workload: &ModelWorkload, options: RequestOptions) -> SystemReport {
+        let (decode, pruning) = self.decode_options(workload, options);
+        let run = self.machine.run_request(workload, decode);
+        self.report(workload, run, pruning)
+    }
+
+    fn report(
+        &self,
+        workload: &ModelWorkload,
+        run: RunReport,
+        pruning: Option<PruningMeasurement>,
+    ) -> SystemReport {
+        let latency_s = run.total_seconds();
+        let generated = (workload.output_tokens() * run.phases.iter().map(|_| 1).take(1).count().max(1)) as f64;
+        let tokens_per_second = if latency_s > 0.0 { generated / latency_s } else { 0.0 };
+        let dram = &self.machine.config().dram;
+        let bytes_per_token = run.total_dram_bytes() as f64 / generated.max(1.0);
+        let tokens_per_joule = self.power.tokens_per_joule(
+            &self.machine.config().chip,
+            tokens_per_second.max(1e-9),
+            bytes_per_token,
+            dram.energy_pj_per_byte,
+        );
+        SystemReport {
+            run,
+            latency_s,
+            tokens_per_second,
+            tokens_per_joule,
+            pruning,
+        }
+    }
+
+    /// Summarise a workload as a two-stage pipeline (CC: encode + prefill,
+    /// MC: decode per token) for the token-length-driven bandwidth manager.
+    pub fn pipeline_for(&self, workload: &ModelWorkload, options: RequestOptions) -> Pipeline {
+        let clock_hz = self.machine.config().chip.clock_mhz as f64 * 1.0e6;
+        let bw = self.machine.config().dram.peak_gib_s;
+        let (decode, _) = self.decode_options(workload, options);
+        let cc_phases = [Phase::VisionEncode, Phase::Projector, Phase::Prefill];
+        let mut cc_compute = 0.0;
+        let mut cc_bytes = 0.0;
+        for &phase in &cc_phases {
+            let r = self.machine.run_phase_on(
+                workload,
+                phase,
+                edgemm_arch::ClusterKind::ComputeCentric,
+                decode,
+            );
+            cc_compute += r.compute_cycles as f64 / clock_hz;
+            cc_bytes += r.dram_bytes as f64;
+        }
+        let decode_all = self.machine.run_phase_on(
+            workload,
+            Phase::Decode,
+            edgemm_arch::ClusterKind::MemoryCentric,
+            DecodeOptions {
+                batch: 1,
+                ..decode
+            },
+        );
+        let tokens = workload.output_tokens() as f64;
+        Pipeline::new(
+            RooflineStage::new(cc_compute, cc_bytes, bw),
+            RooflineStage::new(
+                decode_all.compute_cycles as f64 / clock_hz / tokens,
+                decode_all.dram_bytes as f64 / tokens,
+                bw,
+            ),
+        )
+    }
+}
+
+impl Default for EdgeMm {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgemm_mllm::zoo;
+
+    fn workload(tokens: usize) -> ModelWorkload {
+        ModelWorkload::new(zoo::sphinx_tiny(), 20, tokens)
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let system = EdgeMm::paper_default();
+        let report = system.run(&workload(32), RequestOptions::default());
+        assert!(report.latency_s > 0.0);
+        assert!(report.tokens_per_second > 1.0);
+        assert!(report.tokens_per_joule > 0.0);
+        assert!(report.pruning.is_none());
+        assert_eq!(report.run.output_tokens, 32);
+    }
+
+    #[test]
+    fn pruning_improves_performance_and_reports_measurement() {
+        let system = EdgeMm::paper_default();
+        let dense = system.run(&workload(64), RequestOptions::default());
+        let pruned = system.run(&workload(64), RequestOptions::with_pruning());
+        assert!(pruned.tokens_per_second > dense.tokens_per_second);
+        let m = pruned.pruning.expect("measurement present");
+        assert!(m.average_keep_ratio > 0.0 && m.average_keep_ratio < 1.0);
+        assert_eq!(m.layer_pruning_ratio.len(), 22);
+    }
+
+    #[test]
+    fn pruning_measurement_matches_paper_shape() {
+        // Fig. 12a: pruning ratio grows with depth; the first layer is never pruned.
+        let system = EdgeMm::paper_default();
+        let m = system.measure_pruning(&workload(16), 7, 3);
+        assert!(m.layer_pruning_ratio[0] < 1e-9);
+        let early: f64 = m.layer_pruning_ratio[1..5].iter().sum::<f64>() / 4.0;
+        let late: f64 = m.layer_pruning_ratio[18..22].iter().sum::<f64>() / 4.0;
+        assert!(late >= early, "late {late} < early {early}");
+        // Deep layers should prune away most channels.
+        assert!(late > 0.5, "late pruning ratio = {late}");
+        // Kurtosis grows with depth.
+        assert!(m.layer_kurtosis[21] > m.layer_kurtosis[1]);
+    }
+
+    #[test]
+    fn hetero_outperforms_both_homogeneous_designs() {
+        // Fig. 11 headline: heterogeneous EdgeMM beats homo-CC and homo-MC
+        // on the full MLLM.
+        let w = workload(64);
+        let hetero = EdgeMm::paper_default().run(&w, RequestOptions::default());
+        let homo_cc = {
+            let system = EdgeMm::homo_cc();
+            let decode = DecodeOptions::baseline();
+            let run = system.machine().run_request_with_assignment(
+                &w,
+                decode,
+                edgemm_arch::ClusterKind::ComputeCentric,
+                edgemm_arch::ClusterKind::ComputeCentric,
+            );
+            run.total_seconds()
+        };
+        let homo_mc = {
+            let system = EdgeMm::homo_mc();
+            let decode = DecodeOptions::baseline();
+            let run = system.machine().run_request_with_assignment(
+                &w,
+                decode,
+                edgemm_arch::ClusterKind::MemoryCentric,
+                edgemm_arch::ClusterKind::MemoryCentric,
+            );
+            run.total_seconds()
+        };
+        assert!(hetero.latency_s < homo_cc, "hetero {} vs homo-CC {homo_cc}", hetero.latency_s);
+        assert!(hetero.latency_s < homo_mc, "hetero {} vs homo-MC {homo_mc}", hetero.latency_s);
+    }
+
+    #[test]
+    fn pipeline_summary_is_positive_and_cc_heavy_for_short_outputs() {
+        let system = EdgeMm::paper_default();
+        let pipeline = system.pipeline_for(&workload(8), RequestOptions::with_pruning());
+        assert!(pipeline.cc_stage.compute_s > 0.0);
+        assert!(pipeline.mc_stage_per_token.dram_bytes > 0.0);
+        let le = pipeline.expected_token_length();
+        assert!(le >= 1, "l_e = {le}");
+    }
+
+    #[test]
+    fn batching_increases_throughput() {
+        let system = EdgeMm::paper_default();
+        let w = workload(128);
+        let single = system.run(&w, RequestOptions::default());
+        let batched = system.run(
+            &w,
+            RequestOptions {
+                batch: 8,
+                ..RequestOptions::default()
+            },
+        );
+        // The batched run generates 8x the tokens in less than 8x the time,
+        // i.e. the per-request latency grows sub-linearly.
+        assert!(batched.latency_s < 8.0 * single.latency_s);
+    }
+}

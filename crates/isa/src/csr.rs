@@ -1,0 +1,224 @@
+//! Control and status registers of the EdgeMM extension.
+//!
+//! Config-format instructions read and write CSRs holding runtime parameters
+//! such as the current tile sizes. Each core and cluster additionally exposes
+//! *read-only* CSRs with its index and type, which software uses to compute
+//! the address offsets of its tensor shard (paper Sec. III-C).
+
+/// The CSRs defined by the EdgeMM extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Csr {
+    /// Rows of the current matrix/vector operation (M dimension).
+    TileM,
+    /// Reduction dimension of the current operation (K dimension).
+    TileK,
+    /// Columns of the current operation (N dimension).
+    TileN,
+    /// Element bit-width of the streamed activations.
+    ActivationBits,
+    /// Pruning threshold divisor `t` used by the hardware pruner (paper Alg. 1, default 16).
+    PruneThreshold,
+    /// Current Top-k budget `k` used by the hardware pruner.
+    PruneK,
+    /// Read-only: chip-wide index of this core.
+    CoreIndex,
+    /// Read-only: type of this core (0 = compute-centric, 1 = memory-centric).
+    CoreType,
+    /// Read-only: chip-wide index of the owning cluster.
+    ClusterIndex,
+    /// Read-only: number of AI cores in the owning cluster.
+    ClusterCores,
+}
+
+impl Csr {
+    /// All CSRs, in id order.
+    pub const ALL: [Csr; 10] = [
+        Csr::TileM,
+        Csr::TileK,
+        Csr::TileN,
+        Csr::ActivationBits,
+        Csr::PruneThreshold,
+        Csr::PruneK,
+        Csr::CoreIndex,
+        Csr::CoreType,
+        Csr::ClusterIndex,
+        Csr::ClusterCores,
+    ];
+
+    /// 12-bit CSR address as encoded in Config-format instructions.
+    pub fn id(self) -> u16 {
+        match self {
+            Csr::TileM => 0x800,
+            Csr::TileK => 0x801,
+            Csr::TileN => 0x802,
+            Csr::ActivationBits => 0x803,
+            Csr::PruneThreshold => 0x804,
+            Csr::PruneK => 0x805,
+            Csr::CoreIndex => 0xC00,
+            Csr::CoreType => 0xC01,
+            Csr::ClusterIndex => 0xC02,
+            Csr::ClusterCores => 0xC03,
+        }
+    }
+
+    /// Look up a CSR by its 12-bit address.
+    pub fn from_id(id: u16) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.id() == id)
+    }
+
+    /// Whether the CSR is read-only (identity registers).
+    pub fn is_read_only(self) -> bool {
+        matches!(
+            self,
+            Csr::CoreIndex | Csr::CoreType | Csr::ClusterIndex | Csr::ClusterCores
+        )
+    }
+}
+
+/// Error returned when software writes a read-only CSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrWriteError {
+    /// The CSR that was illegally written.
+    pub csr: Csr,
+}
+
+impl std::fmt::Display for CsrWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csr {:?} is read-only", self.csr)
+    }
+}
+
+impl std::error::Error for CsrWriteError {}
+
+/// A per-core CSR file.
+///
+/// # Example
+///
+/// ```
+/// use edgemm_isa::{Csr, CsrFile};
+///
+/// # fn main() -> Result<(), edgemm_isa::CsrWriteError> {
+/// let mut csrs = CsrFile::for_core(7, true, 3, 2);
+/// assert_eq!(csrs.read(Csr::CoreIndex), 7);
+/// assert_eq!(csrs.read(Csr::CoreType), 1);
+/// csrs.write(Csr::TileM, 128)?;
+/// assert_eq!(csrs.read(Csr::TileM), 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrFile {
+    values: [u32; Csr::ALL.len()],
+}
+
+impl CsrFile {
+    /// Create a CSR file for a core with the given identity.
+    ///
+    /// `memory_centric` selects the value of the read-only `CoreType` CSR.
+    pub fn for_core(
+        core_index: u32,
+        memory_centric: bool,
+        cluster_index: u32,
+        cluster_cores: u32,
+    ) -> Self {
+        let mut file = CsrFile {
+            values: [0; Csr::ALL.len()],
+        };
+        file.values[Self::slot(Csr::CoreIndex)] = core_index;
+        file.values[Self::slot(Csr::CoreType)] = u32::from(memory_centric);
+        file.values[Self::slot(Csr::ClusterIndex)] = cluster_index;
+        file.values[Self::slot(Csr::ClusterCores)] = cluster_cores;
+        // Architectural reset values of the writable CSRs.
+        file.values[Self::slot(Csr::ActivationBits)] = 8;
+        file.values[Self::slot(Csr::PruneThreshold)] = 16;
+        file
+    }
+
+    fn slot(csr: Csr) -> usize {
+        Csr::ALL.iter().position(|c| *c == csr).expect("csr in ALL")
+    }
+
+    /// Read a CSR value.
+    pub fn read(&self, csr: Csr) -> u32 {
+        self.values[Self::slot(csr)]
+    }
+
+    /// Write a CSR value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrWriteError`] when `csr` is one of the read-only identity
+    /// registers.
+    pub fn write(&mut self, csr: Csr, value: u32) -> Result<(), CsrWriteError> {
+        if csr.is_read_only() {
+            return Err(CsrWriteError { csr });
+        }
+        self.values[Self::slot(csr)] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_ids_are_unique() {
+        for (i, a) in Csr::ALL.iter().enumerate() {
+            for b in &Csr::ALL[i + 1..] {
+                assert_ne!(a.id(), b.id(), "{a:?} and {b:?} share an id");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_id_round_trip() {
+        for csr in Csr::ALL {
+            assert_eq!(Csr::from_id(csr.id()), Some(csr));
+        }
+        assert_eq!(Csr::from_id(0x123), None);
+    }
+
+    #[test]
+    fn identity_csrs_are_read_only() {
+        assert!(Csr::CoreIndex.is_read_only());
+        assert!(Csr::ClusterCores.is_read_only());
+        assert!(!Csr::TileM.is_read_only());
+        assert!(!Csr::PruneK.is_read_only());
+    }
+
+    #[test]
+    fn reset_values_match_architecture() {
+        let csrs = CsrFile::for_core(0, false, 0, 4);
+        assert_eq!(csrs.read(Csr::ActivationBits), 8);
+        assert_eq!(csrs.read(Csr::PruneThreshold), 16, "paper Alg. 1 default t = 16");
+        assert_eq!(csrs.read(Csr::TileM), 0);
+    }
+
+    #[test]
+    fn identity_values_visible() {
+        let csrs = CsrFile::for_core(42, true, 9, 2);
+        assert_eq!(csrs.read(Csr::CoreIndex), 42);
+        assert_eq!(csrs.read(Csr::CoreType), 1);
+        assert_eq!(csrs.read(Csr::ClusterIndex), 9);
+        assert_eq!(csrs.read(Csr::ClusterCores), 2);
+    }
+
+    #[test]
+    fn writing_read_only_fails() {
+        let mut csrs = CsrFile::for_core(0, false, 0, 4);
+        let err = csrs.write(Csr::CoreIndex, 99).unwrap_err();
+        assert_eq!(err.csr, Csr::CoreIndex);
+        assert_eq!(csrs.read(Csr::CoreIndex), 0);
+        assert!(err.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn writable_csrs_update() {
+        let mut csrs = CsrFile::for_core(0, false, 0, 4);
+        csrs.write(Csr::TileM, 256).expect("writable");
+        csrs.write(Csr::PruneK, 64).expect("writable");
+        assert_eq!(csrs.read(Csr::TileM), 256);
+        assert_eq!(csrs.read(Csr::PruneK), 64);
+    }
+}

@@ -1,0 +1,479 @@
+//! Binary encoding of the extended instructions (paper Fig. 7).
+//!
+//! All EdgeMM instructions share one RISC-V *custom-0* major opcode and are
+//! distinguished by a format tag plus a function field, mirroring the paper's
+//! four formats (M-M, M-V, V-V, Config). The encoding here is a faithful
+//! 32-bit, fixed-width layout — it is bijective with [`Instruction`] so the
+//! simulator can store kernels as plain `u32` streams the way the real
+//! instruction memory would.
+
+use crate::csr::Csr;
+use crate::instr::{
+    ActivationFn, Instruction, MatrixReg, Precision, ScalarReg, VectorOp, VectorReg,
+};
+
+/// The RISC-V custom-0 major opcode used by all EdgeMM extended instructions.
+pub const OPCODE_EDGEMM: u32 = 0x0B;
+
+/// The instruction formats of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionFormat {
+    /// Matrix-matrix instructions for the systolic-array coprocessor.
+    MatrixMatrix,
+    /// Matrix-vector instructions for the CIM coprocessor.
+    MatrixVector,
+    /// Vector-vector (element-wise) instructions.
+    VectorVector,
+    /// CSR configuration instructions.
+    Config,
+    /// Synchronisation barrier.
+    Sync,
+}
+
+impl InstructionFormat {
+    fn tag(self) -> u32 {
+        match self {
+            InstructionFormat::MatrixMatrix => 0,
+            InstructionFormat::MatrixVector => 1,
+            InstructionFormat::VectorVector => 2,
+            InstructionFormat::Config => 3,
+            InstructionFormat::Sync => 4,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<Self> {
+        Some(match tag {
+            0 => InstructionFormat::MatrixMatrix,
+            1 => InstructionFormat::MatrixVector,
+            2 => InstructionFormat::VectorVector,
+            3 => InstructionFormat::Config,
+            4 => InstructionFormat::Sync,
+            _ => return None,
+        })
+    }
+
+    /// The format an instruction encodes to.
+    pub fn of(inst: &Instruction) -> Self {
+        match inst {
+            Instruction::MatMul { .. } | Instruction::MatLoad { .. } | Instruction::MatStore { .. } => {
+                InstructionFormat::MatrixMatrix
+            }
+            Instruction::MvMul { .. } | Instruction::Prune { .. } => InstructionFormat::MatrixVector,
+            Instruction::Vector { .. } => InstructionFormat::VectorVector,
+            Instruction::CsrRead { .. } | Instruction::CsrWrite { .. } => InstructionFormat::Config,
+            Instruction::Sync => InstructionFormat::Sync,
+        }
+    }
+}
+
+/// Error returned by [`decode`] when an instruction word is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is not [`OPCODE_EDGEMM`].
+    WrongOpcode {
+        /// The opcode found in bits \[6:0\].
+        found: u32,
+    },
+    /// The format tag is not one of the five defined formats.
+    UnknownFormat {
+        /// The offending tag.
+        tag: u32,
+    },
+    /// The function field is not defined for the decoded format.
+    UnknownFunction {
+        /// The offending function code.
+        func: u32,
+    },
+    /// A register field is out of range.
+    BadRegister {
+        /// The offending register index.
+        index: u32,
+    },
+    /// The CSR id does not name a defined CSR.
+    BadCsr {
+        /// The offending CSR id.
+        id: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::WrongOpcode { found } => {
+                write!(f, "major opcode {found:#04x} is not the EdgeMM custom opcode")
+            }
+            DecodeError::UnknownFormat { tag } => write!(f, "unknown instruction format tag {tag}"),
+            DecodeError::UnknownFunction { func } => write!(f, "unknown function code {func}"),
+            DecodeError::BadRegister { index } => write!(f, "register index {index} out of range"),
+            DecodeError::BadCsr { id } => write!(f, "unknown CSR id {id:#05x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Field helpers --------------------------------------------------------------
+
+fn field(word: u32, lo: u32, width: u32) -> u32 {
+    (word >> lo) & ((1 << width) - 1)
+}
+
+fn put(value: u32, lo: u32, width: u32) -> u32 {
+    debug_assert!(value < (1 << width), "field overflow: {value} in {width} bits");
+    (value & ((1 << width) - 1)) << lo
+}
+
+fn act_code(act: ActivationFn) -> u32 {
+    match act {
+        ActivationFn::Silu => 0,
+        ActivationFn::Gelu => 1,
+        ActivationFn::Relu => 2,
+        ActivationFn::Identity => 3,
+    }
+}
+
+fn act_from(code: u32) -> Option<ActivationFn> {
+    Some(match code {
+        0 => ActivationFn::Silu,
+        1 => ActivationFn::Gelu,
+        2 => ActivationFn::Relu,
+        3 => ActivationFn::Identity,
+        _ => return None,
+    })
+}
+
+fn prec_code(p: Precision) -> u32 {
+    match p {
+        Precision::Bf16 => 0,
+        Precision::Fp32 => 1,
+        Precision::Int8 => 2,
+        Precision::Int4 => 3,
+    }
+}
+
+fn prec_from(code: u32) -> Option<Precision> {
+    Some(match code {
+        0 => Precision::Bf16,
+        1 => Precision::Fp32,
+        2 => Precision::Int8,
+        3 => Precision::Int4,
+        _ => return None,
+    })
+}
+
+/// Encode an instruction into its 32-bit word.
+pub fn encode(inst: &Instruction) -> u32 {
+    let mut word = OPCODE_EDGEMM | put(InstructionFormat::of(inst).tag(), 7, 3);
+    match *inst {
+        Instruction::MatMul {
+            dest,
+            lhs,
+            rhs,
+            accumulate,
+        } => {
+            let func = if accumulate { 1 } else { 0 };
+            word |= put(func, 10, 4)
+                | put(dest.index() as u32, 14, 3)
+                | put(lhs.index() as u32, 17, 3)
+                | put(rhs.index() as u32, 20, 3);
+        }
+        Instruction::MatLoad { dest, base } => {
+            word |= put(2, 10, 4) | put(dest.index() as u32, 14, 3) | put(base.0 as u32, 23, 5);
+        }
+        Instruction::MatStore { src, base } => {
+            word |= put(3, 10, 4) | put(src.index() as u32, 14, 3) | put(base.0 as u32, 23, 5);
+        }
+        Instruction::MvMul { dest, src, base } => {
+            word |= put(0, 10, 4)
+                | put(dest.0 as u32, 14, 5)
+                | put(src.0 as u32, 19, 5)
+                | put(base.0 as u32, 24, 5);
+        }
+        Instruction::Prune { dest, src, base } => {
+            word |= put(1, 10, 4)
+                | put(dest.0 as u32, 14, 5)
+                | put(src.0 as u32, 19, 5)
+                | put(base.0 as u32, 24, 5);
+        }
+        Instruction::Vector { op, dest, src1, src2 } => {
+            let (func, sel) = match op {
+                VectorOp::Add => (0, 0),
+                VectorOp::Sub => (1, 0),
+                VectorOp::Mul => (2, 0),
+                VectorOp::Max => (3, 0),
+                VectorOp::Activation(a) => (4, act_code(a)),
+                VectorOp::Convert(p) => (5, prec_code(p)),
+            };
+            let src2_field = if matches!(op, VectorOp::Activation(_) | VectorOp::Convert(_)) {
+                sel
+            } else {
+                src2.0 as u32
+            };
+            word |= put(func, 10, 4)
+                | put(dest.0 as u32, 14, 5)
+                | put(src1.0 as u32, 19, 5)
+                | put(src2_field, 24, 5);
+        }
+        Instruction::CsrWrite { csr, src } => {
+            word |= put(0, 10, 1) | put(csr.id() as u32, 11, 12) | put(src.0 as u32, 23, 5);
+        }
+        Instruction::CsrRead { csr, dest } => {
+            word |= put(1, 10, 1) | put(csr.id() as u32, 11, 12) | put(dest.0 as u32, 23, 5);
+        }
+        Instruction::Sync => {}
+    }
+    word
+}
+
+/// Decode a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode, format tag, function field,
+/// register index or CSR id is invalid.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let opcode = field(word, 0, 7);
+    if opcode != OPCODE_EDGEMM {
+        return Err(DecodeError::WrongOpcode { found: opcode });
+    }
+    let tag = field(word, 7, 3);
+    let format = InstructionFormat::from_tag(tag).ok_or(DecodeError::UnknownFormat { tag })?;
+    let mreg = |idx: u32| MatrixReg::from_index(idx as usize).ok_or(DecodeError::BadRegister { index: idx });
+    let vreg = |idx: u32| VectorReg::new(idx as u8).ok_or(DecodeError::BadRegister { index: idx });
+    let sreg = |idx: u32| ScalarReg::new(idx as u8).ok_or(DecodeError::BadRegister { index: idx });
+    match format {
+        InstructionFormat::MatrixMatrix => {
+            let func = field(word, 10, 4);
+            match func {
+                0 | 1 => Ok(Instruction::MatMul {
+                    dest: mreg(field(word, 14, 3))?,
+                    lhs: mreg(field(word, 17, 3))?,
+                    rhs: mreg(field(word, 20, 3))?,
+                    accumulate: func == 1,
+                }),
+                2 => Ok(Instruction::MatLoad {
+                    dest: mreg(field(word, 14, 3))?,
+                    base: sreg(field(word, 23, 5))?,
+                }),
+                3 => Ok(Instruction::MatStore {
+                    src: mreg(field(word, 14, 3))?,
+                    base: sreg(field(word, 23, 5))?,
+                }),
+                other => Err(DecodeError::UnknownFunction { func: other }),
+            }
+        }
+        InstructionFormat::MatrixVector => {
+            let func = field(word, 10, 4);
+            let dest = vreg(field(word, 14, 5))?;
+            let src = vreg(field(word, 19, 5))?;
+            let base = sreg(field(word, 24, 5))?;
+            match func {
+                0 => Ok(Instruction::MvMul { dest, src, base }),
+                1 => Ok(Instruction::Prune { dest, src, base }),
+                other => Err(DecodeError::UnknownFunction { func: other }),
+            }
+        }
+        InstructionFormat::VectorVector => {
+            let func = field(word, 10, 4);
+            let dest = vreg(field(word, 14, 5))?;
+            let src1 = vreg(field(word, 19, 5))?;
+            let raw2 = field(word, 24, 5);
+            let op = match func {
+                0 => VectorOp::Add,
+                1 => VectorOp::Sub,
+                2 => VectorOp::Mul,
+                3 => VectorOp::Max,
+                4 => VectorOp::Activation(
+                    act_from(raw2).ok_or(DecodeError::UnknownFunction { func: raw2 })?,
+                ),
+                5 => VectorOp::Convert(
+                    prec_from(raw2).ok_or(DecodeError::UnknownFunction { func: raw2 })?,
+                ),
+                other => return Err(DecodeError::UnknownFunction { func: other }),
+            };
+            let src2 = if matches!(op, VectorOp::Activation(_) | VectorOp::Convert(_)) {
+                VectorReg(0)
+            } else {
+                vreg(raw2)?
+            };
+            Ok(Instruction::Vector { op, dest, src1, src2 })
+        }
+        InstructionFormat::Config => {
+            let is_read = field(word, 10, 1) == 1;
+            let id = field(word, 11, 12);
+            let csr = Csr::from_id(id as u16).ok_or(DecodeError::BadCsr { id })?;
+            let reg = sreg(field(word, 23, 5))?;
+            Ok(if is_read {
+                Instruction::CsrRead { csr, dest: reg }
+            } else {
+                Instruction::CsrWrite { csr, src: reg }
+            })
+        }
+        InstructionFormat::Sync => Ok(Instruction::Sync),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::MatMul {
+                dest: MatrixReg::M0,
+                lhs: MatrixReg::M1,
+                rhs: MatrixReg::M2,
+                accumulate: false,
+            },
+            Instruction::MatMul {
+                dest: MatrixReg::M3,
+                lhs: MatrixReg::M0,
+                rhs: MatrixReg::M1,
+                accumulate: true,
+            },
+            Instruction::MatLoad {
+                dest: MatrixReg::M2,
+                base: ScalarReg(10),
+            },
+            Instruction::MatStore {
+                src: MatrixReg::M1,
+                base: ScalarReg(11),
+            },
+            Instruction::MvMul {
+                dest: VectorReg(3),
+                src: VectorReg(4),
+                base: ScalarReg(12),
+            },
+            Instruction::Prune {
+                dest: VectorReg(5),
+                src: VectorReg(6),
+                base: ScalarReg(13),
+            },
+            Instruction::Vector {
+                op: VectorOp::Add,
+                dest: VectorReg(1),
+                src1: VectorReg(2),
+                src2: VectorReg(3),
+            },
+            Instruction::Vector {
+                op: VectorOp::Activation(ActivationFn::Silu),
+                dest: VectorReg(1),
+                src1: VectorReg(2),
+                src2: VectorReg(0),
+            },
+            Instruction::Vector {
+                op: VectorOp::Convert(Precision::Int8),
+                dest: VectorReg(7),
+                src1: VectorReg(8),
+                src2: VectorReg(0),
+            },
+            Instruction::CsrWrite {
+                csr: Csr::TileM,
+                src: ScalarReg(5),
+            },
+            Instruction::CsrRead {
+                csr: Csr::CoreIndex,
+                dest: ScalarReg(6),
+            },
+            Instruction::Sync,
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_samples() {
+        for inst in sample_instructions() {
+            let word = encode(&inst);
+            assert_eq!(decode(word), Ok(inst), "round trip failed for {inst:?}");
+        }
+    }
+
+    #[test]
+    fn all_words_carry_custom_opcode() {
+        for inst in sample_instructions() {
+            assert_eq!(encode(&inst) & 0x7F, OPCODE_EDGEMM);
+        }
+    }
+
+    #[test]
+    fn wrong_opcode_rejected() {
+        assert_eq!(decode(0x33), Err(DecodeError::WrongOpcode { found: 0x33 }));
+    }
+
+    #[test]
+    fn unknown_format_rejected() {
+        let word = OPCODE_EDGEMM | (7 << 7);
+        assert_eq!(decode(word), Err(DecodeError::UnknownFormat { tag: 7 }));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        // Matrix-matrix format with func = 9 is undefined.
+        let word = OPCODE_EDGEMM | (9 << 10);
+        assert_eq!(decode(word), Err(DecodeError::UnknownFunction { func: 9 }));
+    }
+
+    #[test]
+    fn bad_csr_rejected() {
+        // Config format with an unknown CSR id.
+        let word = OPCODE_EDGEMM | (3 << 7) | (0xFFF << 11);
+        assert!(matches!(decode(word), Err(DecodeError::BadCsr { .. })));
+    }
+
+    #[test]
+    fn format_classification() {
+        assert_eq!(
+            InstructionFormat::of(&Instruction::Sync),
+            InstructionFormat::Sync
+        );
+        assert_eq!(
+            InstructionFormat::of(&Instruction::MvMul {
+                dest: VectorReg(0),
+                src: VectorReg(1),
+                base: ScalarReg(2)
+            }),
+            InstructionFormat::MatrixVector
+        );
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let err = DecodeError::BadCsr { id: 0xFFF };
+        assert!(err.to_string().contains("0xfff"));
+    }
+
+    proptest! {
+        /// Any decodable word re-encodes to an equivalent instruction
+        /// (decode-encode-decode is a fixed point).
+        #[test]
+        fn decode_encode_fixed_point(word in any::<u32>()) {
+            if let Ok(inst) = decode(word) {
+                let reencoded = encode(&inst);
+                prop_assert_eq!(decode(reencoded), Ok(inst));
+            }
+        }
+
+        /// Matrix-multiply encodings round trip for all register choices.
+        #[test]
+        fn matmul_round_trip(d in 0usize..4, l in 0usize..4, r in 0usize..4, acc: bool) {
+            let inst = Instruction::MatMul {
+                dest: MatrixReg::from_index(d).unwrap(),
+                lhs: MatrixReg::from_index(l).unwrap(),
+                rhs: MatrixReg::from_index(r).unwrap(),
+                accumulate: acc,
+            };
+            prop_assert_eq!(decode(encode(&inst)), Ok(inst));
+        }
+
+        /// CIM matrix-vector encodings round trip for all register choices.
+        #[test]
+        fn mvmul_round_trip(d in 0u8..32, s in 0u8..32, b in 0u8..32, prune: bool) {
+            let inst = if prune {
+                Instruction::Prune { dest: VectorReg(d), src: VectorReg(s), base: ScalarReg(b) }
+            } else {
+                Instruction::MvMul { dest: VectorReg(d), src: VectorReg(s), base: ScalarReg(b) }
+            };
+            prop_assert_eq!(decode(encode(&inst)), Ok(inst));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The extended instruction set, as an architectural enum.
+//!
+//! These mirror the four formats of the paper's Fig. 7. The enum is the
+//! canonical in-memory representation; [`crate::encode`]/[`crate::decode`]
+//! convert to and from 32-bit instruction words.
+
+/// One of the four R x C matrix registers of a CC core's coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum MatrixReg {
+    M0,
+    M1,
+    M2,
+    M3,
+}
+
+impl MatrixReg {
+    /// All matrix registers in index order.
+    pub const ALL: [MatrixReg; 4] = [MatrixReg::M0, MatrixReg::M1, MatrixReg::M2, MatrixReg::M3];
+
+    /// Register index (0..4).
+    pub fn index(self) -> usize {
+        match self {
+            MatrixReg::M0 => 0,
+            MatrixReg::M1 => 1,
+            MatrixReg::M2 => 2,
+            MatrixReg::M3 => 3,
+        }
+    }
+
+    /// Construct from an index.
+    ///
+    /// Returns `None` when `index >= 4`.
+    pub fn from_index(index: usize) -> Option<Self> {
+        Self::ALL.get(index).copied()
+    }
+}
+
+/// One of 32 vector registers (RISC-V `v0`-`v31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VectorReg(pub u8);
+
+impl VectorReg {
+    /// Construct a vector register, checking the 0..32 range.
+    pub fn new(index: u8) -> Option<Self> {
+        (index < 32).then_some(VectorReg(index))
+    }
+
+    /// Register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One of 32 scalar (integer) registers (RISC-V `x0`-`x31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScalarReg(pub u8);
+
+impl ScalarReg {
+    /// Construct a scalar register, checking the 0..32 range.
+    pub fn new(index: u8) -> Option<Self> {
+        (index < 32).then_some(ScalarReg(index))
+    }
+
+    /// Register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Numeric precisions supported by the vector unit's conversion instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Precision {
+    Bf16,
+    Fp32,
+    Int8,
+    Int4,
+}
+
+impl Precision {
+    /// Width in bits of one element.
+    pub fn bits(self) -> u8 {
+        match self {
+            Precision::Bf16 => 16,
+            Precision::Fp32 => 32,
+            Precision::Int8 => 8,
+            Precision::Int4 => 4,
+        }
+    }
+
+    /// Width in bytes of one element (rounded up).
+    pub fn bytes(self) -> usize {
+        usize::from(self.bits()).div_ceil(8)
+    }
+}
+
+/// Activation functions executable on the vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ActivationFn {
+    /// SiLU / swish, used by the gated MLP of Llama-family FFNs.
+    Silu,
+    /// GELU, used by ViT encoders.
+    Gelu,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (no activation).
+    Identity,
+}
+
+/// Element-wise vector operations (the V-V format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum VectorOp {
+    Add,
+    Sub,
+    Mul,
+    Max,
+    /// Apply an activation function to `vs1` (the `vs2` field selects it).
+    Activation(ActivationFn),
+    /// Convert precision of `vs1` (the `vs2` field selects the target).
+    Convert(Precision),
+}
+
+/// An EdgeMM extended instruction.
+///
+/// The four instruction formats of the paper map onto variants as follows:
+/// M-M → [`Instruction::MatMul`], [`Instruction::MatLoad`],
+/// [`Instruction::MatStore`]; M-V → [`Instruction::MvMul`],
+/// [`Instruction::Prune`]; V-V → [`Instruction::Vector`];
+/// Config → [`Instruction::CsrWrite`], [`Instruction::CsrRead`].
+/// [`Instruction::Sync`] is the cluster barrier from the programming model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Systolic-array GEMM on matrix registers: `dest (+)= lhs * rhs`.
+    MatMul {
+        /// Destination matrix register.
+        dest: MatrixReg,
+        /// Stationary operand (weights).
+        lhs: MatrixReg,
+        /// Streaming operand (activations).
+        rhs: MatrixReg,
+        /// Accumulate into `dest` instead of overwriting it.
+        accumulate: bool,
+    },
+    /// Load a tile from cluster data memory into a matrix register using the
+    /// coprocessor's independent load/store unit.
+    MatLoad {
+        /// Destination matrix register.
+        dest: MatrixReg,
+        /// Scalar register holding the base address.
+        base: ScalarReg,
+    },
+    /// Store a matrix register back to cluster data memory.
+    MatStore {
+        /// Source matrix register.
+        src: MatrixReg,
+        /// Scalar register holding the base address.
+        base: ScalarReg,
+    },
+    /// CIM matrix-vector multiply: `vd = M[rs1] * vs1` where the matrix rows
+    /// are already resident in the CIM macro addressed via `base`.
+    MvMul {
+        /// Destination vector register.
+        dest: VectorReg,
+        /// Source activation vector register.
+        src: VectorReg,
+        /// Scalar register holding the weight-matrix base address.
+        base: ScalarReg,
+    },
+    /// Invoke the hardware activation-aware pruner on a vector register
+    /// slice: selects the local top-k channels, produces the packed vector in
+    /// `dest` and programs the address generator for the non-pruned rows.
+    Prune {
+        /// Destination (packed) vector register.
+        dest: VectorReg,
+        /// Source activation slice.
+        src: VectorReg,
+        /// Scalar register holding the weight-matrix base address used by
+        /// the address generator for DRAM row requests.
+        base: ScalarReg,
+    },
+    /// Element-wise vector instruction operating on `cols` lanes.
+    Vector {
+        /// Operation to perform.
+        op: VectorOp,
+        /// Destination vector register.
+        dest: VectorReg,
+        /// First source.
+        src1: VectorReg,
+        /// Second source (ignored by activation/convert ops).
+        src2: VectorReg,
+    },
+    /// Write a runtime parameter CSR (tile sizes, pruning threshold, ...).
+    CsrWrite {
+        /// Target CSR.
+        csr: super::Csr,
+        /// Scalar register providing the value.
+        src: ScalarReg,
+    },
+    /// Read a CSR (including the read-only core-index/type registers).
+    CsrRead {
+        /// Target CSR.
+        csr: super::Csr,
+        /// Scalar register receiving the value.
+        dest: ScalarReg,
+    },
+    /// Cluster-level barrier used for core synchronisation.
+    Sync,
+}
+
+impl Instruction {
+    /// Whether the instruction is dispatched to the coprocessor (as opposed
+    /// to executing entirely inside the host core).
+    pub fn uses_coprocessor(&self) -> bool {
+        !matches!(
+            self,
+            Instruction::CsrRead { .. } | Instruction::CsrWrite { .. } | Instruction::Sync
+        )
+    }
+
+    /// Short mnemonic, as it would appear in an assembly listing.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::MatMul { accumulate: true, .. } => "mm.macc",
+            Instruction::MatMul { accumulate: false, .. } => "mm.mul",
+            Instruction::MatLoad { .. } => "mm.ld",
+            Instruction::MatStore { .. } => "mm.st",
+            Instruction::MvMul { .. } => "mv.mul",
+            Instruction::Prune { .. } => "mv.prune",
+            Instruction::Vector { op, .. } => match op {
+                VectorOp::Add => "v.add",
+                VectorOp::Sub => "v.sub",
+                VectorOp::Mul => "v.mul",
+                VectorOp::Max => "v.max",
+                VectorOp::Activation(_) => "v.act",
+                VectorOp::Convert(_) => "v.cvt",
+            },
+            Instruction::CsrWrite { .. } => "cfg.csrw",
+            Instruction::CsrRead { .. } => "cfg.csrr",
+            Instruction::Sync => "sync",
+        }
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_reg_round_trip() {
+        for reg in MatrixReg::ALL {
+            assert_eq!(MatrixReg::from_index(reg.index()), Some(reg));
+        }
+        assert_eq!(MatrixReg::from_index(4), None);
+    }
+
+    #[test]
+    fn vector_reg_bounds() {
+        assert!(VectorReg::new(31).is_some());
+        assert!(VectorReg::new(32).is_none());
+        assert_eq!(VectorReg::new(7).map(|v| v.index()), Some(7));
+    }
+
+    #[test]
+    fn scalar_reg_bounds() {
+        assert!(ScalarReg::new(0).is_some());
+        assert!(ScalarReg::new(32).is_none());
+    }
+
+    #[test]
+    fn precision_widths() {
+        assert_eq!(Precision::Bf16.bits(), 16);
+        assert_eq!(Precision::Bf16.bytes(), 2);
+        assert_eq!(Precision::Int4.bytes(), 1);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn mnemonics_distinguish_accumulate() {
+        let mul = Instruction::MatMul {
+            dest: MatrixReg::M0,
+            lhs: MatrixReg::M1,
+            rhs: MatrixReg::M2,
+            accumulate: false,
+        };
+        let macc = Instruction::MatMul {
+            dest: MatrixReg::M0,
+            lhs: MatrixReg::M1,
+            rhs: MatrixReg::M2,
+            accumulate: true,
+        };
+        assert_eq!(mul.mnemonic(), "mm.mul");
+        assert_eq!(macc.mnemonic(), "mm.macc");
+        assert_eq!(macc.to_string(), "mm.macc");
+    }
+
+    #[test]
+    fn coprocessor_usage_classification() {
+        assert!(Instruction::Sync.uses_coprocessor() == false);
+        let prune = Instruction::Prune {
+            dest: VectorReg(1),
+            src: VectorReg(2),
+            base: ScalarReg(3),
+        };
+        assert!(prune.uses_coprocessor());
+    }
+}

@@ -1,0 +1,52 @@
+//! RISC-V AI-ISA extension of EdgeMM.
+//!
+//! EdgeMM keeps a standard RISC-V host core per AI core and extends the ISA
+//! with four instruction classes (paper Fig. 7):
+//!
+//! * **M-M** — matrix instructions for the systolic-array coprocessor
+//!   (e.g. `mm.mul`), operating on R x C matrix registers.
+//! * **M-V** — matrix-vector instructions for the CIM coprocessor, where the
+//!   matrix operand is addressed by a base register (`rs1`) and the vector
+//!   operands live in vector registers.
+//! * **V-V** — a subset of RISC-V vector instructions used for element-wise
+//!   operations, activation functions and precision conversion.
+//! * **Config** — CSR accesses that set runtime parameters (tile sizes,
+//!   pruning thresholds) and read per-core identity registers.
+//!
+//! Extended instructions are decoded by the host core and dispatched to the
+//! coprocessor over a direct-linked interface, avoiding bus-attached
+//! accelerator latency and contention. This crate models the *architectural*
+//! side: binary encodings, register files and CSRs, plus a small program
+//! builder used by the kernel library in `edgemm-sim`. The *timing* and
+//! numerics of executing these instructions live in `edgemm-coproc`.
+//!
+//! # Example
+//!
+//! ```
+//! use edgemm_isa::{Instruction, MatrixReg, encode, decode};
+//!
+//! let inst = Instruction::MatMul {
+//!     dest: MatrixReg::M0,
+//!     lhs: MatrixReg::M1,
+//!     rhs: MatrixReg::M2,
+//!     accumulate: true,
+//! };
+//! let word = encode(&inst);
+//! assert_eq!(decode(word)?, inst);
+//! # Ok::<(), edgemm_isa::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod encoding;
+mod instr;
+mod program;
+mod regfile;
+
+pub use csr::{Csr, CsrFile, CsrWriteError};
+pub use encoding::{decode, encode, DecodeError, InstructionFormat, OPCODE_EDGEMM};
+pub use instr::{ActivationFn, Instruction, MatrixReg, Precision, ScalarReg, VectorOp, VectorReg};
+pub use program::{Kernel, KernelBuilder, KernelStats};
+pub use regfile::{MatrixRegisterFile, VectorRegisterFile};

@@ -1,0 +1,321 @@
+//! Kernel programs: sequences of extended instructions.
+//!
+//! The paper's programming model keeps the standard RISC-V toolchain and
+//! exposes the extension through customised kernel functions. A [`Kernel`]
+//! is such a function body: an ordered list of extended instructions plus
+//! bookkeeping used by the simulator (instruction mix statistics).
+
+use crate::encoding::encode;
+use crate::instr::{ActivationFn, Instruction, MatrixReg, ScalarReg, VectorOp, VectorReg};
+
+/// Aggregate statistics over a kernel's instruction stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Systolic-array matrix multiply instructions.
+    pub matmul: usize,
+    /// Matrix load/store instructions.
+    pub mat_ldst: usize,
+    /// CIM matrix-vector multiply instructions.
+    pub mvmul: usize,
+    /// Hardware pruner invocations.
+    pub prune: usize,
+    /// Element-wise vector instructions.
+    pub vector: usize,
+    /// CSR accesses.
+    pub config: usize,
+    /// Synchronisation barriers.
+    pub sync: usize,
+}
+
+impl KernelStats {
+    /// Total instruction count.
+    pub fn total(&self) -> usize {
+        self.matmul + self.mat_ldst + self.mvmul + self.prune + self.vector + self.config + self.sync
+    }
+}
+
+/// A compiled kernel: the instruction stream of one customised kernel function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    name: String,
+    instructions: Vec<Instruction>,
+}
+
+impl Kernel {
+    /// The kernel's name (for reports and traces).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction stream.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the kernel contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Encode the kernel into raw 32-bit instruction words, as it would be
+    /// placed in the cluster instruction memory.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.instructions.iter().map(encode).collect()
+    }
+
+    /// Size of the encoded kernel in bytes.
+    pub fn code_size_bytes(&self) -> usize {
+        self.instructions.len() * 4
+    }
+
+    /// Instruction mix statistics.
+    pub fn stats(&self) -> KernelStats {
+        let mut s = KernelStats::default();
+        for inst in &self.instructions {
+            match inst {
+                Instruction::MatMul { .. } => s.matmul += 1,
+                Instruction::MatLoad { .. } | Instruction::MatStore { .. } => s.mat_ldst += 1,
+                Instruction::MvMul { .. } => s.mvmul += 1,
+                Instruction::Prune { .. } => s.prune += 1,
+                Instruction::Vector { .. } => s.vector += 1,
+                Instruction::CsrRead { .. } | Instruction::CsrWrite { .. } => s.config += 1,
+                Instruction::Sync => s.sync += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Builder assembling kernels instruction by instruction, with helpers for
+/// the common GEMM / GEMV loop bodies.
+///
+/// # Example
+///
+/// ```
+/// use edgemm_isa::{KernelBuilder, MatrixReg, ScalarReg};
+///
+/// let kernel = KernelBuilder::new("gemm_tile")
+///     .mat_load(MatrixReg::M0, ScalarReg(10))
+///     .mat_load(MatrixReg::M1, ScalarReg(11))
+///     .mat_mul(MatrixReg::M2, MatrixReg::M0, MatrixReg::M1, false)
+///     .mat_store(MatrixReg::M2, ScalarReg(12))
+///     .sync()
+///     .build();
+/// assert_eq!(kernel.len(), 5);
+/// assert_eq!(kernel.stats().matmul, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    instructions: Vec<Instruction>,
+}
+
+impl KernelBuilder {
+    /// Start a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Append an arbitrary instruction.
+    pub fn push(mut self, inst: Instruction) -> Self {
+        self.instructions.push(inst);
+        self
+    }
+
+    /// Append a matrix load.
+    pub fn mat_load(self, dest: MatrixReg, base: ScalarReg) -> Self {
+        self.push(Instruction::MatLoad { dest, base })
+    }
+
+    /// Append a matrix store.
+    pub fn mat_store(self, src: MatrixReg, base: ScalarReg) -> Self {
+        self.push(Instruction::MatStore { src, base })
+    }
+
+    /// Append a systolic-array multiply (`accumulate` selects `mm.macc`).
+    pub fn mat_mul(self, dest: MatrixReg, lhs: MatrixReg, rhs: MatrixReg, accumulate: bool) -> Self {
+        self.push(Instruction::MatMul {
+            dest,
+            lhs,
+            rhs,
+            accumulate,
+        })
+    }
+
+    /// Append a CIM matrix-vector multiply.
+    pub fn mv_mul(self, dest: VectorReg, src: VectorReg, base: ScalarReg) -> Self {
+        self.push(Instruction::MvMul { dest, src, base })
+    }
+
+    /// Append a hardware-pruner invocation.
+    pub fn prune(self, dest: VectorReg, src: VectorReg, base: ScalarReg) -> Self {
+        self.push(Instruction::Prune { dest, src, base })
+    }
+
+    /// Append an element-wise vector instruction.
+    pub fn vector(self, op: VectorOp, dest: VectorReg, src1: VectorReg, src2: VectorReg) -> Self {
+        self.push(Instruction::Vector {
+            op,
+            dest,
+            src1,
+            src2,
+        })
+    }
+
+    /// Append an activation-function vector instruction.
+    pub fn activation(self, act: ActivationFn, dest: VectorReg, src: VectorReg) -> Self {
+        self.vector(VectorOp::Activation(act), dest, src, VectorReg(0))
+    }
+
+    /// Append a synchronisation barrier.
+    pub fn sync(self) -> Self {
+        self.push(Instruction::Sync)
+    }
+
+    /// Emit the canonical gated-MLP GEMV sequence used by the MC-core kernel
+    /// library: optional prune, CIM GEMV against up/gate weights, SiLU,
+    /// element-wise multiply, CIM GEMV against the down projection.
+    ///
+    /// This mirrors the FFN formula of the paper's Eq. 1 executed on one
+    /// channel shard.
+    pub fn gated_mlp_gemv(mut self, with_pruning: bool) -> Self {
+        let vx = VectorReg(1);
+        let packed = VectorReg(2);
+        let up = VectorReg(3);
+        let gate = VectorReg(4);
+        let hidden = VectorReg(5);
+        let out = VectorReg(6);
+        let w_up = ScalarReg(10);
+        let w_gate = ScalarReg(11);
+        let w_down = ScalarReg(12);
+        let input = if with_pruning {
+            self.instructions.push(Instruction::Prune {
+                dest: packed,
+                src: vx,
+                base: w_up,
+            });
+            packed
+        } else {
+            vx
+        };
+        self.instructions.extend([
+            Instruction::MvMul {
+                dest: up,
+                src: input,
+                base: w_up,
+            },
+            Instruction::MvMul {
+                dest: gate,
+                src: input,
+                base: w_gate,
+            },
+            Instruction::Vector {
+                op: VectorOp::Activation(ActivationFn::Silu),
+                dest: gate,
+                src1: gate,
+                src2: VectorReg(0),
+            },
+            Instruction::Vector {
+                op: VectorOp::Mul,
+                dest: hidden,
+                src1: up,
+                src2: gate,
+            },
+            Instruction::MvMul {
+                dest: out,
+                src: hidden,
+                base: w_down,
+            },
+            Instruction::Sync,
+        ]);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Kernel {
+        Kernel {
+            name: self.name,
+            instructions: self.instructions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn builder_collects_instructions_in_order() {
+        let kernel = KernelBuilder::new("k")
+            .mat_load(MatrixReg::M0, ScalarReg(1))
+            .mat_mul(MatrixReg::M1, MatrixReg::M0, MatrixReg::M2, true)
+            .sync()
+            .build();
+        assert_eq!(kernel.name(), "k");
+        assert_eq!(kernel.len(), 3);
+        assert!(matches!(kernel.instructions()[0], Instruction::MatLoad { .. }));
+        assert!(matches!(kernel.instructions()[2], Instruction::Sync));
+    }
+
+    #[test]
+    fn stats_count_by_class() {
+        let kernel = KernelBuilder::new("mix")
+            .mat_load(MatrixReg::M0, ScalarReg(1))
+            .mat_mul(MatrixReg::M1, MatrixReg::M0, MatrixReg::M2, false)
+            .mv_mul(VectorReg(1), VectorReg(2), ScalarReg(3))
+            .prune(VectorReg(4), VectorReg(5), ScalarReg(6))
+            .activation(ActivationFn::Gelu, VectorReg(7), VectorReg(8))
+            .sync()
+            .build();
+        let stats = kernel.stats();
+        assert_eq!(stats.matmul, 1);
+        assert_eq!(stats.mat_ldst, 1);
+        assert_eq!(stats.mvmul, 1);
+        assert_eq!(stats.prune, 1);
+        assert_eq!(stats.vector, 1);
+        assert_eq!(stats.sync, 1);
+        assert_eq!(stats.total(), kernel.len());
+    }
+
+    #[test]
+    fn encoded_words_decode_back() {
+        let kernel = KernelBuilder::new("ffn").gated_mlp_gemv(true).build();
+        let words = kernel.to_words();
+        assert_eq!(words.len(), kernel.len());
+        assert_eq!(kernel.code_size_bytes(), words.len() * 4);
+        for (word, inst) in words.iter().zip(kernel.instructions()) {
+            assert_eq!(decode(*word).as_ref(), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn gated_mlp_with_pruning_has_prune_and_three_gemv() {
+        let kernel = KernelBuilder::new("ffn").gated_mlp_gemv(true).build();
+        let stats = kernel.stats();
+        assert_eq!(stats.prune, 1);
+        assert_eq!(stats.mvmul, 3, "up, gate and down projections");
+    }
+
+    #[test]
+    fn gated_mlp_without_pruning_has_no_prune() {
+        let kernel = KernelBuilder::new("ffn").gated_mlp_gemv(false).build();
+        assert_eq!(kernel.stats().prune, 0);
+        assert_eq!(kernel.stats().mvmul, 3);
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let kernel = KernelBuilder::new("empty").build();
+        assert!(kernel.is_empty());
+        assert_eq!(kernel.stats().total(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Matrix and vector register files.
+//!
+//! The systolic-array coprocessor of a CC core owns four R x C matrix
+//! registers used for both weights and streaming activations. The vector
+//! unit (present in both core kinds) owns 32 vector registers of `cols`
+//! lanes each, matching the element width C of a matrix-register row so a
+//! single vector instruction operates on one row of a matrix register.
+
+use crate::instr::{MatrixReg, VectorReg};
+
+/// The four R x C matrix registers of a CC core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRegisterFile {
+    rows: usize,
+    cols: usize,
+    data: Vec<Vec<f32>>,
+}
+
+impl MatrixRegisterFile {
+    /// Create a register file for a coprocessor with `rows x cols` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix registers must be non-empty");
+        MatrixRegisterFile {
+            rows,
+            cols,
+            data: vec![vec![0.0; rows * cols]; MatrixReg::ALL.len()],
+        }
+    }
+
+    /// Tile rows (R).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile columns (C).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read a whole register as a row-major slice of length `rows * cols`.
+    pub fn read(&self, reg: MatrixReg) -> &[f32] {
+        &self.data[reg.index()]
+    }
+
+    /// Overwrite a whole register from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile.len() != rows * cols`.
+    pub fn write(&mut self, reg: MatrixReg, tile: &[f32]) {
+        assert_eq!(
+            tile.len(),
+            self.rows * self.cols,
+            "tile size mismatch: expected {} elements",
+            self.rows * self.cols
+        );
+        self.data[reg.index()].copy_from_slice(tile);
+    }
+
+    /// Read one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `col >= cols`.
+    pub fn element(&self, reg: MatrixReg, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "element out of range");
+        self.data[reg.index()][row * self.cols + col]
+    }
+
+    /// Zero a register (used before accumulation chains).
+    pub fn clear(&mut self, reg: MatrixReg) {
+        self.data[reg.index()].fill(0.0);
+    }
+}
+
+/// The 32-entry vector register file shared by CC and MC cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorRegisterFile {
+    lanes: usize,
+    data: Vec<Vec<f32>>,
+}
+
+impl VectorRegisterFile {
+    /// Create a vector register file with `lanes` lanes per register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "vector registers must have at least one lane");
+        VectorRegisterFile {
+            lanes,
+            data: vec![vec![0.0; lanes]; 32],
+        }
+    }
+
+    /// Number of lanes per register.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Read a register.
+    pub fn read(&self, reg: VectorReg) -> &[f32] {
+        &self.data[reg.index()]
+    }
+
+    /// Write a register. Shorter slices are zero-extended; longer slices are
+    /// truncated, matching a hardware vector-length register semantics.
+    pub fn write(&mut self, reg: VectorReg, values: &[f32]) {
+        let dst = &mut self.data[reg.index()];
+        dst.fill(0.0);
+        let n = values.len().min(self.lanes);
+        dst[..n].copy_from_slice(&values[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_register_round_trip() {
+        let mut rf = MatrixRegisterFile::new(4, 4);
+        let tile: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        rf.write(MatrixReg::M2, &tile);
+        assert_eq!(rf.read(MatrixReg::M2), tile.as_slice());
+        assert_eq!(rf.element(MatrixReg::M2, 1, 2), 6.0);
+        assert_eq!(rf.read(MatrixReg::M0), &[0.0; 16]);
+    }
+
+    #[test]
+    fn matrix_register_clear() {
+        let mut rf = MatrixRegisterFile::new(2, 2);
+        rf.write(MatrixReg::M1, &[1.0, 2.0, 3.0, 4.0]);
+        rf.clear(MatrixReg::M1);
+        assert_eq!(rf.read(MatrixReg::M1), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size mismatch")]
+    fn wrong_tile_size_panics() {
+        let mut rf = MatrixRegisterFile::new(4, 4);
+        rf.write(MatrixReg::M0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element out of range")]
+    fn out_of_range_element_panics() {
+        let rf = MatrixRegisterFile::new(2, 2);
+        rf.element(MatrixReg::M0, 2, 0);
+    }
+
+    #[test]
+    fn vector_register_zero_extends() {
+        let mut vf = VectorRegisterFile::new(8);
+        vf.write(VectorReg(3), &[1.0, 2.0, 3.0]);
+        assert_eq!(vf.read(VectorReg(3)), &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn vector_register_truncates() {
+        let mut vf = VectorRegisterFile::new(2);
+        vf.write(VectorReg(0), &[5.0, 6.0, 7.0]);
+        assert_eq!(vf.read(VectorReg(0)), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn dimensions_accessible() {
+        let rf = MatrixRegisterFile::new(16, 16);
+        let vf = VectorRegisterFile::new(16);
+        assert_eq!(rf.rows(), 16);
+        assert_eq!(rf.cols(), 16);
+        assert_eq!(vf.lanes(), 16);
+    }
+}

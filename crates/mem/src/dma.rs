@@ -1,0 +1,279 @@
+//! Per-cluster DMA engines with performance-monitoring counters.
+//!
+//! Every cluster has a distributed DMA module linked to the DRAM controller.
+//! The DMA carries a performance-monitoring counter (PMC) that accumulates
+//! the memory-access usage `d` of its cluster within the current throttling
+//! interval `T`; once `d` exceeds the cluster budget `B`, subsequent
+//! requests are blocked until the interval elapses and the PMC resets
+//! (paper Sec. IV-B).
+
+use crate::dram::DramModel;
+use crate::traffic::{TrafficClass, TrafficStats};
+
+/// One DMA transfer request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaRequest {
+    /// Bytes to move.
+    pub bytes: u64,
+    /// Semantic class of the data (for the Fig. 2c breakdown).
+    pub class: TrafficClass,
+}
+
+impl DmaRequest {
+    /// Convenience constructor.
+    pub fn new(bytes: u64, class: TrafficClass) -> Self {
+        DmaRequest { bytes, class }
+    }
+}
+
+/// Record of one executed transfer, for traces and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaTranscript {
+    /// The request that was served.
+    pub request: DmaRequest,
+    /// Cycle at which the transfer started (after any throttling stall).
+    pub start_cycle: u64,
+    /// Cycle at which the transfer completed.
+    pub end_cycle: u64,
+    /// Cycles the request was stalled waiting for budget.
+    pub stall_cycles: u64,
+}
+
+/// A cluster DMA engine with budget throttling.
+///
+/// The engine processes requests serially (one outstanding transfer per
+/// cluster DMA, as in the Snitch cluster) and tracks its PMC against the
+/// configured budget per interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaEngine {
+    dram: DramModel,
+    /// Largest contiguous block the cluster data memory can accept.
+    max_block_bytes: u64,
+    /// Fraction of the chip DRAM bandwidth allocated to this cluster.
+    bandwidth_share: f64,
+    /// Budget `B` in bytes per interval, `None` = unthrottled.
+    budget_per_interval: Option<u64>,
+    /// Interval `T` in cycles.
+    interval_cycles: u64,
+    /// PMC: bytes used in the current interval.
+    pmc_bytes: u64,
+    /// Start cycle of the current interval.
+    interval_start: u64,
+    /// Local time of the engine (cycle at which it becomes idle).
+    now: u64,
+    stats: TrafficStats,
+    total_stall_cycles: u64,
+}
+
+impl DmaEngine {
+    /// Create an engine for a cluster whose data memory accepts blocks of at
+    /// most `max_block_bytes` and that receives `bandwidth_share` of the
+    /// chip's DRAM bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_block_bytes` is zero or the share is not in `(0, 1]`.
+    pub fn new(dram: DramModel, max_block_bytes: u64, bandwidth_share: f64) -> Self {
+        assert!(max_block_bytes > 0, "block size must be non-zero");
+        assert!(
+            bandwidth_share > 0.0 && bandwidth_share <= 1.0,
+            "share must be in (0, 1]"
+        );
+        DmaEngine {
+            dram,
+            max_block_bytes,
+            bandwidth_share,
+            budget_per_interval: None,
+            interval_cycles: 10_000,
+            pmc_bytes: 0,
+            interval_start: 0,
+            now: 0,
+            stats: TrafficStats::new(),
+            total_stall_cycles: 0,
+        }
+    }
+
+    /// Configure throttling: budget `B` bytes per interval of `T` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles` is zero.
+    pub fn set_budget(&mut self, budget_bytes: u64, interval_cycles: u64) {
+        assert!(interval_cycles > 0, "interval must be non-zero");
+        self.budget_per_interval = Some(budget_bytes);
+        self.interval_cycles = interval_cycles;
+    }
+
+    /// Remove throttling.
+    pub fn clear_budget(&mut self) {
+        self.budget_per_interval = None;
+    }
+
+    /// Change the bandwidth share (used by the dynamic bandwidth manager).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is not in `(0, 1]`.
+    pub fn set_bandwidth_share(&mut self, share: f64) {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0, 1]");
+        self.bandwidth_share = share;
+    }
+
+    /// Current bandwidth share.
+    pub fn bandwidth_share(&self) -> f64 {
+        self.bandwidth_share
+    }
+
+    /// The engine's local clock: the cycle at which it becomes idle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Total cycles spent stalled on budget throttling.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total_stall_cycles
+    }
+
+    /// Submit a request at `issue_cycle` (clamped to the engine's local time)
+    /// and return the transcript of its execution.
+    pub fn submit(&mut self, request: DmaRequest, issue_cycle: u64) -> DmaTranscript {
+        let mut start = issue_cycle.max(self.now);
+        // Advance the throttling interval to cover `start`.
+        self.roll_interval(start);
+        let mut stall = 0u64;
+        if let Some(budget) = self.budget_per_interval {
+            // If the PMC already exceeds the budget, stall to the next
+            // interval boundary (requests are blocked until T elapses).
+            if self.pmc_bytes >= budget {
+                let next = self.interval_start + self.interval_cycles;
+                stall = next - start;
+                start = next;
+                self.roll_interval(start);
+            }
+        }
+        let cycles = self
+            .dram
+            .transfer_cycles(request.bytes, self.max_block_bytes, self.bandwidth_share);
+        let end = start + cycles;
+        self.pmc_bytes += request.bytes;
+        self.now = end;
+        self.stats.record(request.class, request.bytes);
+        self.total_stall_cycles += stall;
+        DmaTranscript {
+            request,
+            start_cycle: start,
+            end_cycle: end,
+            stall_cycles: stall,
+        }
+    }
+
+    fn roll_interval(&mut self, cycle: u64) {
+        while cycle >= self.interval_start + self.interval_cycles {
+            self.interval_start += self.interval_cycles;
+            self.pmc_bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(DramModel::paper_default(), 64 * 1024, 1.0)
+    }
+
+    #[test]
+    fn unthrottled_requests_never_stall() {
+        let mut dma = engine();
+        for _ in 0..10 {
+            let t = dma.submit(DmaRequest::new(32 * 1024, TrafficClass::FfnWeights), 0);
+            assert_eq!(t.stall_cycles, 0);
+        }
+        assert_eq!(dma.total_stall_cycles(), 0);
+        assert_eq!(dma.stats().bytes(TrafficClass::FfnWeights), 10 * 32 * 1024);
+    }
+
+    #[test]
+    fn requests_serialise_on_the_engine() {
+        let mut dma = engine();
+        let a = dma.submit(DmaRequest::new(64 * 1024, TrafficClass::Activations), 0);
+        let b = dma.submit(DmaRequest::new(64 * 1024, TrafficClass::Activations), 0);
+        assert_eq!(b.start_cycle, a.end_cycle);
+        assert!(dma.now() == b.end_cycle);
+    }
+
+    #[test]
+    fn budget_blocks_until_interval_end() {
+        let mut dma = engine();
+        dma.set_budget(100 * 1024, 50_000);
+        // First request consumes the whole budget.
+        let a = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), 0);
+        assert_eq!(a.stall_cycles, 0);
+        // Second request must wait for the next interval boundary.
+        let b = dma.submit(DmaRequest::new(4 * 1024, TrafficClass::FfnWeights), a.end_cycle);
+        assert!(b.stall_cycles > 0);
+        assert_eq!(b.start_cycle, 50_000);
+        assert_eq!(dma.total_stall_cycles(), b.stall_cycles);
+    }
+
+    #[test]
+    fn pmc_resets_every_interval() {
+        let mut dma = engine();
+        dma.set_budget(100 * 1024, 10_000);
+        let a = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), 0);
+        // Issue far in the future: the PMC has long reset, no stall.
+        let b = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), a.end_cycle + 100_000);
+        assert_eq!(b.stall_cycles, 0);
+    }
+
+    #[test]
+    fn clearing_budget_removes_stalls() {
+        let mut dma = engine();
+        dma.set_budget(1, 1_000_000);
+        let a = dma.submit(DmaRequest::new(1024, TrafficClass::KvCache), 0);
+        dma.clear_budget();
+        let b = dma.submit(DmaRequest::new(1024, TrafficClass::KvCache), a.end_cycle);
+        assert_eq!(b.stall_cycles, 0);
+    }
+
+    #[test]
+    fn smaller_share_means_longer_transfers() {
+        let mut full = engine();
+        let mut quarter = DmaEngine::new(DramModel::paper_default(), 64 * 1024, 0.25);
+        let a = full.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), 0);
+        let b = quarter.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), 0);
+        assert!(b.end_cycle > a.end_cycle);
+        assert!((quarter.bandwidth_share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_can_be_retuned_at_runtime() {
+        let mut dma = engine();
+        let slow_before = dma.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), 0);
+        dma.set_bandwidth_share(0.125);
+        let start = slow_before.end_cycle;
+        let slow_after = dma.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), start);
+        assert!(
+            slow_after.end_cycle - slow_after.start_cycle
+                > slow_before.end_cycle - slow_before.start_cycle
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0, 1]")]
+    fn invalid_share_panics() {
+        DmaEngine::new(DramModel::paper_default(), 1024, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn zero_interval_panics() {
+        engine().set_budget(1024, 0);
+    }
+}

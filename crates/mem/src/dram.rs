@@ -1,0 +1,202 @@
+//! External DRAM timing model.
+//!
+//! The model captures the two quantities the paper's evaluation depends on:
+//! the peak bandwidth of the external memory (LPDDR-class for an edge SoC)
+//! and the fixed per-transfer overhead of the DMA + DRAM controller path
+//! (request setup, AXI traversal, page activation). Effective bandwidth is
+//!
+//! ```text
+//! BW_eff(bytes) = bytes / (overhead_cycles + bytes / peak_bytes_per_cycle)
+//! ```
+//!
+//! which drops sharply for small transfers and approaches the ideal
+//! bandwidth for large ones — the curve of the paper's Fig. 6b.
+
+/// Timing model of the shared external DRAM interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Peak bandwidth in GiB/s.
+    pub peak_gib_s: f64,
+    /// Core clock in MHz (cycles below are core cycles).
+    pub clock_mhz: u32,
+    /// Fixed overhead per DMA transfer, in core cycles (controller latency,
+    /// AXI traversal, page activation).
+    pub overhead_cycles: u64,
+    /// Energy cost of moving one byte from DRAM, in picojoules (used for the
+    /// token/J efficiency figure).
+    pub energy_pj_per_byte: f64,
+}
+
+impl DramModel {
+    /// The LPDDR5X-class interface assumed for the paper-default chip:
+    /// 68 GiB/s peak, 1 GHz core clock, 200-cycle transfer overhead.
+    pub fn paper_default() -> Self {
+        DramModel {
+            peak_gib_s: 68.0,
+            clock_mhz: 1000,
+            overhead_cycles: 200,
+            energy_pj_per_byte: 20.0,
+        }
+    }
+
+    /// Create a model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_gib_s` is not positive or `clock_mhz` is zero.
+    pub fn new(peak_gib_s: f64, clock_mhz: u32, overhead_cycles: u64, energy_pj_per_byte: f64) -> Self {
+        assert!(peak_gib_s > 0.0, "peak bandwidth must be positive");
+        assert!(clock_mhz > 0, "clock must be non-zero");
+        DramModel {
+            peak_gib_s,
+            clock_mhz,
+            overhead_cycles,
+            energy_pj_per_byte,
+        }
+    }
+
+    /// Peak bandwidth in bytes per core cycle.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.peak_gib_s * (1u64 << 30) as f64 / (self.clock_mhz as f64 * 1.0e6)
+    }
+
+    /// Core cycles to move `bytes` with a fraction `share` (0 < share <= 1)
+    /// of the peak bandwidth, issued as transfers of `block_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is not in `(0, 1]` or `block_bytes` is zero.
+    pub fn transfer_cycles(&self, bytes: u64, block_bytes: u64, share: f64) -> u64 {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0, 1]");
+        assert!(block_bytes > 0, "block size must be non-zero");
+        if bytes == 0 {
+            return 0;
+        }
+        let transfers = bytes.div_ceil(block_bytes);
+        let stream_cycles = (bytes as f64 / (self.peak_bytes_per_cycle() * share)).ceil() as u64;
+        transfers * self.overhead_cycles + stream_cycles
+    }
+
+    /// Effective bandwidth in GiB/s achieved when moving data in blocks of
+    /// `block_bytes` at full share — the quantity plotted in Fig. 6b.
+    pub fn effective_bandwidth_gib_s(&self, block_bytes: u64) -> f64 {
+        if block_bytes == 0 {
+            return 0.0;
+        }
+        let cycles = self.transfer_cycles(block_bytes, block_bytes, 1.0);
+        let seconds = cycles as f64 / (self.clock_mhz as f64 * 1.0e6);
+        block_bytes as f64 / (1u64 << 30) as f64 / seconds
+    }
+
+    /// Energy in joules for moving `bytes` from DRAM.
+    pub fn transfer_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte * 1e-12
+    }
+
+    /// Seconds corresponding to `cycles` core cycles.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz as f64 * 1.0e6)
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn peak_bytes_per_cycle_consistent() {
+        let dram = DramModel::paper_default();
+        // 68 GiB/s at 1 GHz is ~73 bytes/cycle.
+        let bpc = dram.peak_bytes_per_cycle();
+        assert!((bpc - 73.014_444).abs() < 0.05, "bpc = {bpc}");
+    }
+
+    #[test]
+    fn small_transfers_are_overhead_dominated() {
+        let dram = DramModel::paper_default();
+        let small = dram.effective_bandwidth_gib_s(1024);
+        let large = dram.effective_bandwidth_gib_s(4 * 1024 * 1024);
+        // Fig. 6b: effective bandwidth drops notably for small matrices but
+        // nears the ideal bandwidth as the block size increases.
+        assert!(small < 0.3 * dram.peak_gib_s, "small-block BW = {small}");
+        assert!(large > 0.9 * dram.peak_gib_s, "large-block BW = {large}");
+    }
+
+    #[test]
+    fn effective_bandwidth_is_monotonic_in_block_size() {
+        let dram = DramModel::paper_default();
+        let sizes = [1usize << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22];
+        let bws: Vec<f64> = sizes
+            .iter()
+            .map(|&s| dram.effective_bandwidth_gib_s(s as u64))
+            .collect();
+        for pair in bws.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "bandwidth not monotonic: {bws:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_share() {
+        let dram = DramModel::paper_default();
+        let full = dram.transfer_cycles(1 << 20, 1 << 20, 1.0);
+        let half = dram.transfer_cycles(1 << 20, 1 << 20, 0.5);
+        // Streaming part doubles; overhead stays the same.
+        assert!(half > full);
+        assert!(half < 2 * full);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let dram = DramModel::paper_default();
+        assert_eq!(dram.transfer_cycles(0, 1024, 1.0), 0);
+        assert_eq!(dram.effective_bandwidth_gib_s(0), 0.0);
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        let dram = DramModel::paper_default();
+        let one = dram.transfer_energy_j(1_000_000);
+        let two = dram.transfer_energy_j(2_000_000);
+        assert!((two - 2.0 * one).abs() < 1e-15);
+        // 20 pJ/byte * 1 MB = 20 uJ.
+        assert!((one - 20.0e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0, 1]")]
+    fn bad_share_panics() {
+        DramModel::paper_default().transfer_cycles(1024, 1024, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak bandwidth must be positive")]
+    fn bad_peak_panics() {
+        DramModel::new(0.0, 1000, 10, 20.0);
+    }
+
+    proptest! {
+        /// Effective bandwidth never exceeds the peak.
+        #[test]
+        fn effective_never_exceeds_peak(block in 1u64..(1 << 26)) {
+            let dram = DramModel::paper_default();
+            prop_assert!(dram.effective_bandwidth_gib_s(block) <= dram.peak_gib_s + 1e-9);
+        }
+
+        /// Transfer cycles are monotonic in the byte count.
+        #[test]
+        fn cycles_monotonic_in_bytes(bytes in 1u64..(1 << 26), extra in 1u64..(1 << 20)) {
+            let dram = DramModel::paper_default();
+            let block = 64 * 1024;
+            prop_assert!(
+                dram.transfer_cycles(bytes + extra, block, 1.0) >= dram.transfer_cycles(bytes, block, 1.0)
+            );
+        }
+    }
+}

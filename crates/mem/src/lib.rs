@@ -1,0 +1,30 @@
+//! Memory system of EdgeMM: DRAM, DMA engines and bandwidth management.
+//!
+//! The whole chip shares one external DRAM interface through a hierarchy of
+//! AXI crossbars. Every cluster owns a distributed DMA engine that moves
+//! tensor shards between DRAM and the cluster's on-chip data memory. Two
+//! properties of this subsystem drive the paper's results:
+//!
+//! 1. **Effective bandwidth depends on transfer size** (Fig. 6b): small
+//!    transfers are dominated by fixed per-transfer overhead, so the larger
+//!    data memory of MC clusters — which permits bigger blocks per DMA — is
+//!    itself a bandwidth optimisation.
+//! 2. **Bandwidth can be reallocated between cluster kinds** (Sec. IV-B):
+//!    each cluster gets a memory-access budget `B` per interval `T`,
+//!    enforced by performance-monitoring counters in the DMA; once a cluster
+//!    exhausts its budget its requests are blocked until the interval ends.
+//!    Adjusting the CC:MC budget ratio rebalances the encode/prefill vs
+//!    decode pipeline for different output token lengths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod dma;
+mod dram;
+mod traffic;
+
+pub use bandwidth::{BandwidthAllocation, BandwidthManager, BudgetPolicy};
+pub use dma::{DmaEngine, DmaRequest, DmaTranscript};
+pub use dram::DramModel;
+pub use traffic::{TrafficClass, TrafficStats};

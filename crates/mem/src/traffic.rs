@@ -1,0 +1,168 @@
+//! DRAM traffic accounting by semantic class.
+//!
+//! The paper's Fig. 2c breaks down memory accesses into FFN weights,
+//! attention weights and KV cache, showing that FFN weight matrices dominate
+//! the decode-phase traffic. The simulator tags every DMA request with a
+//! [`TrafficClass`] so the same breakdown can be regenerated.
+
+use std::collections::BTreeMap;
+
+/// Semantic class of a DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Feed-forward network weight matrices (gate, up, down projections).
+    FfnWeights,
+    /// Attention projection weight matrices (Q, K, V, O).
+    AttentionWeights,
+    /// Key-value cache reads and writes.
+    KvCache,
+    /// Activations, embeddings and other intermediate tensors.
+    Activations,
+    /// Vision-encoder weights.
+    EncoderWeights,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::FfnWeights,
+        TrafficClass::AttentionWeights,
+        TrafficClass::KvCache,
+        TrafficClass::Activations,
+        TrafficClass::EncoderWeights,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::FfnWeights => "FFN weights",
+            TrafficClass::AttentionWeights => "attention weights",
+            TrafficClass::KvCache => "KV cache",
+            TrafficClass::Activations => "activations",
+            TrafficClass::EncoderWeights => "encoder weights",
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Byte counters per traffic class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    bytes: BTreeMap<TrafficClass, u64>,
+}
+
+impl TrafficStats {
+    /// An empty set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` of traffic of the given class.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        *self.bytes.entry(class).or_insert(0) += bytes;
+    }
+
+    /// Bytes recorded for one class.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.bytes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Fraction of total traffic contributed by one class (0 when empty).
+    pub fn fraction(&self, class: TrafficClass) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes(class) as f64 / total as f64
+        }
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (class, bytes) in &other.bytes {
+            *self.bytes.entry(*class).or_insert(0) += bytes;
+        }
+    }
+
+    /// Iterate over `(class, bytes)` pairs in display order, skipping zero entries.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, u64)> + '_ {
+        TrafficClass::ALL
+            .into_iter()
+            .filter_map(|c| self.bytes.get(&c).map(|b| (c, *b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut stats = TrafficStats::new();
+        stats.record(TrafficClass::FfnWeights, 1000);
+        stats.record(TrafficClass::FfnWeights, 500);
+        stats.record(TrafficClass::KvCache, 100);
+        assert_eq!(stats.bytes(TrafficClass::FfnWeights), 1500);
+        assert_eq!(stats.bytes(TrafficClass::KvCache), 100);
+        assert_eq!(stats.bytes(TrafficClass::Activations), 0);
+        assert_eq!(stats.total_bytes(), 1600);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut stats = TrafficStats::new();
+        stats.record(TrafficClass::FfnWeights, 700);
+        stats.record(TrafficClass::AttentionWeights, 200);
+        stats.record(TrafficClass::KvCache, 100);
+        let sum: f64 = TrafficClass::ALL.iter().map(|&c| stats.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((stats.fraction(TrafficClass::FfnWeights) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fraction() {
+        let stats = TrafficStats::new();
+        assert_eq!(stats.total_bytes(), 0);
+        assert_eq!(stats.fraction(TrafficClass::KvCache), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::FfnWeights, 10);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::FfnWeights, 5);
+        b.record(TrafficClass::Activations, 3);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficClass::FfnWeights), 15);
+        assert_eq!(a.bytes(TrafficClass::Activations), 3);
+    }
+
+    #[test]
+    fn iter_skips_zero_entries_and_is_ordered() {
+        let mut stats = TrafficStats::new();
+        stats.record(TrafficClass::KvCache, 1);
+        stats.record(TrafficClass::FfnWeights, 2);
+        let items: Vec<_> = stats.iter().collect();
+        assert_eq!(
+            items,
+            vec![(TrafficClass::FfnWeights, 2), (TrafficClass::KvCache, 1)]
+        );
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(TrafficClass::FfnWeights.to_string(), "FFN weights");
+        assert_eq!(TrafficClass::EncoderWeights.label(), "encoder weights");
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic FFN activation vectors with the channel statistics of Fig. 3.
+//!
+//! The paper profiles the FFN input vectors `Vx` of SPHINX-Tiny during token
+//! generation and observes that (a) most channels carry small magnitudes,
+//! (b) a few *outlier* channels are much larger, and (c) the outliers become
+//! more prominent as the decoder layer index grows. The activation-aware
+//! pruning scheme rests entirely on this channel-magnitude distribution, so
+//! for the reproduction we generate synthetic activations with the same
+//! structure: a heavy-tailed bulk plus a small set of persistent outlier
+//! channels whose relative magnitude grows with layer depth.
+//!
+//! Generation is fully deterministic given a seed, which keeps the Fig. 12
+//! experiments reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistical profile of the synthetic activations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationProfile {
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Channels per activation vector (the model dimension feeding the FFN).
+    pub channels: usize,
+    /// Fraction of channels that behave as persistent outliers.
+    pub outlier_fraction: f64,
+    /// Outlier-to-bulk magnitude ratio at the first layer.
+    pub outlier_ratio_first_layer: f64,
+    /// Outlier-to-bulk magnitude ratio at the last layer (> first layer:
+    /// outliers grow more prominent with depth, as in Fig. 3b).
+    pub outlier_ratio_last_layer: f64,
+    /// Standard deviation of the bulk channels.
+    pub bulk_std: f64,
+}
+
+impl ActivationProfile {
+    /// Profile matching the SPHINX-Tiny observations: ~2 % outlier channels,
+    /// barely distinguishable from the bulk in the first layers and roughly
+    /// an order of magnitude more prominent by the last layer (Fig. 3b).
+    pub fn sphinx_tiny_like(layers: usize, channels: usize) -> Self {
+        ActivationProfile {
+            layers,
+            channels,
+            outlier_fraction: 0.02,
+            outlier_ratio_first_layer: 1.5,
+            outlier_ratio_last_layer: 24.0,
+            bulk_std: 0.5,
+        }
+    }
+
+    /// Outlier magnitude ratio at a given layer (linear interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= layers`.
+    pub fn outlier_ratio(&self, layer: usize) -> f64 {
+        assert!(layer < self.layers, "layer out of range");
+        if self.layers <= 1 {
+            return self.outlier_ratio_last_layer;
+        }
+        let t = layer as f64 / (self.layers - 1) as f64;
+        self.outlier_ratio_first_layer + t * (self.outlier_ratio_last_layer - self.outlier_ratio_first_layer)
+    }
+}
+
+/// Deterministic generator of per-layer synthetic activation vectors.
+#[derive(Debug, Clone)]
+pub struct ActivationGenerator {
+    profile: ActivationProfile,
+    seed: u64,
+    outlier_channels: Vec<usize>,
+}
+
+impl ActivationGenerator {
+    /// Create a generator for the given profile and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has zero layers or channels.
+    pub fn new(profile: ActivationProfile, seed: u64) -> Self {
+        assert!(profile.layers > 0 && profile.channels > 0, "profile must be non-empty");
+        // Outlier channels are persistent across layers (as observed in real
+        // LLMs where specific channels carry outsized activations).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11CE);
+        let count = ((profile.channels as f64 * profile.outlier_fraction).round() as usize).max(1);
+        let mut outlier_channels = Vec::with_capacity(count);
+        while outlier_channels.len() < count {
+            let c = rng.gen_range(0..profile.channels);
+            if !outlier_channels.contains(&c) {
+                outlier_channels.push(c);
+            }
+        }
+        outlier_channels.sort_unstable();
+        ActivationGenerator {
+            profile,
+            seed,
+            outlier_channels,
+        }
+    }
+
+    /// The generator's profile.
+    pub fn profile(&self) -> &ActivationProfile {
+        &self.profile
+    }
+
+    /// The persistent outlier channel indices.
+    pub fn outlier_channels(&self) -> &[usize] {
+        &self.outlier_channels
+    }
+
+    /// Generate the FFN input activation vector of `layer` for one token.
+    ///
+    /// The same `(layer, token)` pair always yields the same vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= layers`.
+    pub fn generate(&self, layer: usize, token: usize) -> Vec<f32> {
+        assert!(layer < self.profile.layers, "layer out of range");
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((layer as u64) << 32 | token as u64),
+        );
+        let ratio = self.profile.outlier_ratio(layer);
+        let bulk = self.profile.bulk_std;
+        let mut v = Vec::with_capacity(self.profile.channels);
+        for c in 0..self.profile.channels {
+            // Heavy-tailed bulk: product of two uniforms approximates a
+            // peaked, sparse-ish distribution; sign is random.
+            let mag: f64 = rng.gen::<f64>() * rng.gen::<f64>() * bulk;
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let mut value = sign * mag;
+            if self.outlier_channels.contains(&c) {
+                // Outliers: larger magnitude, growing with depth, with some
+                // token-to-token variation.
+                let jitter = 0.75 + 0.5 * rng.gen::<f64>();
+                value = sign * bulk * ratio * jitter;
+            }
+            v.push(value as f32);
+        }
+        v
+    }
+
+    /// Generate the activation vectors of every layer for one token
+    /// (one full forward pass).
+    pub fn generate_token(&self, token: usize) -> Vec<Vec<f32>> {
+        (0..self.profile.layers).map(|l| self.generate(l, token)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> ActivationGenerator {
+        ActivationGenerator::new(ActivationProfile::sphinx_tiny_like(22, 2048), 7)
+    }
+
+    fn kurtosis(v: &[f32]) -> f64 {
+        let n = v.len() as f64;
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let m4 = v.iter().map(|&x| (x as f64 - mean).powi(4)).sum::<f64>() / n;
+        m4 / var.powi(2)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generator();
+        let b = generator();
+        assert_eq!(a.generate(3, 5), b.generate(3, 5));
+        assert_ne!(a.generate(3, 5), a.generate(3, 6), "different tokens differ");
+        assert_ne!(a.generate(3, 5), a.generate(4, 5), "different layers differ");
+    }
+
+    #[test]
+    fn outlier_channels_are_persistent_and_sparse() {
+        let g = generator();
+        let outliers = g.outlier_channels();
+        assert!(!outliers.is_empty());
+        assert!(outliers.len() < 2048 / 10);
+        // The designated outlier channels really do carry the largest values.
+        let v = g.generate(10, 0);
+        let max_bulk = v
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !outliers.contains(i))
+            .map(|(_, x)| x.abs())
+            .fold(0.0f32, f32::max);
+        let min_outlier = outliers
+            .iter()
+            .map(|&i| v[i].abs())
+            .fold(f32::INFINITY, f32::min);
+        assert!(min_outlier > max_bulk, "outliers must dominate the bulk");
+    }
+
+    #[test]
+    fn outliers_grow_with_layer_depth() {
+        // Fig. 3b: as the layer index increases, outliers become more prominent.
+        let g = generator();
+        let ratio = |layer: usize| {
+            let v = g.generate(layer, 0);
+            let outliers = g.outlier_channels();
+            let mean_out: f32 = outliers.iter().map(|&i| v[i].abs()).sum::<f32>() / outliers.len() as f32;
+            let mean_bulk: f32 = v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !outliers.contains(i))
+                .map(|(_, x)| x.abs())
+                .sum::<f32>()
+                / (v.len() - outliers.len()) as f32;
+            mean_out / mean_bulk
+        };
+        assert!(ratio(21) > 2.0 * ratio(0), "deep {} vs shallow {}", ratio(21), ratio(0));
+    }
+
+    #[test]
+    fn kurtosis_increases_with_depth() {
+        // Fig. 12a plots kurtosis rising with layer index.
+        let g = generator();
+        let shallow = kurtosis(&g.generate(1, 0));
+        let deep = kurtosis(&g.generate(21, 0));
+        assert!(deep > shallow, "deep kurtosis {deep} <= shallow {shallow}");
+        // Both should be leptokurtic (heavier-tailed than Gaussian).
+        assert!(shallow > 3.0);
+    }
+
+    #[test]
+    fn most_channels_are_small() {
+        let g = generator();
+        let v = g.generate(15, 0);
+        let max = v.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let small = v.iter().filter(|x| x.abs() < max / 16.0).count();
+        // The "sparsity" observation: the vast majority of channels are
+        // negligible relative to the maximum.
+        assert!(small as f64 / v.len() as f64 > 0.8, "small fraction = {}", small as f64 / v.len() as f64);
+    }
+
+    #[test]
+    fn generate_token_covers_all_layers() {
+        let g = generator();
+        let pass = g.generate_token(3);
+        assert_eq!(pass.len(), 22);
+        assert!(pass.iter().all(|v| v.len() == 2048));
+    }
+
+    #[test]
+    fn outlier_ratio_interpolates() {
+        let p = ActivationProfile::sphinx_tiny_like(22, 2048);
+        assert!((p.outlier_ratio(0) - 1.5).abs() < 1e-9);
+        assert!((p.outlier_ratio(21) - 24.0).abs() < 1e-9);
+        assert!(p.outlier_ratio(10) > p.outlier_ratio(0));
+        assert!(p.outlier_ratio(10) < p.outlier_ratio(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer out of range")]
+    fn out_of_range_layer_panics() {
+        generator().generate(22, 0);
+    }
+}

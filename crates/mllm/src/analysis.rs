@@ -1,0 +1,222 @@
+//! Workload profiling analytics (paper Fig. 2).
+//!
+//! [`WorkloadAnalysis`] condenses a [`ModelWorkload`] into the three views of
+//! Fig. 2: per-phase compute/parameter statistics (Fig. 2b), the memory
+//! access breakdown by traffic class (Fig. 2c), and — combined with a device
+//! throughput model from `edgemm-baseline` or `edgemm-sim` — the latency
+//! breakdown of Fig. 2a.
+
+use std::collections::BTreeMap;
+
+use crate::workload::{MatmulOp, ModelWorkload, Phase, TrafficClass};
+
+/// Compute and traffic statistics of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseProfile {
+    /// The phase.
+    pub phase: Phase,
+    /// Total FLOPs (decode counted over all generated tokens).
+    pub flops: u64,
+    /// DRAM weight traffic in bytes (decode counted over all tokens).
+    pub weight_bytes: u64,
+    /// Distinct parameters touched by the phase (bytes / precision),
+    /// i.e. the model-size share of the phase.
+    pub params_touched: u64,
+    /// Arithmetic intensity (FLOPs per DRAM byte).
+    pub arithmetic_intensity: f64,
+}
+
+/// Memory-access breakdown by traffic class (Fig. 2c).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryBreakdown {
+    bytes: BTreeMap<TrafficClass, u64>,
+}
+
+impl MemoryBreakdown {
+    /// Bytes attributed to one class.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.bytes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Fraction of the total attributed to one class.
+    pub fn fraction(&self, class: TrafficClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes(class) as f64 / total as f64
+        }
+    }
+
+    /// Iterate `(class, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, u64)> + '_ {
+        self.bytes.iter().map(|(c, b)| (*c, *b))
+    }
+}
+
+/// Analytics over a [`ModelWorkload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadAnalysis {
+    workload: ModelWorkload,
+}
+
+impl WorkloadAnalysis {
+    /// Wrap a workload for analysis.
+    pub fn new(workload: ModelWorkload) -> Self {
+        WorkloadAnalysis { workload }
+    }
+
+    /// The underlying workload.
+    pub fn workload(&self) -> &ModelWorkload {
+        &self.workload
+    }
+
+    /// Profile one phase (Fig. 2b row).
+    pub fn phase_profile(&self, phase: Phase) -> PhaseProfile {
+        let flops = self.workload.phase_flops(phase);
+        let weight_bytes = self.workload.phase_weight_bytes(phase);
+        let bytes_per_weight = self.workload.config().weight_bytes as u64;
+        let params_touched: u64 = self
+            .workload
+            .phase_ops(phase)
+            .iter()
+            .filter(|op| op.weights_from_dram && op.weight_class != TrafficClass::KvCache)
+            .map(|op| (op.k * op.n) as u64)
+            .sum();
+        PhaseProfile {
+            phase,
+            flops,
+            weight_bytes,
+            params_touched: params_touched * bytes_per_weight / bytes_per_weight,
+            arithmetic_intensity: if weight_bytes == 0 {
+                f64::INFINITY
+            } else {
+                flops as f64 / weight_bytes as f64
+            },
+        }
+    }
+
+    /// Profiles of all phases, in pipeline order.
+    pub fn all_phases(&self) -> Vec<PhaseProfile> {
+        Phase::ALL.iter().map(|&p| self.phase_profile(p)).collect()
+    }
+
+    /// Memory-access breakdown of the whole request (Fig. 2c). Decode traffic
+    /// is counted once per generated token.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let bytes_per_weight = self.workload.config().weight_bytes;
+        let mut breakdown = MemoryBreakdown::default();
+        let mut add_ops = |ops: &[MatmulOp], repeat: u64| {
+            for op in ops {
+                let b = op.weight_bytes(bytes_per_weight) * repeat;
+                if b > 0 {
+                    *breakdown.bytes.entry(op.weight_class).or_insert(0) += b;
+                }
+            }
+        };
+        add_ops(&self.workload.vision_encoder_ops(), 1);
+        add_ops(&self.workload.projector_ops(), 1);
+        add_ops(&self.workload.prefill_ops(), 1);
+        add_ops(
+            &self.workload.average_decode_step_ops(),
+            self.workload.output_tokens() as u64,
+        );
+        breakdown
+    }
+
+    /// FLOP share of each phase, normalised to 1.
+    pub fn flops_share(&self) -> Vec<(Phase, f64)> {
+        let profiles = self.all_phases();
+        let total: u64 = profiles.iter().map(|p| p.flops).sum();
+        profiles
+            .iter()
+            .map(|p| (p.phase, p.flops as f64 / total.max(1) as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ModelWorkload;
+    use crate::zoo;
+
+    fn analysis(output_tokens: usize) -> WorkloadAnalysis {
+        WorkloadAnalysis::new(ModelWorkload::new(zoo::sphinx_tiny(), 20, output_tokens))
+    }
+
+    #[test]
+    fn decode_has_lowest_arithmetic_intensity() {
+        let a = analysis(64);
+        let decode = a.phase_profile(Phase::Decode);
+        let prefill = a.phase_profile(Phase::Prefill);
+        let vision = a.phase_profile(Phase::VisionEncode);
+        assert!(decode.arithmetic_intensity < prefill.arithmetic_intensity / 20.0);
+        assert!(decode.arithmetic_intensity < vision.arithmetic_intensity / 20.0);
+    }
+
+    #[test]
+    fn memory_breakdown_dominated_by_ffn_weights() {
+        let a = analysis(64);
+        let mem = a.memory_breakdown();
+        let ffn = mem.fraction(TrafficClass::FfnWeights);
+        assert!(ffn > 0.4, "FFN fraction = {ffn}");
+        assert!(ffn > mem.fraction(TrafficClass::KvCache));
+        assert!(ffn > mem.fraction(TrafficClass::AttentionWeights));
+    }
+
+    #[test]
+    fn kv_cache_is_a_small_fraction_for_short_outputs() {
+        let a = analysis(64);
+        let mem = a.memory_breakdown();
+        assert!(mem.fraction(TrafficClass::KvCache) < 0.15);
+    }
+
+    #[test]
+    fn more_output_tokens_grow_decode_share() {
+        let short = analysis(16);
+        let long = analysis(256);
+        let decode_share = |a: &WorkloadAnalysis| {
+            let mem_total = a.phase_profile(Phase::Decode).weight_bytes as f64;
+            let all: f64 = Phase::ALL
+                .iter()
+                .map(|&p| a.phase_profile(p).weight_bytes as f64)
+                .sum();
+            mem_total / all
+        };
+        assert!(decode_share(&long) > decode_share(&short));
+    }
+
+    #[test]
+    fn flops_share_sums_to_one() {
+        let a = analysis(64);
+        let sum: f64 = a.flops_share().iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projector_flops_negligible() {
+        let a = analysis(64);
+        let share = a
+            .flops_share()
+            .into_iter()
+            .find(|(p, _)| *p == Phase::Projector)
+            .map(|(_, s)| s)
+            .unwrap();
+        assert!(share < 0.02, "projector share = {share}");
+    }
+
+    #[test]
+    fn breakdown_total_matches_component_sum() {
+        let a = analysis(32);
+        let mem = a.memory_breakdown();
+        let sum: u64 = mem.iter().map(|(_, b)| b).sum();
+        assert_eq!(sum, mem.total());
+        assert!(mem.total() > 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal dense tensor helpers used by the functional experiments.
+//!
+//! The accuracy-side experiments (cosine similarity of pruned vs unpruned
+//! FFN outputs, Fig. 12b) need real arithmetic, not just operator shapes.
+//! A tiny row-major [`Matrix`] plus free [`gemm`]/[`gemv`] functions keep
+//! those experiments dependency-free; the cycle-accurate numerics live in
+//! `edgemm-coproc`.
+
+/// A dense row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Create a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+}
+
+/// Dense GEMM: `A (m x k) * B (k x n) -> (m x n)`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a.get(i, kk);
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out.data[i * n + j] += aik * b.data[kk * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Dense GEMV: `x (len k) * B (k x n) -> (len n)`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != b.rows()`.
+pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
+    assert_eq!(x.len(), b.rows(), "vector length must match matrix rows");
+    let (k, n) = (b.rows(), b.cols());
+    let mut out = vec![0.0f32; n];
+    for kk in 0..k {
+        let xv = x[kk];
+        if xv == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            out[j] += xv * b.data[kk * n + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_gemm() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let out = gemm(&a, &b);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let out = gemm(&a, &b);
+        assert_eq!(out.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemv_matches_gemm_row() {
+        let x = vec![1.0, -2.0, 0.5];
+        let b = Matrix::from_fn(3, 4, |r, c| (r + c) as f32 * 0.5);
+        let v = gemv(&x, &b);
+        let a = Matrix::from_vec(1, 3, x.clone());
+        let m = gemm(&a, &b);
+        assert_eq!(v.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must agree")]
+    fn mismatched_gemm_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        gemm(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn bad_from_vec_panics() {
+        Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    proptest! {
+        /// GEMV is linear: gemv(a*x + b*y) == a*gemv(x) + b*gemv(y).
+        #[test]
+        fn gemv_is_linear(
+            k in 1usize..8,
+            n in 1usize..8,
+            scale_a in -2.0f32..2.0,
+            scale_b in -2.0f32..2.0,
+            seed in 0u64..100,
+        ) {
+            let f = |i: usize| ((i as u64).wrapping_mul(seed + 1) % 17) as f32 * 0.25 - 2.0;
+            let x: Vec<f32> = (0..k).map(f).collect();
+            let y: Vec<f32> = (0..k).map(|i| f(i + 100)).collect();
+            let b = Matrix::from_fn(k, n, |r, c| f(r * n + c + 500));
+            let combined: Vec<f32> = x.iter().zip(&y).map(|(a, b2)| scale_a * a + scale_b * b2).collect();
+            let lhs = gemv(&combined, &b);
+            let gx = gemv(&x, &b);
+            let gy = gemv(&y, &b);
+            for j in 0..n {
+                let rhs = scale_a * gx[j] + scale_b * gy[j];
+                prop_assert!((lhs[j] - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+            }
+        }
+    }
+}

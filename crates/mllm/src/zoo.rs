@@ -1,0 +1,292 @@
+//! The representative MLLMs of the paper's Table I.
+//!
+//! Geometries follow the published model cards. Parameter counts reported by
+//! [`MllmConfig::total_params`](crate::MllmConfig::total_params) land within
+//! a few percent of the nominal sizes (1.1B, 0.5B, ...), which is all the
+//! architecture evaluation depends on.
+
+use crate::config::{LlmConfig, MllmConfig, ProjectorConfig, ProjectorKind, VisionEncoderConfig};
+
+/// TinyLlama-1.1B (the LLM of SPHINX-Tiny).
+pub fn tinyllama_1_1b() -> LlmConfig {
+    LlmConfig {
+        name: "TinyLlama-1.1B".to_string(),
+        layers: 22,
+        d_model: 2048,
+        d_ffn: 5632,
+        heads: 32,
+        kv_heads: 4,
+        vocab: 32000,
+    }
+}
+
+/// Qwen1.5-0.5B (the LLM of KarmaVLM).
+pub fn qwen1_5_0_5b() -> LlmConfig {
+    LlmConfig {
+        name: "Qwen1.5-0.5B".to_string(),
+        layers: 24,
+        d_model: 1024,
+        d_ffn: 2816,
+        heads: 16,
+        kv_heads: 16,
+        vocab: 151_936,
+    }
+}
+
+/// MobileLLaMA-2.7B (the LLM of MobileVLM).
+pub fn mobilellama_2_7b() -> LlmConfig {
+    LlmConfig {
+        name: "MobileLLaMA-2.7B".to_string(),
+        layers: 32,
+        d_model: 2560,
+        d_ffn: 6912,
+        heads: 32,
+        kv_heads: 32,
+        vocab: 32000,
+    }
+}
+
+/// Phi-2 (2.7B, the LLM of TinyGPT-V).
+pub fn phi2_2_7b() -> LlmConfig {
+    LlmConfig {
+        name: "Phi-2-2.7B".to_string(),
+        layers: 32,
+        d_model: 2560,
+        d_ffn: 10240,
+        heads: 32,
+        kv_heads: 32,
+        vocab: 51200,
+    }
+}
+
+/// DeepSeek-LLM-1.3B (the LLM of DeepSeek-VL small).
+pub fn deepseek_llm_1_3b() -> LlmConfig {
+    LlmConfig {
+        name: "DeepSeek-LLM-1.3B".to_string(),
+        layers: 24,
+        d_model: 2048,
+        d_ffn: 5504,
+        heads: 16,
+        kv_heads: 16,
+        vocab: 102_400,
+    }
+}
+
+/// Vicuna-7B (the LLM of LLaVA).
+pub fn vicuna_7b() -> LlmConfig {
+    LlmConfig {
+        name: "Vicuna-7B".to_string(),
+        layers: 32,
+        d_model: 4096,
+        d_ffn: 11008,
+        heads: 32,
+        kv_heads: 32,
+        vocab: 32000,
+    }
+}
+
+/// CLIP ViT-L/14 vision encoder (~0.3B), 336 px input producing 576 patch tokens.
+pub fn clip_vit_l14() -> VisionEncoderConfig {
+    VisionEncoderConfig {
+        name: "CLIP ViT-L/14".to_string(),
+        layers: 24,
+        d_model: 1024,
+        d_ffn: 4096,
+        patch_tokens: 576,
+    }
+}
+
+/// SigLIP-so400m vision encoder (~0.4B).
+pub fn siglip_so400m() -> VisionEncoderConfig {
+    VisionEncoderConfig {
+        name: "SigLIP-so400m".to_string(),
+        layers: 27,
+        d_model: 1152,
+        d_ffn: 4304,
+        patch_tokens: 729,
+    }
+}
+
+/// The mixed CLIP-ConvNeXt + DINOv2 encoder bank of SPHINX-Tiny (~0.4B),
+/// modelled as a single ViT of equivalent size.
+pub fn sphinx_mixed_encoder() -> VisionEncoderConfig {
+    VisionEncoderConfig {
+        name: "CLIP-ConvNeXt + DINOv2 (mixed)".to_string(),
+        layers: 26,
+        d_model: 1088,
+        d_ffn: 4352,
+        patch_tokens: 576,
+    }
+}
+
+/// SPHINX-Tiny: mixed 0.4B encoder, MLP projector, TinyLlama-1.1B.
+///
+/// This is the primary workload of the paper's evaluation (Figs. 2, 3, 11,
+/// 12, 13 and Table II).
+pub fn sphinx_tiny() -> MllmConfig {
+    let vision = sphinx_mixed_encoder();
+    let llm = tinyllama_1_1b();
+    MllmConfig {
+        name: "SPHINX-Tiny".to_string(),
+        projector: ProjectorConfig {
+            kind: ProjectorKind::Mlp,
+            d_in: vision.d_model,
+            d_out: llm.d_model,
+            output_tokens: 288,
+        },
+        vision,
+        llm,
+        weight_bytes: 2,
+    }
+}
+
+/// KarmaVLM: SigLIP-so400m encoder, MLP projector, Qwen1.5-0.5B.
+pub fn karmavlm() -> MllmConfig {
+    let vision = siglip_so400m();
+    let llm = qwen1_5_0_5b();
+    MllmConfig {
+        name: "KarmaVLM".to_string(),
+        projector: ProjectorConfig {
+            kind: ProjectorKind::Mlp,
+            d_in: vision.d_model,
+            d_out: llm.d_model,
+            output_tokens: 288,
+        },
+        vision,
+        llm,
+        weight_bytes: 2,
+    }
+}
+
+/// MobileVLM: CLIP ViT-L/14 encoder, LDP projector, MobileLLaMA-2.7B.
+pub fn mobilevlm() -> MllmConfig {
+    let vision = clip_vit_l14();
+    let llm = mobilellama_2_7b();
+    MllmConfig {
+        name: "MobileVLM".to_string(),
+        projector: ProjectorConfig {
+            kind: ProjectorKind::Ldp,
+            d_in: vision.d_model,
+            d_out: llm.d_model,
+            output_tokens: 144,
+        },
+        vision,
+        llm,
+        weight_bytes: 2,
+    }
+}
+
+/// TinyGPT-V: EVA-class encoder with a Q-former, Phi-2 LLM.
+pub fn tinygpt_v() -> MllmConfig {
+    let vision = clip_vit_l14();
+    let llm = phi2_2_7b();
+    MllmConfig {
+        name: "TinyGPT-V".to_string(),
+        projector: ProjectorConfig {
+            kind: ProjectorKind::QFormer,
+            d_in: vision.d_model,
+            d_out: llm.d_model,
+            output_tokens: 32,
+        },
+        vision,
+        llm,
+        weight_bytes: 2,
+    }
+}
+
+/// DeepSeek-VL (1.3B variant): SigLIP-L encoder, MLP projector.
+pub fn deepseek_vl() -> MllmConfig {
+    let vision = siglip_so400m();
+    let llm = deepseek_llm_1_3b();
+    MllmConfig {
+        name: "DeepSeek-VL".to_string(),
+        projector: ProjectorConfig {
+            kind: ProjectorKind::Mlp,
+            d_in: vision.d_model,
+            d_out: llm.d_model,
+            output_tokens: 576,
+        },
+        vision,
+        llm,
+        weight_bytes: 2,
+    }
+}
+
+/// LLaVA: CLIP ViT-L/14 encoder, MLP projector, Vicuna-7B (above edge scale,
+/// included for the Table I inventory).
+pub fn llava_7b() -> MllmConfig {
+    let vision = clip_vit_l14();
+    let llm = vicuna_7b();
+    MllmConfig {
+        name: "LLaVA-7B".to_string(),
+        projector: ProjectorConfig {
+            kind: ProjectorKind::Mlp,
+            d_in: vision.d_model,
+            d_out: llm.d_model,
+            output_tokens: 576,
+        },
+        vision,
+        llm,
+        weight_bytes: 2,
+    }
+}
+
+/// All Table I models reproduced by this crate, in the paper's order.
+pub fn table1_models() -> Vec<MllmConfig> {
+    vec![
+        llava_7b(),
+        mobilevlm(),
+        tinygpt_v(),
+        sphinx_tiny(),
+        deepseek_vl(),
+        karmavlm(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_the_two_profiled_models() {
+        let names: Vec<String> = table1_models().into_iter().map(|m| m.name).collect();
+        assert!(names.contains(&"SPHINX-Tiny".to_string()));
+        assert!(names.contains(&"KarmaVLM".to_string()));
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn edge_models_are_under_3b_parameters() {
+        for model in [sphinx_tiny(), karmavlm(), mobilevlm(), deepseek_vl()] {
+            assert!(
+                model.llm.total_params() < 3_200_000_000,
+                "{} LLM too large",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn llava_is_larger_than_edge_models() {
+        assert!(llava_7b().llm.total_params() > 2 * sphinx_tiny().llm.total_params());
+    }
+
+    #[test]
+    fn sphinx_weights_fit_edge_dram_budget() {
+        // BF16 SPHINX-Tiny (1.1B LLM + 0.4B encoder) should be ~3 GB.
+        let bytes = sphinx_tiny().total_weight_bytes() as f64;
+        assert!((2.0e9..4.5e9).contains(&bytes), "bytes = {bytes}");
+    }
+
+    #[test]
+    fn phi2_ffn_is_4x_model_dim() {
+        let phi = phi2_2_7b();
+        assert_eq!(phi.d_ffn, 4 * phi.d_model);
+    }
+
+    #[test]
+    fn grouped_query_attention_only_in_tinyllama() {
+        assert!(tinyllama_1_1b().kv_heads < tinyllama_1_1b().heads);
+        assert_eq!(qwen1_5_0_5b().kv_heads, qwen1_5_0_5b().heads);
+    }
+}

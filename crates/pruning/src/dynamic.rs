@@ -1,0 +1,267 @@
+//! Layer-wise dynamic Top-k pruning (paper Algorithm 1).
+//!
+//! The scheme keeps a running budget `k`, initialised to the full vector
+//! dimension at the start of every generated token:
+//!
+//! 1. the first decoder layer is never pruned (its activation distribution
+//!    is unstable and pruning it hurts accuracy — paper Sec. V-C);
+//! 2. each layer keeps the Top-`k` channels of its activation vector and
+//!    prunes the matching weight rows;
+//! 3. after the layer, the number of *significant* channels
+//!    `n = |{i : |Vx_i| > max|Vx|/t}|` is measured and, if `n < k`, the
+//!    budget shrinks to `n` — so deeper layers, whose outliers are more
+//!    prominent, get pruned more aggressively.
+
+use crate::topk::{top_k_indices, PruneSelection};
+use crate::Pruner;
+
+/// Configuration of the dynamic Top-k scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicTopKConfig {
+    /// The activation vector dimension `d`.
+    pub dim: usize,
+    /// The threshold divisor `t` (paper default: 16).
+    pub threshold: u32,
+    /// Never let `k` drop below this many channels (guards against a single
+    /// extreme token collapsing the budget; the paper's hardware keeps at
+    /// least one CIM pass worth of channels).
+    pub min_keep: usize,
+}
+
+impl DynamicTopKConfig {
+    /// Paper-default configuration for a model dimension `dim`: `t = 16`,
+    /// with a floor of 1/32 of the channels.
+    pub fn paper_default(dim: usize) -> Self {
+        DynamicTopKConfig {
+            dim,
+            threshold: 16,
+            min_keep: (dim / 32).max(1),
+        }
+    }
+}
+
+/// Decision record for one layer (used by the Fig. 12a report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDecision {
+    /// Layer index.
+    pub layer: usize,
+    /// The budget `k` in force when the layer was pruned.
+    pub k_used: usize,
+    /// The significant-channel count `n` measured on this layer.
+    pub n_significant: usize,
+    /// The channel selection.
+    pub selection: PruneSelection,
+}
+
+impl LayerDecision {
+    /// Pruning ratio of this layer.
+    pub fn pruning_ratio(&self) -> f64 {
+        self.selection.pruning_ratio()
+    }
+}
+
+/// The dynamic Top-k pruner (stateful across layers of one token).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicTopK {
+    config: DynamicTopKConfig,
+    k: usize,
+    history: Vec<LayerDecision>,
+}
+
+impl DynamicTopK {
+    /// Create a pruner with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `threshold` is zero, or `min_keep > dim`.
+    pub fn new(config: DynamicTopKConfig) -> Self {
+        assert!(config.dim > 0, "dimension must be non-zero");
+        assert!(config.threshold > 0, "threshold must be non-zero");
+        assert!(config.min_keep <= config.dim, "min_keep cannot exceed dim");
+        DynamicTopK {
+            config,
+            k: config.dim,
+            history: Vec::new(),
+        }
+    }
+
+    /// Paper-default pruner for a model dimension.
+    pub fn paper_default(dim: usize) -> Self {
+        Self::new(DynamicTopKConfig::paper_default(dim))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DynamicTopKConfig {
+        &self.config
+    }
+
+    /// The current budget `k`.
+    pub fn current_k(&self) -> usize {
+        self.k
+    }
+
+    /// Decisions recorded since the last [`reset`](Pruner::reset), one per layer.
+    pub fn history(&self) -> &[LayerDecision] {
+        &self.history
+    }
+
+    /// Count of significant channels per Alg. 1: `|{i : |v_i| > max|v|/t}|`.
+    fn significant_channels(&self, activations: &[f32]) -> usize {
+        let max_abs = activations.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if max_abs == 0.0 {
+            return 0;
+        }
+        let threshold = max_abs / self.config.threshold as f32;
+        activations.iter().filter(|v| v.abs() > threshold).count()
+    }
+}
+
+impl Pruner for DynamicTopK {
+    fn select(&mut self, layer: usize, activations: &[f32]) -> PruneSelection {
+        let dim = activations.len();
+        // The first layer is never pruned (Alg. 1: `if layer index == 1 { k = d }`).
+        let k_used = if layer == 0 { dim } else { self.k.min(dim) };
+        let selection = PruneSelection {
+            kept: top_k_indices(activations, k_used),
+            total: dim,
+        };
+        // Budget update: k shrinks towards the significant-channel count.
+        let n = self.significant_channels(activations);
+        if n < self.k {
+            self.k = n.max(self.config.min_keep);
+        }
+        self.history.push(LayerDecision {
+            layer,
+            k_used,
+            n_significant: n,
+            selection: selection.clone(),
+        });
+        selection
+    }
+
+    fn reset(&mut self) {
+        self.k = self.config.dim;
+        self.history.clear();
+    }
+
+    fn name(&self) -> &str {
+        "dynamic-topk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic activation: `outliers` large channels, the rest small.
+    fn activations(dim: usize, outliers: usize, outlier_mag: f32) -> Vec<f32> {
+        (0..dim)
+            .map(|i| if i < outliers { outlier_mag } else { 0.01 })
+            .collect()
+    }
+
+    #[test]
+    fn first_layer_is_never_pruned() {
+        let mut pruner = DynamicTopK::paper_default(128);
+        let sel = pruner.select(0, &activations(128, 4, 10.0));
+        assert_eq!(sel.kept.len(), 128);
+        assert_eq!(sel.pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn budget_shrinks_after_observing_outliers() {
+        let mut pruner = DynamicTopK::paper_default(128);
+        // Layer 0: 4 significant channels observed -> k drops to 4.
+        pruner.select(0, &activations(128, 4, 10.0));
+        assert_eq!(pruner.current_k(), 4);
+        // Layer 1 now keeps only 4 channels.
+        let sel = pruner.select(1, &activations(128, 4, 10.0));
+        assert_eq!(sel.kept.len(), 4);
+    }
+
+    #[test]
+    fn budget_never_increases_within_a_token() {
+        let mut pruner = DynamicTopK::paper_default(256);
+        pruner.select(0, &activations(256, 8, 10.0));
+        let k_after_first = pruner.current_k();
+        // A later layer with many significant channels does not grow k.
+        pruner.select(1, &activations(256, 200, 1.0));
+        assert!(pruner.current_k() <= k_after_first.max(8));
+        assert_eq!(pruner.current_k(), k_after_first);
+    }
+
+    #[test]
+    fn deeper_layers_prune_more_when_outliers_sharpen() {
+        let mut pruner = DynamicTopK::paper_default(256);
+        // Simulate sharpening outliers: fewer significant channels each layer.
+        let per_layer = [64usize, 32, 16, 8, 8];
+        let mut ratios = Vec::new();
+        for (layer, &sig) in per_layer.iter().enumerate() {
+            let sel = pruner.select(layer, &activations(256, sig, 10.0));
+            ratios.push(sel.pruning_ratio());
+        }
+        // Fig. 12a: pruning ratio increases with layer depth.
+        assert!(ratios.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{ratios:?}");
+        assert!(ratios[0] < 0.01);
+        assert!(*ratios.last().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn min_keep_floor_is_respected() {
+        let mut pruner = DynamicTopK::new(DynamicTopKConfig {
+            dim: 128,
+            threshold: 16,
+            min_keep: 16,
+        });
+        // Only one significant channel, but the floor keeps k at 16.
+        pruner.select(0, &activations(128, 1, 100.0));
+        assert_eq!(pruner.current_k(), 16);
+    }
+
+    #[test]
+    fn reset_restores_full_budget_and_clears_history() {
+        let mut pruner = DynamicTopK::paper_default(64);
+        pruner.select(0, &activations(64, 2, 10.0));
+        pruner.select(1, &activations(64, 2, 10.0));
+        assert_eq!(pruner.history().len(), 2);
+        assert!(pruner.current_k() < 64);
+        pruner.reset();
+        assert_eq!(pruner.current_k(), 64);
+        assert!(pruner.history().is_empty());
+    }
+
+    #[test]
+    fn history_records_k_and_n() {
+        let mut pruner = DynamicTopK::paper_default(64);
+        pruner.select(0, &activations(64, 3, 10.0));
+        pruner.select(1, &activations(64, 3, 10.0));
+        let h = pruner.history();
+        assert_eq!(h[0].layer, 0);
+        assert_eq!(h[0].k_used, 64);
+        assert_eq!(h[0].n_significant, 3);
+        assert_eq!(h[1].k_used, 3.max(pruner.config().min_keep));
+    }
+
+    #[test]
+    fn all_zero_activations_keep_floor() {
+        let mut pruner = DynamicTopK::paper_default(64);
+        let sel = pruner.select(0, &vec![0.0; 64]);
+        assert_eq!(sel.kept.len(), 64);
+        assert_eq!(pruner.current_k(), pruner.config().min_keep);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be non-zero")]
+    fn zero_threshold_rejected() {
+        DynamicTopK::new(DynamicTopKConfig {
+            dim: 8,
+            threshold: 0,
+            min_keep: 1,
+        });
+    }
+
+    #[test]
+    fn pruner_name() {
+        assert_eq!(DynamicTopK::paper_default(8).name(), "dynamic-topk");
+    }
+}

@@ -1,0 +1,156 @@
+//! Accuracy and distribution metrics used by the Fig. 12 evaluation.
+//!
+//! * [`cosine_similarity`] — the paper's accuracy proxy: similarity between
+//!   the FFN output computed with pruned weights and the unpruned reference.
+//! * [`kurtosis`] — the channel-distribution statistic of Fig. 12a; higher
+//!   kurtosis means more distinct outliers and therefore more pruning
+//!   headroom.
+
+/// Cosine similarity between two vectors.
+///
+/// Returns 1.0 for two zero vectors (identical by convention) and 0.0 when
+/// exactly one of them is zero.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have the same length");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += (x as f64).powi(2);
+        nb += (y as f64).powi(2);
+    }
+    if na == 0.0 && nb == 0.0 {
+        1.0
+    } else if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Pearson (non-excess) kurtosis of a sample: `E[(x-mu)^4] / sigma^4`.
+///
+/// A Gaussian has kurtosis 3; larger values indicate heavier tails, i.e.
+/// more prominent outlier channels. Returns 0.0 for fewer than two samples
+/// or zero variance.
+pub fn kurtosis(values: &[f32]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = values.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let m4 = values.iter().map(|&x| (x as f64 - mean).powi(4)).sum::<f64>() / n;
+    m4 / (var * var)
+}
+
+/// Mean of a slice of f64 (convenience for per-layer aggregation).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_vectors_have_similarity_one() {
+        let v = [1.0, -2.0, 3.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_similarity_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_have_similarity_minus_one() {
+        let a = [1.0, 2.0];
+        let b = [-1.0, -2.0];
+        assert!((cosine_similarity(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_conventions() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gaussian_like_kurtosis_near_three() {
+        // Symmetric two-point-heavy sample designed to be platykurtic-ish;
+        // just verify against a hand-computed small case instead.
+        // For values [-1, -1, 1, 1]: var = 1, m4 = 1 -> kurtosis 1.
+        assert!((kurtosis(&[-1.0, -1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_raise_kurtosis() {
+        let without: Vec<f32> = (0..100).map(|i| ((i % 7) as f32 - 3.0) * 0.1).collect();
+        let mut with = without.clone();
+        with[0] = 50.0;
+        with[1] = -50.0;
+        assert!(kurtosis(&with) > 5.0 * kurtosis(&without));
+    }
+
+    #[test]
+    fn degenerate_kurtosis_is_zero() {
+        assert_eq!(kurtosis(&[1.0]), 0.0);
+        assert_eq!(kurtosis(&[2.0, 2.0, 2.0]), 0.0);
+        assert_eq!(kurtosis(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Cosine similarity is always within [-1, 1].
+        #[test]
+        fn cosine_bounded(a in proptest::collection::vec(-100.0f32..100.0, 1..32), seed in 0u64..100) {
+            let b: Vec<f32> = a.iter().enumerate().map(|(i, v)| v * ((i as u64 + seed) % 5) as f32 - 1.0).collect();
+            let s = cosine_similarity(&a, &b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        }
+
+        /// Cosine similarity is scale invariant.
+        #[test]
+        fn cosine_scale_invariant(a in proptest::collection::vec(-10.0f32..10.0, 1..32), scale in 0.1f32..100.0) {
+            prop_assume!(a.iter().any(|&x| x != 0.0));
+            let b: Vec<f32> = a.iter().map(|&x| x * scale).collect();
+            prop_assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-6);
+        }
+
+        /// Kurtosis is non-negative and translation invariant.
+        #[test]
+        fn kurtosis_invariants(a in proptest::collection::vec(-10.0f32..10.0, 4..64), shift in -5.0f32..5.0) {
+            let k1 = kurtosis(&a);
+            prop_assert!(k1 >= 0.0);
+            let shifted: Vec<f32> = a.iter().map(|&x| x + shift).collect();
+            let k2 = kurtosis(&shifted);
+            prop_assert!((k1 - k2).abs() < 1e-3 * (1.0 + k1.abs()));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Top-k channel selection primitives.
+
+/// The outcome of a pruning decision for one layer: which channels survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruneSelection {
+    /// Indices of the kept channels, ascending.
+    pub kept: Vec<usize>,
+    /// Total number of channels the decision was made over.
+    pub total: usize,
+}
+
+impl PruneSelection {
+    /// A selection keeping every channel.
+    pub fn keep_all(total: usize) -> Self {
+        PruneSelection {
+            kept: (0..total).collect(),
+            total,
+        }
+    }
+
+    /// Fraction of channels pruned away.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.kept.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of channels kept.
+    pub fn keep_ratio(&self) -> f64 {
+        1.0 - self.pruning_ratio()
+    }
+
+    /// Apply the selection to an activation vector, producing the packed
+    /// vector of kept channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations.len() != total`.
+    pub fn pack(&self, activations: &[f32]) -> Vec<f32> {
+        assert_eq!(activations.len(), self.total, "activation length mismatch");
+        self.kept.iter().map(|&i| activations[i]).collect()
+    }
+
+    /// Apply the selection as a mask: pruned channels become zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations.len() != total`.
+    pub fn mask(&self, activations: &[f32]) -> Vec<f32> {
+        assert_eq!(activations.len(), self.total, "activation length mismatch");
+        let mut out = vec![0.0f32; self.total];
+        for &i in &self.kept {
+            out[i] = activations[i];
+        }
+        out
+    }
+}
+
+/// Indices of the `k` largest-magnitude elements, in ascending index order.
+///
+/// Ties resolve toward the lower index, matching the deterministic hardware
+/// comparator of the MC-core pruner.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    if k == values.len() {
+        return (0..values.len()).collect();
+    }
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .abs()
+            .partial_cmp(&values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = order.into_iter().take(k).collect();
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_largest_magnitudes() {
+        let v = [0.1, -9.0, 0.3, 5.0, -0.2];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&v, 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_resolve_to_lower_index() {
+        let v = [1.0, -1.0, 1.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn keep_all_and_ratios() {
+        let sel = PruneSelection::keep_all(8);
+        assert_eq!(sel.pruning_ratio(), 0.0);
+        assert_eq!(sel.keep_ratio(), 1.0);
+        let half = PruneSelection {
+            kept: vec![0, 2, 4, 6],
+            total: 8,
+        };
+        assert!((half.pruning_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pack_and_mask() {
+        let sel = PruneSelection {
+            kept: vec![1, 3],
+            total: 4,
+        };
+        let x = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(sel.pack(&x), vec![20.0, 40.0]);
+        assert_eq!(sel.mask(&x), vec![0.0, 20.0, 0.0, 40.0]);
+    }
+
+    #[test]
+    fn empty_selection_ratio() {
+        let sel = PruneSelection { kept: vec![], total: 0 };
+        assert_eq!(sel.pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation length mismatch")]
+    fn pack_length_mismatch_panics() {
+        PruneSelection::keep_all(3).pack(&[1.0]);
+    }
+
+    proptest! {
+        /// top_k keeps exactly min(k, len) indices, sorted and unique.
+        #[test]
+        fn topk_invariants(values in proptest::collection::vec(-100.0f32..100.0, 0..64), k in 0usize..80) {
+            let kept = top_k_indices(&values, k);
+            prop_assert_eq!(kept.len(), k.min(values.len()));
+            prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(kept.iter().all(|&i| i < values.len()));
+        }
+
+        /// No pruned element has larger magnitude than the smallest kept one.
+        #[test]
+        fn topk_is_optimal(values in proptest::collection::vec(-100.0f32..100.0, 1..64), k in 1usize..64) {
+            let kept = top_k_indices(&values, k);
+            let min_kept = kept.iter().map(|&i| values[i].abs()).fold(f32::INFINITY, f32::min);
+            for (i, v) in values.iter().enumerate() {
+                if !kept.contains(&i) {
+                    prop_assert!(v.abs() <= min_kept + 1e-6);
+                }
+            }
+        }
+
+        /// mask() and pack() agree: non-zero entries of mask equal pack output.
+        #[test]
+        fn mask_pack_consistency(values in proptest::collection::vec(-10.0f32..10.0, 1..64), k in 1usize..64) {
+            let kept = top_k_indices(&values, k);
+            let sel = PruneSelection { kept, total: values.len() };
+            let masked = sel.mask(&values);
+            let packed = sel.pack(&values);
+            let nonzero: Vec<f32> = sel.kept.iter().map(|&i| masked[i]).collect();
+            prop_assert_eq!(nonzero, packed);
+        }
+    }
+}

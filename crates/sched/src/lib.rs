@@ -1,0 +1,36 @@
+//! Token-length-driven bandwidth management and stream-batch scheduling
+//! (paper Sec. IV-B, Figs. 9 and 13).
+//!
+//! In real-time applications the MLLM runs as a two-stage pipeline over a
+//! stream of inputs: the CC clusters encode and prefill request *i+1* while
+//! the MC clusters decode request *i*. The decode stage's latency grows with
+//! the output token length `l`, so a fixed bandwidth split leaves one side
+//! idle:
+//!
+//! * for short outputs the CC stage dominates and bandwidth is not the
+//!   bottleneck;
+//! * as `l` grows past the *expected token length* `l_e` the MC stage
+//!   becomes critical and the manager progressively reallocates DRAM budget
+//!   from the CC clusters to the MC clusters (ratios down to 1:3 or 1:7);
+//! * past a second threshold `l_b` even the most skewed allocation cannot
+//!   balance the pipeline, and the scheduler switches to *stream-batch
+//!   decoding*: the CC clusters encode/prefill a batch of inputs, and the MC
+//!   clusters decode the whole batch concurrently, reusing each fetched
+//!   weight row across the batch.
+//!
+//! The module is deliberately independent of the cycle-level simulator: a
+//! pipeline stage is summarised by its compute time and its DRAM traffic
+//! ([`RooflineStage`]), which `edgemm-sim` results convert into directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod policy;
+mod stage;
+
+pub use pipeline::{Pipeline, PipelinePoint};
+pub use policy::{BandwidthPolicy, ManagedPlan, TokenLengthManager};
+pub use stage::RooflineStage;
+
+pub use edgemm_mem::BandwidthAllocation;

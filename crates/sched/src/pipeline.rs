@@ -1,0 +1,225 @@
+//! Two-stage streaming pipeline: CC (encode + prefill) and MC (decode).
+
+use edgemm_mem::BandwidthAllocation;
+
+use crate::stage::RooflineStage;
+
+/// Evaluation of the pipeline under one bandwidth allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinePoint {
+    /// The allocation evaluated.
+    pub allocation: BandwidthAllocation,
+    /// Latency of the CC stage (encode + prefill of one batch) in seconds.
+    pub cc_seconds: f64,
+    /// Latency of the MC stage (decode of one batch) in seconds.
+    pub mc_seconds: f64,
+    /// Requests processed per pipeline period (the batch size).
+    pub batch: usize,
+    /// Output tokens per request.
+    pub output_tokens: usize,
+}
+
+impl PipelinePoint {
+    /// The pipeline period: in steady state a new batch completes every
+    /// `max(cc, mc)` seconds.
+    pub fn period_s(&self) -> f64 {
+        self.cc_seconds.max(self.mc_seconds)
+    }
+
+    /// End-to-end latency of one request (it traverses both stages).
+    pub fn request_latency_s(&self) -> f64 {
+        self.cc_seconds + self.mc_seconds
+    }
+
+    /// Steady-state throughput in output tokens per second.
+    pub fn tokens_per_second(&self) -> f64 {
+        let period = self.period_s();
+        if period == 0.0 {
+            0.0
+        } else {
+            (self.batch * self.output_tokens) as f64 / period
+        }
+    }
+
+    /// Imbalance between the stages (0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let period = self.period_s();
+        if period == 0.0 {
+            0.0
+        } else {
+            (self.cc_seconds - self.mc_seconds).abs() / period
+        }
+    }
+}
+
+/// The streaming pipeline: per-request CC work, per-token MC work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipeline {
+    /// Encode + prefill of one request on the CC clusters.
+    pub cc_stage: RooflineStage,
+    /// Decode of one output token (single stream) on the MC clusters.
+    pub mc_stage_per_token: RooflineStage,
+}
+
+impl Pipeline {
+    /// Create a pipeline description.
+    pub fn new(cc_stage: RooflineStage, mc_stage_per_token: RooflineStage) -> Self {
+        Pipeline {
+            cc_stage,
+            mc_stage_per_token,
+        }
+    }
+
+    /// Evaluate the pipeline for `output_tokens` per request, a bandwidth
+    /// allocation and a decode batch size.
+    ///
+    /// With stream-batch decoding, the CC stage must encode/prefill `batch`
+    /// requests per period (compute and traffic scale with the batch), while
+    /// the MC stage decodes `batch` streams concurrently reusing each weight
+    /// fetch: its compute scales with the batch but its DRAM traffic does not
+    /// (the weight-reuse effect of Fig. 9c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_tokens` or `batch` is zero.
+    pub fn evaluate(
+        &self,
+        output_tokens: usize,
+        allocation: BandwidthAllocation,
+        batch: usize,
+    ) -> PipelinePoint {
+        assert!(output_tokens > 0, "output tokens must be non-zero");
+        assert!(batch > 0, "batch must be non-zero");
+        let cc_share = allocation.cc_share.max(1e-3).min(1.0);
+        let mc_share = allocation.mc_share.max(1e-3).min(1.0);
+        let cc = self.cc_stage.scale_all(batch as f64);
+        let mc = self
+            .mc_stage_per_token
+            .scale_all(output_tokens as f64)
+            .scale_compute(batch as f64);
+        PipelinePoint {
+            allocation,
+            cc_seconds: cc.seconds(cc_share),
+            mc_seconds: mc.seconds(mc_share),
+            batch,
+            output_tokens,
+        }
+    }
+
+    /// The *expected token length* `l_e`: the output length at which the two
+    /// stages are balanced under the default equal bandwidth split. Below
+    /// `l_e` the CC stage dominates; above it the MC stage does.
+    pub fn expected_token_length(&self) -> usize {
+        let alloc = BandwidthAllocation::equal();
+        let mut l = 1usize;
+        while l < 100_000 {
+            let p = self.evaluate(l, alloc, 1);
+            if p.mc_seconds >= p.cc_seconds {
+                return l;
+            }
+            l += 1;
+        }
+        l
+    }
+
+    /// The *batching threshold* `l_b`: the output length past which even the
+    /// most skewed allocation the hardware supports (1:7) cannot balance the
+    /// pipeline, so stream-batch decoding is required.
+    pub fn batching_threshold(&self) -> usize {
+        let skewed = BandwidthAllocation::from_ratio(1.0, 7.0);
+        let mut l = 1usize;
+        while l < 100_000 {
+            let p = self.evaluate(l, skewed, 1);
+            if p.mc_seconds >= p.cc_seconds {
+                return l;
+            }
+            l += 1;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pipeline shaped like SPHINX-Tiny on EdgeMM with pruning: the CC
+    /// stage (encode + prefill) takes tens of milliseconds, a decode token
+    /// costs ~0.12 GiB of pruned weight traffic with little compute.
+    fn sphinx_like() -> Pipeline {
+        let gib = (1u64 << 30) as f64;
+        Pipeline::new(
+            RooflineStage::new(0.055, 2.6 * gib, 68.0),
+            RooflineStage::new(0.0002, 0.12 * gib, 68.0),
+        )
+    }
+
+    #[test]
+    fn short_outputs_are_cc_bound_long_outputs_mc_bound() {
+        let p = sphinx_like();
+        let short = p.evaluate(8, BandwidthAllocation::equal(), 1);
+        let long = p.evaluate(512, BandwidthAllocation::equal(), 1);
+        assert!(short.cc_seconds > short.mc_seconds);
+        assert!(long.mc_seconds > long.cc_seconds);
+    }
+
+    #[test]
+    fn expected_token_length_in_the_tens() {
+        // The paper reports l_e = 36 for its design point; our calibration
+        // should land in the same range (tens of tokens).
+        let le = sphinx_like().expected_token_length();
+        assert!((10..=120).contains(&le), "l_e = {le}");
+    }
+
+    #[test]
+    fn batching_threshold_exceeds_expected_length() {
+        let p = sphinx_like();
+        let le = p.expected_token_length();
+        let lb = p.batching_threshold();
+        // The paper reports l_b = 131 > l_e = 36.
+        assert!(lb > 2 * le, "l_e = {le}, l_b = {lb}");
+        assert!(lb < 1000);
+    }
+
+    #[test]
+    fn reallocating_bandwidth_to_mc_reduces_period_for_long_outputs() {
+        let p = sphinx_like();
+        let l = 128;
+        let equal = p.evaluate(l, BandwidthAllocation::equal(), 1);
+        let skewed = p.evaluate(l, BandwidthAllocation::from_ratio(1.0, 7.0), 1);
+        assert!(skewed.period_s() < equal.period_s());
+        assert!(skewed.mc_seconds < equal.mc_seconds);
+        assert!(skewed.cc_seconds >= equal.cc_seconds);
+    }
+
+    #[test]
+    fn batching_boosts_throughput_at_the_cost_of_latency() {
+        let p = sphinx_like();
+        let l = 1024;
+        let single = p.evaluate(l, BandwidthAllocation::from_ratio(1.0, 7.0), 1);
+        let batched = p.evaluate(l, BandwidthAllocation::from_ratio(1.0, 7.0), 8);
+        assert!(batched.tokens_per_second() > 3.0 * single.tokens_per_second());
+        assert!(batched.request_latency_s() > single.request_latency_s());
+    }
+
+    #[test]
+    fn period_and_latency_relationships() {
+        let point = PipelinePoint {
+            allocation: BandwidthAllocation::equal(),
+            cc_seconds: 0.03,
+            mc_seconds: 0.05,
+            batch: 2,
+            output_tokens: 10,
+        };
+        assert!((point.period_s() - 0.05).abs() < 1e-12);
+        assert!((point.request_latency_s() - 0.08).abs() < 1e-12);
+        assert!((point.tokens_per_second() - 400.0).abs() < 1e-9);
+        assert!((point.imbalance() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-zero")]
+    fn zero_batch_rejected() {
+        sphinx_like().evaluate(8, BandwidthAllocation::equal(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The token-length-driven management policy.
+//!
+//! Given the per-request CC cost and per-token MC cost, the manager picks,
+//! for every output token length `l`:
+//!
+//! 1. a bandwidth allocation from the supported `Bc:Bm` ratios (1:1 default,
+//!    progressively skewed to 1:3 and 1:7 as `l` grows), and
+//! 2. a stream-batch size once even the most skewed ratio cannot balance the
+//!    pipeline (`l > l_b`),
+//!
+//! minimising the pipeline period (maximising steady-state throughput) while
+//! keeping the per-request latency increase bounded.
+
+use edgemm_mem::BandwidthAllocation;
+
+use crate::pipeline::{Pipeline, PipelinePoint};
+
+/// The set of allocation ratios and batch sizes the manager may choose from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthPolicy {
+    /// Candidate `Bm / Bc` ratios, in increasing order of MC preference.
+    pub candidate_ratios: Vec<f64>,
+    /// Maximum stream-batch size the on-chip memory can sustain.
+    pub max_batch: usize,
+}
+
+impl BandwidthPolicy {
+    /// The policy of the paper's evaluation: ratios 1:1 through 1:7 and
+    /// batches up to 16.
+    pub fn paper_default() -> Self {
+        BandwidthPolicy {
+            candidate_ratios: vec![1.0, 1.5, 2.0, 3.0, 5.0, 7.0],
+            max_batch: 16,
+        }
+    }
+}
+
+impl Default for BandwidthPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The plan the manager settles on for one output token length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagedPlan {
+    /// Output token length the plan was computed for.
+    pub output_tokens: usize,
+    /// The chosen evaluation point (allocation, batch, stage latencies).
+    pub point: PipelinePoint,
+    /// The same workload under the unmanaged default (1:1 allocation, no
+    /// batching), for speedup reporting.
+    pub unmanaged: PipelinePoint,
+}
+
+impl ManagedPlan {
+    /// Latency reduction vs the unmanaged pipeline (positive = better).
+    pub fn latency_reduction(&self) -> f64 {
+        1.0 - self.point.period_s() / self.unmanaged.period_s()
+    }
+
+    /// Throughput gain vs the unmanaged pipeline.
+    pub fn throughput_gain(&self) -> f64 {
+        self.point.tokens_per_second() / self.unmanaged.tokens_per_second()
+    }
+
+    /// Request-latency increase vs the unmanaged pipeline (batching trades
+    /// latency for throughput; positive = slower per request).
+    pub fn latency_overhead(&self) -> f64 {
+        self.point.request_latency_s() / self.unmanaged.request_latency_s() - 1.0
+    }
+}
+
+/// The token-length-driven manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenLengthManager {
+    pipeline: Pipeline,
+    policy: BandwidthPolicy,
+}
+
+impl TokenLengthManager {
+    /// Create a manager over a pipeline with the given policy.
+    pub fn new(pipeline: Pipeline, policy: BandwidthPolicy) -> Self {
+        TokenLengthManager { pipeline, policy }
+    }
+
+    /// The managed pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Choose the best allocation (no batching) for `output_tokens`.
+    pub fn choose_allocation(&self, output_tokens: usize) -> PipelinePoint {
+        self.policy
+            .candidate_ratios
+            .iter()
+            .map(|&bm| {
+                self.pipeline.evaluate(
+                    output_tokens,
+                    BandwidthAllocation::from_ratio(1.0, bm),
+                    1,
+                )
+            })
+            .min_by(|a, b| a.period_s().partial_cmp(&b.period_s()).expect("finite"))
+            .expect("at least one candidate ratio")
+    }
+
+    /// Full management: allocation plus stream-batching when the allocation
+    /// alone cannot balance the pipeline.
+    pub fn plan(&self, output_tokens: usize) -> ManagedPlan {
+        let unmanaged = self
+            .pipeline
+            .evaluate(output_tokens, BandwidthAllocation::equal(), 1);
+        let best_alloc = self.choose_allocation(output_tokens);
+        // Batching is introduced only past the batching threshold l_b, i.e.
+        // when even the most skewed supported allocation leaves the MC stage
+        // dominant (paper Sec. IV-B / Fig. 9c). Below l_b, reallocation alone
+        // balances the pipeline and batching would only add latency.
+        let most_skewed = *self
+            .policy
+            .candidate_ratios
+            .last()
+            .expect("at least one candidate ratio");
+        let skewed_point = self.pipeline.evaluate(
+            output_tokens,
+            BandwidthAllocation::from_ratio(1.0, most_skewed),
+            1,
+        );
+        let mut best = best_alloc;
+        if skewed_point.mc_seconds > skewed_point.cc_seconds {
+            for batch in 2..=self.policy.max_batch {
+                let candidate =
+                    self.pipeline
+                        .evaluate(output_tokens, best_alloc.allocation, batch);
+                if candidate.tokens_per_second() > best.tokens_per_second() {
+                    best = candidate;
+                }
+                if candidate.cc_seconds >= candidate.mc_seconds {
+                    break;
+                }
+            }
+        }
+        ManagedPlan {
+            output_tokens,
+            point: best,
+            unmanaged,
+        }
+    }
+
+    /// Sweep a range of output lengths (the x-axis of Fig. 13).
+    pub fn sweep(&self, lengths: &[usize]) -> Vec<ManagedPlan> {
+        lengths.iter().map(|&l| self.plan(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::RooflineStage;
+
+    fn sphinx_like() -> Pipeline {
+        let gib = (1u64 << 30) as f64;
+        Pipeline::new(
+            RooflineStage::new(0.055, 2.6 * gib, 68.0),
+            RooflineStage::new(0.0002, 0.12 * gib, 68.0),
+        )
+    }
+
+    fn manager() -> TokenLengthManager {
+        TokenLengthManager::new(sphinx_like(), BandwidthPolicy::paper_default())
+    }
+
+    #[test]
+    fn short_outputs_keep_the_default_allocation() {
+        // Below l_e bandwidth is not the critical bottleneck, so the manager
+        // has no reason to starve the CC side.
+        let m = manager();
+        let plan = m.plan(8);
+        assert!(plan.point.allocation.mc_share <= 0.7);
+        assert_eq!(plan.point.batch, 1);
+        assert!(plan.throughput_gain() >= 0.99);
+    }
+
+    #[test]
+    fn medium_outputs_skew_bandwidth_to_mc() {
+        // Around l = 128 the paper reallocates to 1:3 .. 1:7 and gains
+        // ~40% latency and ~2.1x throughput.
+        let m = manager();
+        let plan = m.plan(128);
+        let ratio = plan.point.allocation.ratio_bm_per_bc().unwrap();
+        assert!(ratio >= 3.0, "chosen ratio = {ratio}");
+        assert!(plan.latency_reduction() > 0.2, "latency reduction = {}", plan.latency_reduction());
+        assert!(plan.throughput_gain() > 1.3, "throughput gain = {}", plan.throughput_gain());
+    }
+
+    #[test]
+    fn long_outputs_enable_batching() {
+        // Past l_b the manager must batch; at l = 1024 the paper reports a
+        // 13.98x throughput boost at a 42% latency cost.
+        let m = manager();
+        let plan = m.plan(1024);
+        assert!(plan.point.batch > 1, "batch = {}", plan.point.batch);
+        assert!(plan.throughput_gain() > 4.0, "gain = {}", plan.throughput_gain());
+        // Batching costs some request latency but not unboundedly much.
+        assert!(plan.latency_overhead() < 2.0);
+    }
+
+    #[test]
+    fn throughput_gain_trends_upward_with_output_length() {
+        // Fig. 13b: the management benefit is negligible for short outputs
+        // and largest for the longest ones (batching regime).
+        let m = manager();
+        let plans = m.sweep(&[16, 128, 1024]);
+        let gains: Vec<f64> = plans.iter().map(ManagedPlan::throughput_gain).collect();
+        assert!(gains.iter().all(|&g| g >= 0.99), "gains = {gains:?}");
+        assert!(gains[2] > gains[1] && gains[1] > gains[0], "gains = {gains:?}");
+        assert!(gains[2] > 2.0);
+    }
+
+    #[test]
+    fn managed_throughput_never_below_unmanaged() {
+        let m = manager();
+        for l in [4, 16, 36, 64, 128, 256, 512, 1024] {
+            let plan = m.plan(l);
+            assert!(
+                plan.throughput_gain() >= 0.9999,
+                "management made l = {l} worse: gain = {}",
+                plan.throughput_gain()
+            );
+        }
+    }
+
+    #[test]
+    fn choose_allocation_minimises_period() {
+        let m = manager();
+        let chosen = m.choose_allocation(256);
+        for &bm in &m.policy.candidate_ratios {
+            let other = m
+                .pipeline
+                .evaluate(256, BandwidthAllocation::from_ratio(1.0, bm), 1);
+            assert!(chosen.period_s() <= other.period_s() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Roofline summary of one pipeline stage.
+
+/// A pipeline stage summarised by its compute time (independent of the DRAM
+/// split) and its DRAM traffic (whose duration depends on the bandwidth share
+/// the stage is granted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineStage {
+    /// Pure compute time of the stage in seconds (coprocessor-bound part).
+    pub compute_s: f64,
+    /// DRAM bytes the stage must move.
+    pub dram_bytes: f64,
+    /// Chip DRAM bandwidth in GiB/s when the stage gets the whole interface.
+    pub full_bandwidth_gib_s: f64,
+}
+
+impl RooflineStage {
+    /// Create a stage description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is negative or the bandwidth is zero.
+    pub fn new(compute_s: f64, dram_bytes: f64, full_bandwidth_gib_s: f64) -> Self {
+        assert!(compute_s >= 0.0 && dram_bytes >= 0.0, "stage costs must be non-negative");
+        assert!(full_bandwidth_gib_s > 0.0, "bandwidth must be positive");
+        RooflineStage {
+            compute_s,
+            dram_bytes,
+            full_bandwidth_gib_s,
+        }
+    }
+
+    /// Stage latency when granted `share` of the DRAM interface (compute and
+    /// DMA overlap, so the stage takes the longer of the two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is not in `(0, 1]`.
+    pub fn seconds(&self, share: f64) -> f64 {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0, 1]");
+        let bw = self.full_bandwidth_gib_s * (1u64 << 30) as f64 * share;
+        self.compute_s.max(self.dram_bytes / bw)
+    }
+
+    /// The minimum bandwidth share at which the stage stops being
+    /// memory-bound (1.0 if it is memory-bound even at full bandwidth,
+    /// 0 if it has no traffic).
+    pub fn saturating_share(&self) -> f64 {
+        if self.dram_bytes == 0.0 || self.compute_s == 0.0 {
+            return if self.dram_bytes == 0.0 { 0.0 } else { 1.0 };
+        }
+        let needed = self.dram_bytes / (self.compute_s * self.full_bandwidth_gib_s * (1u64 << 30) as f64);
+        needed.min(1.0)
+    }
+
+    /// Scale the stage's work by a factor (used to model batching: compute
+    /// scales with the batch, traffic does not).
+    pub fn scale_compute(&self, factor: f64) -> Self {
+        RooflineStage {
+            compute_s: self.compute_s * factor,
+            ..*self
+        }
+    }
+
+    /// Scale both compute and traffic (used to model more tokens per request).
+    pub fn scale_all(&self, factor: f64) -> Self {
+        RooflineStage {
+            compute_s: self.compute_s * factor,
+            dram_bytes: self.dram_bytes * factor,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_roofline() {
+        let stage = RooflineStage::new(0.010, 1.0 * (1u64 << 30) as f64, 64.0);
+        // At full share: memory = 1 GiB / 64 GiB/s = 15.6 ms > 10 ms compute.
+        assert!((stage.seconds(1.0) - 1.0 / 64.0).abs() < 1e-6);
+        // At 10% share memory dominates even more.
+        assert!(stage.seconds(0.1) > stage.seconds(1.0) * 9.0);
+    }
+
+    #[test]
+    fn compute_bound_stage_ignores_share() {
+        let stage = RooflineStage::new(0.1, 1024.0, 64.0);
+        assert_eq!(stage.seconds(1.0), 0.1);
+        assert_eq!(stage.seconds(0.01), 0.1);
+    }
+
+    #[test]
+    fn saturating_share_boundaries() {
+        let no_traffic = RooflineStage::new(0.1, 0.0, 64.0);
+        assert_eq!(no_traffic.saturating_share(), 0.0);
+        let heavy = RooflineStage::new(0.001, 100.0 * (1u64 << 30) as f64, 64.0);
+        assert_eq!(heavy.saturating_share(), 1.0);
+        let balanced = RooflineStage::new(0.5, 16.0 * (1u64 << 30) as f64, 64.0);
+        assert!((balanced.saturating_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_helpers() {
+        let stage = RooflineStage::new(0.01, 1000.0, 64.0);
+        let batched = stage.scale_compute(4.0);
+        assert_eq!(batched.compute_s, 0.04);
+        assert_eq!(batched.dram_bytes, 1000.0);
+        let longer = stage.scale_all(2.0);
+        assert_eq!(longer.compute_s, 0.02);
+        assert_eq!(longer.dram_bytes, 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0, 1]")]
+    fn zero_share_panics() {
+        RooflineStage::new(0.01, 1.0, 64.0).seconds(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        RooflineStage::new(0.01, 1.0, 0.0);
+    }
+}

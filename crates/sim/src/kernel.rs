@@ -1,0 +1,174 @@
+//! Per-operator cost model: compute vs DRAM, with optional pruning.
+
+use edgemm_arch::ClusterKind;
+use edgemm_mllm::{MatmulOp, TrafficClass};
+
+/// Effect of activation-aware pruning on an FFN GEMV.
+///
+/// The keep ratio is the average fraction of activation channels (and hence
+/// weight rows) retained; it is measured by running the dynamic Top-k scheme
+/// over synthetic activations (see `edgemm::figures`) and then applied here
+/// to both the DRAM traffic and the CIM reduction length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruningEffect {
+    /// Fraction of channels kept, in `(0, 1]`.
+    pub keep_ratio: f64,
+    /// Extra cycles charged per pruned operator for the hardware pruner pass.
+    pub pruner_overhead_cycles: u64,
+}
+
+impl PruningEffect {
+    /// No pruning.
+    pub fn disabled() -> Self {
+        PruningEffect {
+            keep_ratio: 1.0,
+            pruner_overhead_cycles: 0,
+        }
+    }
+
+    /// Pruning with the given keep ratio and a default pruner overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is not in `(0, 1]`.
+    pub fn with_keep_ratio(keep_ratio: f64) -> Self {
+        assert!(
+            keep_ratio > 0.0 && keep_ratio <= 1.0,
+            "keep ratio must be in (0, 1]"
+        );
+        PruningEffect {
+            keep_ratio,
+            pruner_overhead_cycles: 64,
+        }
+    }
+}
+
+/// The cost of one operator on one cluster kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Cluster kind that executed the operator.
+    pub kind: ClusterKind,
+    /// Compute cycles of the slowest participating core.
+    pub compute_cycles: u64,
+    /// DRAM bytes fetched for the stationary operand.
+    pub dram_bytes: u64,
+    /// Cycles spent waiting on DRAM at the granted bandwidth share.
+    pub dram_cycles: u64,
+    /// Traffic class of the DRAM bytes.
+    pub traffic_class: TrafficClass,
+}
+
+impl OpCost {
+    /// Total operator latency assuming DMA double buffering (compute and the
+    /// next tile's DMA overlap, so the op takes the longer of the two).
+    pub fn latency_cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dram_cycles)
+    }
+
+    /// Whether the operator is memory-bound under this mapping.
+    pub fn is_memory_bound(&self) -> bool {
+        self.dram_cycles > self.compute_cycles
+    }
+}
+
+/// Scale an operator's DRAM traffic for pruning: only prunable FFN GEMVs are
+/// affected; everything else keeps its full traffic.
+pub fn pruned_weight_bytes(op: &MatmulOp, bytes_per_weight: usize, pruning: PruningEffect) -> u64 {
+    let full = op.weight_bytes(bytes_per_weight);
+    if op.prunable {
+        (full as f64 * pruning.keep_ratio).ceil() as u64
+    } else {
+        full
+    }
+}
+
+/// Scale an operator's reduction dimension for pruning (the CIM skips pruned
+/// weight rows entirely, shortening the bit-serial reduction).
+pub fn pruned_k(op: &MatmulOp, pruning: PruningEffect) -> usize {
+    if op.prunable {
+        ((op.k as f64 * pruning.keep_ratio).ceil() as usize).max(1)
+    } else {
+        op.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgemm_mllm::{OpKind, Phase};
+
+    fn ffn_gemv() -> MatmulOp {
+        MatmulOp {
+            name: "ffn.gate".to_string(),
+            phase: Phase::Decode,
+            kind: OpKind::Gemv,
+            m: 1,
+            k: 2048,
+            n: 5632,
+            weight_class: TrafficClass::FfnWeights,
+            weights_from_dram: true,
+            prunable: true,
+        }
+    }
+
+    fn attn_gemv() -> MatmulOp {
+        MatmulOp {
+            prunable: false,
+            weight_class: TrafficClass::AttentionWeights,
+            name: "attn.qkv".to_string(),
+            ..ffn_gemv()
+        }
+    }
+
+    #[test]
+    fn pruning_scales_only_prunable_ops() {
+        let pruning = PruningEffect::with_keep_ratio(0.5);
+        let ffn = ffn_gemv();
+        let attn = attn_gemv();
+        assert_eq!(pruned_weight_bytes(&ffn, 1, pruning), ffn.weight_bytes(1) / 2);
+        assert_eq!(pruned_weight_bytes(&attn, 1, pruning), attn.weight_bytes(1));
+        assert_eq!(pruned_k(&ffn, pruning), 1024);
+        assert_eq!(pruned_k(&attn, pruning), 2048);
+    }
+
+    #[test]
+    fn disabled_pruning_is_identity() {
+        let none = PruningEffect::disabled();
+        let ffn = ffn_gemv();
+        assert_eq!(pruned_weight_bytes(&ffn, 2, none), ffn.weight_bytes(2));
+        assert_eq!(pruned_k(&ffn, none), ffn.k);
+        assert_eq!(none.pruner_overhead_cycles, 0);
+    }
+
+    #[test]
+    fn pruned_k_never_reaches_zero() {
+        let pruning = PruningEffect::with_keep_ratio(0.0001);
+        let ffn = ffn_gemv();
+        assert!(pruned_k(&ffn, pruning) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio must be in (0, 1]")]
+    fn zero_keep_ratio_rejected() {
+        PruningEffect::with_keep_ratio(0.0);
+    }
+
+    #[test]
+    fn latency_is_max_of_compute_and_dram() {
+        let cost = OpCost {
+            kind: ClusterKind::MemoryCentric,
+            compute_cycles: 100,
+            dram_bytes: 1,
+            dram_cycles: 250,
+            traffic_class: TrafficClass::FfnWeights,
+        };
+        assert_eq!(cost.latency_cycles(), 250);
+        assert!(cost.is_memory_bound());
+        let flipped = OpCost {
+            compute_cycles: 300,
+            ..cost
+        };
+        assert_eq!(flipped.latency_cycles(), 300);
+        assert!(!flipped.is_memory_bound());
+    }
+}

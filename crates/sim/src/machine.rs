@@ -1,0 +1,462 @@
+//! The EdgeMM machine model: maps operator streams onto the chip.
+
+use std::collections::BTreeMap;
+
+use edgemm_arch::{ChipConfig, ClusterKind};
+use edgemm_mem::{BandwidthAllocation, DramModel};
+use edgemm_mllm::{MatmulOp, ModelWorkload, Phase};
+
+use crate::kernel::{pruned_k, pruned_weight_bytes, OpCost, PruningEffect};
+use crate::mapping::MappingExplorer;
+use crate::report::{PhaseResult, RunReport};
+
+/// Static configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The chip being simulated.
+    pub chip: ChipConfig,
+    /// External DRAM model.
+    pub dram: DramModel,
+    /// Bandwidth split between CC and MC clusters.
+    pub allocation: BandwidthAllocation,
+    /// Bytes per weight read by CC clusters (BF16 weights for the systolic array).
+    pub cc_weight_bytes: usize,
+    /// Bytes per weight read by MC clusters (INT8 weights resident in the CIM).
+    pub mc_weight_bytes: usize,
+}
+
+impl SimConfig {
+    /// The paper-default design point: full chip, LPDDR5X-class DRAM,
+    /// exclusive bandwidth use by the active cluster kind (sequential,
+    /// unpipelined execution), BF16 weights on the compute-centric side and
+    /// INT8 weights inside the CIM macros. The pipelined scheduler in
+    /// `edgemm-sched` replaces the allocation with a real CC/MC split.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            chip: ChipConfig::paper_default(),
+            dram: DramModel::paper_default(),
+            allocation: BandwidthAllocation::exclusive(),
+            cc_weight_bytes: 2,
+            mc_weight_bytes: 1,
+        }
+    }
+
+    /// The homo-CC ablation design (Fig. 11).
+    pub fn homo_cc() -> Self {
+        SimConfig {
+            chip: ChipConfig::homo_cc(),
+            allocation: BandwidthAllocation::all_cc(),
+            ..Self::paper_default()
+        }
+    }
+
+    /// The homo-MC ablation design (Fig. 11).
+    pub fn homo_mc() -> Self {
+        SimConfig {
+            chip: ChipConfig::homo_mc(),
+            allocation: BandwidthAllocation::all_mc(),
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Options controlling the decode-phase simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeOptions {
+    /// Activation-aware pruning effect applied to prunable FFN GEMVs.
+    pub pruning: PruningEffect,
+    /// Batch size of stream-batch decoding: the weights fetched for one step
+    /// are reused across `batch` concurrent requests, so the per-step DRAM
+    /// traffic is amortised while the compute scales with the batch.
+    pub batch: usize,
+}
+
+impl DecodeOptions {
+    /// Plain single-stream decoding without pruning.
+    pub fn baseline() -> Self {
+        DecodeOptions {
+            pruning: PruningEffect::disabled(),
+            batch: 1,
+        }
+    }
+
+    /// Single-stream decoding with pruning at the given keep ratio.
+    pub fn with_pruning(keep_ratio: f64) -> Self {
+        DecodeOptions {
+            pruning: PruningEffect::with_keep_ratio(keep_ratio),
+            batch: 1,
+        }
+    }
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// The machine model: chip + DRAM + mapping explorer.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: SimConfig,
+    explorer: MappingExplorer,
+}
+
+impl Machine {
+    /// Build a machine from a simulation configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let explorer = MappingExplorer::new(&config.chip);
+        Machine { config, explorer }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replace the bandwidth allocation (used by the dynamic manager).
+    pub fn set_allocation(&mut self, allocation: BandwidthAllocation) {
+        self.config.allocation = allocation;
+    }
+
+    fn cores_of(&self, kind: ClusterKind) -> usize {
+        self.config.chip.total_cores(kind)
+    }
+
+    fn share_of(&self, kind: ClusterKind) -> f64 {
+        match kind {
+            ClusterKind::ComputeCentric => self.config.allocation.cc_share,
+            ClusterKind::MemoryCentric => self.config.allocation.mc_share,
+        }
+    }
+
+    fn weight_bytes_of(&self, kind: ClusterKind) -> usize {
+        match kind {
+            ClusterKind::ComputeCentric => self.config.cc_weight_bytes,
+            ClusterKind::MemoryCentric => self.config.mc_weight_bytes,
+        }
+    }
+
+    fn block_bytes_of(&self, kind: ClusterKind) -> u64 {
+        let mem = match kind {
+            ClusterKind::ComputeCentric => self.config.chip.cc_cluster.memory.data_memory,
+            ClusterKind::MemoryCentric => self.config.chip.mc_cluster.memory.data_memory,
+        };
+        // Double buffering: half the data memory is the DMA block size.
+        (mem as u64 / 2).max(1)
+    }
+
+    /// Cost of one operator executed cooperatively by every core of `kind`.
+    pub fn op_cost(&self, op: &MatmulOp, kind: ClusterKind, pruning: PruningEffect) -> OpCost {
+        let cores = self.cores_of(kind);
+        let share = self.share_of(kind);
+        // A configuration without this cluster kind cannot execute the op;
+        // model it as a single very slow software core would be misleading,
+        // so callers should route ops to kinds that exist. We still return a
+        // cost using one core and a minimal bandwidth share for robustness.
+        let share = if share > 0.0 { share } else { 0.01 };
+        let k_eff = pruned_k(op, pruning);
+        let pruned_op = MatmulOp {
+            k: k_eff,
+            ..op.clone()
+        };
+        let mapping = self.explorer.best_mapping(&pruned_op, kind, cores.max(1));
+        let mut compute = mapping.compute_cycles;
+        if op.prunable && pruning.keep_ratio < 1.0 {
+            compute += pruning.pruner_overhead_cycles;
+        }
+        let bytes = pruned_weight_bytes(op, self.weight_bytes_of(kind), pruning)
+            + op.activation_bytes() / 16; // most activations stay on chip
+        let dram_cycles = self
+            .config
+            .dram
+            .transfer_cycles(bytes, self.block_bytes_of(kind), share);
+        OpCost {
+            kind,
+            compute_cycles: compute,
+            dram_bytes: bytes,
+            dram_cycles,
+            traffic_class: op.weight_class,
+        }
+    }
+
+    /// Execute an operator stream on the given cluster kind and aggregate the
+    /// phase result. Operators execute back to back; compute and the next
+    /// operator's DMA overlap (double buffering), so each op contributes
+    /// `max(compute, dram)` to the critical path.
+    pub fn run_ops(
+        &self,
+        phase: Phase,
+        ops: &[MatmulOp],
+        kind: ClusterKind,
+        pruning: PruningEffect,
+    ) -> PhaseResult {
+        let mut cycles = 0u64;
+        let mut compute = 0u64;
+        let mut dram = 0u64;
+        let mut bytes = 0u64;
+        let mut traffic: BTreeMap<edgemm_mllm::TrafficClass, u64> = BTreeMap::new();
+        for op in ops {
+            let cost = self.op_cost(op, kind, pruning);
+            cycles += cost.latency_cycles();
+            compute += cost.compute_cycles;
+            dram += cost.dram_cycles;
+            bytes += cost.dram_bytes;
+            *traffic.entry(cost.traffic_class).or_insert(0) += cost.dram_bytes;
+        }
+        PhaseResult {
+            phase,
+            cycles,
+            compute_cycles: compute,
+            dram_cycles: dram,
+            dram_bytes: bytes,
+            traffic,
+            ops: ops.len(),
+        }
+    }
+
+    /// Simulate one phase of a workload on the cluster kind that EdgeMM's
+    /// scheduler would assign it to (encoder/projector/prefill on CC, decode
+    /// on MC) — or on the requested kind for ablations.
+    pub fn run_phase_on(
+        &self,
+        workload: &ModelWorkload,
+        phase: Phase,
+        kind: ClusterKind,
+        options: DecodeOptions,
+    ) -> PhaseResult {
+        match phase {
+            Phase::Decode => self.run_decode_on(workload, kind, options),
+            _ => self.run_ops(phase, &workload.phase_ops(phase), kind, PruningEffect::disabled()),
+        }
+    }
+
+    /// Simulate the whole decode phase (all output tokens) on `kind`.
+    ///
+    /// Stream-batch decoding reuses the fetched weights across the batch:
+    /// DRAM traffic stays that of one step while compute repeats per request,
+    /// and the result covers `output_tokens` steps for every stream, i.e. the
+    /// reported cycles are for generating `output_tokens * batch` tokens.
+    pub fn run_decode_on(
+        &self,
+        workload: &ModelWorkload,
+        kind: ClusterKind,
+        options: DecodeOptions,
+    ) -> PhaseResult {
+        assert!(options.batch >= 1, "batch must be at least 1");
+        let step_ops = workload.average_decode_step_ops();
+        let mut step = PhaseResult::empty(Phase::Decode);
+        for op in &step_ops {
+            let cost = self.op_cost(op, kind, options.pruning);
+            // Compute repeats for every request in the batch; the weight
+            // fetch is shared across the batch.
+            let compute = cost.compute_cycles * options.batch as u64;
+            let latency = compute.max(cost.dram_cycles);
+            step.cycles += latency;
+            step.compute_cycles += compute;
+            step.dram_cycles += cost.dram_cycles;
+            step.dram_bytes += cost.dram_bytes;
+            *step.traffic.entry(cost.traffic_class).or_insert(0) += cost.dram_bytes;
+            step.ops += 1;
+        }
+        // Repeat for every generated token.
+        let tokens = workload.output_tokens() as u64;
+        PhaseResult {
+            phase: Phase::Decode,
+            cycles: step.cycles * tokens,
+            compute_cycles: step.compute_cycles * tokens,
+            dram_cycles: step.dram_cycles * tokens,
+            dram_bytes: step.dram_bytes * tokens,
+            traffic: step
+                .traffic
+                .into_iter()
+                .map(|(c, b)| (c, b * tokens))
+                .collect(),
+            ops: step.ops * tokens as usize,
+        }
+    }
+
+    /// Simulate a full request on the heterogeneous schedule: vision encoder,
+    /// projector and prefill on the CC clusters, decode on the MC clusters.
+    pub fn run_request(&self, workload: &ModelWorkload, options: DecodeOptions) -> RunReport {
+        self.run_request_with_assignment(
+            workload,
+            options,
+            ClusterKind::ComputeCentric,
+            ClusterKind::MemoryCentric,
+        )
+    }
+
+    /// Simulate a full request with explicit phase-to-cluster-kind assignment
+    /// (used for the homo-CC / homo-MC ablations of Fig. 11).
+    pub fn run_request_with_assignment(
+        &self,
+        workload: &ModelWorkload,
+        options: DecodeOptions,
+        gemm_kind: ClusterKind,
+        gemv_kind: ClusterKind,
+    ) -> RunReport {
+        let phases = vec![
+            self.run_phase_on(workload, Phase::VisionEncode, gemm_kind, options),
+            self.run_phase_on(workload, Phase::Projector, gemm_kind, options),
+            self.run_phase_on(workload, Phase::Prefill, gemm_kind, options),
+            self.run_phase_on(workload, Phase::Decode, gemv_kind, options),
+        ];
+        RunReport {
+            phases,
+            output_tokens: workload.output_tokens(),
+            clock_mhz: self.config.chip.clock_mhz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgemm_mllm::zoo;
+
+    fn workload(output_tokens: usize) -> ModelWorkload {
+        ModelWorkload::new(zoo::sphinx_tiny(), 20, output_tokens)
+    }
+
+    fn hetero() -> Machine {
+        Machine::new(SimConfig::paper_default())
+    }
+
+    #[test]
+    fn decode_is_memory_bound_on_mc_clusters() {
+        let m = hetero();
+        let result = m.run_decode_on(&workload(8), ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        assert!(result.memory_bound_fraction() > 0.5, "fraction = {}", result.memory_bound_fraction());
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_on_cc_clusters() {
+        let m = hetero();
+        let w = workload(8);
+        let result = m.run_ops(
+            Phase::Prefill,
+            &w.prefill_ops(),
+            ClusterKind::ComputeCentric,
+            PruningEffect::disabled(),
+        );
+        assert!(result.memory_bound_fraction() < 0.5, "fraction = {}", result.memory_bound_fraction());
+    }
+
+    #[test]
+    fn cc_clusters_run_gemm_phases_faster_than_mc() {
+        // Fig. 11: a CC cluster shows ~4.3x better GEMM performance than an
+        // MC cluster. Check the whole-chip GEMM-phase ratio is in the 2x-8x band.
+        let m = hetero();
+        let w = workload(8);
+        let ops = w.prefill_ops();
+        let cc = m.run_ops(Phase::Prefill, &ops, ClusterKind::ComputeCentric, PruningEffect::disabled());
+        let mc = m.run_ops(Phase::Prefill, &ops, ClusterKind::MemoryCentric, PruningEffect::disabled());
+        let ratio = mc.cycles as f64 / cc.cycles as f64;
+        assert!(ratio > 2.0 && ratio < 10.0, "GEMM CC advantage = {ratio}");
+    }
+
+    #[test]
+    fn mc_clusters_run_decode_faster_than_cc() {
+        // Fig. 11: an MC cluster is ~2.42x faster in GEMV.
+        let m = hetero();
+        let w = workload(8);
+        let mc = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        let cc = m.run_decode_on(&w, ClusterKind::ComputeCentric, DecodeOptions::baseline());
+        let ratio = cc.cycles as f64 / mc.cycles as f64;
+        assert!(ratio > 1.5 && ratio < 4.0, "GEMV MC advantage = {ratio}");
+    }
+
+    #[test]
+    fn pruning_cuts_decode_latency_substantially() {
+        // The paper reports a 42% average decode-latency reduction.
+        let m = hetero();
+        let w = workload(16);
+        let dense = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        let pruned = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::with_pruning(0.5));
+        let reduction = 1.0 - pruned.cycles as f64 / dense.cycles as f64;
+        assert!(reduction > 0.25 && reduction < 0.6, "reduction = {reduction}");
+    }
+
+    #[test]
+    fn batch_decoding_boosts_throughput_per_fetch() {
+        let m = hetero();
+        let w = workload(32);
+        let single = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        let batched = m.run_decode_on(
+            &w,
+            ClusterKind::MemoryCentric,
+            DecodeOptions {
+                pruning: PruningEffect::disabled(),
+                batch: 8,
+            },
+        );
+        // 8x the tokens for much less than 8x the cycles.
+        let token_ratio = 8.0;
+        let cycle_ratio = batched.cycles as f64 / single.cycles as f64;
+        assert!(cycle_ratio < 0.6 * token_ratio, "cycle ratio = {cycle_ratio}");
+    }
+
+    #[test]
+    fn giving_mc_more_bandwidth_speeds_decode() {
+        let w = workload(16);
+        let mut m = hetero();
+        m.set_allocation(BandwidthAllocation::equal());
+        let equal = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        m.set_allocation(BandwidthAllocation::from_ratio(1.0, 7.0));
+        let skewed = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        assert!(skewed.cycles < equal.cycles);
+    }
+
+    #[test]
+    fn full_request_report_contains_all_phases() {
+        let m = hetero();
+        let report = m.run_request(&workload(16), DecodeOptions::baseline());
+        assert_eq!(report.phases.len(), 4);
+        assert!(report.total_cycles() > 0);
+        assert!(report.tokens_per_second() > 0.0);
+        assert!(report.phase(Phase::Decode).unwrap().cycles > 0);
+    }
+
+    #[test]
+    fn decode_dominates_latency_for_long_outputs() {
+        // Fig. 2a: the decode share of latency grows with the output length.
+        let m = hetero();
+        let short = m.run_request(&workload(8), DecodeOptions::baseline());
+        let long = m.run_request(&workload(256), DecodeOptions::baseline());
+        let share = |r: &RunReport| {
+            r.phase(Phase::Decode).unwrap().cycles as f64 / r.total_cycles() as f64
+        };
+        assert!(share(&long) > share(&short));
+        assert!(share(&long) > 0.7);
+    }
+
+    #[test]
+    fn decode_cycles_scale_linearly_with_output_tokens() {
+        let m = hetero();
+        let eight = m.run_decode_on(&workload(8), ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        let sixteen = m.run_decode_on(&workload(16), ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        let ratio = sixteen.cycles as f64 / eight.cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_rejected() {
+        let m = hetero();
+        m.run_decode_on(
+            &workload(4),
+            ClusterKind::MemoryCentric,
+            DecodeOptions {
+                pruning: PruningEffect::disabled(),
+                batch: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulation result types.
+
+use std::collections::BTreeMap;
+
+use edgemm_mllm::{Phase, TrafficClass};
+
+/// Aggregate result of simulating one phase (or one decode step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseResult {
+    /// The phase simulated.
+    pub phase: Phase,
+    /// End-to-end cycles of the phase on the executing cluster kind.
+    pub cycles: u64,
+    /// Cycles attributable to coprocessor compute (sum over ops of the
+    /// compute component of the critical path).
+    pub compute_cycles: u64,
+    /// Cycles attributable to DRAM transfers on the critical path.
+    pub dram_cycles: u64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// DRAM bytes by traffic class.
+    pub traffic: BTreeMap<TrafficClass, u64>,
+    /// Number of operators executed.
+    pub ops: usize,
+}
+
+impl PhaseResult {
+    /// An empty result for a phase (used when a configuration lacks the
+    /// cluster kind that would execute it).
+    pub fn empty(phase: Phase) -> Self {
+        PhaseResult {
+            phase,
+            cycles: 0,
+            compute_cycles: 0,
+            dram_cycles: 0,
+            dram_bytes: 0,
+            traffic: BTreeMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Latency in seconds at a given clock.
+    pub fn seconds(&self, clock_mhz: u32) -> f64 {
+        self.cycles as f64 / (clock_mhz as f64 * 1.0e6)
+    }
+
+    /// Fraction of the critical path spent waiting on DRAM.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let total = self.compute_cycles + self.dram_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.dram_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Full-request report: one result per phase plus the decode repetition count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Per-phase results. The decode entry is the *total* over all generated
+    /// tokens, not a single step.
+    pub phases: Vec<PhaseResult>,
+    /// Number of generated output tokens.
+    pub output_tokens: usize,
+    /// Core clock in MHz used for time conversions.
+    pub clock_mhz: u32,
+}
+
+impl RunReport {
+    /// Result of one phase, if present.
+    pub fn phase(&self, phase: Phase) -> Option<&PhaseResult> {
+        self.phases.iter().find(|p| p.phase == phase)
+    }
+
+    /// Total cycles across phases (sequential execution, no pipelining).
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// Total latency in seconds (sequential execution).
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles() as f64 / (self.clock_mhz as f64 * 1.0e6)
+    }
+
+    /// Sequential (unpipelined) decoding throughput in tokens per second.
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.total_seconds() == 0.0 {
+            0.0
+        } else {
+            self.output_tokens as f64 / self.total_seconds()
+        }
+    }
+
+    /// Total DRAM bytes of the request.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.dram_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(phase: Phase, cycles: u64) -> PhaseResult {
+        PhaseResult {
+            phase,
+            cycles,
+            compute_cycles: cycles / 2,
+            dram_cycles: cycles / 2,
+            dram_bytes: cycles * 10,
+            traffic: BTreeMap::new(),
+            ops: 3,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_phases() {
+        let report = RunReport {
+            phases: vec![result(Phase::Prefill, 1_000_000), result(Phase::Decode, 3_000_000)],
+            output_tokens: 64,
+            clock_mhz: 1000,
+        };
+        assert_eq!(report.total_cycles(), 4_000_000);
+        assert!((report.total_seconds() - 0.004).abs() < 1e-12);
+        assert!((report.tokens_per_second() - 64.0 / 0.004).abs() < 1e-6);
+        assert_eq!(report.total_dram_bytes(), 40_000_000);
+        assert!(report.phase(Phase::Decode).is_some());
+        assert!(report.phase(Phase::VisionEncode).is_none());
+    }
+
+    #[test]
+    fn empty_phase_result() {
+        let empty = PhaseResult::empty(Phase::Projector);
+        assert_eq!(empty.cycles, 0);
+        assert_eq!(empty.memory_bound_fraction(), 0.0);
+        assert_eq!(empty.seconds(1000), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_fraction() {
+        let mut r = result(Phase::Decode, 100);
+        r.compute_cycles = 25;
+        r.dram_cycles = 75;
+        assert!((r.memory_bound_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_report_has_zero_throughput() {
+        let report = RunReport {
+            phases: vec![],
+            output_tokens: 10,
+            clock_mhz: 1000,
+        };
+        assert_eq!(report.tokens_per_second(), 0.0);
+    }
+}

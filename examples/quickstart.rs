@@ -1,0 +1,47 @@
+//! Quickstart: simulate one multimodal request on the paper-default EdgeMM
+//! chip, with and without activation-aware weight pruning.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use edgemm::{EdgeMm, RequestOptions};
+use edgemm_mllm::{zoo, ModelWorkload, Phase};
+
+fn main() {
+    // The paper's design point: 4 groups x (2 CC + 2 MC clusters) at 1 GHz.
+    let system = EdgeMm::paper_default();
+
+    // One request against SPHINX-Tiny: an image plus a 20-token text prompt,
+    // generating 64 output tokens.
+    let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 64);
+
+    println!("model: {} ({:.2} B parameters)", workload.config().name, workload.config().total_params() as f64 / 1e9);
+    println!("prompt tokens: {}, output tokens: {}\n", workload.prompt_tokens(), workload.output_tokens());
+
+    for (label, options) in [
+        ("baseline (no pruning)", RequestOptions::default()),
+        ("activation-aware pruning", RequestOptions::with_pruning()),
+    ] {
+        let report = system.run(&workload, options);
+        println!("== {label} ==");
+        for phase in Phase::ALL {
+            if let Some(result) = report.run.phase(phase) {
+                println!(
+                    "  {:<16} {:>10.3} ms   ({:>5.1}% memory-bound)",
+                    phase.to_string(),
+                    result.seconds(1000) * 1e3,
+                    100.0 * result.memory_bound_fraction()
+                );
+            }
+        }
+        println!("  end-to-end latency: {:>8.3} ms", report.latency_s * 1e3);
+        println!("  throughput:         {:>8.1} tokens/s", report.tokens_per_second);
+        println!("  efficiency:         {:>8.2} tokens/J", report.tokens_per_joule);
+        if let Some(pruning) = &report.pruning {
+            println!(
+                "  measured keep ratio: {:>7.1}% of FFN channels",
+                100.0 * pruning.average_keep_ratio
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! Workspace umbrella package.
+//!
+//! This package only hosts the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`; all functionality lives in
+//! the `edgemm-*` crates, re-exported through [`edgemm`].
+pub use edgemm;

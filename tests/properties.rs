@@ -1,0 +1,91 @@
+//! Workspace-level property-based tests: invariants that must hold across
+//! crate boundaries for any reasonable configuration or workload.
+
+use edgemm::arch::{ChipConfig, CimGeometry, SystolicGeometry};
+use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
+use edgemm_mllm::{zoo, ModelWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Decode latency is monotonically non-increasing in the pruning keep
+    /// ratio: keeping fewer channels never makes decoding slower.
+    #[test]
+    fn pruning_is_monotone_in_keep_ratio(keep_a in 0.05f64..1.0, keep_b in 0.05f64..1.0) {
+        let (lo, hi) = if keep_a < keep_b { (keep_a, keep_b) } else { (keep_b, keep_a) };
+        let machine = Machine::new(SimConfig::paper_default());
+        let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 4);
+        let kind = edgemm::arch::ClusterKind::MemoryCentric;
+        let aggressive = machine.run_decode_on(&workload, kind, DecodeOptions {
+            pruning: PruningEffect::with_keep_ratio(lo),
+            batch: 1,
+        });
+        let mild = machine.run_decode_on(&workload, kind, DecodeOptions {
+            pruning: PruningEffect::with_keep_ratio(hi),
+            batch: 1,
+        });
+        prop_assert!(aggressive.cycles <= mild.cycles);
+    }
+
+    /// Adding groups never slows a request down (more clusters, same DRAM).
+    #[test]
+    fn more_groups_never_hurt(groups in 1usize..6) {
+        let workload = ModelWorkload::new(zoo::karmavlm(), 16, 8);
+        let small = ChipConfig::builder().groups(groups).build().expect("valid");
+        let large = ChipConfig::builder().groups(groups + 1).build().expect("valid");
+        let run = |chip: ChipConfig| {
+            Machine::new(SimConfig { chip, ..SimConfig::paper_default() })
+                .run_request(&workload, DecodeOptions::baseline())
+                .total_cycles()
+        };
+        prop_assert!(run(large) <= run(small));
+    }
+
+    /// Generating more tokens always takes longer and moves more DRAM bytes.
+    #[test]
+    fn longer_outputs_cost_more(tokens in 1usize..64) {
+        let machine = Machine::new(SimConfig::paper_default());
+        let short = machine.run_request(
+            &ModelWorkload::new(zoo::karmavlm(), 16, tokens),
+            DecodeOptions::baseline(),
+        );
+        let long = machine.run_request(
+            &ModelWorkload::new(zoo::karmavlm(), 16, tokens + 8),
+            DecodeOptions::baseline(),
+        );
+        prop_assert!(long.total_cycles() > short.total_cycles());
+        prop_assert!(long.total_dram_bytes() > short.total_dram_bytes());
+    }
+
+    /// Any valid chip configuration yields a finite, positive peak-TFLOPS
+    /// figure and a non-empty topology.
+    #[test]
+    fn valid_configs_are_simulable(
+        groups in 1usize..5,
+        cc in 0usize..4,
+        mc in 0usize..4,
+        sa_dim_log in 2u32..6,
+        act_bits_sel in 0usize..3,
+    ) {
+        prop_assume!(cc + mc > 0);
+        let dim = 1usize << sa_dim_log;
+        let act_bits = [4u8, 8, 16][act_bits_sel];
+        let config = ChipConfig::builder()
+            .groups(groups)
+            .cc_clusters_per_group(cc)
+            .mc_clusters_per_group(mc)
+            .systolic(SystolicGeometry { rows: dim, cols: dim, matrix_registers: 4 })
+            .cim(CimGeometry { activation_bits: act_bits, ..CimGeometry::paper_default() })
+            .build();
+        prop_assume!(config.is_ok());
+        let config = config.unwrap();
+        prop_assert!(config.peak_tflops() > 0.0);
+        let topo = edgemm::arch::Topology::new(&config);
+        prop_assert_eq!(
+            topo.cores().len(),
+            config.total_cores(edgemm::arch::ClusterKind::ComputeCentric)
+                + config.total_cores(edgemm::arch::ClusterKind::MemoryCentric)
+        );
+    }
+}
