@@ -117,8 +117,10 @@ impl AreaModel {
 
     /// Total chip area in mm^2 (cores + 20 % uncore for crossbars, DMA and pads).
     pub fn chip_mm2(&self, config: &ChipConfig) -> f64 {
-        let cc = self.cc_core(config).total_mm2() * config.total_cores(ClusterKind::ComputeCentric) as f64;
-        let mc = self.mc_core(config).total_mm2() * config.total_cores(ClusterKind::MemoryCentric) as f64;
+        let cc = self.cc_core(config).total_mm2()
+            * config.total_cores(ClusterKind::ComputeCentric) as f64;
+        let mc = self.mc_core(config).total_mm2()
+            * config.total_cores(ClusterKind::MemoryCentric) as f64;
         (cc + mc) * 1.2
     }
 }
@@ -159,8 +161,12 @@ impl PowerModel {
     pub fn chip_power(&self, config: &ChipConfig) -> PowerBreakdown {
         let scale = config.clock_mhz as f64 / 1000.0;
         PowerBreakdown {
-            cc_cores_mw: self.cc_core_mw * config.total_cores(ClusterKind::ComputeCentric) as f64 * scale,
-            mc_cores_mw: self.mc_core_mw * config.total_cores(ClusterKind::MemoryCentric) as f64 * scale,
+            cc_cores_mw: self.cc_core_mw
+                * config.total_cores(ClusterKind::ComputeCentric) as f64
+                * scale,
+            mc_cores_mw: self.mc_core_mw
+                * config.total_cores(ClusterKind::MemoryCentric) as f64
+                * scale,
             uncore_mw: self.uncore_mw * scale,
         }
     }
@@ -195,7 +201,12 @@ impl PowerModel {
         bytes_per_token: f64,
         dram_energy_pj_per_byte: f64,
     ) -> f64 {
-        1.0 / self.energy_per_token_j(config, tokens_per_s, bytes_per_token, dram_energy_pj_per_byte)
+        1.0 / self.energy_per_token_j(
+            config,
+            tokens_per_s,
+            bytes_per_token,
+            dram_energy_pj_per_byte,
+        )
     }
 }
 

@@ -636,7 +636,10 @@ mod tests {
     fn tiny_data_memory_rejected() {
         let mut cluster = ClusterConfig::cc_default();
         cluster.memory.data_memory = 64;
-        let err = ChipConfig::builder().cc_cluster(cluster).build().unwrap_err();
+        let err = ChipConfig::builder()
+            .cc_cluster(cluster)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ConfigError::MemoryTooSmall { .. }));
     }
 

@@ -72,7 +72,10 @@ mod tests {
     #[test]
     fn display_zero_count() {
         let err = ConfigError::ZeroCount { field: "groups" };
-        assert_eq!(err.to_string(), "configuration field `groups` must be non-zero");
+        assert_eq!(
+            err.to_string(),
+            "configuration field `groups` must be non-zero"
+        );
     }
 
     #[test]

@@ -99,7 +99,12 @@ impl Topology {
             let group = GroupId(g);
             for _ in 0..config.cc_clusters_per_group {
                 let cid = ClusterId(cluster_id);
-                clusters.push((cid, group, ClusterKind::ComputeCentric, config.cc_cluster.cores));
+                clusters.push((
+                    cid,
+                    group,
+                    ClusterKind::ComputeCentric,
+                    config.cc_cluster.cores,
+                ));
                 for i in 0..config.cc_cluster.cores {
                     cores.push(CorePath {
                         group,
@@ -114,7 +119,12 @@ impl Topology {
             }
             for _ in 0..config.mc_clusters_per_group {
                 let cid = ClusterId(cluster_id);
-                clusters.push((cid, group, ClusterKind::MemoryCentric, config.mc_cluster.cores));
+                clusters.push((
+                    cid,
+                    group,
+                    ClusterKind::MemoryCentric,
+                    config.mc_cluster.cores,
+                ));
                 for i in 0..config.mc_cluster.cores {
                     cores.push(CorePath {
                         group,

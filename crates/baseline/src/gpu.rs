@@ -81,7 +81,12 @@ impl GpuModel {
     }
 
     /// Latency breakdown of a set of operators.
-    pub fn ops_breakdown(&self, phase: Phase, ops: &[MatmulOp], bytes_per_weight: usize) -> GpuPhaseBreakdown {
+    pub fn ops_breakdown(
+        &self,
+        phase: Phase,
+        ops: &[MatmulOp],
+        bytes_per_weight: usize,
+    ) -> GpuPhaseBreakdown {
         let mut compute = 0.0;
         let mut memory = 0.0;
         for op in ops {
@@ -103,7 +108,11 @@ impl GpuModel {
         let bytes_per_weight = workload.config().weight_bytes;
         match phase {
             Phase::Decode => {
-                let step = self.ops_breakdown(phase, &workload.average_decode_step_ops(), bytes_per_weight);
+                let step = self.ops_breakdown(
+                    phase,
+                    &workload.average_decode_step_ops(),
+                    bytes_per_weight,
+                );
                 let tokens = workload.output_tokens() as f64;
                 GpuPhaseBreakdown {
                     phase,
@@ -145,7 +154,12 @@ mod tests {
     fn decode_is_bandwidth_bound_on_the_gpu() {
         let gpu = GpuModel::rtx3060_laptop();
         let b = gpu.phase_breakdown(&workload(64), Phase::Decode);
-        assert!(b.memory_s > 5.0 * b.compute_s, "memory {} vs compute {}", b.memory_s, b.compute_s);
+        assert!(
+            b.memory_s > 5.0 * b.compute_s,
+            "memory {} vs compute {}",
+            b.memory_s,
+            b.compute_s
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
         let flops: u64 = w.prefill_ops().iter().map(MatmulOp::flops).sum();
         let compute_bound = flops as f64 / b.peak_flops();
         assert!(prefill >= compute_bound * 0.99);
-        assert!(prefill < compute_bound * 1.5, "prefill should be dominated by compute");
+        assert!(
+            prefill < compute_bound * 1.5,
+            "prefill should be dominated by compute"
+        );
     }
 
     #[test]
@@ -142,6 +145,9 @@ mod tests {
 
     #[test]
     fn name_is_stable() {
-        assert_eq!(SnitchBaseline::paper_default().name(), "snitch-simd-baseline");
+        assert_eq!(
+            SnitchBaseline::paper_default().name(),
+            "snitch-simd-baseline"
+        );
     }
 }

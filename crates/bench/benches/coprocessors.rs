@@ -37,11 +37,18 @@ fn bench_cim_gemv(c: &mut Criterion) {
 
 fn bench_hardware_pruner(c: &mut Criterion) {
     let pruner = ActAwarePruner::default();
-    let slice: Vec<f32> = (0..2048).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01).collect();
+    let slice: Vec<f32> = (0..2048)
+        .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01)
+        .collect();
     c.bench_function("act_aware_pruner_2048", |b| {
         b.iter(|| pruner.prune(black_box(&slice), 128, 16, 0))
     });
 }
 
-criterion_group!(benches, bench_systolic_gemm, bench_cim_gemv, bench_hardware_pruner);
+criterion_group!(
+    benches,
+    bench_systolic_gemm,
+    bench_cim_gemv,
+    bench_hardware_pruner
+);
 criterion_main!(benches);

@@ -3,10 +3,10 @@
 //! and the CC:MC cluster mix.
 
 use edgemm::arch::{ChipConfig, CimGeometry, ClusterKind, SystolicGeometry};
-use edgemm_mllm::{zoo, ModelWorkload};
 use edgemm::pruning::{DynamicTopK, DynamicTopKConfig, Pruner};
-use edgemm_mllm::{ActivationGenerator, ActivationProfile};
 use edgemm::sim::{DecodeOptions, Machine, SimConfig};
+use edgemm_mllm::{zoo, ModelWorkload};
+use edgemm_mllm::{ActivationGenerator, ActivationProfile};
 
 fn main() {
     let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 64);
@@ -14,10 +14,17 @@ fn main() {
     println!("== Ablation: systolic-array tile shape (prefill latency) ==");
     for (r, c) in [(8, 8), (16, 16), (32, 32), (16, 32)] {
         let chip = ChipConfig::builder()
-            .systolic(SystolicGeometry { rows: r, cols: c, matrix_registers: 4 })
+            .systolic(SystolicGeometry {
+                rows: r,
+                cols: c,
+                matrix_registers: 4,
+            })
             .build()
             .expect("valid config");
-        let machine = Machine::new(SimConfig { chip, ..SimConfig::paper_default() });
+        let machine = Machine::new(SimConfig {
+            chip,
+            ..SimConfig::paper_default()
+        });
         let result = machine.run_phase_on(
             &workload,
             edgemm_mllm::Phase::Prefill,
@@ -30,10 +37,16 @@ fn main() {
     println!("== Ablation: CIM activation bit-width (decode latency per 64 tokens) ==");
     for bits in [4u8, 8, 16] {
         let chip = ChipConfig::builder()
-            .cim(CimGeometry { activation_bits: bits, ..CimGeometry::paper_default() })
+            .cim(CimGeometry {
+                activation_bits: bits,
+                ..CimGeometry::paper_default()
+            })
             .build()
             .expect("valid config");
-        let machine = Machine::new(SimConfig { chip, ..SimConfig::paper_default() });
+        let machine = Machine::new(SimConfig {
+            chip,
+            ..SimConfig::paper_default()
+        });
         let result = machine.run_phase_on(
             &workload,
             edgemm_mllm::Phase::Decode,
@@ -47,7 +60,11 @@ fn main() {
     let profile = ActivationProfile::sphinx_tiny_like(22, 2048);
     let generator = ActivationGenerator::new(profile, 7);
     for t in [4u32, 8, 16, 32, 64] {
-        let mut pruner = DynamicTopK::new(DynamicTopKConfig { dim: 2048, threshold: t, min_keep: 64 });
+        let mut pruner = DynamicTopK::new(DynamicTopKConfig {
+            dim: 2048,
+            threshold: t,
+            min_keep: 64,
+        });
         let mut keep = 0.0;
         for layer in 0..22 {
             let x = generator.generate(layer, 0);
@@ -63,8 +80,14 @@ fn main() {
             .mc_clusters_per_group(mc)
             .build()
             .expect("valid config");
-        let machine = Machine::new(SimConfig { chip, ..SimConfig::paper_default() });
+        let machine = Machine::new(SimConfig {
+            chip,
+            ..SimConfig::paper_default()
+        });
         let report = machine.run_request(&workload, DecodeOptions::baseline());
-        println!("  {cc} CC : {mc} MC -> {:>10.3} ms", report.total_seconds() * 1e3);
+        println!(
+            "  {cc} CC : {mc} MC -> {:>10.3} ms",
+            report.total_seconds() * 1e3
+        );
     }
 }

@@ -6,7 +6,10 @@ use edgemm_mllm::zoo;
 fn main() {
     let model = zoo::sphinx_tiny();
     println!("== Fig. 3 FFN activation sparsity: {} ==", model.name);
-    println!("{:>5} {:>10} {:>10} {:>12} {:>10}", "layer", "max|v|", "mean|v|", "sparse frac", "kurtosis");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>10}",
+        "layer", "max|v|", "mean|v|", "sparse frac", "kurtosis"
+    );
     for row in fig3_sparsity(&model, 7) {
         println!(
             "{:>5} {:>10.3} {:>10.4} {:>12.3} {:>10.2}",

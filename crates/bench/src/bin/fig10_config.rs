@@ -6,9 +6,21 @@ fn main() {
     let r = fig10_config();
     println!("== Fig. 10 EdgeMM design configuration (22 nm, 1 GHz) ==");
     println!("CC cores: {}   MC cores: {}", r.cc_cores, r.mc_cores);
-    println!("SA share of CC core area:  {:.1}%  (paper: 62%)", 100.0 * r.sa_area_fraction);
-    println!("CIM share of MC core area: {:.1}%  (paper: 81%)", 100.0 * r.cim_area_fraction);
+    println!(
+        "SA share of CC core area:  {:.1}%  (paper: 62%)",
+        100.0 * r.sa_area_fraction
+    );
+    println!(
+        "CIM share of MC core area: {:.1}%  (paper: 81%)",
+        100.0 * r.cim_area_fraction
+    );
     println!("Estimated chip area:  {:.2} mm^2", r.chip_area_mm2);
-    println!("Estimated chip power: {:.1} mW (paper: 112 mW)", r.chip_power_mw);
-    println!("Peak throughput:      {:.1} TFLOP/s BF16 (paper: 18 TFLOP/s)", r.peak_tflops);
+    println!(
+        "Estimated chip power: {:.1} mW (paper: 112 mW)",
+        r.chip_power_mw
+    );
+    println!(
+        "Peak throughput:      {:.1} TFLOP/s BF16 (paper: 18 TFLOP/s)",
+        r.peak_tflops
+    );
 }

@@ -6,7 +6,10 @@ use edgemm_mllm::zoo;
 fn main() {
     let report = fig11_hetero(&zoo::sphinx_tiny(), 64);
     println!("== Fig. 11 speedup over the Snitch SIMD baseline (SPHINX-Tiny, 64 output tokens) ==");
-    println!("{:<16} {:>10} {:>10} {:>10}", "phase", "homo-CC", "homo-MC", "hetero");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "phase", "homo-CC", "homo-MC", "hetero"
+    );
     for i in 0..report.hetero.len() {
         println!(
             "{:<16} {:>9.1}x {:>9.1}x {:>9.1}x",

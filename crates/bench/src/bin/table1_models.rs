@@ -4,7 +4,10 @@ use edgemm::figures::table1_models;
 
 fn main() {
     println!("== Table I representative MLLMs ==");
-    println!("{:<14} {:<28} {:<10} {:<20} {:>10}", "model", "visual encoder", "projector", "language model", "params");
+    println!(
+        "{:<14} {:<28} {:<10} {:<20} {:>10}",
+        "model", "visual encoder", "projector", "language model", "params"
+    );
     for row in table1_models() {
         println!(
             "{:<14} {:<28} {:<10} {:<20} {:>9.2}B",

@@ -6,7 +6,10 @@ use edgemm_mllm::zoo;
 fn main() {
     let report = table2_gpu_comparison(&zoo::sphinx_tiny(), 64);
     println!("== Table II EdgeMM vs mobile GPU (SPHINX-Tiny, 64 output tokens) ==");
-    println!("RTX 3060 Laptop:        {:>8.1} tokens/s  (1.00x)", report.gpu_tokens_per_second);
+    println!(
+        "RTX 3060 Laptop:        {:>8.1} tokens/s  (1.00x)",
+        report.gpu_tokens_per_second
+    );
     println!(
         "EdgeMM:                 {:>8.1} tokens/s  ({:.2}x, paper: 2.15x)",
         report.edgemm_tokens_per_second, report.edgemm_speedup

@@ -1,0 +1,65 @@
+//! Smoke tests: every figure/table report binary must run to completion and
+//! print non-empty output. Guards against a bin rotting while the library
+//! APIs it scripts drift (the bins are not exercised by unit tests).
+
+use std::process::Command;
+
+fn run(bin_path: &str, name: &str) {
+    let output = Command::new(bin_path)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.lines().filter(|l| !l.trim().is_empty()).count() >= 3,
+        "{name} printed almost nothing:\n{stdout}",
+    );
+}
+
+macro_rules! bin_smoke_tests {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            run(env!(concat!("CARGO_BIN_EXE_", stringify!($name))), stringify!($name));
+        }
+    )*};
+}
+
+bin_smoke_tests!(
+    fig02_workload,
+    fig03_sparsity,
+    fig06_bandwidth,
+    fig10_config,
+    fig11_hetero,
+    fig12_pruning,
+    fig13_bandwidth,
+    table1_models,
+    table2_gpu,
+    ablations,
+);
+
+#[test]
+fn table1_prints_the_papers_models() {
+    let output = Command::new(env!("CARGO_BIN_EXE_table1_models"))
+        .output()
+        .expect("spawn table1_models");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for model in [
+        "LLaVA-7B",
+        "MobileVLM",
+        "TinyGPT-V",
+        "SPHINX-Tiny",
+        "DeepSeek-VL",
+        "KarmaVLM",
+    ] {
+        assert!(
+            stdout.contains(model),
+            "Table I output is missing {model}:\n{stdout}"
+        );
+    }
+}

@@ -143,12 +143,12 @@ impl CimMacro {
         // Activations are quantized to the broadcast bit-width as well.
         let xq = quantize_int8(x);
         let mut output = vec![0.0f32; *n];
-        for j in 0..*n {
+        for (j, out) in output.iter_mut().enumerate() {
             let mut acc: i32 = 0;
             for i in 0..*k {
                 acc += xq.values[i] as i32 * q.values[i * *n + j] as i32;
             }
-            output[j] = acc as f32 * xq.scale * q.scale;
+            *out = acc as f32 * xq.scale * q.scale;
         }
         GemvResult {
             output,
@@ -185,12 +185,12 @@ impl CimMacro {
         );
         let xq = quantize_int8(x_packed);
         let mut output = vec![0.0f32; *n];
-        for j in 0..*n {
+        for (j, out) in output.iter_mut().enumerate() {
             let mut acc: i32 = 0;
             for (p, &i) in row_indices.iter().enumerate() {
                 acc += xq.values[p] as i32 * q.values[i * *n + j] as i32;
             }
-            output[j] = acc as f32 * xq.scale * q.scale;
+            *out = acc as f32 * xq.scale * q.scale;
         }
         GemvResult {
             output,
@@ -210,8 +210,8 @@ impl Default for CimMacro {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edgemm_arch::SystolicGeometry;
     use crate::systolic::SystolicArray;
+    use edgemm_arch::SystolicGeometry;
     use proptest::prelude::*;
 
     fn reference_gemv(x: &[f32], w: &[f32], k: usize, n: usize) -> Vec<f32> {
@@ -246,7 +246,9 @@ mod tests {
         let k = 48;
         let n = 20;
         let x: Vec<f32> = (0..k).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect();
-        let w: Vec<f32> = (0..k * n).map(|i| ((i * 11 % 17) as f32 - 8.0) * 0.05).collect();
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 11 % 17) as f32 - 8.0) * 0.05)
+            .collect();
         let mut cim = CimMacro::default();
         cim.load_weights(&w, k, n);
         let got = cim.gemv(&x);

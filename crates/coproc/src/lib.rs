@@ -90,7 +90,12 @@ mod tests {
         let mut b = Cycles(1);
         b += Cycles(2);
         assert_eq!(b, Cycles(3));
-        assert_eq!(vec![Cycles(1), Cycles(2), Cycles(3)].into_iter().sum::<Cycles>(), Cycles(6));
+        assert_eq!(
+            vec![Cycles(1), Cycles(2), Cycles(3)]
+                .into_iter()
+                .sum::<Cycles>(),
+            Cycles(6)
+        );
     }
 
     #[test]

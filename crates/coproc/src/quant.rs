@@ -66,7 +66,15 @@ mod tests {
 
     #[test]
     fn bf16_round_is_idempotent() {
-        for x in [0.0f32, 1.0, -1.5, 3.14159, 1e-20, 1e20, -123.456] {
+        for x in [
+            0.0f32,
+            1.0,
+            -1.5,
+            core::f32::consts::PI,
+            1e-20,
+            1e20,
+            -123.456,
+        ] {
             let once = bf16_round(x);
             assert_eq!(bf16_round(once), once);
         }
@@ -83,7 +91,12 @@ mod tests {
     #[test]
     fn bf16_round_error_is_bounded() {
         // BF16 has 8 mantissa bits -> relative error < 2^-8.
-        for x in [3.14159f32, 2.71828, 123.456, 0.001234] {
+        for x in [
+            core::f32::consts::PI,
+            core::f32::consts::E,
+            123.456,
+            0.001234,
+        ] {
             let r = bf16_round(x);
             assert!(((r - x) / x).abs() < 1.0 / 256.0, "x={x} r={r}");
         }

@@ -267,7 +267,11 @@ mod tests {
         let peak = sa.geometry().macs_per_cycle() as f64;
         assert!(res.macs_per_cycle() <= peak + 1e-9);
         // Large GEMMs should reach decent utilisation (> 50% of peak).
-        assert!(res.macs_per_cycle() > 0.5 * peak, "util = {}", res.macs_per_cycle() / peak);
+        assert!(
+            res.macs_per_cycle() > 0.5 * peak,
+            "util = {}",
+            res.macs_per_cycle() / peak
+        );
     }
 
     #[test]

@@ -163,25 +163,46 @@ mod tests {
         let vu = VectorUnit::new(4);
         let a = [1.0, 2.0, 3.0];
         let b = [4.0, 0.5, -3.0];
-        assert_eq!(vu.execute(VectorOp::Add, &a, &b).output, vec![5.0, 2.5, 0.0]);
-        assert_eq!(vu.execute(VectorOp::Sub, &a, &b).output, vec![-3.0, 1.5, 6.0]);
-        assert_eq!(vu.execute(VectorOp::Mul, &a, &b).output, vec![4.0, 1.0, -9.0]);
-        assert_eq!(vu.execute(VectorOp::Max, &a, &b).output, vec![4.0, 2.0, 3.0]);
+        assert_eq!(
+            vu.execute(VectorOp::Add, &a, &b).output,
+            vec![5.0, 2.5, 0.0]
+        );
+        assert_eq!(
+            vu.execute(VectorOp::Sub, &a, &b).output,
+            vec![-3.0, 1.5, 6.0]
+        );
+        assert_eq!(
+            vu.execute(VectorOp::Mul, &a, &b).output,
+            vec![4.0, 1.0, -9.0]
+        );
+        assert_eq!(
+            vu.execute(VectorOp::Max, &a, &b).output,
+            vec![4.0, 2.0, 3.0]
+        );
     }
 
     #[test]
     fn relu_and_identity() {
         let vu = VectorUnit::default();
         let x = [-1.0, 0.0, 2.0];
-        assert_eq!(vu.activation(ActivationFn::Relu, &x).output, vec![0.0, 0.0, 2.0]);
-        assert_eq!(vu.activation(ActivationFn::Identity, &x).output, vec![-1.0, 0.0, 2.0]);
+        assert_eq!(
+            vu.activation(ActivationFn::Relu, &x).output,
+            vec![0.0, 0.0, 2.0]
+        );
+        assert_eq!(
+            vu.activation(ActivationFn::Identity, &x).output,
+            vec![-1.0, 0.0, 2.0]
+        );
     }
 
     #[test]
     fn convert_clamps() {
         let vu = VectorUnit::default();
         let x = [300.0, -300.0, 3.4];
-        assert_eq!(vu.convert(Precision::Int8, &x).output, vec![127.0, -128.0, 3.0]);
+        assert_eq!(
+            vu.convert(Precision::Int8, &x).output,
+            vec![127.0, -128.0, 3.0]
+        );
         assert_eq!(vu.convert(Precision::Int4, &x).output, vec![7.0, -8.0, 3.0]);
     }
 

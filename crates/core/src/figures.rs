@@ -152,7 +152,12 @@ pub struct Fig11Report {
     pub hetero_vs_homo_mc: f64,
 }
 
-fn request_seconds(system: &EdgeMm, workload: &ModelWorkload, gemm: ClusterKind, gemv: ClusterKind) -> (Vec<(Phase, f64)>, f64) {
+fn request_seconds(
+    system: &EdgeMm,
+    workload: &ModelWorkload,
+    gemm: ClusterKind,
+    gemv: ClusterKind,
+) -> (Vec<(Phase, f64)>, f64) {
     let run = system.machine().run_request_with_assignment(
         workload,
         DecodeOptions::baseline(),
@@ -236,7 +241,12 @@ pub struct Fig12Report {
 /// `channels` and `ffn_dim` control the size of the synthetic FFN used for
 /// the cosine-similarity experiment (defaults in the report binary match the
 /// SPHINX-Tiny geometry; tests use smaller dimensions).
-pub fn fig12_pruning(model: &MllmConfig, channels: usize, ffn_dim: usize, seed: u64) -> Fig12Report {
+pub fn fig12_pruning(
+    model: &MllmConfig,
+    channels: usize,
+    ffn_dim: usize,
+    seed: u64,
+) -> Fig12Report {
     let layers = model.llm.layers;
     let profile = ActivationProfile::sphinx_tiny_like(layers, channels);
     let generator = ActivationGenerator::new(profile, seed);
@@ -515,7 +525,11 @@ mod tests {
     #[test]
     fn table2_edgemm_beats_gpu_and_pruning_extends_the_lead() {
         let report = table2_gpu_comparison(&zoo::sphinx_tiny(), 64);
-        assert!(report.edgemm_speedup > 1.0, "speedup = {}", report.edgemm_speedup);
+        assert!(
+            report.edgemm_speedup > 1.0,
+            "speedup = {}",
+            report.edgemm_speedup
+        );
         assert!(report.edgemm_pruned_speedup > report.edgemm_speedup);
         assert!(report.edgemm_tokens_per_joule > 0.0);
     }

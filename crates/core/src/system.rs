@@ -107,7 +107,12 @@ impl EdgeMm {
 
     /// Measure the dynamic Top-k pruning behaviour on synthetic activations
     /// with the Fig. 3 channel statistics, for `tokens` generated tokens.
-    pub fn measure_pruning(&self, workload: &ModelWorkload, seed: u64, tokens: usize) -> PruningMeasurement {
+    pub fn measure_pruning(
+        &self,
+        workload: &ModelWorkload,
+        seed: u64,
+        tokens: usize,
+    ) -> PruningMeasurement {
         let llm = &workload.config().llm;
         let profile = ActivationProfile::sphinx_tiny_like(llm.layers, llm.d_model);
         let generator = ActivationGenerator::new(profile, seed);
@@ -127,8 +132,7 @@ impl EdgeMm {
         for v in layer_keep.iter_mut().chain(layer_kurt.iter_mut()) {
             *v /= tokens as f64;
         }
-        let average_keep_ratio =
-            layer_keep.iter().sum::<f64>() / layer_keep.len().max(1) as f64;
+        let average_keep_ratio = layer_keep.iter().sum::<f64>() / layer_keep.len().max(1) as f64;
         PruningMeasurement {
             average_keep_ratio,
             layer_pruning_ratio: layer_keep.iter().map(|k| 1.0 - k).collect(),
@@ -136,7 +140,11 @@ impl EdgeMm {
         }
     }
 
-    fn decode_options(&self, workload: &ModelWorkload, options: RequestOptions) -> (DecodeOptions, Option<PruningMeasurement>) {
+    fn decode_options(
+        &self,
+        workload: &ModelWorkload,
+        options: RequestOptions,
+    ) -> (DecodeOptions, Option<PruningMeasurement>) {
         if options.pruning {
             let measurement = self.measure_pruning(workload, options.seed, 4);
             (
@@ -174,8 +182,12 @@ impl EdgeMm {
         pruning: Option<PruningMeasurement>,
     ) -> SystemReport {
         let latency_s = run.total_seconds();
-        let generated = (workload.output_tokens() * run.phases.iter().map(|_| 1).take(1).count().max(1)) as f64;
-        let tokens_per_second = if latency_s > 0.0 { generated / latency_s } else { 0.0 };
+        let generated = workload.output_tokens() as f64;
+        let tokens_per_second = if latency_s > 0.0 {
+            generated / latency_s
+        } else {
+            0.0
+        };
         let dram = &self.machine.config().dram;
         let bytes_per_token = run.total_dram_bytes() as f64 / generated.max(1.0);
         let tokens_per_joule = self.power.tokens_per_joule(
@@ -216,10 +228,7 @@ impl EdgeMm {
             workload,
             Phase::Decode,
             edgemm_arch::ClusterKind::MemoryCentric,
-            DecodeOptions {
-                batch: 1,
-                ..decode
-            },
+            DecodeOptions { batch: 1, ..decode },
         );
         let tokens = workload.output_tokens() as f64;
         Pipeline::new(
@@ -313,8 +322,16 @@ mod tests {
             );
             run.total_seconds()
         };
-        assert!(hetero.latency_s < homo_cc, "hetero {} vs homo-CC {homo_cc}", hetero.latency_s);
-        assert!(hetero.latency_s < homo_mc, "hetero {} vs homo-MC {homo_mc}", hetero.latency_s);
+        assert!(
+            hetero.latency_s < homo_cc,
+            "hetero {} vs homo-CC {homo_cc}",
+            hetero.latency_s
+        );
+        assert!(
+            hetero.latency_s < homo_mc,
+            "hetero {} vs homo-MC {homo_mc}",
+            hetero.latency_s
+        );
     }
 
     #[test]

@@ -191,7 +191,11 @@ mod tests {
     fn reset_values_match_architecture() {
         let csrs = CsrFile::for_core(0, false, 0, 4);
         assert_eq!(csrs.read(Csr::ActivationBits), 8);
-        assert_eq!(csrs.read(Csr::PruneThreshold), 16, "paper Alg. 1 default t = 16");
+        assert_eq!(
+            csrs.read(Csr::PruneThreshold),
+            16,
+            "paper Alg. 1 default t = 16"
+        );
         assert_eq!(csrs.read(Csr::TileM), 0);
     }
 

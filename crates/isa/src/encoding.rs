@@ -55,10 +55,12 @@ impl InstructionFormat {
     /// The format an instruction encodes to.
     pub fn of(inst: &Instruction) -> Self {
         match inst {
-            Instruction::MatMul { .. } | Instruction::MatLoad { .. } | Instruction::MatStore { .. } => {
-                InstructionFormat::MatrixMatrix
+            Instruction::MatMul { .. }
+            | Instruction::MatLoad { .. }
+            | Instruction::MatStore { .. } => InstructionFormat::MatrixMatrix,
+            Instruction::MvMul { .. } | Instruction::Prune { .. } => {
+                InstructionFormat::MatrixVector
             }
-            Instruction::MvMul { .. } | Instruction::Prune { .. } => InstructionFormat::MatrixVector,
             Instruction::Vector { .. } => InstructionFormat::VectorVector,
             Instruction::CsrRead { .. } | Instruction::CsrWrite { .. } => InstructionFormat::Config,
             Instruction::Sync => InstructionFormat::Sync,
@@ -100,7 +102,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::WrongOpcode { found } => {
-                write!(f, "major opcode {found:#04x} is not the EdgeMM custom opcode")
+                write!(
+                    f,
+                    "major opcode {found:#04x} is not the EdgeMM custom opcode"
+                )
             }
             DecodeError::UnknownFormat { tag } => write!(f, "unknown instruction format tag {tag}"),
             DecodeError::UnknownFunction { func } => write!(f, "unknown function code {func}"),
@@ -119,7 +124,10 @@ fn field(word: u32, lo: u32, width: u32) -> u32 {
 }
 
 fn put(value: u32, lo: u32, width: u32) -> u32 {
-    debug_assert!(value < (1 << width), "field overflow: {value} in {width} bits");
+    debug_assert!(
+        value < (1 << width),
+        "field overflow: {value} in {width} bits"
+    );
     (value & ((1 << width) - 1)) << lo
 }
 
@@ -195,7 +203,12 @@ pub fn encode(inst: &Instruction) -> u32 {
                 | put(src.0 as u32, 19, 5)
                 | put(base.0 as u32, 24, 5);
         }
-        Instruction::Vector { op, dest, src1, src2 } => {
+        Instruction::Vector {
+            op,
+            dest,
+            src1,
+            src2,
+        } => {
             let (func, sel) = match op {
                 VectorOp::Add => (0, 0),
                 VectorOp::Sub => (1, 0),
@@ -238,7 +251,9 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
     }
     let tag = field(word, 7, 3);
     let format = InstructionFormat::from_tag(tag).ok_or(DecodeError::UnknownFormat { tag })?;
-    let mreg = |idx: u32| MatrixReg::from_index(idx as usize).ok_or(DecodeError::BadRegister { index: idx });
+    let mreg = |idx: u32| {
+        MatrixReg::from_index(idx as usize).ok_or(DecodeError::BadRegister { index: idx })
+    };
     let vreg = |idx: u32| VectorReg::new(idx as u8).ok_or(DecodeError::BadRegister { index: idx });
     let sreg = |idx: u32| ScalarReg::new(idx as u8).ok_or(DecodeError::BadRegister { index: idx });
     match format {
@@ -296,7 +311,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
             } else {
                 vreg(raw2)?
             };
-            Ok(Instruction::Vector { op, dest, src1, src2 })
+            Ok(Instruction::Vector {
+                op,
+                dest,
+                src1,
+                src2,
+            })
         }
         InstructionFormat::Config => {
             let is_read = field(word, 10, 1) == 1;

@@ -223,8 +223,12 @@ impl Instruction {
     /// Short mnemonic, as it would appear in an assembly listing.
     pub fn mnemonic(&self) -> &'static str {
         match self {
-            Instruction::MatMul { accumulate: true, .. } => "mm.macc",
-            Instruction::MatMul { accumulate: false, .. } => "mm.mul",
+            Instruction::MatMul {
+                accumulate: true, ..
+            } => "mm.macc",
+            Instruction::MatMul {
+                accumulate: false, ..
+            } => "mm.mul",
             Instruction::MatLoad { .. } => "mm.ld",
             Instruction::MatStore { .. } => "mm.st",
             Instruction::MvMul { .. } => "mv.mul",
@@ -304,7 +308,7 @@ mod tests {
 
     #[test]
     fn coprocessor_usage_classification() {
-        assert!(Instruction::Sync.uses_coprocessor() == false);
+        assert!(!Instruction::Sync.uses_coprocessor());
         let prune = Instruction::Prune {
             dest: VectorReg(1),
             src: VectorReg(2),

@@ -30,7 +30,13 @@ pub struct KernelStats {
 impl KernelStats {
     /// Total instruction count.
     pub fn total(&self) -> usize {
-        self.matmul + self.mat_ldst + self.mvmul + self.prune + self.vector + self.config + self.sync
+        self.matmul
+            + self.mat_ldst
+            + self.mvmul
+            + self.prune
+            + self.vector
+            + self.config
+            + self.sync
     }
 }
 
@@ -141,7 +147,13 @@ impl KernelBuilder {
     }
 
     /// Append a systolic-array multiply (`accumulate` selects `mm.macc`).
-    pub fn mat_mul(self, dest: MatrixReg, lhs: MatrixReg, rhs: MatrixReg, accumulate: bool) -> Self {
+    pub fn mat_mul(
+        self,
+        dest: MatrixReg,
+        lhs: MatrixReg,
+        rhs: MatrixReg,
+        accumulate: bool,
+    ) -> Self {
         self.push(Instruction::MatMul {
             dest,
             lhs,
@@ -262,7 +274,10 @@ mod tests {
             .build();
         assert_eq!(kernel.name(), "k");
         assert_eq!(kernel.len(), 3);
-        assert!(matches!(kernel.instructions()[0], Instruction::MatLoad { .. }));
+        assert!(matches!(
+            kernel.instructions()[0],
+            Instruction::MatLoad { .. }
+        ));
         assert!(matches!(kernel.instructions()[2], Instruction::Sync));
     }
 

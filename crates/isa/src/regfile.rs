@@ -158,7 +158,10 @@ mod tests {
     fn vector_register_zero_extends() {
         let mut vf = VectorRegisterFile::new(8);
         vf.write(VectorReg(3), &[1.0, 2.0, 3.0]);
-        assert_eq!(vf.read(VectorReg(3)), &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            vf.read(VectorReg(3)),
+            &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn budget_bytes_scale_with_share_and_interval() {
         let dram = DramModel::paper_default();
-        let policy = BudgetPolicy { interval_cycles: 10_000 };
+        let policy = BudgetPolicy {
+            interval_cycles: 10_000,
+        };
         let half = policy.budget_bytes(&dram, 0.5);
         let quarter = policy.budget_bytes(&dram, 0.25);
         assert!(half > quarter);

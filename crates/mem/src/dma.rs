@@ -156,9 +156,9 @@ impl DmaEngine {
                 self.roll_interval(start);
             }
         }
-        let cycles = self
-            .dram
-            .transfer_cycles(request.bytes, self.max_block_bytes, self.bandwidth_share);
+        let cycles =
+            self.dram
+                .transfer_cycles(request.bytes, self.max_block_bytes, self.bandwidth_share);
         let end = start + cycles;
         self.pmc_bytes += request.bytes;
         self.now = end;
@@ -216,7 +216,10 @@ mod tests {
         let a = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), 0);
         assert_eq!(a.stall_cycles, 0);
         // Second request must wait for the next interval boundary.
-        let b = dma.submit(DmaRequest::new(4 * 1024, TrafficClass::FfnWeights), a.end_cycle);
+        let b = dma.submit(
+            DmaRequest::new(4 * 1024, TrafficClass::FfnWeights),
+            a.end_cycle,
+        );
         assert!(b.stall_cycles > 0);
         assert_eq!(b.start_cycle, 50_000);
         assert_eq!(dma.total_stall_cycles(), b.stall_cycles);
@@ -228,7 +231,10 @@ mod tests {
         dma.set_budget(100 * 1024, 10_000);
         let a = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), 0);
         // Issue far in the future: the PMC has long reset, no stall.
-        let b = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), a.end_cycle + 100_000);
+        let b = dma.submit(
+            DmaRequest::new(128 * 1024, TrafficClass::FfnWeights),
+            a.end_cycle + 100_000,
+        );
         assert_eq!(b.stall_cycles, 0);
     }
 

@@ -44,7 +44,12 @@ impl DramModel {
     /// # Panics
     ///
     /// Panics if `peak_gib_s` is not positive or `clock_mhz` is zero.
-    pub fn new(peak_gib_s: f64, clock_mhz: u32, overhead_cycles: u64, energy_pj_per_byte: f64) -> Self {
+    pub fn new(
+        peak_gib_s: f64,
+        clock_mhz: u32,
+        overhead_cycles: u64,
+        energy_pj_per_byte: f64,
+    ) -> Self {
         assert!(peak_gib_s > 0.0, "peak bandwidth must be positive");
         assert!(clock_mhz > 0, "clock must be non-zero");
         DramModel {
@@ -132,13 +137,24 @@ mod tests {
     #[test]
     fn effective_bandwidth_is_monotonic_in_block_size() {
         let dram = DramModel::paper_default();
-        let sizes = [1usize << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22];
+        let sizes = [
+            1usize << 10,
+            1 << 12,
+            1 << 14,
+            1 << 16,
+            1 << 18,
+            1 << 20,
+            1 << 22,
+        ];
         let bws: Vec<f64> = sizes
             .iter()
             .map(|&s| dram.effective_bandwidth_gib_s(s as u64))
             .collect();
         for pair in bws.windows(2) {
-            assert!(pair[1] >= pair[0] - 1e-9, "bandwidth not monotonic: {bws:?}");
+            assert!(
+                pair[1] >= pair[0] - 1e-9,
+                "bandwidth not monotonic: {bws:?}"
+            );
         }
     }
 

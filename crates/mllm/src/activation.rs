@@ -59,7 +59,8 @@ impl ActivationProfile {
             return self.outlier_ratio_last_layer;
         }
         let t = layer as f64 / (self.layers - 1) as f64;
-        self.outlier_ratio_first_layer + t * (self.outlier_ratio_last_layer - self.outlier_ratio_first_layer)
+        self.outlier_ratio_first_layer
+            + t * (self.outlier_ratio_last_layer - self.outlier_ratio_first_layer)
     }
 }
 
@@ -78,7 +79,10 @@ impl ActivationGenerator {
     ///
     /// Panics if the profile has zero layers or channels.
     pub fn new(profile: ActivationProfile, seed: u64) -> Self {
-        assert!(profile.layers > 0 && profile.channels > 0, "profile must be non-empty");
+        assert!(
+            profile.layers > 0 && profile.channels > 0,
+            "profile must be non-empty"
+        );
         // Outlier channels are persistent across layers (as observed in real
         // LLMs where specific channels carry outsized activations).
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA11CE);
@@ -145,7 +149,9 @@ impl ActivationGenerator {
     /// Generate the activation vectors of every layer for one token
     /// (one full forward pass).
     pub fn generate_token(&self, token: usize) -> Vec<Vec<f32>> {
-        (0..self.profile.layers).map(|l| self.generate(l, token)).collect()
+        (0..self.profile.layers)
+            .map(|l| self.generate(l, token))
+            .collect()
     }
 }
 
@@ -170,8 +176,16 @@ mod tests {
         let a = generator();
         let b = generator();
         assert_eq!(a.generate(3, 5), b.generate(3, 5));
-        assert_ne!(a.generate(3, 5), a.generate(3, 6), "different tokens differ");
-        assert_ne!(a.generate(3, 5), a.generate(4, 5), "different layers differ");
+        assert_ne!(
+            a.generate(3, 5),
+            a.generate(3, 6),
+            "different tokens differ"
+        );
+        assert_ne!(
+            a.generate(3, 5),
+            a.generate(4, 5),
+            "different layers differ"
+        );
     }
 
     #[test]
@@ -202,7 +216,8 @@ mod tests {
         let ratio = |layer: usize| {
             let v = g.generate(layer, 0);
             let outliers = g.outlier_channels();
-            let mean_out: f32 = outliers.iter().map(|&i| v[i].abs()).sum::<f32>() / outliers.len() as f32;
+            let mean_out: f32 =
+                outliers.iter().map(|&i| v[i].abs()).sum::<f32>() / outliers.len() as f32;
             let mean_bulk: f32 = v
                 .iter()
                 .enumerate()
@@ -212,7 +227,12 @@ mod tests {
                 / (v.len() - outliers.len()) as f32;
             mean_out / mean_bulk
         };
-        assert!(ratio(21) > 2.0 * ratio(0), "deep {} vs shallow {}", ratio(21), ratio(0));
+        assert!(
+            ratio(21) > 2.0 * ratio(0),
+            "deep {} vs shallow {}",
+            ratio(21),
+            ratio(0)
+        );
     }
 
     #[test]
@@ -234,7 +254,11 @@ mod tests {
         let small = v.iter().filter(|x| x.abs() < max / 16.0).count();
         // The "sparsity" observation: the vast majority of channels are
         // negligible relative to the maximum.
-        assert!(small as f64 / v.len() as f64 > 0.8, "small fraction = {}", small as f64 / v.len() as f64);
+        assert!(
+            small as f64 / v.len() as f64 > 0.8,
+            "small fraction = {}",
+            small as f64 / v.len() as f64
+        );
     }
 
     #[test]

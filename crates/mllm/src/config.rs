@@ -168,10 +168,7 @@ mod tests {
         let llm = zoo::qwen1_5_0_5b();
         let params = llm.total_params() as f64;
         // Qwen1.5-0.5B has ~620M params including its large vocabulary.
-        assert!(
-            (0.4e9..0.75e9).contains(&params),
-            "Qwen params = {params}"
-        );
+        assert!((0.4e9..0.75e9).contains(&params), "Qwen params = {params}");
     }
 
     #[test]
@@ -197,10 +194,7 @@ mod tests {
         // The paper profiles with ~300 input tokens, primarily vision tokens.
         let model = zoo::sphinx_tiny();
         let prompt = model.prompt_tokens(20);
-        assert!(
-            (250..=350).contains(&prompt),
-            "prompt tokens = {prompt}"
-        );
+        assert!((250..=350).contains(&prompt), "prompt tokens = {prompt}");
     }
 
     #[test]

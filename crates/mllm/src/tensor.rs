@@ -127,15 +127,14 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// Panics if `x.len() != b.rows()`.
 pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
     assert_eq!(x.len(), b.rows(), "vector length must match matrix rows");
-    let (k, n) = (b.rows(), b.cols());
+    let n = b.cols();
     let mut out = vec![0.0f32; n];
-    for kk in 0..k {
-        let xv = x[kk];
+    for (row, &xv) in b.data.chunks_exact(n).zip(x) {
         if xv == 0.0 {
             continue;
         }
-        for j in 0..n {
-            out[j] += xv * b.data[kk * n + j];
+        for (o, &w) in out.iter_mut().zip(row) {
+            *o += xv * w;
         }
     }
     out

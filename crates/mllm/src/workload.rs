@@ -185,23 +185,66 @@ impl ModelWorkload {
         let f = v.d_ffn;
         let mut ops = Vec::with_capacity(v.layers * 6);
         for layer in 0..v.layers {
-            let mk_op = |name: &str, m: usize, k: usize, n: usize, class, from_dram: bool| MatmulOp {
-                name: format!("vision.layer{layer}.{name}"),
-                phase: Phase::VisionEncode,
-                kind: OpKind::Gemm,
-                m,
-                k,
-                n,
-                weight_class: class,
-                weights_from_dram: from_dram,
-                prunable: false,
-            };
-            ops.push(mk_op("qkv", s, d, 3 * d, TrafficClass::EncoderWeights, true));
-            ops.push(mk_op("attn.scores", s, d, s, TrafficClass::Activations, false));
-            ops.push(mk_op("attn.values", s, s, d, TrafficClass::Activations, false));
-            ops.push(mk_op("attn.out", s, d, d, TrafficClass::EncoderWeights, true));
-            ops.push(mk_op("mlp.fc1", s, d, f, TrafficClass::EncoderWeights, true));
-            ops.push(mk_op("mlp.fc2", s, f, d, TrafficClass::EncoderWeights, true));
+            let mk_op =
+                |name: &str, m: usize, k: usize, n: usize, class, from_dram: bool| MatmulOp {
+                    name: format!("vision.layer{layer}.{name}"),
+                    phase: Phase::VisionEncode,
+                    kind: OpKind::Gemm,
+                    m,
+                    k,
+                    n,
+                    weight_class: class,
+                    weights_from_dram: from_dram,
+                    prunable: false,
+                };
+            ops.push(mk_op(
+                "qkv",
+                s,
+                d,
+                3 * d,
+                TrafficClass::EncoderWeights,
+                true,
+            ));
+            ops.push(mk_op(
+                "attn.scores",
+                s,
+                d,
+                s,
+                TrafficClass::Activations,
+                false,
+            ));
+            ops.push(mk_op(
+                "attn.values",
+                s,
+                s,
+                d,
+                TrafficClass::Activations,
+                false,
+            ));
+            ops.push(mk_op(
+                "attn.out",
+                s,
+                d,
+                d,
+                TrafficClass::EncoderWeights,
+                true,
+            ));
+            ops.push(mk_op(
+                "mlp.fc1",
+                s,
+                d,
+                f,
+                TrafficClass::EncoderWeights,
+                true,
+            ));
+            ops.push(mk_op(
+                "mlp.fc2",
+                s,
+                f,
+                d,
+                TrafficClass::EncoderWeights,
+                true,
+            ));
         }
         ops
     }
@@ -239,7 +282,13 @@ impl ModelWorkload {
     /// Operators of one decoder layer, parameterised by the number of query
     /// rows `m` (the prompt length for prefill, 1 for decode) and the number
     /// of cached tokens visible to attention.
-    fn decoder_layer_ops(&self, layer: usize, phase: Phase, m: usize, cached: usize) -> Vec<MatmulOp> {
+    fn decoder_layer_ops(
+        &self,
+        layer: usize,
+        phase: Phase,
+        m: usize,
+        cached: usize,
+    ) -> Vec<MatmulOp> {
         let llm = &self.config.llm;
         let d = llm.d_model;
         let kv = llm.kv_dim();
@@ -395,7 +444,10 @@ mod tests {
     fn prefill_is_gemm_decode_is_gemv() {
         let w = workload();
         assert!(w.prefill_ops().iter().all(|op| op.kind == OpKind::Gemm));
-        assert!(w.decode_step_ops(300).iter().all(|op| op.kind == OpKind::Gemv));
+        assert!(w
+            .decode_step_ops(300)
+            .iter()
+            .all(|op| op.kind == OpKind::Gemv));
     }
 
     #[test]
@@ -435,7 +487,11 @@ mod tests {
             .filter(|o| o.weight_class == TrafficClass::FfnWeights)
             .map(|o| o.weight_bytes(2))
             .sum();
-        assert!(ffn as f64 / total as f64 > 0.5, "FFN fraction = {}", ffn as f64 / total as f64);
+        assert!(
+            ffn as f64 / total as f64 > 0.5,
+            "FFN fraction = {}",
+            ffn as f64 / total as f64
+        );
     }
 
     #[test]
@@ -448,7 +504,11 @@ mod tests {
             .filter(|o| o.weight_class == TrafficClass::KvCache)
             .map(|o| o.weight_bytes(2))
             .sum();
-        assert!((kv as f64 / total as f64) < 0.15, "KV fraction = {}", kv as f64 / total as f64);
+        assert!(
+            (kv as f64 / total as f64) < 0.15,
+            "KV fraction = {}",
+            kv as f64 / total as f64
+        );
     }
 
     #[test]
@@ -493,7 +553,11 @@ mod tests {
     #[test]
     fn phase_flops_scale_decode_by_output_tokens() {
         let w = workload();
-        let one_step: u64 = w.average_decode_step_ops().iter().map(MatmulOp::flops).sum();
+        let one_step: u64 = w
+            .average_decode_step_ops()
+            .iter()
+            .map(MatmulOp::flops)
+            .sum();
         assert_eq!(w.phase_flops(Phase::Decode), one_step * 64);
     }
 

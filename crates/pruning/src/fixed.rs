@@ -40,8 +40,8 @@ impl FixedRatioPruning {
 impl Pruner for FixedRatioPruning {
     fn select(&mut self, _layer: usize, activations: &[f32]) -> PruneSelection {
         let total = activations.len();
-        let keep = ((total as f64 * (1.0 - self.prune_ratio)).round() as usize)
-            .clamp(1, total.max(1));
+        let keep =
+            ((total as f64 * (1.0 - self.prune_ratio)).round() as usize).clamp(1, total.max(1));
         PruneSelection {
             kept: top_k_indices(activations, keep),
             total,

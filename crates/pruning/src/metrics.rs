@@ -44,11 +44,19 @@ pub fn kurtosis(values: &[f32]) -> f64 {
     }
     let n = values.len() as f64;
     let mean = values.iter().map(|&x| x as f64).sum::<f64>() / n;
-    let var = values.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     if var == 0.0 {
         return 0.0;
     }
-    let m4 = values.iter().map(|&x| (x as f64 - mean).powi(4)).sum::<f64>() / n;
+    let m4 = values
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(4))
+        .sum::<f64>()
+        / n;
     m4 / (var * var)
 }
 

@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn empty_selection_ratio() {
-        let sel = PruneSelection { kept: vec![], total: 0 };
+        let sel = PruneSelection {
+            kept: vec![],
+            total: 0,
+        };
         assert_eq!(sel.pruning_ratio(), 0.0);
     }
 

@@ -90,8 +90,8 @@ impl Pipeline {
     ) -> PipelinePoint {
         assert!(output_tokens > 0, "output tokens must be non-zero");
         assert!(batch > 0, "batch must be non-zero");
-        let cc_share = allocation.cc_share.max(1e-3).min(1.0);
-        let mc_share = allocation.mc_share.max(1e-3).min(1.0);
+        let cc_share = allocation.cc_share.clamp(1e-3, 1.0);
+        let mc_share = allocation.mc_share.clamp(1e-3, 1.0);
         let cc = self.cc_stage.scale_all(batch as f64);
         let mc = self
             .mc_stage_per_token

@@ -95,11 +95,8 @@ impl TokenLengthManager {
             .candidate_ratios
             .iter()
             .map(|&bm| {
-                self.pipeline.evaluate(
-                    output_tokens,
-                    BandwidthAllocation::from_ratio(1.0, bm),
-                    1,
-                )
+                self.pipeline
+                    .evaluate(output_tokens, BandwidthAllocation::from_ratio(1.0, bm), 1)
             })
             .min_by(|a, b| a.period_s().partial_cmp(&b.period_s()).expect("finite"))
             .expect("at least one candidate ratio")
@@ -129,9 +126,9 @@ impl TokenLengthManager {
         let mut best = best_alloc;
         if skewed_point.mc_seconds > skewed_point.cc_seconds {
             for batch in 2..=self.policy.max_batch {
-                let candidate =
-                    self.pipeline
-                        .evaluate(output_tokens, best_alloc.allocation, batch);
+                let candidate = self
+                    .pipeline
+                    .evaluate(output_tokens, best_alloc.allocation, batch);
                 if candidate.tokens_per_second() > best.tokens_per_second() {
                     best = candidate;
                 }
@@ -189,8 +186,16 @@ mod tests {
         let plan = m.plan(128);
         let ratio = plan.point.allocation.ratio_bm_per_bc().unwrap();
         assert!(ratio >= 3.0, "chosen ratio = {ratio}");
-        assert!(plan.latency_reduction() > 0.2, "latency reduction = {}", plan.latency_reduction());
-        assert!(plan.throughput_gain() > 1.3, "throughput gain = {}", plan.throughput_gain());
+        assert!(
+            plan.latency_reduction() > 0.2,
+            "latency reduction = {}",
+            plan.latency_reduction()
+        );
+        assert!(
+            plan.throughput_gain() > 1.3,
+            "throughput gain = {}",
+            plan.throughput_gain()
+        );
     }
 
     #[test]
@@ -200,7 +205,11 @@ mod tests {
         let m = manager();
         let plan = m.plan(1024);
         assert!(plan.point.batch > 1, "batch = {}", plan.point.batch);
-        assert!(plan.throughput_gain() > 4.0, "gain = {}", plan.throughput_gain());
+        assert!(
+            plan.throughput_gain() > 4.0,
+            "gain = {}",
+            plan.throughput_gain()
+        );
         // Batching costs some request latency but not unboundedly much.
         assert!(plan.latency_overhead() < 2.0);
     }
@@ -213,7 +222,10 @@ mod tests {
         let plans = m.sweep(&[16, 128, 1024]);
         let gains: Vec<f64> = plans.iter().map(ManagedPlan::throughput_gain).collect();
         assert!(gains.iter().all(|&g| g >= 0.99), "gains = {gains:?}");
-        assert!(gains[2] > gains[1] && gains[1] > gains[0], "gains = {gains:?}");
+        assert!(
+            gains[2] > gains[1] && gains[1] > gains[0],
+            "gains = {gains:?}"
+        );
         assert!(gains[2] > 2.0);
     }
 

@@ -20,7 +20,10 @@ impl RooflineStage {
     ///
     /// Panics if any argument is negative or the bandwidth is zero.
     pub fn new(compute_s: f64, dram_bytes: f64, full_bandwidth_gib_s: f64) -> Self {
-        assert!(compute_s >= 0.0 && dram_bytes >= 0.0, "stage costs must be non-negative");
+        assert!(
+            compute_s >= 0.0 && dram_bytes >= 0.0,
+            "stage costs must be non-negative"
+        );
         assert!(full_bandwidth_gib_s > 0.0, "bandwidth must be positive");
         RooflineStage {
             compute_s,
@@ -48,7 +51,8 @@ impl RooflineStage {
         if self.dram_bytes == 0.0 || self.compute_s == 0.0 {
             return if self.dram_bytes == 0.0 { 0.0 } else { 1.0 };
         }
-        let needed = self.dram_bytes / (self.compute_s * self.full_bandwidth_gib_s * (1u64 << 30) as f64);
+        let needed =
+            self.dram_bytes / (self.compute_s * self.full_bandwidth_gib_s * (1u64 << 30) as f64);
         needed.min(1.0)
     }
 

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds without network access to crates.io, so this shim
+//! provides the slice of the criterion API that the `edgemm-bench` benches
+//! use ([`Criterion::benchmark_group`], [`Criterion::bench_function`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`]) on top of a plain `std::time::Instant` timing loop.
+//!
+//! There is no statistical analysis, outlier rejection or HTML report —
+//! each benchmark is warmed up once and then timed over a fixed number of
+//! iterations, with the mean time per iteration printed to stdout. That is
+//! enough to spot order-of-magnitude regressions in the simulator's own
+//! runtime, which is all these benches exist for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark (after one untimed warm-up call).
+const TIMED_ITERS: u32 = 10;
+
+/// The bench context handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Time a standalone closure under `name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim always times
+    /// [`TIMED_ITERS`] iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Time a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Time a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, usually derived from the swept parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier showing only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Warm `routine` up once, then time [`TIMED_ITERS`] calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / f64::from(TIMED_ITERS));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher { mean_ns: None };
+    f(&mut bencher);
+    match bencher.mean_ns {
+        Some(ns) => println!("bench {label:<40} {}", format_ns(ns)),
+        None => println!("bench {label:<40} (no iter() call)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Bundle bench targets into a runnable group function; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + TIMED_ITERS timed calls.
+        assert_eq!(calls, 1 + TIMED_ITERS);
+    }
+
+    #[test]
+    fn group_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| seen = n);
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn units_format_sensibly() {
+        assert!(format_ns(12.0).contains("ns/iter"));
+        assert!(format_ns(12e3).contains("us/iter"));
+        assert!(format_ns(12e6).contains("ms/iter"));
+        assert!(format_ns(12e9).contains("s/iter"));
+    }
+}

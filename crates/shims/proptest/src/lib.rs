@@ -1,0 +1,419 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds without network access to crates.io, so this shim
+//! reimplements the slice of the proptest API that the EdgeMM test suites
+//! use:
+//!
+//! - the [`proptest!`] macro (including the `#![proptest_config(...)]`
+//!   inner attribute and multi-parameter `name in strategy` signatures),
+//! - range strategies over the integer and float primitives,
+//! - [`collection::vec`] and [`any`],
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the sampled inputs printed, which is enough to reproduce it (sampling is
+//! fully deterministic — case `i` of a test always sees the same inputs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Test-runner plumbing: configuration, RNG and case outcomes.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is supported.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the deterministic
+            // shim fast while still sweeping each strategy's domain.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — not a failure.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 stream used to sample strategy values.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream for one test case; `case` indexes the case number.
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66_D1CE_4E5B,
+            }
+        }
+
+        /// A stream for one case of a named property: mixes an FNV-1a hash
+        /// of the test name into the seed so different properties (and
+        /// different parameters across properties) do not replay the same
+        /// draw sequence.
+        pub fn for_named_case(name: &str, case: u64) -> Self {
+            let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+            for byte in name.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A recipe for sampling values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Sample one value from the deterministic stream.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let v = self.start + rng.unit_f64() as $t * (self.end - self.start);
+                    // Rounding in the multiply (or the f64 -> f32 cast) can
+                    // land exactly on the exclusive bound; keep half-open.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f64, f32);
+
+    /// Types with a whole-domain strategy, mirroring `proptest::arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// Sample an arbitrary value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy wrapper produced by [`crate::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Strategy over the whole domain of `T` (e.g. `any::<u32>()`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element` — mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = self.len.end - self.len.start;
+            let n = self.len.start + rng.below(span);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines deterministic property tests; mirrors `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// running `cases` sampled inputs through the body. `prop_assume!` rejects
+/// a case without failing; `prop_assert*!` failures panic with the inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional `#![proptest_config(...)]` inner attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // One generated zero-arg fn per property. The parameter list is taken
+    // as raw tokens and lowered by the `@bind` muncher so that both
+    // `name in strategy` and proptest's `name: Type` forms work.
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut executed: u32 = 0;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_named_case(stringify!($name), case as u64);
+                // Rendered per-binding, before the body can move the values.
+                let mut rendered_inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $crate::proptest!(@bind rng rendered_inputs $($params)*);
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => executed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "property {} failed at case {}: {}\ninputs: {}",
+                        stringify!($name),
+                        case,
+                        msg,
+                        rendered_inputs.join("  "),
+                    ),
+                }
+            }
+            // A property whose assumption rejects every case proved nothing.
+            assert!(
+                executed > 0,
+                "property {}: all {} cases were rejected by prop_assume!",
+                stringify!($name),
+                config.cases,
+            );
+        }
+    )*};
+    // Parameter-list muncher: `name in strategy` form.
+    (@bind $rng:ident $inputs:ident $arg:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::proptest!(@bind $rng $inputs $arg in $strat);
+        $crate::proptest!(@bind $rng $inputs $($rest)*);
+    };
+    (@bind $rng:ident $inputs:ident $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::sample(&($strat), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+    };
+    // Parameter-list muncher: `name: Type` shorthand for `any::<Type>()`.
+    (@bind $rng:ident $inputs:ident $arg:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::proptest!(@bind $rng $inputs $arg : $ty);
+        $crate::proptest!(@bind $rng $inputs $($rest)*);
+    };
+    (@bind $rng:ident $inputs:ident $arg:ident : $ty:ty) => {
+        let $arg = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+    };
+    (@bind $rng:ident $inputs:ident) => {};
+    // Entry: no inner config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `stringify!` goes through an argument (not the format string) so
+        // conditions containing braces don't break `format!`.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0.0f32..1.0, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn braced_conditions_format_cleanly(x in 0usize..4) {
+            prop_assert!(matches!(x, 0..=3));
+            prop_assert!((0..4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn streams_differ_between_properties() {
+        let mut a = TestRng::for_named_case("prop_a", 0);
+        let mut b = TestRng::for_named_case("prop_b", 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "all 64 cases were rejected")]
+    fn vacuous_properties_fail() {
+        proptest! {
+            fn never_runs(x in 0usize..4) {
+                prop_assume!(x > 100);
+                prop_assert!(false);
+            }
+        }
+        never_runs();
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case(5);
+        let mut b = TestRng::for_case(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x = {} is never > 100", x);
+            }
+        }
+        always_fails();
+    }
+}

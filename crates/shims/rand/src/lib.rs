@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds without network access to crates.io, so this shim
+//! provides the small slice of the `rand` 0.8 API that the EdgeMM crates
+//! use: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] and
+//! [`Rng::gen_range`]. The generator is SplitMix64 — deterministic for a
+//! given seed, which is all the synthetic-activation machinery requires
+//! (statistical quality far beyond "decent uniform" is not needed).
+//!
+//! The stream differs from the real `StdRng` (ChaCha12), so absolute values
+//! produced by seeded generators are not bit-compatible with upstream
+//! `rand`; every consumer in this workspace only relies on determinism and
+//! uniformity, not on a specific stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic seeded generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Create a generator seeded from a single `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Types that can be sampled uniformly from a generator's raw output.
+pub trait Standard: Sized {
+    /// Map one raw `u64` draw to a uniformly distributed value.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `range` given one raw `u64` draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(raw: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (raw % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8);
+
+impl SampleUniform for f64 {
+    fn sample_range(raw: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        let v = range.start + f64::from_u64(raw) * (range.end - range.start);
+        // The multiply can round up to the exclusive bound; keep the
+        // half-open contract.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(raw: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        let v = range.start + f32::from_u64(raw) * (range.end - range.start);
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng {
+    /// Produce the next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` uniformly over its standard domain
+    /// (`[0, 1)` for floats, both values for `bool`, full range for ints).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Sample uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self.next_u64(), range)
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        rngs::StdRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        let (xa, xb, xc): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let n = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let f = rng.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let draws: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access to crates.io. The EdgeMM
+//! crates only use `serde` for `#[derive(Serialize, Deserialize)]`
+//! annotations on config structs (no (de)serialization is exercised at
+//! runtime yet), so this shim provides no-op derive macros that accept the
+//! annotation and emit nothing. Swapping in the real `serde` later is a
+//! Cargo.toml-only change.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

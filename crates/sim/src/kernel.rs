@@ -125,7 +125,10 @@ mod tests {
         let pruning = PruningEffect::with_keep_ratio(0.5);
         let ffn = ffn_gemv();
         let attn = attn_gemv();
-        assert_eq!(pruned_weight_bytes(&ffn, 1, pruning), ffn.weight_bytes(1) / 2);
+        assert_eq!(
+            pruned_weight_bytes(&ffn, 1, pruning),
+            ffn.weight_bytes(1) / 2
+        );
         assert_eq!(pruned_weight_bytes(&attn, 1, pruning), attn.weight_bytes(1));
         assert_eq!(pruned_k(&ffn, pruning), 1024);
         assert_eq!(pruned_k(&attn, pruning), 2048);

@@ -233,7 +233,12 @@ impl Machine {
     ) -> PhaseResult {
         match phase {
             Phase::Decode => self.run_decode_on(workload, kind, options),
-            _ => self.run_ops(phase, &workload.phase_ops(phase), kind, PruningEffect::disabled()),
+            _ => self.run_ops(
+                phase,
+                &workload.phase_ops(phase),
+                kind,
+                PruningEffect::disabled(),
+            ),
         }
     }
 
@@ -332,8 +337,16 @@ mod tests {
     #[test]
     fn decode_is_memory_bound_on_mc_clusters() {
         let m = hetero();
-        let result = m.run_decode_on(&workload(8), ClusterKind::MemoryCentric, DecodeOptions::baseline());
-        assert!(result.memory_bound_fraction() > 0.5, "fraction = {}", result.memory_bound_fraction());
+        let result = m.run_decode_on(
+            &workload(8),
+            ClusterKind::MemoryCentric,
+            DecodeOptions::baseline(),
+        );
+        assert!(
+            result.memory_bound_fraction() > 0.5,
+            "fraction = {}",
+            result.memory_bound_fraction()
+        );
     }
 
     #[test]
@@ -346,7 +359,11 @@ mod tests {
             ClusterKind::ComputeCentric,
             PruningEffect::disabled(),
         );
-        assert!(result.memory_bound_fraction() < 0.5, "fraction = {}", result.memory_bound_fraction());
+        assert!(
+            result.memory_bound_fraction() < 0.5,
+            "fraction = {}",
+            result.memory_bound_fraction()
+        );
     }
 
     #[test]
@@ -356,8 +373,18 @@ mod tests {
         let m = hetero();
         let w = workload(8);
         let ops = w.prefill_ops();
-        let cc = m.run_ops(Phase::Prefill, &ops, ClusterKind::ComputeCentric, PruningEffect::disabled());
-        let mc = m.run_ops(Phase::Prefill, &ops, ClusterKind::MemoryCentric, PruningEffect::disabled());
+        let cc = m.run_ops(
+            Phase::Prefill,
+            &ops,
+            ClusterKind::ComputeCentric,
+            PruningEffect::disabled(),
+        );
+        let mc = m.run_ops(
+            Phase::Prefill,
+            &ops,
+            ClusterKind::MemoryCentric,
+            PruningEffect::disabled(),
+        );
         let ratio = mc.cycles as f64 / cc.cycles as f64;
         assert!(ratio > 2.0 && ratio < 10.0, "GEMM CC advantage = {ratio}");
     }
@@ -379,9 +406,16 @@ mod tests {
         let m = hetero();
         let w = workload(16);
         let dense = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
-        let pruned = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::with_pruning(0.5));
+        let pruned = m.run_decode_on(
+            &w,
+            ClusterKind::MemoryCentric,
+            DecodeOptions::with_pruning(0.5),
+        );
         let reduction = 1.0 - pruned.cycles as f64 / dense.cycles as f64;
-        assert!(reduction > 0.25 && reduction < 0.6, "reduction = {reduction}");
+        assert!(
+            reduction > 0.25 && reduction < 0.6,
+            "reduction = {reduction}"
+        );
     }
 
     #[test]
@@ -400,7 +434,10 @@ mod tests {
         // 8x the tokens for much less than 8x the cycles.
         let token_ratio = 8.0;
         let cycle_ratio = batched.cycles as f64 / single.cycles as f64;
-        assert!(cycle_ratio < 0.6 * token_ratio, "cycle ratio = {cycle_ratio}");
+        assert!(
+            cycle_ratio < 0.6 * token_ratio,
+            "cycle ratio = {cycle_ratio}"
+        );
     }
 
     #[test]
@@ -430,9 +467,8 @@ mod tests {
         let m = hetero();
         let short = m.run_request(&workload(8), DecodeOptions::baseline());
         let long = m.run_request(&workload(256), DecodeOptions::baseline());
-        let share = |r: &RunReport| {
-            r.phase(Phase::Decode).unwrap().cycles as f64 / r.total_cycles() as f64
-        };
+        let share =
+            |r: &RunReport| r.phase(Phase::Decode).unwrap().cycles as f64 / r.total_cycles() as f64;
         assert!(share(&long) > share(&short));
         assert!(share(&long) > 0.7);
     }
@@ -440,8 +476,16 @@ mod tests {
     #[test]
     fn decode_cycles_scale_linearly_with_output_tokens() {
         let m = hetero();
-        let eight = m.run_decode_on(&workload(8), ClusterKind::MemoryCentric, DecodeOptions::baseline());
-        let sixteen = m.run_decode_on(&workload(16), ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        let eight = m.run_decode_on(
+            &workload(8),
+            ClusterKind::MemoryCentric,
+            DecodeOptions::baseline(),
+        );
+        let sixteen = m.run_decode_on(
+            &workload(16),
+            ClusterKind::MemoryCentric,
+            DecodeOptions::baseline(),
+        );
         let ratio = sixteen.cycles as f64 / eight.cycles as f64;
         assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
     }

@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn report_aggregates_phases() {
         let report = RunReport {
-            phases: vec![result(Phase::Prefill, 1_000_000), result(Phase::Decode, 3_000_000)],
+            phases: vec![
+                result(Phase::Prefill, 1_000_000),
+                result(Phase::Decode, 3_000_000),
+            ],
             output_tokens: 64,
             clock_mhz: 1000,
         };

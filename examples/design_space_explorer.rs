@@ -23,11 +23,17 @@ fn main() {
     let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 64);
     let baseline = run_point(ChipConfig::paper_default(), &workload);
     println!("== EdgeMM design-space exploration (SPHINX-Tiny, 64 output tokens) ==");
-    println!("paper-default design point: {:.2} ms per request\n", baseline * 1e3);
+    println!(
+        "paper-default design point: {:.2} ms per request\n",
+        baseline * 1e3
+    );
 
     println!("-- group count (chip scaling) --");
     for groups in [1usize, 2, 4, 8] {
-        let chip = ChipConfig::builder().groups(groups).build().expect("valid config");
+        let chip = ChipConfig::builder()
+            .groups(groups)
+            .build()
+            .expect("valid config");
         let latency = run_point(chip, &workload);
         println!(
             "  {groups} groups: {:>8.2} ms  ({:.2}x vs default)",

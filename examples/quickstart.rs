@@ -14,8 +14,16 @@ fn main() {
     // generating 64 output tokens.
     let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 64);
 
-    println!("model: {} ({:.2} B parameters)", workload.config().name, workload.config().total_params() as f64 / 1e9);
-    println!("prompt tokens: {}, output tokens: {}\n", workload.prompt_tokens(), workload.output_tokens());
+    println!(
+        "model: {} ({:.2} B parameters)",
+        workload.config().name,
+        workload.config().total_params() as f64 / 1e9
+    );
+    println!(
+        "prompt tokens: {}, output tokens: {}\n",
+        workload.prompt_tokens(),
+        workload.output_tokens()
+    );
 
     for (label, options) in [
         ("baseline (no pruning)", RequestOptions::default()),
@@ -34,8 +42,14 @@ fn main() {
             }
         }
         println!("  end-to-end latency: {:>8.3} ms", report.latency_s * 1e3);
-        println!("  throughput:         {:>8.1} tokens/s", report.tokens_per_second);
-        println!("  efficiency:         {:>8.2} tokens/J", report.tokens_per_joule);
+        println!(
+            "  throughput:         {:>8.1} tokens/s",
+            report.tokens_per_second
+        );
+        println!(
+            "  efficiency:         {:>8.2} tokens/J",
+            report.tokens_per_joule
+        );
         if let Some(pruning) = &report.pruning {
             println!(
                 "  measured keep ratio: {:>7.1}% of FFN channels",

@@ -58,9 +58,7 @@ fn main() {
     let measurement = system.measure_pruning(&workload, 42, 2);
     println!("\nper-layer dynamic pruning ratio (first layer is never pruned):");
     for (layer, ratio) in measurement.layer_pruning_ratio.iter().enumerate() {
-        let bar: String = std::iter::repeat('#')
-            .take((ratio * 40.0).round() as usize)
-            .collect();
+        let bar = "#".repeat((ratio * 40.0).round() as usize);
         println!("  layer {layer:>2} {:>5.1}% {bar}", ratio * 100.0);
     }
     println!(

@@ -23,7 +23,11 @@ fn extended_designs_beat_the_snitch_baseline_on_every_phase() {
     let report = system.run(&workload, RequestOptions::default());
     for phase in [Phase::VisionEncode, Phase::Prefill, Phase::Decode] {
         let base = baseline.phase_seconds(&workload, phase);
-        let ours = report.run.phase(phase).expect("phase simulated").seconds(1000);
+        let ours = report
+            .run
+            .phase(phase)
+            .expect("phase simulated")
+            .seconds(1000);
         assert!(
             ours < base,
             "{phase}: EdgeMM {ours} s should beat baseline {base} s"
@@ -105,7 +109,11 @@ fn bandwidth_management_improves_long_output_throughput() {
     let short = &report.rows[0];
     let long = &report.rows[2];
     assert!(long.throughput_gain > short.throughput_gain);
-    assert!(long.throughput_gain > 1.5, "gain = {}", long.throughput_gain);
+    assert!(
+        long.throughput_gain > 1.5,
+        "gain = {}",
+        long.throughput_gain
+    );
     assert!(long.batch >= 1);
     assert!(report.batching_threshold >= report.expected_token_length);
 }
@@ -131,6 +139,106 @@ fn isa_kernels_round_trip_through_the_encoder() {
         decode(word).expect("every emitted word decodes");
     }
     assert!(kernel.stats().mvmul >= 3);
+}
+
+#[test]
+fn facade_pruner_outcome_is_consistent_with_dram_row_addressing() {
+    // `edgemm::coproc::ActAwarePruner` end to end through the facade: the
+    // packed values, kept indices and DMA row addresses it emits must agree
+    // with each other and with the configured row stride.
+    let pruner = edgemm::coproc::ActAwarePruner::new(16, 2048);
+    let activations: Vec<f32> = (0..512)
+        .map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.02)
+        .collect();
+    let outcome = pruner.prune(&activations, 64, 16, 0x8000_0000);
+    assert_eq!(outcome.kept_indices.len(), 64);
+    assert_eq!(outcome.packed.len(), outcome.kept_indices.len());
+    assert_eq!(outcome.row_addresses.len(), outcome.kept_indices.len());
+    for (pos, &channel) in outcome.kept_indices.iter().enumerate() {
+        assert_eq!(
+            outcome.packed[pos], activations[channel],
+            "packed value mismatch"
+        );
+        assert_eq!(
+            outcome.row_addresses[pos],
+            0x8000_0000 + channel as u64 * pruner.row_stride_bytes(),
+            "row address must be base + channel * stride"
+        );
+    }
+    assert!((outcome.pruning_ratio(activations.len()) - (1.0 - 64.0 / 512.0)).abs() < 1e-9);
+}
+
+#[test]
+fn facade_bandwidth_allocation_partitions_the_paper_dram() {
+    // `edgemm::mem::BandwidthAllocation` through the facade: however the
+    // B_C : B_M split is chosen, the per-cluster budgets of the paper's
+    // chip (8 CC + 8 MC clusters) must add up to the whole DRAM budget.
+    use edgemm::mem::{BandwidthAllocation, BandwidthManager, DramModel};
+    let total = {
+        let mut manager = BandwidthManager::new(DramModel::paper_default());
+        manager.set_allocation(BandwidthAllocation::all_mc());
+        8 * manager.mc_cluster_budget(8)
+    };
+    for allocation in [
+        BandwidthAllocation::equal(),
+        BandwidthAllocation::from_ratio(1.0, 3.0),
+        BandwidthAllocation::from_ratio(1.0, 7.0),
+    ] {
+        let mut manager = BandwidthManager::new(DramModel::paper_default());
+        manager.set_allocation(allocation);
+        let split = 8 * manager.cc_cluster_budget(8) + 8 * manager.mc_cluster_budget(8);
+        let drift = (split as f64 - total as f64).abs() / total as f64;
+        assert!(
+            drift < 0.01,
+            "allocation {allocation:?} leaks bandwidth: {split} vs {total}"
+        );
+    }
+    // The 1:3 point really skews the budgets 3:1 towards the MC side.
+    assert_eq!(
+        BandwidthAllocation::from_ratio(1.0, 3.0).ratio_bm_per_bc(),
+        Some(3.0)
+    );
+    // `exclusive()` is the sequential-execution special case: each side gets
+    // the whole interface while the other is idle, so both shares are full.
+    let exclusive = BandwidthAllocation::exclusive();
+    assert_eq!(exclusive.cc_cluster_share(8), exclusive.mc_cluster_share(8));
+    assert!((8.0 * exclusive.cc_cluster_share(8) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn facade_decode_options_batching_amortises_weight_traffic() {
+    // `edgemm::sim::DecodeOptions` through the facade: stream-batch decoding
+    // must amortise per-token DRAM traffic without batching the compute away.
+    use edgemm::sim::{DecodeOptions, Machine, SimConfig};
+    let machine = Machine::new(SimConfig::paper_default());
+    let workload = sphinx(32);
+    let kind = edgemm::arch::ClusterKind::MemoryCentric;
+    let single = machine.run_decode_on(&workload, kind, DecodeOptions::baseline());
+    let batched = machine.run_decode_on(
+        &workload,
+        kind,
+        DecodeOptions {
+            batch: 4,
+            ..DecodeOptions::baseline()
+        },
+    );
+    // 4 concurrent requests in fewer than 4x the cycles of one request.
+    assert!(
+        (batched.cycles as f64) < 4.0 * single.cycles as f64,
+        "batching gained nothing: {} vs 4 x {}",
+        batched.cycles,
+        single.cycles
+    );
+    // And pruning composes with batching: same batch, fewer cycles.
+    let batched_pruned = machine.run_decode_on(
+        &workload,
+        kind,
+        DecodeOptions {
+            batch: 4,
+            ..DecodeOptions::with_pruning(0.3)
+        },
+    );
+    assert!(batched_pruned.cycles < batched.cycles);
 }
 
 #[test]
