@@ -1,0 +1,83 @@
+//! Serving sweep: latency percentiles and throughput of the multi-request
+//! simulator over arrival rate x batch capacity x scheduling policy.
+//!
+//! Not a paper artifact — this probes the serving behaviour the ROADMAP's
+//! north star targets (heavy concurrent traffic) on top of the paper's
+//! design point. Set `EDGEMM_SMOKE=1` to run a small, fast configuration
+//! (used by CI and the bin smoke test).
+
+use edgemm::serve::{PolicyKind, TraceConfig};
+use edgemm::{EdgeMm, ServeOptions};
+use edgemm_mllm::zoo;
+
+struct Sweep {
+    requests: usize,
+    rates: Vec<f64>,
+    caps: Vec<usize>,
+}
+
+fn sweep_scale() -> (Sweep, &'static str) {
+    let smoke = std::env::var("EDGEMM_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    if smoke {
+        (
+            Sweep {
+                requests: 12,
+                rates: vec![4.0, 16.0],
+                caps: vec![1, 8],
+            },
+            "smoke",
+        )
+    } else {
+        (
+            Sweep {
+                requests: 64,
+                rates: vec![2.0, 8.0, 32.0],
+                caps: vec![1, 4, 16],
+            },
+            "full",
+        )
+    }
+}
+
+fn main() {
+    let (sweep, scale) = sweep_scale();
+    let system = EdgeMm::paper_default();
+    let model = zoo::sphinx_tiny();
+    println!(
+        "== Serving sweep on SPHINX-Tiny ({scale}: {} requests/point, pruning on) ==",
+        sweep.requests
+    );
+    println!(
+        "{:>8} {:>5} {:>16} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
+        "rate/s", "cap", "policy", "p50", "p95", "p99", "tok/s", "occ", "depth"
+    );
+    for &rate in &sweep.rates {
+        for &cap in &sweep.caps {
+            for kind in PolicyKind::ALL {
+                let trace = TraceConfig::interactive(sweep.requests, rate, 11);
+                let options = ServeOptions {
+                    batch_cap: cap,
+                    policy: kind,
+                    ..ServeOptions::with_pruning()
+                };
+                let report = system.serve_trace(&model, &trace, options);
+                println!(
+                    "{:>8.1} {:>5} {:>16} {:>7.0}ms {:>7.0}ms {:>7.0}ms {:>9.1} {:>7.2} {:>6}",
+                    rate,
+                    cap,
+                    kind.name(),
+                    report.p50_latency_s() * 1e3,
+                    report.p95_latency_s() * 1e3,
+                    report.p99_latency_s() * 1e3,
+                    report.tokens_per_second(),
+                    report.mean_batch_occupancy(),
+                    report.max_queue_depth(),
+                );
+            }
+        }
+    }
+    println!(
+        "\n(cap = decode stream-batch capacity; occ = mean streams per decode step; \
+         depth = max requests waiting)"
+    );
+}

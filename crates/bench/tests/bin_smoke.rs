@@ -44,6 +44,32 @@ bin_smoke_tests!(
 );
 
 #[test]
+fn serving_sweep() {
+    // The serving sweep runs in smoke mode here: the full sweep is sized for
+    // a release binary, not for the debug profile the test harness uses.
+    let output = Command::new(env!("CARGO_BIN_EXE_serving_sweep"))
+        .env("EDGEMM_SMOKE", "1")
+        .output()
+        .expect("spawn serving_sweep");
+    assert!(
+        output.status.success(),
+        "serving_sweep exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // One line per (rate, cap, policy) point: 2 x 2 x 3 in smoke mode.
+    let points = stdout
+        .lines()
+        .filter(|l| POLICY_NAMES.iter().any(|name| l.contains(name)))
+        .count();
+    assert_eq!(points, 12, "unexpected sweep output:\n{stdout}");
+    assert!(stdout.contains("smoke"), "not in smoke mode:\n{stdout}");
+}
+
+const POLICY_NAMES: [&str; 3] = ["fcfs", "shortest-prompt", "pruning-aware"];
+
+#[test]
 fn table1_prints_the_papers_models() {
     let output = Command::new(env!("CARGO_BIN_EXE_table1_models"))
         .output()

@@ -39,6 +39,7 @@
 //! | `edgemm-pruning` | dynamic Top-k (Alg. 1), fixed/threshold baselines, metrics |
 //! | `edgemm-sim` | the performance simulator and mapping explorer |
 //! | `edgemm-sched` | pipeline model, token-length-driven bandwidth manager |
+//! | `edgemm-serve` | multi-request serving: continuous batching, scheduling policies |
 //! | `edgemm-baseline` | Snitch SIMD baseline, RTX 3060 roofline model |
 
 #![forbid(unsafe_code)]
@@ -47,7 +48,7 @@
 pub mod figures;
 mod system;
 
-pub use system::{EdgeMm, PruningMeasurement, RequestOptions, SystemReport};
+pub use system::{EdgeMm, PruningMeasurement, RequestOptions, ServeOptions, SystemReport};
 
 pub use edgemm_arch as arch;
 pub use edgemm_baseline as baseline;
@@ -57,4 +58,5 @@ pub use edgemm_mem as mem;
 pub use edgemm_mllm as mllm;
 pub use edgemm_pruning as pruning;
 pub use edgemm_sched as sched;
+pub use edgemm_serve as serve;
 pub use edgemm_sim as sim;

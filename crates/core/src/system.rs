@@ -1,9 +1,12 @@
 //! The assembled EdgeMM system: simulator + power model + pruning loop.
 
 use edgemm_arch::PowerModel;
-use edgemm_mllm::{ActivationGenerator, ActivationProfile, ModelWorkload, Phase};
+use edgemm_mllm::{ActivationGenerator, ActivationProfile, MllmConfig, ModelWorkload, Phase};
 use edgemm_pruning::{DynamicTopK, Pruner};
 use edgemm_sched::{Pipeline, RooflineStage};
+use edgemm_serve::{
+    PolicyKind, ServeConfig, ServeReport, ServeRequest, ServeSimulator, TraceConfig,
+};
 use edgemm_sim::{DecodeOptions, Machine, PruningEffect, RunReport, SimConfig};
 
 /// How one request should be executed.
@@ -32,6 +35,43 @@ impl RequestOptions {
     /// Options with pruning enabled.
     pub fn with_pruning() -> Self {
         RequestOptions {
+            pruning: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// How a multi-request serving run should be executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Decode stream-batch capacity (continuous batching admits up to this
+    /// many concurrent streams).
+    pub batch_cap: usize,
+    /// Admission policy for the serial CC (encode + prefill) stage.
+    pub policy: PolicyKind,
+    /// Enable activation-aware dynamic Top-k pruning for every request's
+    /// decode FFN GEMVs (keep ratio measured on synthetic activations, as in
+    /// single-request runs).
+    pub pruning: bool,
+    /// Seed for the keep-ratio measurement.
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            batch_cap: 8,
+            policy: PolicyKind::Fcfs,
+            pruning: false,
+            seed: 7,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Options with pruning enabled.
+    pub fn with_pruning() -> Self {
+        ServeOptions {
             pruning: true,
             ..Self::default()
         }
@@ -205,6 +245,49 @@ impl EdgeMm {
         }
     }
 
+    /// The pruning effect a serving run should apply, measured the same way
+    /// single-request runs measure it.
+    fn serving_pruning(&self, model: &MllmConfig, options: ServeOptions) -> PruningEffect {
+        if options.pruning {
+            let reference = ModelWorkload::new(model.clone(), 20, 32);
+            let measurement = self.measure_pruning(&reference, options.seed, 4);
+            PruningEffect::with_keep_ratio(measurement.average_keep_ratio.clamp(0.01, 1.0))
+        } else {
+            PruningEffect::disabled()
+        }
+    }
+
+    /// Serve a stream of concurrent requests with continuous batching: the
+    /// CC clusters encode + prefill one request at a time (admission order
+    /// chosen by `options.policy`), the MC clusters decode all admitted
+    /// streams as one stream batch that requests join and leave on the fly.
+    ///
+    /// The report carries per-request timelines, latency percentiles
+    /// (p50/p95/p99), steady-state tokens/s and the queue-depth timeline.
+    pub fn serve(
+        &self,
+        model: &MllmConfig,
+        requests: &[ServeRequest],
+        options: ServeOptions,
+    ) -> ServeReport {
+        let config = ServeConfig {
+            batch_cap: options.batch_cap,
+            pruning: self.serving_pruning(model, options),
+        };
+        ServeSimulator::new(&self.machine, model.clone(), config)
+            .run(requests, options.policy.policy())
+    }
+
+    /// Generate a synthetic trace and serve it (see [`Self::serve`]).
+    pub fn serve_trace(
+        &self,
+        model: &MllmConfig,
+        trace: &TraceConfig,
+        options: ServeOptions,
+    ) -> ServeReport {
+        self.serve(model, &trace.generate(), options)
+    }
+
     /// Summarise a workload as a two-stage pipeline (CC: encode + prefill,
     /// MC: decode per token) for the token-length-driven bandwidth manager.
     pub fn pipeline_for(&self, workload: &ModelWorkload, options: RequestOptions) -> Pipeline {
@@ -342,6 +425,32 @@ mod tests {
         assert!(pipeline.mc_stage_per_token.dram_bytes > 0.0);
         let le = pipeline.expected_token_length();
         assert!(le >= 1, "l_e = {le}");
+    }
+
+    #[test]
+    fn serving_reports_percentiles_and_throughput() {
+        let system = EdgeMm::paper_default();
+        let trace = edgemm_serve::TraceConfig::interactive(10, 30.0, 5);
+        let report = system.serve_trace(&zoo::sphinx_tiny(), &trace, ServeOptions::default());
+        assert_eq!(report.completed.len(), 10);
+        assert!(report.p50_latency_s() > 0.0);
+        assert!(report.p95_latency_s() >= report.p50_latency_s());
+        assert!(report.p99_latency_s() >= report.p95_latency_s());
+        assert!(report.tokens_per_second() > 0.0);
+    }
+
+    #[test]
+    fn serving_with_pruning_outpaces_dense_serving() {
+        let system = EdgeMm::paper_default();
+        let trace = edgemm_serve::TraceConfig::saturated(6, 20, 32);
+        let dense = system.serve_trace(&zoo::sphinx_tiny(), &trace, ServeOptions::default());
+        let pruned = system.serve_trace(&zoo::sphinx_tiny(), &trace, ServeOptions::with_pruning());
+        assert!(
+            pruned.tokens_per_second() > dense.tokens_per_second(),
+            "pruned {} vs dense {}",
+            pruned.tokens_per_second(),
+            dense.tokens_per_second()
+        );
     }
 
     #[test]

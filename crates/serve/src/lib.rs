@@ -1,0 +1,57 @@
+//! Multi-request serving for the EdgeMM simulator.
+//!
+//! The single-request simulator (`edgemm-sim`) answers "how fast is one
+//! request on this chip"; this crate answers the serving question the
+//! ROADMAP's north star asks: what latency distribution and steady-state
+//! throughput does EdgeMM sustain under a *stream* of concurrent requests?
+//!
+//! The model is an event-driven two-stage pipeline:
+//!
+//! * the **CC stage** (vision encode + projector + prefill) is serial — one
+//!   request at a time, admitted in the order a pluggable
+//!   [`SchedulePolicy`] chooses ([`Fcfs`], [`ShortestPromptFirst`],
+//!   [`PruningAware`]);
+//! * the **MC stage** decodes with *continuous batching*: every step
+//!   generates one token for each stream in the batch, finished requests
+//!   leave at step boundaries and queued requests join immediately, up to
+//!   the configured batch capacity. Weight fetches are shared across the
+//!   batch (stream-batch weight reuse, paper Fig. 9c) while KV-cache
+//!   traffic and compute repeat per stream.
+//!
+//! Per-step costs are taken from the cycle-level machine model
+//! ([`edgemm_sim::Machine::decode_step_costs`]), so serving results stay
+//! consistent with the single-request evaluation: a request served alone
+//! costs exactly its [`edgemm_sim::Machine::run_request`] latency.
+//!
+//! ```
+//! use edgemm_serve::{Fcfs, ServeConfig, ServeSimulator, TraceConfig};
+//! use edgemm_sim::{Machine, SimConfig};
+//!
+//! let machine = Machine::new(SimConfig::paper_default());
+//! let sim = ServeSimulator::new(
+//!     &machine,
+//!     edgemm_mllm::zoo::sphinx_tiny(),
+//!     ServeConfig::with_batch_cap(8),
+//! );
+//! let trace = TraceConfig::interactive(16, 20.0, 7).generate();
+//! let report = sim.run(&trace, &Fcfs);
+//! assert_eq!(report.completed.len(), 16);
+//! assert!(report.p99_latency_s() >= report.p50_latency_s());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod policy;
+mod request;
+mod simulator;
+mod trace;
+
+pub use metrics::{QueueSample, ServeReport};
+pub use policy::{
+    Fcfs, PolicyKind, PruningAware, QueuedRequest, SchedulePolicy, ShortestPromptFirst,
+};
+pub use request::{CompletedRequest, ServeRequest};
+pub use simulator::{ServeConfig, ServeSimulator};
+pub use trace::TraceConfig;

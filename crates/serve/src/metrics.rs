@@ -1,0 +1,185 @@
+//! Aggregate serving metrics: latency percentiles, throughput, queue depth.
+
+use crate::request::CompletedRequest;
+
+/// Queue and batch occupancy observed at one event-loop instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueSample {
+    /// Simulation time of the sample in seconds.
+    pub time_s: f64,
+    /// Requests waiting for the CC stage or for a free decode slot
+    /// (excludes the request currently in prefill).
+    pub waiting: usize,
+    /// Streams currently in the decode batch.
+    pub active: usize,
+}
+
+/// The outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Every request, in completion order.
+    pub completed: Vec<CompletedRequest>,
+    /// Queue-depth timeline, sampled at every simulator event.
+    pub queue_samples: Vec<QueueSample>,
+    /// Number of stream-batched decode steps executed.
+    pub decode_steps: u64,
+    /// Total output tokens generated across all requests.
+    pub total_output_tokens: u64,
+    /// First arrival to last completion, in seconds.
+    pub makespan_s: f64,
+}
+
+impl ServeReport {
+    /// Nearest-rank latency percentile over the completed requests, `pct`
+    /// in `(0, 100]`. Returns 0 for an empty report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `(0, 100]`.
+    pub fn latency_percentile_s(&self, pct: f64) -> f64 {
+        assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self.completed.iter().map(|r| r.latency_s()).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let rank = ((pct / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// Median end-to-end latency.
+    pub fn p50_latency_s(&self) -> f64 {
+        self.latency_percentile_s(50.0)
+    }
+
+    /// 95th-percentile end-to-end latency.
+    pub fn p95_latency_s(&self) -> f64 {
+        self.latency_percentile_s(95.0)
+    }
+
+    /// 99th-percentile end-to-end latency.
+    pub fn p99_latency_s(&self) -> f64 {
+        self.latency_percentile_s(99.0)
+    }
+
+    /// Mean end-to-end latency.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().map(|r| r.latency_s()).sum::<f64>() / self.completed.len() as f64
+    }
+
+    /// Steady-state serving throughput: output tokens per second over the
+    /// whole run (first arrival to last completion).
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_output_tokens as f64 / self.makespan_s
+    }
+
+    /// Completed requests per second over the whole run.
+    pub fn requests_per_second(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed.len() as f64 / self.makespan_s
+    }
+
+    /// Average number of streams decoded per step (weight-reuse factor).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.decode_steps == 0 {
+            return 0.0;
+        }
+        self.total_output_tokens as f64 / self.decode_steps as f64
+    }
+
+    /// Largest number of requests simultaneously waiting.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_samples
+            .iter()
+            .map(|s| s.waiting)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_latencies(latencies: &[f64]) -> ServeReport {
+        ServeReport {
+            completed: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| CompletedRequest {
+                    id: i as u64,
+                    arrival_s: 0.0,
+                    prefill_start_s: 0.0,
+                    prefill_end_s: l / 2.0,
+                    decode_start_s: l / 2.0,
+                    finish_s: l,
+                    output_tokens: 4,
+                })
+                .collect(),
+            queue_samples: vec![
+                QueueSample {
+                    time_s: 0.0,
+                    waiting: 3,
+                    active: 1,
+                },
+                QueueSample {
+                    time_s: 1.0,
+                    waiting: 1,
+                    active: 2,
+                },
+            ],
+            decode_steps: 10,
+            total_output_tokens: 4 * latencies.len() as u64,
+            makespan_s: 2.0,
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let r = report_with_latencies(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(r.p50_latency_s(), 2.0);
+        assert_eq!(r.p95_latency_s(), 4.0);
+        assert_eq!(r.p99_latency_s(), 4.0);
+        assert_eq!(r.latency_percentile_s(25.0), 1.0);
+        assert_eq!(r.latency_percentile_s(100.0), 4.0);
+    }
+
+    #[test]
+    fn throughput_and_occupancy() {
+        let r = report_with_latencies(&[1.0, 2.0]);
+        assert!((r.tokens_per_second() - 4.0).abs() < 1e-12);
+        assert!((r.requests_per_second() - 1.0).abs() < 1e-12);
+        assert!((r.mean_batch_occupancy() - 0.8).abs() < 1e-12);
+        assert_eq!(r.max_queue_depth(), 3);
+        assert!((r.mean_latency_s() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = ServeReport {
+            completed: vec![],
+            queue_samples: vec![],
+            decode_steps: 0,
+            total_output_tokens: 0,
+            makespan_s: 0.0,
+        };
+        assert_eq!(r.p99_latency_s(), 0.0);
+        assert_eq!(r.tokens_per_second(), 0.0);
+        assert_eq!(r.mean_batch_occupancy(), 0.0);
+        assert_eq!(r.max_queue_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn out_of_range_percentile_rejected() {
+        report_with_latencies(&[1.0]).latency_percentile_s(0.0);
+    }
+}

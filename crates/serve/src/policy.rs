@@ -1,0 +1,198 @@
+//! Scheduling policies: which queued request the CC stage admits next.
+//!
+//! Admission order matters because the CC stage (vision encode + prefill) is
+//! serial: a long prefill at the head of the queue delays every request
+//! behind it, and — since requests only join the decode batch after their
+//! prefill — it also starves the MC stage. A policy sees a snapshot of the
+//! queue with per-request cost estimates and picks one request.
+
+/// A queued request as presented to a scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// The request's identifier.
+    pub id: u64,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Total prompt length (vision tokens + text tokens).
+    pub prompt_tokens: usize,
+    /// Output tokens the request will generate.
+    pub output_tokens: usize,
+    /// Estimated CC-stage (encode + projector + prefill) cycles.
+    pub prefill_cycles: u64,
+    /// Estimated solo decode cycles for the whole generation, with the
+    /// configured activation-aware pruning already applied.
+    pub decode_cycles: u64,
+}
+
+impl QueuedRequest {
+    /// Estimated total service demand (prefill plus pruned decode).
+    pub fn service_cycles(&self) -> u64 {
+        self.prefill_cycles + self.decode_cycles
+    }
+}
+
+/// A pluggable admission policy. Implementations must be deterministic.
+pub trait SchedulePolicy: std::fmt::Debug {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index into `queued` of the request to admit next. `queued` is never
+    /// empty; the returned index must be in range.
+    fn choose(&self, queued: &[QueuedRequest]) -> usize;
+}
+
+fn argmin_by_key<K: PartialOrd>(
+    queued: &[QueuedRequest],
+    key: impl Fn(&QueuedRequest) -> K,
+) -> usize {
+    assert!(!queued.is_empty(), "policy invoked on an empty queue");
+    let mut best = 0;
+    for i in 1..queued.len() {
+        if key(&queued[i]) < key(&queued[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// First come, first served: admit in arrival order. The fairness baseline —
+/// no request is overtaken, so tail latency tracks queue depth directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fcfs;
+
+impl SchedulePolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn choose(&self, queued: &[QueuedRequest]) -> usize {
+        argmin_by_key(queued, |r| (r.arrival_s, r.id))
+    }
+}
+
+/// Shortest prompt first: admit the request with the fewest prompt tokens.
+/// Prefill cost grows with the prompt, so this is shortest-job-first for the
+/// serial CC stage — it minimises mean time-to-first-token under load at the
+/// price of possibly starving long prompts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShortestPromptFirst;
+
+impl SchedulePolicy for ShortestPromptFirst {
+    fn name(&self) -> &'static str {
+        "shortest-prompt"
+    }
+
+    fn choose(&self, queued: &[QueuedRequest]) -> usize {
+        argmin_by_key(queued, |r| (r.prompt_tokens, r.arrival_s, r.id))
+    }
+}
+
+/// Pruning-aware shortest service first: order by the estimated *end-to-end*
+/// service demand with activation-aware pruning already folded into the
+/// decode estimate. Under pruning, a long generation is cheaper than its
+/// token count suggests (only the kept FFN rows are fetched), so this policy
+/// ranks requests by what they will actually cost the machine rather than by
+/// their nominal lengths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruningAware;
+
+impl SchedulePolicy for PruningAware {
+    fn name(&self) -> &'static str {
+        "pruning-aware"
+    }
+
+    fn choose(&self, queued: &[QueuedRequest]) -> usize {
+        argmin_by_key(queued, |r| (r.service_cycles(), r.arrival_s, r.id))
+    }
+}
+
+/// The built-in policies, enumerable for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// [`Fcfs`].
+    Fcfs,
+    /// [`ShortestPromptFirst`].
+    ShortestPromptFirst,
+    /// [`PruningAware`].
+    PruningAware,
+}
+
+impl PolicyKind {
+    /// All built-in policies, in presentation order.
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::Fcfs,
+        PolicyKind::ShortestPromptFirst,
+        PolicyKind::PruningAware,
+    ];
+
+    /// The policy implementation.
+    pub fn policy(self) -> &'static dyn SchedulePolicy {
+        match self {
+            PolicyKind::Fcfs => &Fcfs,
+            PolicyKind::ShortestPromptFirst => &ShortestPromptFirst,
+            PolicyKind::PruningAware => &PruningAware,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        self.policy().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(id: u64, arrival_s: f64, prompt: usize, prefill: u64, decode: u64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            arrival_s,
+            prompt_tokens: prompt,
+            output_tokens: 16,
+            prefill_cycles: prefill,
+            decode_cycles: decode,
+        }
+    }
+
+    #[test]
+    fn fcfs_respects_arrival_order() {
+        let q = [
+            queued(1, 0.5, 10, 100, 100),
+            queued(0, 0.1, 90, 900, 900),
+            queued(2, 0.9, 5, 50, 50),
+        ];
+        assert_eq!(Fcfs.choose(&q), 1);
+    }
+
+    #[test]
+    fn shortest_prompt_ignores_arrival() {
+        let q = [
+            queued(0, 0.1, 90, 900, 900),
+            queued(1, 0.5, 10, 100, 100),
+            queued(2, 0.9, 5, 50, 50),
+        ];
+        assert_eq!(ShortestPromptFirst.choose(&q), 2);
+    }
+
+    #[test]
+    fn pruning_aware_orders_by_total_service() {
+        // A short prompt with a huge (unpruned-looking) decode loses to a
+        // longer prompt whose pruned decode is cheap.
+        let q = [queued(0, 0.0, 5, 50, 10_000), queued(1, 0.0, 40, 400, 200)];
+        assert_eq!(PruningAware.choose(&q), 1);
+    }
+
+    #[test]
+    fn ties_break_by_arrival_then_id() {
+        let q = [queued(7, 0.3, 10, 100, 100), queued(3, 0.3, 10, 100, 100)];
+        assert_eq!(ShortestPromptFirst.choose(&q), 1);
+        assert_eq!(PruningAware.choose(&q), 1);
+    }
+
+    #[test]
+    fn kinds_enumerate_distinct_policies() {
+        let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["fcfs", "shortest-prompt", "pruning-aware"]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Requests entering and leaving the serving simulator.
+
+/// One inference request submitted to the serving queue: an image plus a
+/// text prompt, generating `output_tokens` tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeRequest {
+    /// Caller-assigned identifier, unique within one trace.
+    pub id: u64,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_s: f64,
+    /// Text prompt length in tokens (the image contributes the model's
+    /// vision tokens on top).
+    pub text_tokens: usize,
+    /// Number of output tokens the request generates.
+    pub output_tokens: usize,
+}
+
+impl ServeRequest {
+    /// Create a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_tokens` is zero or `arrival_s` is negative/NaN.
+    pub fn new(id: u64, arrival_s: f64, text_tokens: usize, output_tokens: usize) -> Self {
+        assert!(output_tokens > 0, "must generate at least one token");
+        assert!(
+            arrival_s >= 0.0,
+            "arrival time must be a non-negative number of seconds"
+        );
+        ServeRequest {
+            id,
+            arrival_s,
+            text_tokens,
+            output_tokens,
+        }
+    }
+}
+
+/// The recorded timeline of one finished request. All times are seconds
+/// from the start of the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// The request's identifier.
+    pub id: u64,
+    /// When the request arrived.
+    pub arrival_s: f64,
+    /// When the CC stage started its vision encode + prefill.
+    pub prefill_start_s: f64,
+    /// When the CC stage finished (the request's first token exists here).
+    pub prefill_end_s: f64,
+    /// When the request joined the decode batch on the MC stage.
+    pub decode_start_s: f64,
+    /// When the last output token was generated.
+    pub finish_s: f64,
+    /// Number of output tokens generated.
+    pub output_tokens: usize,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency: arrival to last token.
+    pub fn latency_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+
+    /// Time from arrival until the prefill produced the first token.
+    pub fn time_to_first_token_s(&self) -> f64 {
+        self.prefill_end_s - self.arrival_s
+    }
+
+    /// Total time spent waiting in queues (for the CC stage and then for a
+    /// free decode slot) rather than being served.
+    pub fn queue_wait_s(&self) -> f64 {
+        (self.prefill_start_s - self.arrival_s) + (self.decode_start_s - self.prefill_end_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_times_are_consistent() {
+        let done = CompletedRequest {
+            id: 3,
+            arrival_s: 1.0,
+            prefill_start_s: 1.5,
+            prefill_end_s: 2.0,
+            decode_start_s: 2.25,
+            finish_s: 3.0,
+            output_tokens: 8,
+        };
+        assert!((done.latency_s() - 2.0).abs() < 1e-12);
+        assert!((done.time_to_first_token_s() - 1.0).abs() < 1e-12);
+        assert!((done.queue_wait_s() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_output_tokens_rejected() {
+        ServeRequest::new(0, 0.0, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_arrival_rejected() {
+        ServeRequest::new(0, -1.0, 8, 4);
+    }
+}

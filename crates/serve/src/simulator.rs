@@ -1,0 +1,504 @@
+//! The event-driven multi-request simulator with continuous batching.
+//!
+//! Requests flow through the two-stage EdgeMM pipeline: the serial CC stage
+//! runs vision encode + projector + prefill (one request at a time, in the
+//! order a [`SchedulePolicy`] picks), then the request joins the MC decode
+//! batch. Decoding is *continuously batched* at step granularity: every step
+//! generates one token for every stream in the batch, finished requests
+//! leave at the step boundary, and waiting requests join immediately — the
+//! batch never drains to restart, exactly like stream-batched serving
+//! systems.
+//!
+//! Costs come from the cycle-level simulator (`edgemm-sim`), not from a
+//! separate analytic model: each request's prefill is a
+//! [`Machine::run_phase_on`] result, and its decode steps are per-operator
+//! [`Machine::decode_step_costs`] that the step combiner merges across the
+//! batch — weight fetches are shared between streams (the Fig. 9c weight
+//! reuse), KV-cache traffic and compute repeat per stream.
+
+use std::collections::VecDeque;
+
+use edgemm_arch::ClusterKind;
+use edgemm_mllm::{MllmConfig, ModelWorkload, Phase, TrafficClass};
+use edgemm_sim::{DecodeOptions, Machine, OpCost, PruningEffect};
+
+use crate::metrics::{QueueSample, ServeReport};
+use crate::policy::{QueuedRequest, SchedulePolicy};
+use crate::request::{CompletedRequest, ServeRequest};
+
+/// Static configuration of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum number of streams decoded concurrently (the stream-batch
+    /// capacity of the MC clusters' on-chip memory).
+    pub batch_cap: usize,
+    /// Activation-aware pruning effect applied to every request's decode
+    /// FFN GEMVs (use [`PruningEffect::disabled`] for dense serving).
+    pub pruning: PruningEffect,
+}
+
+impl ServeConfig {
+    /// Dense serving with the given decode batch capacity.
+    pub fn with_batch_cap(batch_cap: usize) -> Self {
+        ServeConfig {
+            batch_cap,
+            pruning: PruningEffect::disabled(),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::with_batch_cap(8)
+    }
+}
+
+/// Precomputed costs plus recorded timeline of one request in flight.
+#[derive(Debug)]
+struct InFlight {
+    request: ServeRequest,
+    arrival_cycle: u64,
+    prompt_tokens: usize,
+    prefill_cycles: u64,
+    /// Per-operator cost of one average decode step, solo.
+    step_costs: Vec<OpCost>,
+    solo_step_cycles: u64,
+    remaining_tokens: usize,
+    prefill_start: u64,
+    prefill_end: u64,
+    decode_start: u64,
+    finish: u64,
+}
+
+/// The multi-request serving simulator over one machine and one model.
+#[derive(Debug)]
+pub struct ServeSimulator<'a> {
+    machine: &'a Machine,
+    model: MllmConfig,
+    config: ServeConfig,
+}
+
+impl<'a> ServeSimulator<'a> {
+    /// Create a simulator serving `model` on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch capacity is zero.
+    pub fn new(machine: &'a Machine, model: MllmConfig, config: ServeConfig) -> Self {
+        assert!(config.batch_cap >= 1, "batch capacity must be at least 1");
+        ServeSimulator {
+            machine,
+            model,
+            config,
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    fn clock_hz(&self) -> f64 {
+        self.machine.config().chip.clock_mhz as f64 * 1.0e6
+    }
+
+    fn admit(&self, request: &ServeRequest) -> InFlight {
+        let workload = ModelWorkload::new(
+            self.model.clone(),
+            request.text_tokens,
+            request.output_tokens,
+        );
+        let decode = DecodeOptions {
+            pruning: self.config.pruning,
+            batch: 1,
+        };
+        let cc_kind = ClusterKind::ComputeCentric;
+        let prefill_cycles: u64 = [Phase::VisionEncode, Phase::Projector, Phase::Prefill]
+            .iter()
+            .map(|&phase| {
+                self.machine
+                    .run_phase_on(&workload, phase, cc_kind, decode)
+                    .cycles
+            })
+            .sum();
+        let step_costs = self.machine.decode_step_costs(
+            &workload,
+            ClusterKind::MemoryCentric,
+            self.config.pruning,
+        );
+        let solo_step_cycles = step_costs.iter().map(OpCost::latency_cycles).sum();
+        InFlight {
+            arrival_cycle: (request.arrival_s * self.clock_hz()).round() as u64,
+            prompt_tokens: workload.prompt_tokens(),
+            // A zero-cycle stage would stall the event loop (events must
+            // advance time), so degenerate costs are clamped to one cycle.
+            prefill_cycles: prefill_cycles.max(1),
+            step_costs,
+            solo_step_cycles,
+            remaining_tokens: request.output_tokens,
+            request: *request,
+            prefill_start: 0,
+            prefill_end: 0,
+            decode_start: 0,
+            finish: 0,
+        }
+    }
+
+    /// Cycles of one stream-batched decode step for the given batch members.
+    ///
+    /// All requests serve the same model, so the per-step operator streams
+    /// align positionally: for each operator, compute repeats per stream and
+    /// KV-cache traffic is per stream (every request owns its cache), while
+    /// the weight fetch is issued once and shared by the whole batch.
+    fn step_cycles(&self, states: &[InFlight], batch: &[usize]) -> u64 {
+        let ops = states[batch[0]].step_costs.len();
+        let mut total = 0u64;
+        for op in 0..ops {
+            let mut compute = 0u64;
+            let mut kv_dram = 0u64;
+            let mut weight_dram = 0u64;
+            for &idx in batch {
+                let cost = &states[idx].step_costs[op];
+                compute += cost.compute_cycles;
+                if cost.traffic_class == TrafficClass::KvCache {
+                    kv_dram += cost.dram_cycles;
+                } else {
+                    weight_dram = weight_dram.max(cost.dram_cycles);
+                }
+            }
+            total += compute.max(weight_dram + kv_dram);
+        }
+        total.max(1)
+    }
+
+    /// Isolated end-to-end cycles of one request (no queueing, no batching):
+    /// the latency lower bound that serving can only add to.
+    pub fn solo_cycles(&self, request: &ServeRequest) -> u64 {
+        let state = self.admit(request);
+        state.prefill_cycles + state.solo_step_cycles * request.output_tokens as u64
+    }
+
+    /// Serve a trace of requests under `policy` and report per-request
+    /// timelines plus aggregate metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two requests share an id or a policy returns an
+    /// out-of-range index.
+    pub fn run(&self, requests: &[ServeRequest], policy: &dyn SchedulePolicy) -> ServeReport {
+        let clock_hz = self.clock_hz();
+        let mut states: Vec<InFlight> = requests.iter().map(|r| self.admit(r)).collect();
+        {
+            let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), requests.len(), "request ids must be unique");
+        }
+
+        // Arrival order, stable on (cycle, id).
+        let mut order: Vec<usize> = (0..states.len()).collect();
+        order.sort_by_key(|&i| (states[i].arrival_cycle, states[i].request.id));
+
+        let mut next_arrival = 0usize;
+        let mut cc_queue: Vec<usize> = Vec::new();
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        let mut batch: Vec<usize> = Vec::new();
+        let mut cc_busy: Option<(u64, usize)> = None;
+        let mut step_end: Option<u64> = None;
+        let mut completed_order: Vec<usize> = Vec::new();
+        let mut queue_samples: Vec<QueueSample> = Vec::new();
+        let mut decode_steps = 0u64;
+        let mut now = 0u64;
+
+        loop {
+            // Earliest pending event across the three sources.
+            let mut next: Option<u64> = None;
+            let mut consider = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+            if next_arrival < order.len() {
+                consider(states[order[next_arrival]].arrival_cycle);
+            }
+            if let Some((end, _)) = cc_busy {
+                consider(end);
+            }
+            if let Some(end) = step_end {
+                consider(end);
+            }
+            let Some(event) = next else { break };
+            now = event;
+
+            // Drain everything due at `now` before dispatching, so a request
+            // arriving or finishing prefill exactly at a step boundary can be
+            // considered for the very next step. Arrivals first (the CC pick
+            // must see them), then the prefill completion, then the step.
+            while next_arrival < order.len() && states[order[next_arrival]].arrival_cycle <= now {
+                cc_queue.push(order[next_arrival]);
+                next_arrival += 1;
+            }
+            if let Some((end, idx)) = cc_busy {
+                if end <= now {
+                    states[idx].prefill_end = now;
+                    ready.push_back(idx);
+                    cc_busy = None;
+                }
+            }
+            if let Some(end) = step_end {
+                if end <= now {
+                    for &idx in &batch {
+                        states[idx].remaining_tokens -= 1;
+                    }
+                    batch.retain(|&idx| {
+                        let finished = states[idx].remaining_tokens == 0;
+                        if finished {
+                            states[idx].finish = now;
+                            completed_order.push(idx);
+                        }
+                        !finished
+                    });
+                    step_end = None;
+                }
+            }
+
+            // Dispatch the serial CC stage: one prefill at a time, chosen by
+            // the policy from a snapshot of the queue.
+            if cc_busy.is_none() && !cc_queue.is_empty() {
+                let snapshot: Vec<QueuedRequest> = cc_queue
+                    .iter()
+                    .map(|&idx| {
+                        let s = &states[idx];
+                        QueuedRequest {
+                            id: s.request.id,
+                            arrival_s: s.request.arrival_s,
+                            prompt_tokens: s.prompt_tokens,
+                            output_tokens: s.request.output_tokens,
+                            prefill_cycles: s.prefill_cycles,
+                            decode_cycles: s.solo_step_cycles * s.request.output_tokens as u64,
+                        }
+                    })
+                    .collect();
+                let pick = policy.choose(&snapshot);
+                assert!(
+                    pick < cc_queue.len(),
+                    "policy {} returned index {pick} for a queue of {}",
+                    policy.name(),
+                    cc_queue.len()
+                );
+                let idx = cc_queue.swap_remove(pick);
+                states[idx].prefill_start = now;
+                cc_busy = Some((now + states[idx].prefill_cycles, idx));
+            }
+
+            // Dispatch the MC stage: top the batch up from the ready queue
+            // (continuous batching), then start the next step.
+            if step_end.is_none() {
+                while batch.len() < self.config.batch_cap {
+                    let Some(idx) = ready.pop_front() else { break };
+                    states[idx].decode_start = now;
+                    batch.push(idx);
+                }
+                if !batch.is_empty() {
+                    step_end = Some(now + self.step_cycles(&states, &batch));
+                    decode_steps += 1;
+                }
+            }
+
+            queue_samples.push(QueueSample {
+                time_s: now as f64 / clock_hz,
+                waiting: cc_queue.len() + ready.len(),
+                active: batch.len(),
+            });
+        }
+
+        debug_assert_eq!(completed_order.len(), states.len());
+        let completed: Vec<CompletedRequest> = completed_order
+            .iter()
+            .map(|&idx| {
+                let s = &states[idx];
+                CompletedRequest {
+                    id: s.request.id,
+                    arrival_s: s.arrival_cycle as f64 / clock_hz,
+                    prefill_start_s: s.prefill_start as f64 / clock_hz,
+                    prefill_end_s: s.prefill_end as f64 / clock_hz,
+                    decode_start_s: s.decode_start as f64 / clock_hz,
+                    finish_s: s.finish as f64 / clock_hz,
+                    output_tokens: s.request.output_tokens,
+                }
+            })
+            .collect();
+        let first_arrival = states.iter().map(|s| s.arrival_cycle).min().unwrap_or(0);
+        let makespan_s = if completed.is_empty() {
+            0.0
+        } else {
+            (now - first_arrival) as f64 / clock_hz
+        };
+        ServeReport {
+            total_output_tokens: completed.iter().map(|r| r.output_tokens as u64).sum(),
+            completed,
+            queue_samples,
+            decode_steps,
+            makespan_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fcfs, PolicyKind, ShortestPromptFirst};
+    use crate::trace::TraceConfig;
+    use edgemm_mllm::zoo;
+    use edgemm_sim::SimConfig;
+
+    fn machine() -> Machine {
+        Machine::new(SimConfig::paper_default())
+    }
+
+    fn simulator(machine: &Machine, batch_cap: usize) -> ServeSimulator<'_> {
+        ServeSimulator::new(
+            machine,
+            zoo::sphinx_tiny(),
+            ServeConfig::with_batch_cap(batch_cap),
+        )
+    }
+
+    #[test]
+    fn single_request_matches_solo_cost() {
+        let m = machine();
+        let sim = simulator(&m, 4);
+        let request = ServeRequest::new(0, 0.0, 20, 8);
+        let report = sim.run(&[request], &Fcfs);
+        assert_eq!(report.completed.len(), 1);
+        let clock_hz = m.config().chip.clock_mhz as f64 * 1.0e6;
+        let expected_s = sim.solo_cycles(&request) as f64 / clock_hz;
+        let got = report.completed[0].latency_s();
+        assert!(
+            (got - expected_s).abs() / expected_s < 1e-12,
+            "solo latency {got} vs expected {expected_s}"
+        );
+    }
+
+    #[test]
+    fn all_requests_complete_exactly_once() {
+        let m = machine();
+        let sim = simulator(&m, 3);
+        let trace = TraceConfig::interactive(12, 50.0, 9).generate();
+        let report = sim.run(&trace, &ShortestPromptFirst);
+        assert_eq!(report.completed.len(), 12);
+        let mut ids: Vec<u64> = report.completed.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+        assert_eq!(
+            report.total_output_tokens,
+            trace.iter().map(|r| r.output_tokens as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn timelines_are_ordered() {
+        let m = machine();
+        let sim = simulator(&m, 2);
+        let trace = TraceConfig::interactive(8, 200.0, 3).generate();
+        let report = sim.run(&trace, &Fcfs);
+        for r in &report.completed {
+            assert!(r.prefill_start_s >= r.arrival_s - 1e-12, "{r:?}");
+            assert!(r.prefill_end_s > r.prefill_start_s, "{r:?}");
+            assert!(r.decode_start_s >= r.prefill_end_s - 1e-12, "{r:?}");
+            assert!(r.finish_s > r.decode_start_s, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn batching_shares_weight_fetches() {
+        // A saturated trace decoded with a large cap must finish in far less
+        // time than with cap 1: the memory-bound decode steps share the
+        // weight stream across the batch.
+        let m = machine();
+        let trace = TraceConfig::saturated(6, 20, 24).generate();
+        let serial = simulator(&m, 1).run(&trace, &Fcfs);
+        let batched = simulator(&m, 6).run(&trace, &Fcfs);
+        assert!(
+            batched.makespan_s < 0.6 * serial.makespan_s,
+            "batched {} vs serial {}",
+            batched.makespan_s,
+            serial.makespan_s
+        );
+        assert!(batched.mean_batch_occupancy() > 2.0);
+        assert!(serial.mean_batch_occupancy() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn continuous_batching_backfills_the_batch() {
+        // With more requests than the cap, finished streams must be replaced
+        // without draining: the number of decode steps stays well below the
+        // serial step count.
+        let m = machine();
+        let sim = simulator(&m, 4);
+        let trace = TraceConfig::saturated(8, 16, 16).generate();
+        let report = sim.run(&trace, &Fcfs);
+        let serial_steps: u64 = trace.iter().map(|r| r.output_tokens as u64).sum();
+        assert!(
+            report.decode_steps < serial_steps / 2,
+            "steps = {} vs serial {serial_steps}",
+            report.decode_steps
+        );
+        assert_eq!(report.total_output_tokens, serial_steps);
+    }
+
+    #[test]
+    fn queue_depth_rises_under_burst_and_drains() {
+        let m = machine();
+        let sim = simulator(&m, 4);
+        let trace = TraceConfig::saturated(10, 16, 8).generate();
+        let report = sim.run(&trace, &Fcfs);
+        assert!(report.max_queue_depth() >= 8);
+        assert_eq!(report.queue_samples.last().unwrap().waiting, 0);
+        assert_eq!(report.queue_samples.last().unwrap().active, 0);
+    }
+
+    #[test]
+    fn policies_reorder_but_serve_everyone() {
+        let m = machine();
+        let sim = simulator(&m, 4);
+        let trace = TraceConfig::saturated(9, 8, 12)
+            .generate()
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                // Heterogeneous prompts so the policies actually differ.
+                r.text_tokens = 8 + 40 * (i % 3);
+                r
+            })
+            .collect::<Vec<_>>();
+        for kind in PolicyKind::ALL {
+            let report = sim.run(&trace, kind.policy());
+            assert_eq!(report.completed.len(), trace.len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let m = machine();
+        let report = simulator(&m, 4).run(&[], &Fcfs);
+        assert!(report.completed.is_empty());
+        assert_eq!(report.makespan_s, 0.0);
+        assert_eq!(report.decode_steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "request ids must be unique")]
+    fn duplicate_ids_rejected() {
+        let m = machine();
+        let sim = simulator(&m, 2);
+        let requests = [
+            ServeRequest::new(5, 0.0, 8, 4),
+            ServeRequest::new(5, 0.1, 8, 4),
+        ];
+        sim.run(&requests, &Fcfs);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch capacity must be at least 1")]
+    fn zero_batch_cap_rejected() {
+        let m = machine();
+        simulator(&m, 0);
+    }
+}

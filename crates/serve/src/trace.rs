@@ -1,0 +1,150 @@
+//! Synthetic request traces: Poisson arrivals with length distributions.
+//!
+//! A serving evaluation needs a stream of requests, not a single one. The
+//! generator draws exponential inter-arrival times (a Poisson process at
+//! `arrival_rate_per_s`) and uniform prompt/output lengths, all from the
+//! deterministic seeded [`rand`] shim, so a `(config, seed)` pair always
+//! reproduces the same trace.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::request::ServeRequest;
+
+/// Parameters of a synthetic request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of requests in the trace.
+    pub requests: usize,
+    /// Mean arrival rate in requests per second (Poisson process). Use
+    /// [`f64::INFINITY`] for a saturated trace where everything arrives at
+    /// time zero.
+    pub arrival_rate_per_s: f64,
+    /// Inclusive `(min, max)` range of text prompt lengths in tokens.
+    pub text_tokens: (usize, usize),
+    /// Inclusive `(min, max)` range of output lengths in tokens.
+    pub output_tokens: (usize, usize),
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// An interactive assistant mix: short prompts, short-to-medium answers
+    /// (the VQA/comprehension traffic the paper's intro motivates).
+    pub fn interactive(requests: usize, arrival_rate_per_s: f64, seed: u64) -> Self {
+        TraceConfig {
+            requests,
+            arrival_rate_per_s,
+            text_tokens: (8, 48),
+            output_tokens: (16, 96),
+            seed,
+        }
+    }
+
+    /// A saturated trace: `requests` identical requests all arriving at time
+    /// zero. Useful for measuring steady-state throughput and for
+    /// batch-monotonicity properties where queueing noise must be excluded.
+    pub fn saturated(requests: usize, text_tokens: usize, output_tokens: usize) -> Self {
+        TraceConfig {
+            requests,
+            arrival_rate_per_s: f64::INFINITY,
+            text_tokens: (text_tokens, text_tokens),
+            output_tokens: (output_tokens, output_tokens),
+            seed: 0,
+        }
+    }
+
+    /// Generate the trace. Requests are returned in arrival order with ids
+    /// `0..requests`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a length range is inverted, the minimum output length is
+    /// zero, or the arrival rate is not positive.
+    pub fn generate(&self) -> Vec<ServeRequest> {
+        assert!(
+            self.text_tokens.0 <= self.text_tokens.1,
+            "inverted text-token range"
+        );
+        assert!(
+            self.output_tokens.0 <= self.output_tokens.1 && self.output_tokens.0 > 0,
+            "output-token range must be non-inverted and positive"
+        );
+        assert!(
+            self.arrival_rate_per_s > 0.0,
+            "arrival rate must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut arrival = 0.0f64;
+        (0..self.requests as u64)
+            .map(|id| {
+                if self.arrival_rate_per_s.is_finite() {
+                    // Inverse-CDF exponential inter-arrival: -ln(1-u)/rate,
+                    // with u in [0, 1) so the argument stays positive.
+                    let u: f64 = rng.gen();
+                    arrival += -(1.0 - u).ln() / self.arrival_rate_per_s;
+                }
+                let text = rng.gen_range(self.text_tokens.0..self.text_tokens.1 + 1);
+                let output = rng.gen_range(self.output_tokens.0..self.output_tokens.1 + 1);
+                ServeRequest::new(id, arrival, text, output)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_ordered() {
+        let config = TraceConfig::interactive(32, 10.0, 42);
+        let a = config.generate();
+        let b = config.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a
+            .iter()
+            .all(|r| (16..=96).contains(&r.output_tokens) && (8..=48).contains(&r.text_tokens)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceConfig::interactive(16, 10.0, 1).generate();
+        let b = TraceConfig::interactive(16, 10.0, 2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_rate() {
+        let rate = 25.0;
+        let trace = TraceConfig::interactive(2000, rate, 7).generate();
+        let span = trace.last().unwrap().arrival_s - trace[0].arrival_s;
+        let mean = span / (trace.len() - 1) as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean inter-arrival {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn saturated_traces_arrive_at_zero() {
+        let trace = TraceConfig::saturated(8, 16, 32).generate();
+        assert_eq!(trace.len(), 8);
+        assert!(trace.iter().all(|r| r.arrival_s == 0.0));
+        assert!(trace
+            .iter()
+            .all(|r| r.text_tokens == 16 && r.output_tokens == 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn non_positive_rate_rejected() {
+        TraceConfig {
+            arrival_rate_per_s: 0.0,
+            ..TraceConfig::interactive(4, 1.0, 0)
+        }
+        .generate();
+    }
+}

@@ -14,6 +14,13 @@
 //! Unlike real proptest there is no shrinking: a failing case panics with
 //! the sampled inputs printed, which is enough to reproduce it (sampling is
 //! fully deterministic — case `i` of a test always sees the same inputs).
+//!
+//! The default case count matches upstream proptest: **256 cases per
+//! property**, overridable through the `PROPTEST_CASES` environment
+//! variable (same knob as upstream), e.g. `PROPTEST_CASES=1024 cargo test`
+//! for a deeper sweep or `PROPTEST_CASES=16` for a quick local iteration.
+//! An explicit `#![proptest_config(ProptestConfig::with_cases(n))]` always
+//! wins over the environment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,9 +53,15 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            // Real proptest defaults to 256; 64 keeps the deterministic
-            // shim fast while still sweeping each strategy's domain.
-            ProptestConfig { cases: 64 }
+            // Match upstream proptest's 256-case default, honouring the same
+            // `PROPTEST_CASES` override so CI can sweep deeper and local
+            // iteration can go shallower without touching the tests.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
+            ProptestConfig { cases }
         }
     }
 
@@ -388,7 +401,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "all 64 cases were rejected")]
+    fn default_case_count_matches_upstream_or_env() {
+        let expected = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
+        assert_eq!(ProptestConfig::default().cases, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "cases were rejected")]
     fn vacuous_properties_fail() {
         proptest! {
             fn never_runs(x in 0usize..4) {

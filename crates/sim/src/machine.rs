@@ -242,6 +242,51 @@ impl Machine {
         }
     }
 
+    /// Per-operator costs of one "average" decode step on `kind` (cached
+    /// context = prompt plus half the output), in operator-stream order.
+    ///
+    /// This is the building block the multi-request serving simulator
+    /// (`edgemm-serve`) combines across concurrent requests: weight fetches
+    /// are shared between streams of a batch while KV-cache traffic and
+    /// compute are per stream, and the per-op breakdown is what makes that
+    /// distinction possible outside this crate.
+    pub fn decode_step_costs(
+        &self,
+        workload: &ModelWorkload,
+        kind: ClusterKind,
+        pruning: PruningEffect,
+    ) -> Vec<OpCost> {
+        workload
+            .average_decode_step_ops()
+            .iter()
+            .map(|op| self.op_cost(op, kind, pruning))
+            .collect()
+    }
+
+    /// Simulate one stream-batched decode step (one token per stream) on
+    /// `kind`: compute repeats for every request in the batch while the
+    /// weight fetch is shared across the batch.
+    pub fn run_decode_step_on(
+        &self,
+        workload: &ModelWorkload,
+        kind: ClusterKind,
+        options: DecodeOptions,
+    ) -> PhaseResult {
+        assert!(options.batch >= 1, "batch must be at least 1");
+        let mut step = PhaseResult::empty(Phase::Decode);
+        for cost in self.decode_step_costs(workload, kind, options.pruning) {
+            let compute = cost.compute_cycles * options.batch as u64;
+            let latency = compute.max(cost.dram_cycles);
+            step.cycles += latency;
+            step.compute_cycles += compute;
+            step.dram_cycles += cost.dram_cycles;
+            step.dram_bytes += cost.dram_bytes;
+            *step.traffic.entry(cost.traffic_class).or_insert(0) += cost.dram_bytes;
+            step.ops += 1;
+        }
+        step
+    }
+
     /// Simulate the whole decode phase (all output tokens) on `kind`.
     ///
     /// Stream-batch decoding reuses the fetched weights across the batch:
@@ -254,22 +299,7 @@ impl Machine {
         kind: ClusterKind,
         options: DecodeOptions,
     ) -> PhaseResult {
-        assert!(options.batch >= 1, "batch must be at least 1");
-        let step_ops = workload.average_decode_step_ops();
-        let mut step = PhaseResult::empty(Phase::Decode);
-        for op in &step_ops {
-            let cost = self.op_cost(op, kind, options.pruning);
-            // Compute repeats for every request in the batch; the weight
-            // fetch is shared across the batch.
-            let compute = cost.compute_cycles * options.batch as u64;
-            let latency = compute.max(cost.dram_cycles);
-            step.cycles += latency;
-            step.compute_cycles += compute;
-            step.dram_cycles += cost.dram_cycles;
-            step.dram_bytes += cost.dram_bytes;
-            *step.traffic.entry(cost.traffic_class).or_insert(0) += cost.dram_bytes;
-            step.ops += 1;
-        }
+        let step = self.run_decode_step_on(workload, kind, options);
         // Repeat for every generated token.
         let tokens = workload.output_tokens() as u64;
         PhaseResult {
@@ -488,6 +518,29 @@ mod tests {
         );
         let ratio = sixteen.cycles as f64 / eight.cycles as f64;
         assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn decode_phase_is_step_cost_times_tokens() {
+        let m = hetero();
+        let w = workload(16);
+        let options = DecodeOptions::with_pruning(0.6);
+        let step = m.run_decode_step_on(&w, ClusterKind::MemoryCentric, options);
+        let full = m.run_decode_on(&w, ClusterKind::MemoryCentric, options);
+        assert_eq!(full.cycles, step.cycles * 16);
+        assert_eq!(full.dram_bytes, step.dram_bytes * 16);
+        assert_eq!(full.ops, step.ops * 16);
+    }
+
+    #[test]
+    fn decode_step_costs_match_step_result() {
+        let m = hetero();
+        let w = workload(8);
+        let costs = m.decode_step_costs(&w, ClusterKind::MemoryCentric, PruningEffect::disabled());
+        let step = m.run_decode_step_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
+        assert_eq!(costs.len(), step.ops);
+        let cycles: u64 = costs.iter().map(OpCost::latency_cycles).sum();
+        assert_eq!(cycles, step.cycles);
     }
 
     #[test]

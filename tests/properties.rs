@@ -2,9 +2,46 @@
 //! crate boundaries for any reasonable configuration or workload.
 
 use edgemm::arch::{ChipConfig, CimGeometry, SystolicGeometry};
+use edgemm::serve::{PolicyKind, TraceConfig};
 use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
-use edgemm_mllm::{zoo, ModelWorkload};
+use edgemm::{EdgeMm, RequestOptions, ServeOptions};
+use edgemm_mllm::{
+    zoo, LlmConfig, MllmConfig, ModelWorkload, ProjectorConfig, ProjectorKind, VisionEncoderConfig,
+};
 use proptest::prelude::*;
+
+/// A deliberately small MLLM for the serving properties: the default
+/// (strengthened) proptest case count runs each property hundreds of times,
+/// so per-case simulation cost must stay tiny while exercising every layer
+/// of the serving stack.
+fn tiny_model() -> MllmConfig {
+    MllmConfig {
+        name: "prop-tiny".to_string(),
+        vision: VisionEncoderConfig {
+            name: "vit-prop".to_string(),
+            layers: 2,
+            d_model: 256,
+            d_ffn: 512,
+            patch_tokens: 16,
+        },
+        projector: ProjectorConfig {
+            kind: ProjectorKind::Mlp,
+            d_in: 256,
+            d_out: 256,
+            output_tokens: 8,
+        },
+        llm: LlmConfig {
+            name: "llm-prop".to_string(),
+            layers: 3,
+            d_model: 256,
+            d_ffn: 512,
+            heads: 8,
+            kv_heads: 4,
+            vocab: 1000,
+        },
+        weight_bytes: 2,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -87,5 +124,109 @@ proptest! {
             config.total_cores(edgemm::arch::ClusterKind::ComputeCentric)
                 + config.total_cores(edgemm::arch::ClusterKind::MemoryCentric)
         );
+    }
+}
+
+// Serving properties run at the full (env-tunable, 256 by default) case
+// count, so they use `tiny_model` to keep each simulated trace cheap.
+proptest! {
+    /// Continuous batching never loses or duplicates a request: every
+    /// submitted request completes exactly once, with its full token count,
+    /// under any trace shape, batch capacity and scheduling policy.
+    #[test]
+    fn serving_conserves_requests(
+        requests in 1usize..8,
+        rate in 1.0f64..200.0,
+        cap in 1usize..6,
+        policy_sel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 10),
+            seed,
+        };
+        let system = EdgeMm::paper_default();
+        let report = system.serve_trace(&tiny_model(), &trace, ServeOptions {
+            batch_cap: cap,
+            policy: PolicyKind::ALL[policy_sel],
+            ..ServeOptions::default()
+        });
+        prop_assert_eq!(report.completed.len(), requests);
+        let mut ids: Vec<u64> = report.completed.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), requests);
+        let submitted: u64 = trace.generate().iter().map(|r| r.output_tokens as u64).sum();
+        prop_assert_eq!(report.total_output_tokens, submitted);
+    }
+
+    /// Sharing the machine can only slow a request down: every per-request
+    /// serving latency is at least the single-request latency the facade
+    /// reports for the same workload and options.
+    #[test]
+    fn serving_latency_never_beats_a_solo_run(
+        requests in 1usize..6,
+        rate in 1.0f64..100.0,
+        cap in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 10),
+            seed,
+        };
+        let model = tiny_model();
+        let system = EdgeMm::paper_default();
+        let generated = trace.generate();
+        let report = system.serve_trace(&model, &trace, ServeOptions {
+            batch_cap: cap,
+            ..ServeOptions::default()
+        });
+        for done in &report.completed {
+            let submitted = &generated[done.id as usize];
+            let workload = ModelWorkload::new(
+                model.clone(),
+                submitted.text_tokens,
+                submitted.output_tokens,
+            );
+            let solo = system.run(&workload, RequestOptions::default());
+            prop_assert!(
+                done.latency_s() >= solo.latency_s * (1.0 - 1e-12),
+                "request {} served in {} s but runs solo in {} s",
+                done.id, done.latency_s(), solo.latency_s
+            );
+        }
+    }
+
+    /// For saturated arrivals of identical requests, serving throughput is
+    /// monotone non-decreasing in the decode batch capacity: a bigger
+    /// stream batch can only amortise the weight fetch further.
+    #[test]
+    fn serving_throughput_monotone_in_batch_cap(
+        requests in 2usize..7,
+        text in 2usize..16,
+        tokens in 2usize..10,
+    ) {
+        let trace = TraceConfig::saturated(requests, text, tokens);
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let mut last = 0.0f64;
+        for cap in [1usize, 2, 4, 8] {
+            let report = system.serve_trace(&model, &trace, ServeOptions {
+                batch_cap: cap,
+                ..ServeOptions::default()
+            });
+            let tps = report.tokens_per_second();
+            prop_assert!(
+                tps >= last * (1.0 - 1e-9),
+                "tokens/s dropped from {last} to {tps} when the cap grew to {cap}"
+            );
+            last = tps;
+        }
     }
 }
