@@ -1,12 +1,22 @@
-//! Serving sweep: latency percentiles and throughput of the multi-request
-//! simulator over arrival rate x batch capacity x scheduling policy.
+//! Serving sweep: latency percentiles, throughput and SLO attainment of the
+//! multi-request simulator over arrival rate x batch capacity x scheduling
+//! policy x admission mode.
 //!
 //! Not a paper artifact — this probes the serving behaviour the ROADMAP's
-//! north star targets (heavy concurrent traffic) on top of the paper's
-//! design point. Set `EDGEMM_SMOKE=1` to run a small, fast configuration
-//! (used by CI and the bin smoke test).
+//! north star targets (heavy concurrent traffic with latency deadlines) on
+//! top of the paper's design point. Two sections:
+//!
+//! 1. **Latency sweep**: p50/p95/p99 end-to-end latency and tokens/s per
+//!    (arrival rate, batch cap, policy) on an interactive trace.
+//! 2. **SLO sweep**: per-class TTFT/TPOT tails, SLO attainment and
+//!    deadline-miss/reject counts per (arrival rate, scheduling stack) on a
+//!    mixed interactive + background trace — the arrival-rate axis shows
+//!    where each stack stops holding its deadlines.
+//!
+//! Set `EDGEMM_SMOKE=1` to run a small, fast configuration (used by CI and
+//! the bin smoke test). See `docs/serving.md` for how to read the output.
 
-use edgemm::serve::{PolicyKind, TraceConfig};
+use edgemm::serve::{merge, AdmissionControl, PolicyKind, TraceConfig};
 use edgemm::{EdgeMm, ServeOptions};
 use edgemm_mllm::zoo;
 
@@ -39,9 +49,16 @@ fn sweep_scale() -> (Sweep, &'static str) {
     }
 }
 
-fn main() {
-    let (sweep, scale) = sweep_scale();
-    let system = EdgeMm::paper_default();
+/// The scheduling stacks the SLO sweep compares: the pre-SLO baseline, plain
+/// EDF, and EDF with each hopeless-request admission mode.
+const STACKS: [(PolicyKind, AdmissionControl); 4] = [
+    (PolicyKind::Fcfs, AdmissionControl::Serve),
+    (PolicyKind::EarliestDeadlineFirst, AdmissionControl::Serve),
+    (PolicyKind::EarliestDeadlineFirst, AdmissionControl::Defer),
+    (PolicyKind::EarliestDeadlineFirst, AdmissionControl::Reject),
+];
+
+fn latency_sweep(system: &EdgeMm, sweep: &Sweep, scale: &str) {
     let model = zoo::sphinx_tiny();
     println!(
         "== Serving sweep on SPHINX-Tiny ({scale}: {} requests/point, pruning on) ==",
@@ -80,4 +97,68 @@ fn main() {
         "\n(cap = decode stream-batch capacity; occ = mean streams per decode step; \
          depth = max requests waiting)"
     );
+}
+
+fn slo_sweep(system: &EdgeMm, sweep: &Sweep) {
+    let model = zoo::sphinx_tiny();
+    let background = (sweep.requests / 4).max(1);
+    println!(
+        "\n== SLO sweep (mixed traffic: {} interactive + {} background requests/point, cap 8) ==",
+        sweep.requests, background
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>6} {:>5} {:>4} {:>8} {:>8} {:>8} {:>8}",
+        "rate/s",
+        "stack",
+        "class",
+        "att%",
+        "miss",
+        "rej",
+        "p95ttft",
+        "p99ttft",
+        "p95tpot",
+        "p99tpot"
+    );
+    for &rate in &sweep.rates {
+        let mixed = merge(&[
+            TraceConfig::interactive(sweep.requests, rate, 11).generate(),
+            TraceConfig::background(background, rate / 4.0, 12).generate(),
+        ]);
+        for (policy, admission) in STACKS {
+            let options = ServeOptions {
+                policy,
+                admission,
+                ..ServeOptions::with_pruning()
+            };
+            let report = system.serve(&model, &mixed, options);
+            let stack = format!("{}/{}", policy.name(), admission.name());
+            for class in report.class_stats() {
+                println!(
+                    "{:>8.1} {:>12} {:>12} {:>6.1} {:>5} {:>4} {:>6.0}ms {:>6.0}ms {:>6.1}ms {:>6.1}ms",
+                    rate,
+                    stack,
+                    class.priority.name(),
+                    class.attainment * 100.0,
+                    class.misses,
+                    class.rejected,
+                    class.p95_ttft_s * 1e3,
+                    class.p99_ttft_s * 1e3,
+                    class.p95_tpot_s * 1e3,
+                    class.p99_tpot_s * 1e3,
+                );
+            }
+        }
+    }
+    println!(
+        "\n(att = SLO attainment over submitted requests, rejects count as misses; \
+         miss = completed-but-missed + rejected;\n stack = CC policy / admission mode — \
+         interactive class: 250 ms TTFT, 30 ms TPOT; background class: no deadlines)"
+    );
+}
+
+fn main() {
+    let (sweep, scale) = sweep_scale();
+    let system = EdgeMm::paper_default();
+    latency_sweep(&system, &sweep, scale);
+    slo_sweep(&system, &sweep);
 }

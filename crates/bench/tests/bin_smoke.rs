@@ -58,16 +58,34 @@ fn serving_sweep() {
         String::from_utf8_lossy(&output.stderr),
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
-    // One line per (rate, cap, policy) point: 2 x 2 x 3 in smoke mode.
-    let points = stdout
+    assert!(stdout.contains("smoke"), "not in smoke mode:\n{stdout}");
+    let (latency, slo) = stdout
+        .split_once("== SLO sweep")
+        .unwrap_or_else(|| panic!("missing SLO sweep section:\n{stdout}"));
+    // Latency section: one line per (rate, cap, policy): 2 x 2 x 4 in smoke.
+    let points = latency
         .lines()
         .filter(|l| POLICY_NAMES.iter().any(|name| l.contains(name)))
         .count();
-    assert_eq!(points, 12, "unexpected sweep output:\n{stdout}");
-    assert!(stdout.contains("smoke"), "not in smoke mode:\n{stdout}");
+    assert_eq!(points, 16, "unexpected latency sweep output:\n{latency}");
+    // SLO section: one line per (rate, stack, class): 2 x 4 x 2 in smoke
+    // (data rows lead with the numeric arrival rate).
+    let slo_points = slo
+        .lines()
+        .filter(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
+        .count();
+    assert_eq!(slo_points, 16, "unexpected SLO sweep output:\n{slo}");
+    for marker in ["interactive", "edf/reject", "att%"] {
+        assert!(slo.contains(marker), "SLO sweep lost {marker}:\n{slo}");
+    }
 }
 
-const POLICY_NAMES: [&str; 3] = ["fcfs", "shortest-prompt", "pruning-aware"];
+const POLICY_NAMES: [&str; 4] = ["fcfs", "shortest-prompt", "pruning-aware", "edf"];
 
 #[test]
 fn table1_prints_the_papers_models() {

@@ -5,7 +5,8 @@ use edgemm_mllm::{ActivationGenerator, ActivationProfile, MllmConfig, ModelWorkl
 use edgemm_pruning::{DynamicTopK, Pruner};
 use edgemm_sched::{Pipeline, RooflineStage};
 use edgemm_serve::{
-    PolicyKind, ServeConfig, ServeReport, ServeRequest, ServeSimulator, TraceConfig,
+    AdmissionControl, PolicyKind, ServeConfig, ServeReport, ServeRequest, ServeSimulator,
+    TraceConfig,
 };
 use edgemm_sim::{DecodeOptions, Machine, PruningEffect, RunReport, SimConfig};
 
@@ -47,8 +48,12 @@ pub struct ServeOptions {
     /// Decode stream-batch capacity (continuous batching admits up to this
     /// many concurrent streams).
     pub batch_cap: usize,
-    /// Admission policy for the serial CC (encode + prefill) stage.
+    /// Scheduling policy governing CC admission and decode-batch join order.
     pub policy: PolicyKind,
+    /// What happens to requests whose TTFT deadline is already unreachable
+    /// when the CC stage looks for work: serve anyway (default, pre-SLO
+    /// behaviour), defer behind feasible requests, or reject outright.
+    pub admission: AdmissionControl,
     /// Enable activation-aware dynamic Top-k pruning for every request's
     /// decode FFN GEMVs (keep ratio measured on synthetic activations, as in
     /// single-request runs).
@@ -62,6 +67,7 @@ impl Default for ServeOptions {
         ServeOptions {
             batch_cap: 8,
             policy: PolicyKind::Fcfs,
+            admission: AdmissionControl::Serve,
             pruning: false,
             seed: 7,
         }
@@ -74,6 +80,16 @@ impl ServeOptions {
         ServeOptions {
             pruning: true,
             ..Self::default()
+        }
+    }
+
+    /// The SLO-aware serving stack: earliest-deadline-first admission with
+    /// hopeless requests deferred behind salvageable ones, pruning on.
+    pub fn slo_aware() -> Self {
+        ServeOptions {
+            policy: PolicyKind::EarliestDeadlineFirst,
+            admission: AdmissionControl::Defer,
+            ..Self::with_pruning()
         }
     }
 }
@@ -262,8 +278,9 @@ impl EdgeMm {
     /// chosen by `options.policy`), the MC clusters decode all admitted
     /// streams as one stream batch that requests join and leave on the fly.
     ///
-    /// The report carries per-request timelines, latency percentiles
-    /// (p50/p95/p99), steady-state tokens/s and the queue-depth timeline.
+    /// The report carries per-request timelines, latency/TTFT/TPOT
+    /// percentiles (p50/p95/p99), per-class SLO attainment, rejected-request
+    /// accounting, steady-state tokens/s and the queue-depth timeline.
     pub fn serve(
         &self,
         model: &MllmConfig,
@@ -273,6 +290,7 @@ impl EdgeMm {
         let config = ServeConfig {
             batch_cap: options.batch_cap,
             pruning: self.serving_pruning(model, options),
+            admission: options.admission,
         };
         ServeSimulator::new(&self.machine, model.clone(), config)
             .run(requests, options.policy.policy())
@@ -437,6 +455,43 @@ mod tests {
         assert!(report.p95_latency_s() >= report.p50_latency_s());
         assert!(report.p99_latency_s() >= report.p95_latency_s());
         assert!(report.tokens_per_second() > 0.0);
+    }
+
+    #[test]
+    fn serving_reports_slo_metrics_per_class() {
+        let system = EdgeMm::paper_default();
+        let mixed = edgemm_serve::merge(&[
+            edgemm_serve::TraceConfig::interactive(8, 20.0, 5).generate(),
+            edgemm_serve::TraceConfig::background(4, 4.0, 6).generate(),
+        ]);
+        let report = system.serve(&zoo::sphinx_tiny(), &mixed, ServeOptions::slo_aware());
+        assert_eq!(report.submitted(), 12);
+        let stats = report.class_stats();
+        assert_eq!(stats.len(), 2, "both classes must be represented");
+        assert_eq!(stats[0].priority, edgemm_serve::Priority::Interactive);
+        assert!(stats[0].p95_ttft_s > 0.0);
+        assert!(stats[0].p99_tpot_s >= stats[0].p95_tpot_s);
+        assert!(report.slo_attainment() > 0.0 && report.slo_attainment() <= 1.0);
+    }
+
+    #[test]
+    fn reject_admission_surfaces_through_the_facade() {
+        let system = EdgeMm::paper_default();
+        // A burst far beyond the CC stage's capacity with tight deadlines.
+        let trace = edgemm_serve::TraceConfig::saturated(10, 24, 8)
+            .with_slo(edgemm_serve::SloClass::interactive().with_ttft(0.12));
+        let report = system.serve_trace(
+            &zoo::sphinx_tiny(),
+            &trace,
+            ServeOptions {
+                admission: edgemm_serve::AdmissionControl::Reject,
+                policy: PolicyKind::EarliestDeadlineFirst,
+                ..ServeOptions::default()
+            },
+        );
+        assert!(!report.rejected.is_empty());
+        assert_eq!(report.submitted(), 10);
+        assert!(report.completed.iter().all(|c| c.meets_ttft()));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! evaluation actually consumes:
 //!
 //! * the **layer geometry** of the representative MLLMs of Table I
-//!   ([`zoo`](crate::zoo) module),
+//!   ([`zoo`] module),
 //! * the **operator stream** of each inference phase — which GEMMs and GEMVs
 //!   of which shapes run, with their FLOP counts and DRAM traffic
 //!   ([`workload`](crate::ModelWorkload)),

@@ -1,42 +1,112 @@
-//! Multi-request serving for the EdgeMM simulator.
+//! Multi-request serving for the EdgeMM simulator: continuous batching,
+//! pluggable scheduling, and SLO-aware (deadline/priority) admission.
 //!
 //! The single-request simulator (`edgemm-sim`) answers "how fast is one
-//! request on this chip"; this crate answers the serving question the
-//! ROADMAP's north star asks: what latency distribution and steady-state
-//! throughput does EdgeMM sustain under a *stream* of concurrent requests?
+//! request on this chip"; this crate answers the serving questions the
+//! ROADMAP's north star asks: what latency distribution does EdgeMM sustain
+//! under a *stream* of concurrent requests, and does it meet the deadlines
+//! interactive users actually feel?
 //!
-//! The model is an event-driven two-stage pipeline:
+//! # Pipeline
+//!
+//! The model is an event-driven two-stage pipeline over the chip's two
+//! cluster flavours:
+//!
+//! ```text
+//!             arrivals (TraceConfig: Poisson / saturated, SloClass per request)
+//!                 │
+//!                 ▼
+//!  ┌─ CC queue ───────────────┐   AdmissionControl: TTFT slack test
+//!  │ r7 r4 r9 … (waiting)     │──► hopeless requests are served anyway /
+//!  └──────────┬───────────────┘    deferred behind feasible ones / rejected
+//!             │ SchedulePolicy::choose (fcfs | shortest-prompt |
+//!             ▼                      pruning-aware | edf)
+//!  ┌─ CC stage (serial) ──────┐
+//!  │ vision encode → projector│   one request at a time;
+//!  │ → prefill                │   TTFT is measured here
+//!  └──────────┬───────────────┘
+//!             │ prefilled ("ready")
+//!             ▼ SchedulePolicy::choose_join (same discipline, both stages)
+//!  ┌─ MC stage (stream batch) ┐
+//!  │ step: one token for every│   continuous batching at step granularity:
+//!  │ stream in the batch      │   leave/join at step boundaries, up to
+//!  └──────────┬───────────────┘   `batch_cap` streams
+//!             ▼
+//!        completions → ServeReport (TTFT/TPOT percentiles, SLO attainment,
+//!                      per-class ClassStats, rejected accounting)
+//! ```
 //!
 //! * the **CC stage** (vision encode + projector + prefill) is serial — one
 //!   request at a time, admitted in the order a pluggable
 //!   [`SchedulePolicy`] chooses ([`Fcfs`], [`ShortestPromptFirst`],
-//!   [`PruningAware`]);
+//!   [`PruningAware`], [`EarliestDeadlineFirst`]); an [`AdmissionControl`]
+//!   mode decides what happens to requests whose
+//!   [TTFT](CompletedRequest::time_to_first_token_s) deadline is already
+//!   unreachable;
 //! * the **MC stage** decodes with *continuous batching*: every step
 //!   generates one token for each stream in the batch, finished requests
-//!   leave at step boundaries and queued requests join immediately, up to
-//!   the configured batch capacity. Weight fetches are shared across the
-//!   batch (stream-batch weight reuse, paper Fig. 9c) while KV-cache
-//!   traffic and compute repeat per stream.
+//!   leave at step boundaries and queued requests join immediately (join
+//!   order picked by [`SchedulePolicy::choose_join`]), up to the configured
+//!   batch capacity.
 //!
-//! Per-step costs are taken from the cycle-level machine model
+//! # Step cost model
+//!
+//! Per-request costs are taken from the cycle-level machine model
 //! ([`edgemm_sim::Machine::decode_step_costs`]), so serving results stay
 //! consistent with the single-request evaluation: a request served alone
-//! costs exactly its [`edgemm_sim::Machine::run_request`] latency.
+//! costs exactly its [`edgemm_sim::Machine::run_request`] latency. One
+//! stream-batched decode step costs, per operator,
+//!
+//! ```text
+//! step_cycles = Σ_ops max( Σ_streams compute,
+//!                          shared weight DRAM + Σ_streams KV DRAM )
+//! ```
+//!
+//! — the weight fetch is issued once and shared by the whole batch (the
+//! paper's Fig. 9c stream-batch weight reuse) while compute and KV-cache
+//! traffic repeat per stream, each stream owning its cache.
+//!
+//! # Known simplifications
+//!
+//! Three deliberate simplifications bound the model's fidelity; revisit
+//! them before trusting conclusions that lean on them:
+//!
+//! 1. **Prefill does not chunk.** The CC stage runs a request's whole
+//!    encode + prefill as one serial block — there is no prefill/decode
+//!    interleaving on the CC side, so a long prompt delays the queue by its
+//!    full prefill time.
+//! 2. **Decode uses the average context length.** Each request's per-step
+//!    cost is computed once at its *mean* context length instead of growing
+//!    the KV traffic step by step, so within-request KV growth is averaged
+//!    away (correct totals, flattened step-to-step profile).
+//! 3. **The batch cap is a constant.** `batch_cap` stands in for an
+//!    on-chip-memory model; no KV-occupancy accounting evicts or blocks
+//!    streams.
+//!
+//! # Example
 //!
 //! ```
-//! use edgemm_serve::{Fcfs, ServeConfig, ServeSimulator, TraceConfig};
+//! use edgemm_serve::{EarliestDeadlineFirst, ServeConfig, ServeSimulator, TraceConfig};
+//! use edgemm_serve::AdmissionControl;
 //! use edgemm_sim::{Machine, SimConfig};
 //!
 //! let machine = Machine::new(SimConfig::paper_default());
 //! let sim = ServeSimulator::new(
 //!     &machine,
 //!     edgemm_mllm::zoo::sphinx_tiny(),
-//!     ServeConfig::with_batch_cap(8),
+//!     ServeConfig::with_batch_cap(8).with_admission(AdmissionControl::Defer),
 //! );
+//! // 16 interactive requests (250 ms TTFT / 30 ms TPOT targets) at ~20/s.
 //! let trace = TraceConfig::interactive(16, 20.0, 7).generate();
-//! let report = sim.run(&trace, &Fcfs);
+//! let report = sim.run(&trace, &EarliestDeadlineFirst);
 //! assert_eq!(report.completed.len(), 16);
 //! assert!(report.p99_latency_s() >= report.p50_latency_s());
+//! assert!(report.slo_attainment() > 0.0);
+//! for class in report.class_stats() {
+//!     println!("{}: p95 TTFT {:.0} ms, attainment {:.0}%",
+//!              class.priority.name(), class.p95_ttft_s * 1e3,
+//!              class.attainment * 100.0);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,12 +116,15 @@ mod metrics;
 mod policy;
 mod request;
 mod simulator;
+mod slo;
 mod trace;
 
-pub use metrics::{QueueSample, ServeReport};
+pub use metrics::{ClassStats, QueueSample, ServeReport};
 pub use policy::{
-    Fcfs, PolicyKind, PruningAware, QueuedRequest, SchedulePolicy, ShortestPromptFirst,
+    EarliestDeadlineFirst, Fcfs, PolicyKind, PruningAware, QueuedRequest, SchedulePolicy,
+    ShortestPromptFirst,
 };
-pub use request::{CompletedRequest, ServeRequest};
+pub use request::{CompletedRequest, RejectedRequest, ServeRequest};
 pub use simulator::{ServeConfig, ServeSimulator};
-pub use trace::TraceConfig;
+pub use slo::{AdmissionControl, Priority, SloClass};
+pub use trace::{merge, TraceConfig};

@@ -1,10 +1,20 @@
-//! Scheduling policies: which queued request the CC stage admits next.
+//! Scheduling policies: which queued request each pipeline stage takes next.
 //!
-//! Admission order matters because the CC stage (vision encode + prefill) is
-//! serial: a long prefill at the head of the queue delays every request
-//! behind it, and — since requests only join the decode batch after their
-//! prefill — it also starves the MC stage. A policy sees a snapshot of the
-//! queue with per-request cost estimates and picks one request.
+//! A policy governs *both* serialisation points of the pipeline:
+//!
+//! * **CC admission** ([`SchedulePolicy::choose`]): the CC stage (vision
+//!   encode + prefill) is serial, so a long prefill at the head of the queue
+//!   delays every request behind it — and, since requests only join the
+//!   decode batch after their prefill, it also starves the MC stage.
+//! * **Decode-batch join** ([`SchedulePolicy::choose_join`]): when more
+//!   prefilled requests wait than the batch has free slots, the policy picks
+//!   which stream joins at the step boundary. By default this reuses the CC
+//!   ordering, so a policy governs the whole pipeline consistently.
+//!
+//! A policy sees a snapshot of the queue with per-request cost estimates and
+//! SLO classes and picks one request.
+
+use crate::slo::SloClass;
 
 /// A queued request as presented to a scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,12 +32,20 @@ pub struct QueuedRequest {
     /// Estimated solo decode cycles for the whole generation, with the
     /// configured activation-aware pruning already applied.
     pub decode_cycles: u64,
+    /// Priority class and deadlines the request is served under.
+    pub slo: SloClass,
 }
 
 impl QueuedRequest {
     /// Estimated total service demand (prefill plus pruned decode).
     pub fn service_cycles(&self) -> u64 {
         self.prefill_cycles + self.decode_cycles
+    }
+
+    /// Absolute TTFT deadline in seconds (`+inf` for deadline-free classes,
+    /// which therefore sort last under EDF).
+    pub fn ttft_deadline_abs(&self) -> f64 {
+        self.slo.ttft_deadline_abs(self.arrival_s)
     }
 }
 
@@ -36,9 +54,17 @@ pub trait SchedulePolicy: std::fmt::Debug {
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
 
-    /// Index into `queued` of the request to admit next. `queued` is never
-    /// empty; the returned index must be in range.
+    /// Index into `queued` of the request the CC stage admits next.
+    /// `queued` is never empty; the returned index must be in range.
     fn choose(&self, queued: &[QueuedRequest]) -> usize;
+
+    /// Index into `ready` of the prefilled request that joins the decode
+    /// batch next. `ready` is never empty; the returned index must be in
+    /// range. Defaults to the CC ordering ([`Self::choose`]) so both stages
+    /// follow one discipline unless a policy overrides it.
+    fn choose_join(&self, ready: &[QueuedRequest]) -> usize {
+        self.choose(ready)
+    }
 }
 
 fn argmin_by_key<K: PartialOrd>(
@@ -106,6 +132,41 @@ impl SchedulePolicy for PruningAware {
     }
 }
 
+/// Earliest deadline first: admit the request whose absolute TTFT deadline
+/// (arrival + class TTFT budget) expires soonest; deadline-free classes sort
+/// last, tied groups fall back to priority then arrival order. The
+/// deadline-driven counterpart of FCFS — under load it spends the serial CC
+/// stage on the requests that are about to miss, instead of on whoever
+/// happened to arrive first.
+///
+/// For the decode-batch join, where the TTFT deadline is already history,
+/// EDF orders by [`crate::Priority`] and then arrival: interactive streams
+/// take free decode slots before background batch work.
+///
+/// Plain EDF still wastes the CC stage on requests that can no longer make
+/// their deadline (and under overload that can leave it *worse* than FCFS —
+/// the classic domino effect); pair it with
+/// [`crate::AdmissionControl::Defer`] or
+/// [`crate::AdmissionControl::Reject`] to shed hopeless work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarliestDeadlineFirst;
+
+impl SchedulePolicy for EarliestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn choose(&self, queued: &[QueuedRequest]) -> usize {
+        argmin_by_key(queued, |r| {
+            (r.ttft_deadline_abs(), r.slo.priority, r.arrival_s, r.id)
+        })
+    }
+
+    fn choose_join(&self, ready: &[QueuedRequest]) -> usize {
+        argmin_by_key(ready, |r| (r.slo.priority, r.arrival_s, r.id))
+    }
+}
+
 /// The built-in policies, enumerable for sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
@@ -115,14 +176,17 @@ pub enum PolicyKind {
     ShortestPromptFirst,
     /// [`PruningAware`].
     PruningAware,
+    /// [`EarliestDeadlineFirst`].
+    EarliestDeadlineFirst,
 }
 
 impl PolicyKind {
     /// All built-in policies, in presentation order.
-    pub const ALL: [PolicyKind; 3] = [
+    pub const ALL: [PolicyKind; 4] = [
         PolicyKind::Fcfs,
         PolicyKind::ShortestPromptFirst,
         PolicyKind::PruningAware,
+        PolicyKind::EarliestDeadlineFirst,
     ];
 
     /// The policy implementation.
@@ -131,6 +195,7 @@ impl PolicyKind {
             PolicyKind::Fcfs => &Fcfs,
             PolicyKind::ShortestPromptFirst => &ShortestPromptFirst,
             PolicyKind::PruningAware => &PruningAware,
+            PolicyKind::EarliestDeadlineFirst => &EarliestDeadlineFirst,
         }
     }
 
@@ -143,6 +208,7 @@ impl PolicyKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slo::{Priority, SloClass};
 
     fn queued(id: u64, arrival_s: f64, prompt: usize, prefill: u64, decode: u64) -> QueuedRequest {
         QueuedRequest {
@@ -152,6 +218,13 @@ mod tests {
             output_tokens: 16,
             prefill_cycles: prefill,
             decode_cycles: decode,
+            slo: SloClass::best_effort(),
+        }
+    }
+
+    impl QueuedRequest {
+        fn into_slo(self, slo: SloClass) -> Self {
+            QueuedRequest { slo, ..self }
         }
     }
 
@@ -184,15 +257,58 @@ mod tests {
     }
 
     #[test]
+    fn edf_orders_by_absolute_deadline() {
+        // Later arrival but tighter budget expires first; a deadline-free
+        // batch request sorts last even though it arrived earliest.
+        let q = [
+            queued(0, 0.0, 10, 100, 100).into_slo(SloClass::batch()),
+            queued(1, 0.1, 10, 100, 100).into_slo(SloClass::standard()),
+            queued(2, 0.4, 10, 100, 100).into_slo(SloClass::interactive()),
+        ];
+        assert_eq!(EarliestDeadlineFirst.choose(&q), 2);
+    }
+
+    #[test]
+    fn edf_join_orders_by_priority() {
+        let q = [
+            queued(0, 0.0, 10, 100, 100).into_slo(SloClass::batch()),
+            queued(1, 0.5, 10, 100, 100).into_slo(SloClass::interactive()),
+        ];
+        assert_eq!(EarliestDeadlineFirst.choose_join(&q), 1);
+        // Default join ordering reuses the CC choice.
+        assert_eq!(Fcfs.choose_join(&q), Fcfs.choose(&q));
+    }
+
+    #[test]
     fn ties_break_by_arrival_then_id() {
         let q = [queued(7, 0.3, 10, 100, 100), queued(3, 0.3, 10, 100, 100)];
         assert_eq!(ShortestPromptFirst.choose(&q), 1);
         assert_eq!(PruningAware.choose(&q), 1);
+        assert_eq!(EarliestDeadlineFirst.choose(&q), 1);
+    }
+
+    #[test]
+    fn deadline_free_classes_never_preempt_deadlines() {
+        let q = [
+            queued(0, 0.0, 10, 100, 100),
+            queued(1, 5.0, 10, 100, 100).into_slo(SloClass::batch().with_ttft(100.0)),
+        ];
+        // Best-effort (+inf deadline) loses to even a very loose deadline.
+        assert_eq!(EarliestDeadlineFirst.choose(&q), 1);
+        assert_eq!(q[0].ttft_deadline_abs(), f64::INFINITY);
+    }
+
+    #[test]
+    fn priorities_order_interactive_first() {
+        assert!(Priority::Interactive < Priority::Batch);
     }
 
     #[test]
     fn kinds_enumerate_distinct_policies() {
         let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["fcfs", "shortest-prompt", "pruning-aware"]);
+        assert_eq!(
+            names,
+            vec!["fcfs", "shortest-prompt", "pruning-aware", "edf"]
+        );
     }
 }

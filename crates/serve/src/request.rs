@@ -1,7 +1,10 @@
 //! Requests entering and leaving the serving simulator.
 
+use crate::slo::SloClass;
+
 /// One inference request submitted to the serving queue: an image plus a
-/// text prompt, generating `output_tokens` tokens.
+/// text prompt, generating `output_tokens` tokens, served under an
+/// [`SloClass`] (best effort unless set via [`ServeRequest::with_slo`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeRequest {
     /// Caller-assigned identifier, unique within one trace.
@@ -13,10 +16,12 @@ pub struct ServeRequest {
     pub text_tokens: usize,
     /// Number of output tokens the request generates.
     pub output_tokens: usize,
+    /// Priority class and latency deadlines the request is served under.
+    pub slo: SloClass,
 }
 
 impl ServeRequest {
-    /// Create a request.
+    /// Create a best-effort request (no deadlines, standard priority).
     ///
     /// # Panics
     ///
@@ -32,7 +37,13 @@ impl ServeRequest {
             arrival_s,
             text_tokens,
             output_tokens,
+            slo: SloClass::best_effort(),
         }
+    }
+
+    /// The same request served under `slo`.
+    pub fn with_slo(self, slo: SloClass) -> Self {
+        ServeRequest { slo, ..self }
     }
 }
 
@@ -54,6 +65,8 @@ pub struct CompletedRequest {
     pub finish_s: f64,
     /// Number of output tokens generated.
     pub output_tokens: usize,
+    /// The SLO class the request was served under.
+    pub slo: SloClass,
 }
 
 impl CompletedRequest {
@@ -67,20 +80,64 @@ impl CompletedRequest {
         self.prefill_end_s - self.arrival_s
     }
 
+    /// Mean time per output token after the first: prefill end to last
+    /// token, divided by the generation length. Charges the wait for a free
+    /// decode slot to the request — what the user streaming the answer sees,
+    /// not the machine's raw step rate.
+    pub fn time_per_output_token_s(&self) -> f64 {
+        (self.finish_s - self.prefill_end_s) / self.output_tokens as f64
+    }
+
     /// Total time spent waiting in queues (for the CC stage and then for a
     /// free decode slot) rather than being served.
     pub fn queue_wait_s(&self) -> f64 {
         (self.prefill_start_s - self.arrival_s) + (self.decode_start_s - self.prefill_end_s)
     }
+
+    /// Did the first token arrive within the class's TTFT deadline?
+    /// Deadline-free classes always pass.
+    pub fn meets_ttft(&self) -> bool {
+        self.slo
+            .ttft_deadline_s
+            .map_or(true, |d| self.time_to_first_token_s() <= d + 1e-12)
+    }
+
+    /// Did the generation stream within the class's TPOT deadline?
+    /// Deadline-free classes always pass.
+    pub fn meets_tpot(&self) -> bool {
+        self.slo
+            .tpot_deadline_s
+            .map_or(true, |d| self.time_per_output_token_s() <= d + 1e-12)
+    }
+
+    /// Did the request meet every deadline its class sets?
+    pub fn meets_slo(&self) -> bool {
+        self.meets_ttft() && self.meets_tpot()
+    }
+}
+
+/// A request dropped by [`crate::AdmissionControl::Reject`] because its TTFT
+/// deadline was already unreachable when the CC stage looked for work. It
+/// generated no tokens and appears in no completion metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejectedRequest {
+    /// The request's identifier.
+    pub id: u64,
+    /// When the request arrived.
+    pub arrival_s: f64,
+    /// When admission control dropped it.
+    pub reject_s: f64,
+    /// The SLO class whose TTFT deadline had become unreachable.
+    pub slo: SloClass,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slo::Priority;
 
-    #[test]
-    fn derived_times_are_consistent() {
-        let done = CompletedRequest {
+    fn done(slo: SloClass) -> CompletedRequest {
+        CompletedRequest {
             id: 3,
             arrival_s: 1.0,
             prefill_start_s: 1.5,
@@ -88,10 +145,41 @@ mod tests {
             decode_start_s: 2.25,
             finish_s: 3.0,
             output_tokens: 8,
-        };
+            slo,
+        }
+    }
+
+    #[test]
+    fn derived_times_are_consistent() {
+        let done = done(SloClass::best_effort());
         assert!((done.latency_s() - 2.0).abs() < 1e-12);
         assert!((done.time_to_first_token_s() - 1.0).abs() < 1e-12);
+        assert!((done.time_per_output_token_s() - 0.125).abs() < 1e-12);
         assert!((done.queue_wait_s() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_effort_always_meets_slo() {
+        assert!(done(SloClass::best_effort()).meets_slo());
+        assert!(done(SloClass::batch()).meets_slo());
+    }
+
+    #[test]
+    fn deadlines_separate_ttft_from_tpot() {
+        // TTFT is 1.0 s, TPOT is 0.125 s in the fixture.
+        let tight_ttft = done(SloClass::batch().with_ttft(0.5));
+        assert!(!tight_ttft.meets_ttft() && tight_ttft.meets_tpot());
+        let tight_tpot = done(SloClass::batch().with_tpot(0.1));
+        assert!(tight_tpot.meets_ttft() && !tight_tpot.meets_tpot());
+        let loose = done(SloClass::batch().with_ttft(1.5).with_tpot(0.2));
+        assert!(loose.meets_slo());
+    }
+
+    #[test]
+    fn with_slo_attaches_the_class() {
+        let r = ServeRequest::new(0, 0.0, 8, 4).with_slo(SloClass::interactive());
+        assert_eq!(r.slo.priority, Priority::Interactive);
+        assert_eq!(ServeRequest::new(0, 0.0, 8, 4).slo, SloClass::best_effort());
     }
 
     #[test]

@@ -7,7 +7,18 @@
 //! generates one token for every stream in the batch, finished requests
 //! leave at the step boundary, and waiting requests join immediately — the
 //! batch never drains to restart, exactly like stream-batched serving
-//! systems.
+//! systems. When more prefilled requests wait than the batch has free
+//! slots, the join order is also the policy's call
+//! ([`SchedulePolicy::choose_join`]), so one discipline governs the whole
+//! pipeline.
+//!
+//! On top of the policy sits [`AdmissionControl`]: every time the CC stage
+//! looks for work it computes each queued request's TTFT *slack* — could the
+//! deadline still be met if the prefill started right now? — and either
+//! serves hopeless requests anyway ([`AdmissionControl::Serve`]), parks
+//! them behind every salvageable request ([`AdmissionControl::Defer`]), or
+//! drops them ([`AdmissionControl::Reject`], reported in
+//! [`ServeReport::rejected`]).
 //!
 //! Costs come from the cycle-level simulator (`edgemm-sim`), not from a
 //! separate analytic model: each request's prefill is a
@@ -16,15 +27,14 @@
 //! batch — weight fetches are shared between streams (the Fig. 9c weight
 //! reuse), KV-cache traffic and compute repeat per stream.
 
-use std::collections::VecDeque;
-
 use edgemm_arch::ClusterKind;
 use edgemm_mllm::{MllmConfig, ModelWorkload, Phase, TrafficClass};
 use edgemm_sim::{DecodeOptions, Machine, OpCost, PruningEffect};
 
 use crate::metrics::{QueueSample, ServeReport};
 use crate::policy::{QueuedRequest, SchedulePolicy};
-use crate::request::{CompletedRequest, ServeRequest};
+use crate::request::{CompletedRequest, RejectedRequest, ServeRequest};
+use crate::slo::AdmissionControl;
 
 /// Static configuration of a serving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,15 +45,26 @@ pub struct ServeConfig {
     /// Activation-aware pruning effect applied to every request's decode
     /// FFN GEMVs (use [`PruningEffect::disabled`] for dense serving).
     pub pruning: PruningEffect,
+    /// What the CC stage does with requests whose TTFT deadline has become
+    /// unreachable ([`AdmissionControl::Serve`] reproduces the pre-SLO
+    /// behaviour: serve everything, report the misses).
+    pub admission: AdmissionControl,
 }
 
 impl ServeConfig {
-    /// Dense serving with the given decode batch capacity.
+    /// Dense serving with the given decode batch capacity and admit-all
+    /// admission.
     pub fn with_batch_cap(batch_cap: usize) -> Self {
         ServeConfig {
             batch_cap,
             pruning: PruningEffect::disabled(),
+            admission: AdmissionControl::Serve,
         }
+    }
+
+    /// The same configuration under a different admission mode.
+    pub fn with_admission(self, admission: AdmissionControl) -> Self {
+        ServeConfig { admission, ..self }
     }
 }
 
@@ -58,6 +79,8 @@ impl Default for ServeConfig {
 struct InFlight {
     request: ServeRequest,
     arrival_cycle: u64,
+    /// Absolute TTFT deadline in cycles, if the request's class sets one.
+    ttft_deadline_cycle: Option<u64>,
     prompt_tokens: usize,
     prefill_cycles: u64,
     /// Per-operator cost of one average decode step, solo.
@@ -68,6 +91,27 @@ struct InFlight {
     prefill_end: u64,
     decode_start: u64,
     finish: u64,
+}
+
+impl InFlight {
+    /// Could the TTFT deadline still be met if the prefill started at
+    /// `now`? Deadline-free requests always can.
+    fn ttft_feasible_at(&self, now: u64) -> bool {
+        self.ttft_deadline_cycle
+            .map_or(true, |deadline| now + self.prefill_cycles <= deadline)
+    }
+
+    fn as_queued(&self) -> QueuedRequest {
+        QueuedRequest {
+            id: self.request.id,
+            arrival_s: self.request.arrival_s,
+            prompt_tokens: self.prompt_tokens,
+            output_tokens: self.request.output_tokens,
+            prefill_cycles: self.prefill_cycles,
+            decode_cycles: self.solo_step_cycles * self.request.output_tokens as u64,
+            slo: self.request.slo,
+        }
+    }
 }
 
 /// The multi-request serving simulator over one machine and one model.
@@ -127,8 +171,19 @@ impl<'a> ServeSimulator<'a> {
             self.config.pruning,
         );
         let solo_step_cycles = step_costs.iter().map(OpCost::latency_cycles).sum();
+        let clock_hz = self.clock_hz();
+        let arrival_cycle = (request.arrival_s * clock_hz).round() as u64;
         InFlight {
-            arrival_cycle: (request.arrival_s * self.clock_hz()).round() as u64,
+            arrival_cycle,
+            // Offset from the *quantized* arrival and floored, so that a
+            // request admitted at the last feasible cycle always satisfies
+            // `CompletedRequest::meets_ttft` (which measures TTFT from the
+            // same quantized arrival) — feasibility and the recorded miss
+            // can never disagree by a rounding cycle.
+            ttft_deadline_cycle: request
+                .slo
+                .ttft_deadline_s
+                .map(|d| arrival_cycle + (d * clock_hz).floor() as u64),
             prompt_tokens: workload.prompt_tokens(),
             // A zero-cycle stage would stall the event loop (events must
             // advance time), so degenerate costs are clamped to one cycle.
@@ -201,14 +256,14 @@ impl<'a> ServeSimulator<'a> {
 
         let mut next_arrival = 0usize;
         let mut cc_queue: Vec<usize> = Vec::new();
-        let mut ready: VecDeque<usize> = VecDeque::new();
+        let mut ready: Vec<usize> = Vec::new();
         let mut batch: Vec<usize> = Vec::new();
         let mut cc_busy: Option<(u64, usize)> = None;
         let mut step_end: Option<u64> = None;
         let mut completed_order: Vec<usize> = Vec::new();
+        let mut rejected_order: Vec<(usize, u64)> = Vec::new();
         let mut queue_samples: Vec<QueueSample> = Vec::new();
         let mut decode_steps = 0u64;
-        let mut now = 0u64;
 
         loop {
             // Earliest pending event across the three sources.
@@ -223,8 +278,7 @@ impl<'a> ServeSimulator<'a> {
             if let Some(end) = step_end {
                 consider(end);
             }
-            let Some(event) = next else { break };
-            now = event;
+            let Some(now) = next else { break };
 
             // Drain everything due at `now` before dispatching, so a request
             // arriving or finishing prefill exactly at a step boundary can be
@@ -237,7 +291,7 @@ impl<'a> ServeSimulator<'a> {
             if let Some((end, idx)) = cc_busy {
                 if end <= now {
                     states[idx].prefill_end = now;
-                    ready.push_back(idx);
+                    ready.push(idx);
                     cc_busy = None;
                 }
             }
@@ -259,41 +313,76 @@ impl<'a> ServeSimulator<'a> {
             }
 
             // Dispatch the serial CC stage: one prefill at a time, chosen by
-            // the policy from a snapshot of the queue.
+            // the policy from a snapshot of the queue. Admission control
+            // first splits the queue on TTFT slack.
             if cc_busy.is_none() && !cc_queue.is_empty() {
-                let snapshot: Vec<QueuedRequest> = cc_queue
-                    .iter()
-                    .map(|&idx| {
-                        let s = &states[idx];
-                        QueuedRequest {
-                            id: s.request.id,
-                            arrival_s: s.request.arrival_s,
-                            prompt_tokens: s.prompt_tokens,
-                            output_tokens: s.request.output_tokens,
-                            prefill_cycles: s.prefill_cycles,
-                            decode_cycles: s.solo_step_cycles * s.request.output_tokens as u64,
+                if self.config.admission == AdmissionControl::Reject {
+                    let mut i = 0;
+                    while i < cc_queue.len() {
+                        let idx = cc_queue[i];
+                        if states[idx].ttft_feasible_at(now) {
+                            i += 1;
+                        } else {
+                            cc_queue.swap_remove(i);
+                            rejected_order.push((idx, now));
                         }
-                    })
-                    .collect();
-                let pick = policy.choose(&snapshot);
-                assert!(
-                    pick < cc_queue.len(),
-                    "policy {} returned index {pick} for a queue of {}",
-                    policy.name(),
-                    cc_queue.len()
-                );
-                let idx = cc_queue.swap_remove(pick);
-                states[idx].prefill_start = now;
-                cc_busy = Some((now + states[idx].prefill_cycles, idx));
+                    }
+                }
+                // Positions into `cc_queue` the policy may choose from:
+                // everything, or (under deferral) the feasible subset when
+                // one exists.
+                let pool: Vec<usize> = if self.config.admission == AdmissionControl::Defer {
+                    let feasible: Vec<usize> = (0..cc_queue.len())
+                        .filter(|&pos| states[cc_queue[pos]].ttft_feasible_at(now))
+                        .collect();
+                    if feasible.is_empty() {
+                        (0..cc_queue.len()).collect()
+                    } else {
+                        feasible
+                    }
+                } else {
+                    (0..cc_queue.len()).collect()
+                };
+                if !pool.is_empty() {
+                    let snapshot: Vec<QueuedRequest> = pool
+                        .iter()
+                        .map(|&pos| states[cc_queue[pos]].as_queued())
+                        .collect();
+                    let pick = policy.choose(&snapshot);
+                    assert!(
+                        pick < pool.len(),
+                        "policy {} returned index {pick} for a queue of {}",
+                        policy.name(),
+                        pool.len()
+                    );
+                    let idx = cc_queue.swap_remove(pool[pick]);
+                    states[idx].prefill_start = now;
+                    cc_busy = Some((now + states[idx].prefill_cycles, idx));
+                }
             }
 
-            // Dispatch the MC stage: top the batch up from the ready queue
-            // (continuous batching), then start the next step.
+            // Dispatch the MC stage: top the batch up from the ready set in
+            // the policy's join order (continuous batching), then start the
+            // next step.
             if step_end.is_none() {
-                while batch.len() < self.config.batch_cap {
-                    let Some(idx) = ready.pop_front() else { break };
-                    states[idx].decode_start = now;
-                    batch.push(idx);
+                if batch.len() < self.config.batch_cap && !ready.is_empty() {
+                    // Snapshot the ready set once per top-up; `swap_remove`
+                    // on both vectors in lockstep keeps indices aligned.
+                    let mut snapshot: Vec<QueuedRequest> =
+                        ready.iter().map(|&idx| states[idx].as_queued()).collect();
+                    while batch.len() < self.config.batch_cap && !ready.is_empty() {
+                        let pick = policy.choose_join(&snapshot);
+                        assert!(
+                            pick < ready.len(),
+                            "policy {} returned join index {pick} for a ready set of {}",
+                            policy.name(),
+                            ready.len()
+                        );
+                        snapshot.swap_remove(pick);
+                        let idx = ready.swap_remove(pick);
+                        states[idx].decode_start = now;
+                        batch.push(idx);
+                    }
                 }
                 if !batch.is_empty() {
                     step_end = Some(now + self.step_cycles(&states, &batch));
@@ -308,7 +397,7 @@ impl<'a> ServeSimulator<'a> {
             });
         }
 
-        debug_assert_eq!(completed_order.len(), states.len());
+        debug_assert_eq!(completed_order.len() + rejected_order.len(), states.len());
         let completed: Vec<CompletedRequest> = completed_order
             .iter()
             .map(|&idx| {
@@ -321,18 +410,33 @@ impl<'a> ServeSimulator<'a> {
                     decode_start_s: s.decode_start as f64 / clock_hz,
                     finish_s: s.finish as f64 / clock_hz,
                     output_tokens: s.request.output_tokens,
+                    slo: s.request.slo,
+                }
+            })
+            .collect();
+        let rejected: Vec<RejectedRequest> = rejected_order
+            .iter()
+            .map(|&(idx, cycle)| {
+                let s = &states[idx];
+                RejectedRequest {
+                    id: s.request.id,
+                    arrival_s: s.arrival_cycle as f64 / clock_hz,
+                    reject_s: cycle as f64 / clock_hz,
+                    slo: s.request.slo,
                 }
             })
             .collect();
         let first_arrival = states.iter().map(|s| s.arrival_cycle).min().unwrap_or(0);
-        let makespan_s = if completed.is_empty() {
-            0.0
-        } else {
-            (now - first_arrival) as f64 / clock_hz
-        };
+        // First arrival to *last completion* — a straggler that arrives
+        // after the machine drained and is promptly rejected consumed no
+        // resources and must not dilute the throughput metrics.
+        let makespan_s = completed_order.last().map_or(0.0, |&idx| {
+            (states[idx].finish - first_arrival) as f64 / clock_hz
+        });
         ServeReport {
             total_output_tokens: completed.iter().map(|r| r.output_tokens as u64).sum(),
             completed,
+            rejected,
             queue_samples,
             decode_steps,
             makespan_s,
@@ -343,7 +447,8 @@ impl<'a> ServeSimulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{Fcfs, PolicyKind, ShortestPromptFirst};
+    use crate::policy::{EarliestDeadlineFirst, Fcfs, PolicyKind, ShortestPromptFirst};
+    use crate::slo::SloClass;
     use crate::trace::TraceConfig;
     use edgemm_mllm::zoo;
     use edgemm_sim::SimConfig;
@@ -471,7 +576,87 @@ mod tests {
         for kind in PolicyKind::ALL {
             let report = sim.run(&trace, kind.policy());
             assert_eq!(report.completed.len(), trace.len(), "{kind:?}");
+            assert!(report.rejected.is_empty(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn reject_admission_drops_hopeless_requests() {
+        // A saturated burst with a TTFT budget only a few prefills deep:
+        // the head of the queue completes, the tail is rejected, and
+        // completed + rejected account for every submission.
+        let m = machine();
+        let slo = SloClass::interactive().with_ttft(0.15);
+        let trace: Vec<ServeRequest> = TraceConfig::saturated(12, 24, 8)
+            .generate()
+            .into_iter()
+            .map(|r| r.with_slo(slo))
+            .collect();
+        let config = ServeConfig::with_batch_cap(4).with_admission(AdmissionControl::Reject);
+        let sim = ServeSimulator::new(&m, zoo::sphinx_tiny(), config);
+        let report = sim.run(&trace, &EarliestDeadlineFirst);
+        assert!(!report.rejected.is_empty(), "nothing was rejected");
+        assert!(!report.completed.is_empty(), "everything was rejected");
+        assert_eq!(report.completed.len() + report.rejected.len(), trace.len());
+        // No id in both lists.
+        for r in &report.rejected {
+            assert!(report.completed.iter().all(|c| c.id != r.id));
+            assert!(r.reject_s >= r.arrival_s);
+        }
+        // Load shedding pays off: every survivor met its TTFT deadline.
+        assert!(report.completed.iter().all(|c| c.meets_ttft()));
+    }
+
+    #[test]
+    fn defer_admission_serves_everyone_but_protects_the_feasible() {
+        let m = machine();
+        let slo = SloClass::interactive().with_ttft(0.15);
+        let trace: Vec<ServeRequest> = TraceConfig::saturated(12, 24, 8)
+            .generate()
+            .into_iter()
+            .map(|r| r.with_slo(slo))
+            .collect();
+        let defer = ServeConfig::with_batch_cap(4).with_admission(AdmissionControl::Defer);
+        let sim = ServeSimulator::new(&m, zoo::sphinx_tiny(), defer);
+        let report = sim.run(&trace, &EarliestDeadlineFirst);
+        assert_eq!(report.completed.len(), trace.len());
+        assert!(report.rejected.is_empty());
+        // Deferral cannot drop anyone, so some requests miss...
+        assert!(report.deadline_misses() > 0);
+        // ...but at least as many meet TTFT as under admit-all FCFS.
+        let baseline = ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::with_batch_cap(4))
+            .run(&trace, &Fcfs);
+        let met = |r: &ServeReport| r.completed.iter().filter(|c| c.meets_ttft()).count();
+        assert!(met(&report) >= met(&baseline));
+    }
+
+    #[test]
+    fn join_order_follows_the_policy() {
+        // Cap 1 and a simultaneous burst (so the CC stage sees all three
+        // before choosing): under EDF the interactive stream must take the
+        // decode slot before lower-id batch work; under FCFS id order wins.
+        let m = machine();
+        let requests = [
+            ServeRequest::new(0, 0.0, 16, 24).with_slo(SloClass::batch()),
+            ServeRequest::new(1, 0.0, 16, 24).with_slo(SloClass::batch()),
+            ServeRequest::new(2, 0.0, 16, 24).with_slo(SloClass::interactive().with_tpot(10.0)),
+        ];
+        let sim = simulator(&m, 1);
+        let edf = sim.run(&requests, &EarliestDeadlineFirst);
+        let fcfs = sim.run(&requests, &Fcfs);
+        let decode_rank = |report: &ServeReport, id: u64| {
+            let mut starts: Vec<(f64, u64)> = report
+                .completed
+                .iter()
+                .map(|c| (c.decode_start_s, c.id))
+                .collect();
+            starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            starts.iter().position(|&(_, i)| i == id).expect("served")
+        };
+        // EDF prefills the interactive request first (earliest deadline) and
+        // its join ordering keeps priority; FCFS leaves it last.
+        assert_eq!(decode_rank(&edf, 2), 0);
+        assert_eq!(decode_rank(&fcfs, 2), 2);
     }
 
     #[test]
@@ -479,6 +664,7 @@ mod tests {
         let m = machine();
         let report = simulator(&m, 4).run(&[], &Fcfs);
         assert!(report.completed.is_empty());
+        assert!(report.rejected.is_empty());
         assert_eq!(report.makespan_s, 0.0);
         assert_eq!(report.decode_steps, 0);
     }

@@ -1,0 +1,202 @@
+//! Service-level objectives: priority classes, latency deadlines and the
+//! admission-control modes that enforce them.
+//!
+//! What a user at the edge feels is not raw tokens/s but whether the first
+//! token appears before a deadline (TTFT — time to first token) and whether
+//! the answer then streams at a readable pace (TPOT — time per output
+//! token). An [`SloClass`] attaches both targets plus a [`Priority`] to a
+//! request; the simulator's admission control ([`AdmissionControl`]) decides
+//! what to do with requests that can no longer meet their TTFT target.
+
+/// Relative importance of a request. Lower variants are more urgent: the
+/// derived [`Ord`] puts [`Priority::Interactive`] first, so policies can use
+/// the priority directly as the leading sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// A user is watching the tokens appear (VQA, chat).
+    Interactive,
+    /// Latency matters but nobody is staring at the screen (agent steps,
+    /// notifications).
+    Standard,
+    /// Throughput-oriented background work (summarisation, indexing); runs
+    /// in the gaps the other classes leave.
+    Batch,
+}
+
+impl Priority {
+    /// All priorities, most urgent first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Short human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// The service-level objective attached to one request: a priority class
+/// plus optional TTFT/TPOT deadlines. `None` deadlines mean "best effort" —
+/// the request always counts as meeting that target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloClass {
+    /// Scheduling priority relative to other requests.
+    pub priority: Priority,
+    /// Time-to-first-token target in seconds from *arrival* (covers queueing
+    /// plus the whole CC stage: vision encode, projector, prefill).
+    pub ttft_deadline_s: Option<f64>,
+    /// Time-per-output-token target in seconds, averaged over the request's
+    /// generation (covers the wait for a decode slot plus every decode step).
+    pub tpot_deadline_s: Option<f64>,
+}
+
+impl SloClass {
+    /// Interactive preset: a user is waiting. The TTFT budget of 250 ms
+    /// leaves room for a handful of queued prefills ahead of the request on
+    /// the paper's design point (a SPHINX-Tiny prefill is ~40 ms); 30 ms
+    /// TPOT is comfortably readable streaming (~33 tokens/s).
+    pub fn interactive() -> Self {
+        SloClass {
+            priority: Priority::Interactive,
+            ttft_deadline_s: Some(0.25),
+            tpot_deadline_s: Some(0.03),
+        }
+    }
+
+    /// Standard preset: latency-tolerant foreground work — 1 s to the first
+    /// token, 60 ms per token.
+    pub fn standard() -> Self {
+        SloClass {
+            priority: Priority::Standard,
+            ttft_deadline_s: Some(1.0),
+            tpot_deadline_s: Some(0.06),
+        }
+    }
+
+    /// Batch preset: background throughput work with no latency targets.
+    pub fn batch() -> Self {
+        SloClass {
+            priority: Priority::Batch,
+            ttft_deadline_s: None,
+            tpot_deadline_s: None,
+        }
+    }
+
+    /// No deadlines, standard priority: the behaviour of a request from
+    /// before SLOs existed. This is the [`Default`].
+    pub fn best_effort() -> Self {
+        SloClass {
+            priority: Priority::Standard,
+            ttft_deadline_s: None,
+            tpot_deadline_s: None,
+        }
+    }
+
+    /// Same class with a different TTFT deadline.
+    pub fn with_ttft(self, deadline_s: f64) -> Self {
+        SloClass {
+            ttft_deadline_s: Some(deadline_s),
+            ..self
+        }
+    }
+
+    /// Same class with a different TPOT deadline.
+    pub fn with_tpot(self, deadline_s: f64) -> Self {
+        SloClass {
+            tpot_deadline_s: Some(deadline_s),
+            ..self
+        }
+    }
+
+    /// Absolute TTFT deadline for a request arriving at `arrival_s`, or
+    /// `+inf` when the class has no TTFT target (sorts last under EDF).
+    pub fn ttft_deadline_abs(&self, arrival_s: f64) -> f64 {
+        self.ttft_deadline_s
+            .map_or(f64::INFINITY, |d| arrival_s + d)
+    }
+}
+
+impl Default for SloClass {
+    fn default() -> Self {
+        Self::best_effort()
+    }
+}
+
+/// What the CC stage does with a queued request whose TTFT deadline is no
+/// longer reachable (its remaining slack is negative even if its prefill
+/// started immediately). Evaluated every time the stage picks its next
+/// prefill; time only moves forward, so a request judged hopeless stays
+/// hopeless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AdmissionControl {
+    /// Serve everything in policy order and merely *report* the misses.
+    /// The measurement baseline, and the pre-SLO behaviour.
+    #[default]
+    Serve,
+    /// Defer hopeless requests: they are only admitted when no request that
+    /// can still meet its deadline is waiting. They complete (and count as
+    /// deadline misses) but no longer delay requests that can be saved.
+    Defer,
+    /// Reject hopeless requests outright: they are dropped at dispatch time
+    /// and reported in [`crate::ServeReport::rejected`] instead of
+    /// completing. The load-shedding mode: under overload it trades
+    /// completed requests for SLO attainment of the survivors.
+    Reject,
+}
+
+impl AdmissionControl {
+    /// Short human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionControl::Serve => "serve",
+            AdmissionControl::Defer => "defer",
+            AdmissionControl::Reject => "reject",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_most_urgent_first() {
+        assert!(Priority::Interactive < Priority::Standard);
+        assert!(Priority::Standard < Priority::Batch);
+        assert_eq!(Priority::ALL[0], Priority::Interactive);
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let i = SloClass::interactive();
+        assert_eq!(i.priority, Priority::Interactive);
+        assert!(i.ttft_deadline_s.unwrap() < SloClass::standard().ttft_deadline_s.unwrap());
+        let b = SloClass::batch();
+        assert!(b.ttft_deadline_s.is_none() && b.tpot_deadline_s.is_none());
+        assert_eq!(SloClass::default(), SloClass::best_effort());
+    }
+
+    #[test]
+    fn absolute_deadline_offsets_from_arrival() {
+        let slo = SloClass::interactive();
+        let abs = slo.ttft_deadline_abs(2.0);
+        assert!((abs - (2.0 + slo.ttft_deadline_s.unwrap())).abs() < 1e-12);
+        assert_eq!(SloClass::batch().ttft_deadline_abs(2.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn builders_override_single_targets() {
+        let c = SloClass::batch().with_ttft(3.0).with_tpot(0.1);
+        assert_eq!(c.priority, Priority::Batch);
+        assert_eq!(c.ttft_deadline_s, Some(3.0));
+        assert_eq!(c.tpot_deadline_s, Some(0.1));
+    }
+
+    #[test]
+    fn admission_modes_name_themselves() {
+        assert_eq!(AdmissionControl::default(), AdmissionControl::Serve);
+        assert_eq!(AdmissionControl::Reject.name(), "reject");
+    }
+}

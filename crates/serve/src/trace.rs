@@ -4,11 +4,14 @@
 //! generator draws exponential inter-arrival times (a Poisson process at
 //! `arrival_rate_per_s`) and uniform prompt/output lengths, all from the
 //! deterministic seeded [`rand`] shim, so a `(config, seed)` pair always
-//! reproduces the same trace.
+//! reproduces the same trace. Every request in one trace carries the
+//! trace's [`SloClass`]; mixed-class workloads are built by generating one
+//! trace per class and interleaving them with [`merge`].
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::request::ServeRequest;
+use crate::slo::SloClass;
 
 /// Parameters of a synthetic request trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,11 +28,14 @@ pub struct TraceConfig {
     pub output_tokens: (usize, usize),
     /// Seed of the deterministic generator.
     pub seed: u64,
+    /// SLO class attached to every request in the trace.
+    pub slo: SloClass,
 }
 
 impl TraceConfig {
     /// An interactive assistant mix: short prompts, short-to-medium answers
-    /// (the VQA/comprehension traffic the paper's intro motivates).
+    /// (the VQA/comprehension traffic the paper's intro motivates), served
+    /// under [`SloClass::interactive`].
     pub fn interactive(requests: usize, arrival_rate_per_s: f64, seed: u64) -> Self {
         TraceConfig {
             requests,
@@ -37,12 +43,28 @@ impl TraceConfig {
             text_tokens: (8, 48),
             output_tokens: (16, 96),
             seed,
+            slo: SloClass::interactive(),
         }
     }
 
-    /// A saturated trace: `requests` identical requests all arriving at time
-    /// zero. Useful for measuring steady-state throughput and for
-    /// batch-monotonicity properties where queueing noise must be excluded.
+    /// Background batch work: long prompts, long summarisation-style
+    /// answers, no deadlines ([`SloClass::batch`]). The traffic that soaks
+    /// up whatever capacity the interactive classes leave.
+    pub fn background(requests: usize, arrival_rate_per_s: f64, seed: u64) -> Self {
+        TraceConfig {
+            requests,
+            arrival_rate_per_s,
+            text_tokens: (48, 128),
+            output_tokens: (64, 192),
+            seed,
+            slo: SloClass::batch(),
+        }
+    }
+
+    /// A saturated trace: `requests` identical best-effort requests all
+    /// arriving at time zero. Useful for measuring steady-state throughput
+    /// and for batch-monotonicity properties where queueing noise must be
+    /// excluded.
     pub fn saturated(requests: usize, text_tokens: usize, output_tokens: usize) -> Self {
         TraceConfig {
             requests,
@@ -50,7 +72,13 @@ impl TraceConfig {
             text_tokens: (text_tokens, text_tokens),
             output_tokens: (output_tokens, output_tokens),
             seed: 0,
+            slo: SloClass::best_effort(),
         }
+    }
+
+    /// The same trace shape under a different SLO class.
+    pub fn with_slo(self, slo: SloClass) -> Self {
+        TraceConfig { slo, ..self }
     }
 
     /// Generate the trace. Requests are returned in arrival order with ids
@@ -85,15 +113,31 @@ impl TraceConfig {
                 }
                 let text = rng.gen_range(self.text_tokens.0..self.text_tokens.1 + 1);
                 let output = rng.gen_range(self.output_tokens.0..self.output_tokens.1 + 1);
-                ServeRequest::new(id, arrival, text, output)
+                ServeRequest::new(id, arrival, text, output).with_slo(self.slo)
             })
             .collect()
     }
 }
 
+/// Interleave several traces into one request stream: the union of all
+/// requests sorted by arrival time, re-identified `0..n` so ids stay unique
+/// across the sources. The standard way to build a mixed-SLO workload
+/// (e.g. interactive VQA over background summarisation).
+pub fn merge(traces: &[Vec<ServeRequest>]) -> Vec<ServeRequest> {
+    let mut all: Vec<ServeRequest> = traces.iter().flatten().copied().collect();
+    // Stable on (arrival, source order) because sort_by is stable and the
+    // flatten preserves source order for equal arrivals.
+    all.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
+    for (id, request) in all.iter_mut().enumerate() {
+        request.id = id as u64;
+    }
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slo::Priority;
 
     #[test]
     fn traces_are_deterministic_and_ordered() {
@@ -106,6 +150,7 @@ mod tests {
         assert!(a
             .iter()
             .all(|r| (16..=96).contains(&r.output_tokens) && (8..=48).contains(&r.text_tokens)));
+        assert!(a.iter().all(|r| r.slo == SloClass::interactive()));
     }
 
     #[test]
@@ -136,6 +181,44 @@ mod tests {
         assert!(trace
             .iter()
             .all(|r| r.text_tokens == 16 && r.output_tokens == 32));
+        assert!(trace.iter().all(|r| r.slo == SloClass::best_effort()));
+    }
+
+    #[test]
+    fn background_preset_is_batch_class() {
+        let trace = TraceConfig::background(8, 2.0, 3).generate();
+        assert!(trace.iter().all(|r| r.slo.priority == Priority::Batch));
+        assert!(trace.iter().all(|r| r.slo.ttft_deadline_s.is_none()));
+    }
+
+    #[test]
+    fn with_slo_overrides_the_class() {
+        let trace = TraceConfig::interactive(4, 10.0, 1)
+            .with_slo(SloClass::standard())
+            .generate();
+        assert!(trace.iter().all(|r| r.slo == SloClass::standard()));
+        // The class does not perturb the deterministic arrival stream.
+        let base = TraceConfig::interactive(4, 10.0, 1).generate();
+        assert!(trace
+            .iter()
+            .zip(&base)
+            .all(|(a, b)| a.arrival_s == b.arrival_s && a.text_tokens == b.text_tokens));
+    }
+
+    #[test]
+    fn merge_interleaves_and_reidentifies() {
+        let a = TraceConfig::interactive(6, 20.0, 1).generate();
+        let b = TraceConfig::background(4, 5.0, 2).generate();
+        let mixed = merge(&[a.clone(), b.clone()]);
+        assert_eq!(mixed.len(), a.len() + b.len());
+        assert!(mixed.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        let ids: Vec<u64> = mixed.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        // Both classes survive the merge.
+        assert!(mixed
+            .iter()
+            .any(|r| r.slo.priority == Priority::Interactive));
+        assert!(mixed.iter().any(|r| r.slo.priority == Priority::Batch));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub struct BenchmarkGroup {
 
 impl BenchmarkGroup {
     /// Accepted for API compatibility; the shim always times
-    /// [`TIMED_ITERS`] iterations.
+    /// `TIMED_ITERS` iterations.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
@@ -101,7 +101,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Warm `routine` up once, then time [`TIMED_ITERS`] calls.
+    /// Warm `routine` up once, then time `TIMED_ITERS` calls.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,

@@ -10,7 +10,8 @@
 //! reproduction never drifts silently away from the paper.
 
 use edgemm::figures::{fig11_hetero, table1_models, table2_gpu_comparison};
-use edgemm::{EdgeMm, RequestOptions};
+use edgemm::serve::{merge, AdmissionControl, PolicyKind, Priority, ServeReport, TraceConfig};
+use edgemm::{EdgeMm, RequestOptions, ServeOptions};
 use edgemm_mllm::{zoo, ModelWorkload};
 
 fn probing() -> bool {
@@ -85,6 +86,73 @@ fn golden_pruning_keep_ratio_and_latency() {
     );
     let report = system.run(&workload, RequestOptions::default());
     assert_close("system.latency_s", report.latency_s, 5.418655280000e-1);
+}
+
+/// One SLO sweep point, pinned: mixed interactive + background traffic at a
+/// high arrival rate (16 interactive req/s — past the knee of the serial CC
+/// stage), cap 8, pruning on. Pins the deadline-miss counts and attainment
+/// of the pre-SLO baseline (FCFS, admit all) and the SLO-aware stack
+/// (earliest-deadline-first + defer-hopeless), and asserts the headline
+/// claim outright: EDF misses strictly fewer deadlines than FCFS here.
+#[test]
+fn golden_slo_sweep_point() {
+    let system = EdgeMm::paper_default();
+    let mixed = merge(&[
+        TraceConfig::interactive(32, 16.0, 11).generate(),
+        TraceConfig::background(8, 4.0, 12).generate(),
+    ]);
+    let run = |policy, admission| -> ServeReport {
+        system.serve(
+            &zoo::sphinx_tiny(),
+            &mixed,
+            ServeOptions {
+                policy,
+                admission,
+                ..ServeOptions::with_pruning()
+            },
+        )
+    };
+    let fcfs = run(PolicyKind::Fcfs, AdmissionControl::Serve);
+    let edf = run(PolicyKind::EarliestDeadlineFirst, AdmissionControl::Defer);
+    let interactive_p95 = |report: &ServeReport| {
+        report
+            .class_stats()
+            .iter()
+            .find(|c| c.priority == Priority::Interactive)
+            .expect("interactive class present")
+            .p95_ttft_s
+    };
+    if probing() {
+        println!("slo.fcfs_misses = {}", fcfs.deadline_misses());
+        println!("slo.edf_misses = {}", edf.deadline_misses());
+    } else {
+        assert_eq!(fcfs.deadline_misses(), 21, "fcfs miss count drifted");
+        assert_eq!(edf.deadline_misses(), 8, "edf+defer miss count drifted");
+    }
+    assert_close("slo.fcfs_attainment", fcfs.slo_attainment(), 4.75e-1);
+    assert_close("slo.edf_attainment", edf.slo_attainment(), 8.0e-1);
+    // Note the trade EDF+defer makes: *more* requests meet the deadline,
+    // while the deferred (already-hopeless) ones stretch the p95 tail.
+    assert_close(
+        "slo.fcfs_interactive_p95_ttft_s",
+        interactive_p95(&fcfs),
+        1.228236933000e0,
+    );
+    assert_close(
+        "slo.edf_interactive_p95_ttft_s",
+        interactive_p95(&edf),
+        1.422453978000e0,
+    );
+    // The acceptance headline, independent of the pinned constants.
+    assert!(
+        edf.deadline_misses() < fcfs.deadline_misses(),
+        "EDF+defer ({}) must beat FCFS ({}) at this arrival rate",
+        edf.deadline_misses(),
+        fcfs.deadline_misses()
+    );
+    assert_eq!(fcfs.submitted(), 40);
+    assert_eq!(edf.submitted(), 40);
+    assert!(edf.rejected.is_empty(), "defer never drops requests");
 }
 
 /// Table I: parameter counts of the six representative MLLMs (exact —

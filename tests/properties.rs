@@ -2,7 +2,7 @@
 //! crate boundaries for any reasonable configuration or workload.
 
 use edgemm::arch::{ChipConfig, CimGeometry, SystolicGeometry};
-use edgemm::serve::{PolicyKind, TraceConfig};
+use edgemm::serve::{AdmissionControl, PolicyKind, ServeRequest, SloClass, TraceConfig};
 use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
 use edgemm::{EdgeMm, RequestOptions, ServeOptions};
 use edgemm_mllm::{
@@ -147,6 +147,7 @@ proptest! {
             text_tokens: (2, 24),
             output_tokens: (1, 10),
             seed,
+            slo: SloClass::best_effort(),
         };
         let system = EdgeMm::paper_default();
         let report = system.serve_trace(&tiny_model(), &trace, ServeOptions {
@@ -179,6 +180,7 @@ proptest! {
             text_tokens: (2, 24),
             output_tokens: (1, 10),
             seed,
+            slo: SloClass::best_effort(),
         };
         let model = tiny_model();
         let system = EdgeMm::paper_default();
@@ -201,6 +203,102 @@ proptest! {
                 done.id, done.latency_s(), solo.latency_s
             );
         }
+    }
+
+    /// The SLO-aware stack (earliest-deadline-first admission with hopeless
+    /// requests deferred) never misses more TTFT deadlines than admit-all
+    /// FCFS on the same trace. Prompts are equal-length so every prefill
+    /// costs the same — the regime where reordering equal jobs by deadline
+    /// is provably never worse — while deadlines and arrivals vary freely.
+    #[test]
+    fn edf_defer_never_misses_more_deadlines_than_fcfs(
+        requests in 2usize..10,
+        rate in 500.0f64..8000.0,
+        seed in 0u64..1000,
+    ) {
+        // Equal prompts; TTFT budgets cycle through tight-to-loose multiples
+        // of the tiny model's ~0.11 ms prefill so some but not all bind.
+        let budgets = [0.0002f64, 0.0005, 0.001, 0.004];
+        let trace: Vec<ServeRequest> = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (8, 8),
+            output_tokens: (1, 6),
+            seed,
+            slo: SloClass::best_effort(),
+        }
+        .generate()
+        .into_iter()
+        .map(|r| {
+            let budget = budgets[((r.id + seed) % budgets.len() as u64) as usize];
+            r.with_slo(SloClass::interactive().with_ttft(budget).with_tpot(1.0))
+        })
+        .collect();
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let misses = |policy, admission| {
+            let report = system.serve(&model, &trace, ServeOptions {
+                policy,
+                admission,
+                batch_cap: 4,
+                ..ServeOptions::default()
+            });
+            prop_assert_eq!(report.submitted(), requests);
+            Ok(report.completed.iter().filter(|c| !c.meets_ttft()).count()
+                + report.rejected.len())
+        };
+        let fcfs = misses(PolicyKind::Fcfs, AdmissionControl::Serve)?;
+        let edf = misses(PolicyKind::EarliestDeadlineFirst, AdmissionControl::Defer)?;
+        prop_assert!(
+            edf <= fcfs,
+            "EDF+defer missed {edf} TTFT deadlines vs FCFS {fcfs}"
+        );
+    }
+
+    /// A rejected request never leaks into completion metrics: ids are
+    /// disjoint, only completed requests generate tokens, and per-class
+    /// accounting covers every submission exactly once.
+    #[test]
+    fn rejected_requests_never_appear_in_completions(
+        requests in 1usize..10,
+        rate in 500.0f64..8000.0,
+        cap in 1usize..5,
+        policy_sel in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        // Budgets tight enough that overload rejects a prefix of the queue.
+        let trace: Vec<ServeRequest> = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 8),
+            seed,
+            slo: SloClass::interactive().with_ttft(0.0004),
+        }
+        .generate();
+        let system = EdgeMm::paper_default();
+        let report = system.serve(&tiny_model(), &trace, ServeOptions {
+            batch_cap: cap,
+            policy: PolicyKind::ALL[policy_sel],
+            admission: AdmissionControl::Reject,
+            ..ServeOptions::default()
+        });
+        prop_assert_eq!(report.submitted(), requests);
+        for rejected in &report.rejected {
+            prop_assert!(report.completed.iter().all(|c| c.id != rejected.id));
+            prop_assert!(rejected.reject_s >= rejected.arrival_s - 1e-12);
+        }
+        let generated: u64 = report.completed.iter().map(|c| c.output_tokens as u64).sum();
+        prop_assert_eq!(report.total_output_tokens, generated);
+        let class_total: usize = report
+            .class_stats()
+            .iter()
+            .map(|c| c.completed + c.rejected)
+            .sum();
+        prop_assert_eq!(class_total, requests);
+        // Every survivor was judged feasible when admitted and the CC stage
+        // is work-conserving, so it met the TTFT deadline it was kept for.
+        prop_assert!(report.completed.iter().all(|c| c.meets_ttft()));
     }
 
     /// For saturated arrivals of identical requests, serving throughput is
