@@ -336,6 +336,19 @@ impl ChipConfig {
         self.total_clusters(kind) * per_cluster
     }
 
+    /// Aggregate on-chip data memory of all clusters of the given kind, in
+    /// bytes. For the memory-centric side this is the CIM-fused SRAM that
+    /// can hold hot KV cache between decode steps — the natural on-chip
+    /// tier of a KV capacity model (paper default: 8 MC clusters x 512 KiB
+    /// = 4 MiB).
+    pub fn total_data_memory(&self, kind: ClusterKind) -> u64 {
+        let per_cluster = match kind {
+            ClusterKind::ComputeCentric => self.cc_cluster.memory.data_memory,
+            ClusterKind::MemoryCentric => self.mc_cluster.memory.data_memory,
+        };
+        self.total_clusters(kind) as u64 * per_cluster as u64
+    }
+
     /// Clock period in nanoseconds.
     pub fn clock_period_ns(&self) -> f64 {
         1000.0 / self.clock_mhz as f64
@@ -558,6 +571,21 @@ mod tests {
         assert_eq!(cfg.total_cores(ClusterKind::MemoryCentric), 16);
         assert_eq!(cfg.total_clusters(ClusterKind::ComputeCentric), 8);
         assert_eq!(cfg.total_clusters(ClusterKind::MemoryCentric), 8);
+    }
+
+    #[test]
+    fn paper_default_data_memory_totals() {
+        let cfg = ChipConfig::paper_default();
+        // 8 MC clusters x 512 KiB CIM-fused memory = 4 MiB on-chip KV tier.
+        assert_eq!(
+            cfg.total_data_memory(ClusterKind::MemoryCentric),
+            8 * 512 * 1024
+        );
+        // 8 CC clusters x 128 KiB TCDM = 1 MiB.
+        assert_eq!(
+            cfg.total_data_memory(ClusterKind::ComputeCentric),
+            8 * 128 * 1024
+        );
     }
 
     #[test]

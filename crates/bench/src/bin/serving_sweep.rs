@@ -1,10 +1,10 @@
 //! Serving sweep: latency percentiles, throughput and SLO attainment of the
 //! multi-request simulator over arrival rate x batch capacity x scheduling
-//! policy x admission mode.
+//! policy x admission mode x memory configuration.
 //!
 //! Not a paper artifact — this probes the serving behaviour the ROADMAP's
 //! north star targets (heavy concurrent traffic with latency deadlines) on
-//! top of the paper's design point. Two sections:
+//! top of the paper's design point. Three sections:
 //!
 //! 1. **Latency sweep**: p50/p95/p99 end-to-end latency and tokens/s per
 //!    (arrival rate, batch cap, policy) on an interactive trace.
@@ -12,6 +12,11 @@
 //!    deadline-miss/reject counts per (arrival rate, scheduling stack) on a
 //!    mixed interactive + background trace — the arrival-rate axis shows
 //!    where each stack stops holding its deadlines.
+//! 3. **Memory pressure**: attainment, throughput, peak resident KV and
+//!    chunk-preemption counts per (KV budget x prefill chunk size) on the
+//!    overload trace, with batch membership governed by the KV pool instead
+//!    of a constant cap — shows where the byte budget starts costing
+//!    deadlines and how much chunked prefill buys back.
 //!
 //! Set `EDGEMM_SMOKE=1` to run a small, fast configuration (used by CI and
 //! the bin smoke test). See `docs/serving.md` for how to read the output.
@@ -73,7 +78,7 @@ fn latency_sweep(system: &EdgeMm, sweep: &Sweep, scale: &str) {
             for kind in PolicyKind::ALL {
                 let trace = TraceConfig::interactive(sweep.requests, rate, 11);
                 let options = ServeOptions {
-                    batch_cap: cap,
+                    batch_cap: Some(cap),
                     policy: kind,
                     ..ServeOptions::with_pruning()
                 };
@@ -156,9 +161,89 @@ fn slo_sweep(system: &EdgeMm, sweep: &Sweep) {
     );
 }
 
+/// The KV-budget x chunk-size grid of the memory-pressure section. `None`
+/// entries are the unbounded / unchunked references.
+fn memory_grid(smoke: bool) -> (Vec<Option<u64>>, Vec<Option<usize>>) {
+    const MIB: u64 = 1 << 20;
+    // Chunk 320 ~ one interactive SPHINX-Tiny prompt (288 vision + a few
+    // dozen text tokens): interactive prefills stay 1-2 chunks (little
+    // self-overhead) while long background prompts split into preemptible
+    // pieces. Finer chunks buy more preemption points but tax every
+    // request's own prefill.
+    if smoke {
+        (vec![Some(16 * MIB), None], vec![Some(320), None])
+    } else {
+        (
+            vec![Some(16 * MIB), Some(48 * MIB), None],
+            vec![Some(160), Some(320), None],
+        )
+    }
+}
+
+fn memory_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
+    let model = zoo::sphinx_tiny();
+    // Fixed at 12 req/s — past the serial CC stage's knee (scheduling and
+    // memory policy matter) but short of free-fall saturation, where every
+    // queued request is already hopeless and preemption has nothing left to
+    // save. The same regime as the pinned golden_memory_pressure_point.
+    let rate = 12.0;
+    let background = (sweep.requests / 4).max(1);
+    // Long-prompt background work (dashcam-summary-sized: 512-768 text
+    // tokens on top of the 288 vision tokens) — the traffic whose
+    // unpreemptible prefills starve interactive TTFT and whose KV
+    // footprints stress the pool.
+    let long_background = TraceConfig {
+        text_tokens: (512, 768),
+        ..TraceConfig::background(background, rate / 4.0, 12)
+    };
+    let mixed = merge(&[
+        TraceConfig::interactive(sweep.requests, rate, 11).generate(),
+        long_background.generate(),
+    ]);
+    println!(
+        "\n== Memory pressure (edf/defer, no batch cap: KV budget x prefill chunk, \
+         {} requests at {rate:.0}/s) ==",
+        mixed.len()
+    );
+    println!(
+        "{:>8} {:>7} {:>6} {:>5} {:>9} {:>8} {:>8} {:>8}",
+        "kv", "chunk", "att%", "miss", "tok/s", "peakKV", "preempt", "p95ttft"
+    );
+    let (budgets, chunks) = memory_grid(smoke);
+    for &budget in &budgets {
+        for &chunk in &chunks {
+            let options = ServeOptions {
+                batch_cap: None,
+                chunk_tokens: chunk,
+                kv_budget_bytes: budget,
+                ..ServeOptions::slo_aware()
+            };
+            let report = system.serve(&model, &mixed, options);
+            println!(
+                "{:>8} {:>7} {:>6.1} {:>5} {:>9.1} {:>6.1}M {:>8} {:>6.0}ms",
+                budget.map_or("inf".to_string(), |b| format!("{}M", b >> 20)),
+                chunk.map_or("whole".to_string(), |c| c.to_string()),
+                report.slo_attainment() * 100.0,
+                report.deadline_misses(),
+                report.tokens_per_second(),
+                report.peak_kv_bytes as f64 / (1u64 << 20) as f64,
+                report.preemptions,
+                report.ttft_percentile_s(95.0) * 1e3,
+            );
+        }
+    }
+    println!(
+        "\n(kv = KV-pool byte budget governing decode-batch admission (inf = unbounded); \
+         chunk = prefill chunk tokens\n (whole = unpreemptible); peakKV = high-water \
+         resident KV — always within the budget; preempt = chunk-boundary\n preemptions. \
+         On-chip tier: 4 MiB of MC SRAM; spilled KV pays the bandwidth penalty.)"
+    );
+}
+
 fn main() {
     let (sweep, scale) = sweep_scale();
     let system = EdgeMm::paper_default();
     latency_sweep(&system, &sweep, scale);
     slo_sweep(&system, &sweep);
+    memory_sweep(&system, &sweep, scale == "smoke");
 }

@@ -59,9 +59,12 @@ fn serving_sweep() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("smoke"), "not in smoke mode:\n{stdout}");
-    let (latency, slo) = stdout
+    let (latency, rest) = stdout
         .split_once("== SLO sweep")
         .unwrap_or_else(|| panic!("missing SLO sweep section:\n{stdout}"));
+    let (slo, memory) = rest
+        .split_once("== Memory pressure")
+        .unwrap_or_else(|| panic!("missing memory pressure section:\n{rest}"));
     // Latency section: one line per (rate, cap, policy): 2 x 2 x 4 in smoke.
     let points = latency
         .lines()
@@ -82,6 +85,25 @@ fn serving_sweep() {
     assert_eq!(slo_points, 16, "unexpected SLO sweep output:\n{slo}");
     for marker in ["interactive", "edf/reject", "att%"] {
         assert!(slo.contains(marker), "SLO sweep lost {marker}:\n{slo}");
+    }
+    // Memory section: one line per (KV budget, chunk size): 2 x 2 in smoke.
+    // Data rows lead with the budget ("16M" / "inf").
+    let memory_points = memory
+        .lines()
+        .filter(|l| {
+            let head = l.trim_start();
+            head.chars().next().is_some_and(|c| c.is_ascii_digit()) || head.starts_with("inf")
+        })
+        .count();
+    assert_eq!(
+        memory_points, 4,
+        "unexpected memory pressure output:\n{memory}"
+    );
+    for marker in ["peakKV", "whole", "preempt"] {
+        assert!(
+            memory.contains(marker),
+            "memory sweep lost {marker}:\n{memory}"
+        );
     }
 }
 

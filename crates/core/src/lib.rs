@@ -48,7 +48,9 @@
 pub mod figures;
 mod system;
 
-pub use system::{EdgeMm, PruningMeasurement, RequestOptions, ServeOptions, SystemReport};
+pub use system::{
+    EdgeMm, PruningMeasurement, RequestOptions, ServeOptions, SystemReport, DEFAULT_SPILL_PENALTY,
+};
 
 pub use edgemm_arch as arch;
 pub use edgemm_baseline as baseline;

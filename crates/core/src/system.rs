@@ -45,9 +45,23 @@ impl RequestOptions {
 /// How a multi-request serving run should be executed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeOptions {
-    /// Decode stream-batch capacity (continuous batching admits up to this
-    /// many concurrent streams).
-    pub batch_cap: usize,
+    /// Optional hard cap on concurrent decode streams, layered on top of
+    /// the KV pool (`None` leaves batch membership entirely to
+    /// [`Self::kv_budget_bytes`]). The default keeps the legacy constant
+    /// cap of 8 so unconfigured runs reproduce earlier results.
+    pub batch_cap: Option<usize>,
+    /// Prefill chunk budget in prompt tokens: `Some(n)` lets the scheduler
+    /// preempt a running prefill every `n` tokens (at the price of
+    /// re-streaming layer weights once per chunk), `None` runs each prefill
+    /// as one unpreemptible block.
+    pub chunk_tokens: Option<usize>,
+    /// Total KV-cache byte budget governing decode-batch admission. `None`
+    /// is unbounded (the pre-pool behaviour). `Some(budget)` builds a
+    /// [`edgemm_serve::KvPool`] whose on-chip tier is the chip's aggregate
+    /// MC-cluster data memory (KV resident there generates no DRAM traffic
+    /// per step) and whose spill traffic pays
+    /// [`DEFAULT_SPILL_PENALTY`].
+    pub kv_budget_bytes: Option<u64>,
     /// Scheduling policy governing CC admission and decode-batch join order.
     pub policy: PolicyKind,
     /// What happens to requests whose TTFT deadline is already unreachable
@@ -62,10 +76,18 @@ pub struct ServeOptions {
     pub seed: u64,
 }
 
+/// DRAM-cycle multiplier applied to KV traffic spilled past the on-chip
+/// tier when a KV budget is set via [`ServeOptions::kv_budget_bytes`]:
+/// spilled caches move in scattered per-stream blocks rather than one bulk
+/// burst, so they run ~25% below the bulk effective bandwidth.
+pub const DEFAULT_SPILL_PENALTY: f64 = 1.25;
+
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
-            batch_cap: 8,
+            batch_cap: Some(8),
+            chunk_tokens: None,
+            kv_budget_bytes: None,
             policy: PolicyKind::Fcfs,
             admission: AdmissionControl::Serve,
             pruning: false,
@@ -90,6 +112,19 @@ impl ServeOptions {
             policy: PolicyKind::EarliestDeadlineFirst,
             admission: AdmissionControl::Defer,
             ..Self::with_pruning()
+        }
+    }
+
+    /// The memory-aware serving stack: the SLO-aware scheduler on top of
+    /// chunked prefill and KV-budget batch admission, with no hard batch
+    /// cap — batch membership follows from context lengths and the byte
+    /// budget.
+    pub fn memory_aware(kv_budget_bytes: u64, chunk_tokens: usize) -> Self {
+        ServeOptions {
+            batch_cap: None,
+            chunk_tokens: Some(chunk_tokens),
+            kv_budget_bytes: Some(kv_budget_bytes),
+            ..Self::slo_aware()
         }
     }
 }
@@ -274,21 +309,42 @@ impl EdgeMm {
     }
 
     /// Serve a stream of concurrent requests with continuous batching: the
-    /// CC clusters encode + prefill one request at a time (admission order
-    /// chosen by `options.policy`), the MC clusters decode all admitted
-    /// streams as one stream batch that requests join and leave on the fly.
+    /// CC clusters encode + prefill one request at a time — in token-budget
+    /// chunks when `options.chunk_tokens` is set, so urgent arrivals can
+    /// preempt a long prefill at a chunk boundary — and the MC clusters
+    /// decode all admitted streams as one stream batch that requests join
+    /// (by KV-pool headroom and/or the hard cap) and leave on the fly.
     ///
     /// The report carries per-request timelines, latency/TTFT/TPOT
     /// percentiles (p50/p95/p99), per-class SLO attainment, rejected-request
-    /// accounting, steady-state tokens/s and the queue-depth timeline.
+    /// accounting, chunk-preemption and peak-KV-byte counters, steady-state
+    /// tokens/s and the queue-depth timeline.
     pub fn serve(
         &self,
         model: &MllmConfig,
         requests: &[ServeRequest],
         options: ServeOptions,
     ) -> ServeReport {
+        let kv = match options.kv_budget_bytes {
+            None => edgemm_serve::KvPool::unbounded(),
+            Some(budget) => {
+                // The on-chip tier is the CIM-fused data memory of the MC
+                // clusters that run decode (paper default: 8 x 512 KiB);
+                // everything above it spills to DRAM at the penalty rate.
+                let onchip = self
+                    .machine
+                    .config()
+                    .chip
+                    .total_data_memory(edgemm_arch::ClusterKind::MemoryCentric);
+                edgemm_serve::KvPool::with_budget(budget)
+                    .with_onchip(onchip)
+                    .with_spill_penalty(DEFAULT_SPILL_PENALTY)
+            }
+        };
         let config = ServeConfig {
             batch_cap: options.batch_cap,
+            chunk_tokens: options.chunk_tokens,
+            kv,
             pruning: self.serving_pruning(model, options),
             admission: options.admission,
         };

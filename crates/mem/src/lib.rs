@@ -15,6 +15,11 @@
 //!    exhausts its budget its requests are blocked until the interval ends.
 //!    Adjusting the CC:MC budget ratio rebalances the encode/prefill vs
 //!    decode pipeline for different output token lengths.
+//!
+//! On top of the raw timing models sits the [`KvPool`] capacity model: a
+//! byte-budgeted, two-tier (on-chip SRAM + DRAM spill) account of resident
+//! KV cache that the serving layer uses to admit decode streams by memory
+//! headroom instead of a constant batch cap.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +27,11 @@
 mod bandwidth;
 mod dma;
 mod dram;
+mod kv;
 mod traffic;
 
 pub use bandwidth::{BandwidthAllocation, BandwidthManager, BudgetPolicy};
 pub use dma::{DmaEngine, DmaRequest, DmaTranscript};
 pub use dram::DramModel;
+pub use kv::KvPool;
 pub use traffic::{TrafficClass, TrafficStats};

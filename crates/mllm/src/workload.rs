@@ -381,6 +381,39 @@ impl ModelWorkload {
             .collect()
     }
 
+    /// Operators of one prefill *chunk*: `chunk_tokens` prompt tokens
+    /// processed while `cached_tokens` earlier tokens already sit in the KV
+    /// cache (Sarathi/vLLM-style chunked prefill). Causal attention within
+    /// the chunk sees the cached prefix plus the chunk itself, so the
+    /// KV-facing operators read `cached_tokens + chunk_tokens` entries —
+    /// the per-chunk KV traffic grows with the prefix exactly as it does on
+    /// real hardware, instead of charging the whole prompt at once.
+    ///
+    /// `prefill_chunk_ops(0, prompt_tokens())` is identical to
+    /// [`Self::prefill_ops`]: the unchunked prefill is the one-chunk special
+    /// case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is empty or `cached_tokens + chunk_tokens`
+    /// exceeds the prompt length.
+    pub fn prefill_chunk_ops(&self, cached_tokens: usize, chunk_tokens: usize) -> Vec<MatmulOp> {
+        assert!(
+            chunk_tokens >= 1,
+            "prefill chunk must cover at least one token"
+        );
+        assert!(
+            cached_tokens + chunk_tokens <= self.prompt_tokens(),
+            "chunk [{cached_tokens}, {}) exceeds the {}-token prompt",
+            cached_tokens + chunk_tokens,
+            self.prompt_tokens()
+        );
+        let visible = cached_tokens + chunk_tokens;
+        (0..self.config.llm.layers)
+            .flat_map(|layer| self.decoder_layer_ops(layer, Phase::Prefill, chunk_tokens, visible))
+            .collect()
+    }
+
     /// Operators of one decode step when `past_tokens` tokens are cached.
     pub fn decode_step_ops(&self, past_tokens: usize) -> Vec<MatmulOp> {
         (0..self.config.llm.layers)
@@ -559,6 +592,64 @@ mod tests {
             .map(MatmulOp::flops)
             .sum();
         assert_eq!(w.phase_flops(Phase::Decode), one_step * 64);
+    }
+
+    #[test]
+    fn one_chunk_prefill_is_the_whole_prefill() {
+        let w = workload();
+        assert_eq!(w.prefill_chunk_ops(0, w.prompt_tokens()), w.prefill_ops());
+    }
+
+    #[test]
+    fn chunked_prefill_flops_sum_to_the_unchunked_flops() {
+        // Splitting the prompt never changes the total multiply-accumulate
+        // work of the weight-facing GEMMs; only the KV-facing attention ops
+        // redistribute (chunk i sees a shorter prefix than the full prompt).
+        let w = workload();
+        let s = w.prompt_tokens();
+        let chunk = 96;
+        let weight_flops = |ops: &[MatmulOp]| -> u64 {
+            ops.iter()
+                .filter(|o| o.weight_class != TrafficClass::KvCache)
+                .map(MatmulOp::flops)
+                .sum()
+        };
+        let mut chunked = 0u64;
+        let mut start = 0;
+        while start < s {
+            let len = chunk.min(s - start);
+            chunked += weight_flops(&w.prefill_chunk_ops(start, len));
+            start += len;
+        }
+        assert_eq!(chunked, weight_flops(&w.prefill_ops()));
+    }
+
+    #[test]
+    fn chunk_attention_reads_only_the_visible_prefix() {
+        let w = workload();
+        let ops = w.prefill_chunk_ops(100, 50);
+        let scores = ops.iter().find(|o| o.name.contains("attn.scores")).unwrap();
+        assert_eq!(scores.m, 50);
+        assert_eq!(scores.n, 150);
+        let context = ops
+            .iter()
+            .find(|o| o.name.contains("attn.context"))
+            .unwrap();
+        assert_eq!(context.k, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn chunk_past_the_prompt_panics() {
+        let w = workload();
+        let s = w.prompt_tokens();
+        w.prefill_chunk_ops(s - 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_chunk_panics() {
+        workload().prefill_chunk_ops(0, 0);
     }
 
     #[test]

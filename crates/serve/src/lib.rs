@@ -16,72 +16,91 @@
 //!             arrivals (TraceConfig: Poisson / saturated, SloClass per request)
 //!                 │
 //!                 ▼
-//!  ┌─ CC queue ───────────────┐   AdmissionControl: TTFT slack test
-//!  │ r7 r4 r9 … (waiting)     │──► hopeless requests are served anyway /
-//!  └──────────┬───────────────┘    deferred behind feasible ones / rejected
+//!  ┌─ CC queue ───────────────┐   AdmissionControl: TTFT slack test on the
+//!  │ r7 r4 r9 … (waiting,     │──► *remaining* prefill; hopeless requests
+//!  │  some mid-prefill)       │    served anyway / deferred / rejected
+//!  └──────────┬───────────────┘
 //!             │ SchedulePolicy::choose (fcfs | shortest-prompt |
 //!             ▼                      pruning-aware | edf)
 //!  ┌─ CC stage (serial) ──────┐
-//!  │ vision encode → projector│   one request at a time;
-//!  │ → prefill                │   TTFT is measured here
-//!  └──────────┬───────────────┘
-//!             │ prefilled ("ready")
+//!  │ vision encode → projector│   one prefill *chunk* at a time; the policy
+//!  │ → prefill chunks         │   re-picks at every chunk boundary, so an
+//!  └──────────┬───────────────┘   urgent arrival can preempt a long prefill
+//!             │ prefilled ("ready")    (TTFT ends with the last chunk)
 //!             ▼ SchedulePolicy::choose_join (same discipline, both stages)
-//!  ┌─ MC stage (stream batch) ┐
-//!  │ step: one token for every│   continuous batching at step granularity:
-//!  │ stream in the batch      │   leave/join at step boundaries, up to
-//!  └──────────┬───────────────┘   `batch_cap` streams
+//!  ┌─ MC stage (stream batch) ┐   continuous batching at step granularity:
+//!  │ step: one token for every│   join admitted by KvPool byte headroom
+//!  │ stream in the batch      │   (+ optional batch_cap override); blocked
+//!  └──────────┬───────────────┘   joins wait for a stream to release KV
 //!             ▼
 //!        completions → ServeReport (TTFT/TPOT percentiles, SLO attainment,
-//!                      per-class ClassStats, rejected accounting)
+//!                      per-class ClassStats, preemptions, peak KV bytes)
 //! ```
 //!
-//! * the **CC stage** (vision encode + projector + prefill) is serial — one
-//!   request at a time, admitted in the order a pluggable
-//!   [`SchedulePolicy`] chooses ([`Fcfs`], [`ShortestPromptFirst`],
-//!   [`PruningAware`], [`EarliestDeadlineFirst`]); an [`AdmissionControl`]
-//!   mode decides what happens to requests whose
+//! * the **CC stage** (vision encode + projector + prefill) is serial but
+//!   *chunk-preemptible*: prefills run in token-budget chunks
+//!   ([`ServeConfig::chunk_tokens`]) and the pluggable [`SchedulePolicy`]
+//!   ([`Fcfs`], [`ShortestPromptFirst`], [`PruningAware`],
+//!   [`EarliestDeadlineFirst`]) picks again at every chunk boundary; an
+//!   [`AdmissionControl`] mode decides what happens to requests whose
 //!   [TTFT](CompletedRequest::time_to_first_token_s) deadline is already
-//!   unreachable;
+//!   unreachable given their remaining chunks;
 //! * the **MC stage** decodes with *continuous batching*: every step
 //!   generates one token for each stream in the batch, finished requests
-//!   leave at step boundaries and queued requests join immediately (join
-//!   order picked by [`SchedulePolicy::choose_join`]), up to the configured
-//!   batch capacity.
+//!   leave at step boundaries and prefilled requests join as long as the
+//!   [`KvPool`] has headroom for their peak KV footprint (join order picked
+//!   by [`SchedulePolicy::choose_join`]); [`ServeConfig::batch_cap`] remains
+//!   as an optional hard override on top of the memory model.
 //!
 //! # Step cost model
 //!
 //! Per-request costs are taken from the cycle-level machine model
-//! ([`edgemm_sim::Machine::decode_step_costs`]), so serving results stay
+//! ([`edgemm_sim::Machine::prefill_chunk_costs`] /
+//! [`edgemm_sim::Machine::decode_step_costs`]), so serving results stay
 //! consistent with the single-request evaluation: a request served alone
-//! costs exactly its [`edgemm_sim::Machine::run_request`] latency. One
-//! stream-batched decode step costs, per operator,
+//! under the unchunked, unbounded configuration costs exactly its
+//! [`edgemm_sim::Machine::run_request`] latency. One stream-batched decode
+//! step costs, per operator,
 //!
 //! ```text
 //! step_cycles = Σ_ops max( Σ_streams compute,
-//!                          shared weight DRAM + Σ_streams KV DRAM )
+//!                          shared weight DRAM + kv_factor · Σ_streams KV DRAM )
+//!
+//! kv_factor   = max(resident_kv − onchip_sram, 0) / resident_kv · spill_penalty
 //! ```
 //!
 //! — the weight fetch is issued once and shared by the whole batch (the
 //! paper's Fig. 9c stream-batch weight reuse) while compute and KV-cache
-//! traffic repeat per stream, each stream owning its cache.
+//! traffic repeat per stream, each stream owning its cache. The `kv_factor`
+//! is the [`KvPool`]'s spill model: KV resident in the MC clusters' SRAM
+//! tier is read back without touching DRAM, KV spilled past it re-streams
+//! every step at a penalty (scattered per-stream blocks, not one bulk
+//! burst). With the unbounded default pool the factor is exactly 1.0.
+//!
+//! Chunked prefill prices each chunk with causal attention against the
+//! actually-cached prefix (chunk `i` reads `i` chunks' worth of KV, not the
+//! whole prompt) and re-streams the layer weights once per chunk — the real
+//! DRAM price of preemptibility, which is why the chunk budget is a knob
+//! and not simply "as small as possible".
 //!
 //! # Known simplifications
 //!
-//! Three deliberate simplifications bound the model's fidelity; revisit
-//! them before trusting conclusions that lean on them:
+//! Earlier revisions listed three simplifications; chunked prefill retired
+//! "prefill does not chunk" and the KV pool retired "the batch cap is a
+//! constant". What remains, bounding the model's fidelity:
 //!
-//! 1. **Prefill does not chunk.** The CC stage runs a request's whole
-//!    encode + prefill as one serial block — there is no prefill/decode
-//!    interleaving on the CC side, so a long prompt delays the queue by its
-//!    full prefill time.
-//! 2. **Decode uses the average context length.** Each request's per-step
+//! 1. **Decode uses the average context length.** Each request's per-step
 //!    cost is computed once at its *mean* context length instead of growing
 //!    the KV traffic step by step, so within-request KV growth is averaged
-//!    away (correct totals, flattened step-to-step profile).
-//! 3. **The batch cap is a constant.** `batch_cap` stands in for an
-//!    on-chip-memory model; no KV-occupancy accounting evicts or blocks
-//!    streams.
+//!    away (correct totals, flattened step-to-step profile). Prefill-side
+//!    KV traffic no longer shares this averaging — each chunk reads exactly
+//!    its cached prefix — and the pool reserves each stream's *peak*
+//!    footprint, so admission errs conservative, never optimistic.
+//! 2. **KV reservations are whole-request.** A stream reserves its peak KV
+//!    footprint when it joins the decode batch and holds it to completion —
+//!    there is no paging, no block-granular allocation, and no mid-decode
+//!    eviction of a running stream (preemptive decode revocation is queued
+//!    work in the ROADMAP).
 //!
 //! # Example
 //!
@@ -119,6 +138,7 @@ mod simulator;
 mod slo;
 mod trace;
 
+pub use edgemm_mem::KvPool;
 pub use metrics::{ClassStats, QueueSample, ServeReport};
 pub use policy::{
     EarliestDeadlineFirst, Fcfs, PolicyKind, PruningAware, QueuedRequest, SchedulePolicy,

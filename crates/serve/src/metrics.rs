@@ -69,6 +69,22 @@ pub struct ServeReport {
     pub queue_samples: Vec<QueueSample>,
     /// Number of stream-batched decode steps executed.
     pub decode_steps: u64,
+    /// Number of chunk-boundary preemptions: times the CC stage's pick
+    /// displaced the request whose chunk had just finished (it wanted to
+    /// continue but something else took the stage). Continuing a prefill,
+    /// or resuming one after the preemptor completed, does not count.
+    /// Always zero when prefill is unchunked (a prefill then runs as one
+    /// block) and under FCFS with admit-all admission (the in-progress
+    /// prefill is always the earliest arrival). Deferring admission can
+    /// preempt even under FCFS: a prefill whose TTFT deadline becomes
+    /// unreachable mid-flight is parked behind feasible arrivals at its
+    /// next chunk boundary.
+    pub preemptions: u64,
+    /// High-water mark of KV-cache bytes reserved in the pool at once.
+    /// With a bounded [`edgemm_mem::KvPool`] this stays within the budget
+    /// (property-tested), except for a single oversized stream admitted
+    /// solo.
+    pub peak_kv_bytes: u64,
     /// Total output tokens generated across all completed requests.
     pub total_output_tokens: u64,
     /// First arrival to last completion, in seconds (0 when nothing
@@ -275,6 +291,8 @@ mod tests {
                 },
             ],
             decode_steps: 10,
+            preemptions: 0,
+            peak_kv_bytes: 0,
             total_output_tokens: 4 * latencies.len() as u64,
             makespan_s: 2.0,
         }
@@ -374,6 +392,8 @@ mod tests {
             rejected: vec![],
             queue_samples: vec![],
             decode_steps: 0,
+            preemptions: 0,
+            peak_kv_bytes: 0,
             total_output_tokens: 0,
             makespan_s: 0.0,
         };

@@ -27,8 +27,17 @@ pub struct QueuedRequest {
     pub prompt_tokens: usize,
     /// Output tokens the request will generate.
     pub output_tokens: usize,
-    /// Estimated CC-stage (encode + projector + prefill) cycles.
+    /// Estimated total CC-stage (encode + projector + prefill) cycles of
+    /// the request, including any chunks already executed — the request's
+    /// original demand, which keeps cost-aware orderings stable across
+    /// chunk boundaries (and identical to the pre-chunking simulator).
     pub prefill_cycles: u64,
+    /// The not-yet-executed remainder of [`Self::prefill_cycles`]: the
+    /// whole stage for a request that has not started, the unexecuted
+    /// chunks for one preempted mid-prefill, and zero once the request is
+    /// prefilled and waiting for a decode slot. Custom policies that want
+    /// shortest-*remaining*-work ordering should rank by this.
+    pub remaining_prefill_cycles: u64,
     /// Estimated solo decode cycles for the whole generation, with the
     /// configured activation-aware pruning already applied.
     pub decode_cycles: u64,
@@ -217,6 +226,7 @@ mod tests {
             prompt_tokens: prompt,
             output_tokens: 16,
             prefill_cycles: prefill,
+            remaining_prefill_cycles: prefill,
             decode_cycles: decode,
             slo: SloClass::best_effort(),
         }
@@ -277,6 +287,22 @@ mod tests {
         assert_eq!(EarliestDeadlineFirst.choose_join(&q), 1);
         // Default join ordering reuses the CC choice.
         assert_eq!(Fcfs.choose_join(&q), Fcfs.choose(&q));
+    }
+
+    #[test]
+    fn cost_ranking_uses_total_not_remaining_prefill() {
+        // Two requests already prefilled (remaining = 0) contend for a
+        // decode slot: the pruning-aware ordering ranks by *total* service
+        // demand, exactly as it did before chunking existed — ranking by
+        // the remaining work would instead favour the long-prefill request
+        // (only its decode is left) and silently change legacy schedules.
+        let mut long_prefill = queued(0, 0.0, 600, 1_000_000, 100);
+        let mut short_prefill = queued(1, 0.0, 10, 1_000, 500);
+        long_prefill.remaining_prefill_cycles = 0;
+        short_prefill.remaining_prefill_cycles = 0;
+        let ready = [long_prefill, short_prefill];
+        assert_eq!(PruningAware.choose_join(&ready), 1);
+        assert_eq!(PruningAware.choose(&ready), 1);
     }
 
     #[test]

@@ -1,33 +1,51 @@
-//! The event-driven multi-request simulator with continuous batching.
+//! The event-driven multi-request simulator with continuous batching,
+//! chunked prefill and KV-occupancy batch admission.
 //!
-//! Requests flow through the two-stage EdgeMM pipeline: the serial CC stage
-//! runs vision encode + projector + prefill (one request at a time, in the
-//! order a [`SchedulePolicy`] picks), then the request joins the MC decode
-//! batch. Decoding is *continuously batched* at step granularity: every step
+//! Requests flow through the two-stage EdgeMM pipeline: the CC stage runs
+//! vision encode + projector + prefill (one request at a time, in the order
+//! a [`SchedulePolicy`] picks), then the request joins the MC decode batch.
+//! Two resource models govern the stages:
+//!
+//! * **Chunked prefill** ([`ServeConfig::chunk_tokens`]): the CC stage
+//!   processes a prefill in token-budget chunks and re-runs the scheduling
+//!   policy at every chunk boundary, so an interactive arrival can preempt
+//!   a long background prefill mid-flight instead of waiting out its whole
+//!   encode + prefill block. Unchunked prefill is the one-chunk special
+//!   case and reproduces the pre-chunking simulator exactly.
+//! * **KV-occupancy admission** ([`ServeConfig::kv`]): a prefilled request
+//!   joins the decode batch only while the [`KvPool`] has headroom for its
+//!   peak KV footprint; when the pool is full the request blocks in the
+//!   ready queue until a finishing stream releases bytes. The constant
+//!   [`ServeConfig::batch_cap`] is retained only as an optional override
+//!   on top of the memory model.
+//!
+//! Decoding is *continuously batched* at step granularity: every step
 //! generates one token for every stream in the batch, finished requests
-//! leave at the step boundary, and waiting requests join immediately — the
-//! batch never drains to restart, exactly like stream-batched serving
-//! systems. When more prefilled requests wait than the batch has free
-//! slots, the join order is also the policy's call
+//! leave at the step boundary, and admitted requests join immediately —
+//! the batch never drains to restart. When more prefilled requests wait
+//! than there is headroom, the join order is also the policy's call
 //! ([`SchedulePolicy::choose_join`]), so one discipline governs the whole
 //! pipeline.
 //!
 //! On top of the policy sits [`AdmissionControl`]: every time the CC stage
 //! looks for work it computes each queued request's TTFT *slack* — could the
-//! deadline still be met if the prefill started right now? — and either
-//! serves hopeless requests anyway ([`AdmissionControl::Serve`]), parks
-//! them behind every salvageable request ([`AdmissionControl::Defer`]), or
-//! drops them ([`AdmissionControl::Reject`], reported in
+//! deadline still be met if the remaining prefill started right now? — and
+//! either serves hopeless requests anyway ([`AdmissionControl::Serve`]),
+//! parks them behind every salvageable request ([`AdmissionControl::Defer`]),
+//! or drops them ([`AdmissionControl::Reject`], reported in
 //! [`ServeReport::rejected`]).
 //!
 //! Costs come from the cycle-level simulator (`edgemm-sim`), not from a
-//! separate analytic model: each request's prefill is a
-//! [`Machine::run_phase_on`] result, and its decode steps are per-operator
-//! [`Machine::decode_step_costs`] that the step combiner merges across the
-//! batch — weight fetches are shared between streams (the Fig. 9c weight
-//! reuse), KV-cache traffic and compute repeat per stream.
+//! separate analytic model: each request's prefill chunks are
+//! [`Machine::prefill_chunk_costs`] results, and its decode steps are
+//! per-operator [`Machine::decode_step_costs`] that the step combiner
+//! merges across the batch — weight fetches are shared between streams (the
+//! Fig. 9c weight reuse), KV-cache traffic and compute repeat per stream,
+//! and the KV traffic is scaled by the pool's spill state
+//! ([`KvPool::kv_traffic_factor`]).
 
 use edgemm_arch::ClusterKind;
+use edgemm_mem::KvPool;
 use edgemm_mllm::{MllmConfig, ModelWorkload, Phase, TrafficClass};
 use edgemm_sim::{DecodeOptions, Machine, OpCost, PruningEffect};
 
@@ -37,11 +55,29 @@ use crate::request::{CompletedRequest, RejectedRequest, ServeRequest};
 use crate::slo::AdmissionControl;
 
 /// Static configuration of a serving run.
+///
+/// Build one with the chained constructors: [`ServeConfig::new`] is fully
+/// unconstrained, [`ServeConfig::with_batch_cap`] is the legacy
+/// constant-cap entry point, and [`Self::chunk_tokens`](Self::with_chunk_tokens)
+/// / [`Self::with_kv_pool`] layer the memory-aware models on.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Maximum number of streams decoded concurrently (the stream-batch
-    /// capacity of the MC clusters' on-chip memory).
-    pub batch_cap: usize,
+    /// Optional hard cap on the number of streams decoded concurrently,
+    /// layered *on top of* the KV pool. `None` leaves batch membership
+    /// entirely to KV headroom — the physically grounded default once a
+    /// bounded [`Self::kv`] is configured. Keep a cap when an external
+    /// constraint (scheduler slots, per-stream state) binds before memory
+    /// does, or to reproduce pre-KV-pool results.
+    pub batch_cap: Option<usize>,
+    /// Prefill chunk budget in prompt tokens. `None` runs each prefill as
+    /// one unpreemptible block (the pre-chunking behaviour); `Some(n)`
+    /// re-runs the scheduling policy every `n` prompt tokens, letting
+    /// urgent arrivals preempt long prefills at chunk boundaries at the
+    /// price of re-streaming the layer weights once per chunk.
+    pub chunk_tokens: Option<usize>,
+    /// The KV-cache capacity model admitting decode streams by byte
+    /// headroom ([`KvPool::unbounded`] reproduces the pre-pool behaviour).
+    pub kv: KvPool,
     /// Activation-aware pruning effect applied to every request's decode
     /// FFN GEMVs (use [`PruningEffect::disabled`] for dense serving).
     pub pruning: PruningEffect,
@@ -52,14 +88,52 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Dense serving with the given decode batch capacity and admit-all
-    /// admission.
-    pub fn with_batch_cap(batch_cap: usize) -> Self {
+    /// Dense serving with no batch cap, no prefill chunking and an
+    /// unbounded KV pool: the maximally permissive starting point for the
+    /// chained builder methods.
+    pub fn new() -> Self {
         ServeConfig {
-            batch_cap,
+            batch_cap: None,
+            chunk_tokens: None,
+            kv: KvPool::unbounded(),
             pruning: PruningEffect::disabled(),
             admission: AdmissionControl::Serve,
         }
+    }
+
+    /// Dense serving under a constant decode batch cap and admit-all
+    /// admission — the legacy entry point, routed through [`Self::new`].
+    ///
+    /// Prefer bounding the batch with a [`KvPool`] (via
+    /// [`Self::with_kv_pool`]): the pool derives batch membership from the
+    /// thing that actually runs out — KV bytes — so long-context streams
+    /// cost more slots than short ones. A hard cap still makes sense when
+    /// something other than memory binds first (fixed scheduler slots,
+    /// per-stream software state) or when reproducing pre-pool results.
+    pub fn with_batch_cap(batch_cap: usize) -> Self {
+        Self::new().with_batch_cap_override(batch_cap)
+    }
+
+    /// The same configuration with a hard cap on concurrent decode streams.
+    pub fn with_batch_cap_override(self, batch_cap: usize) -> Self {
+        ServeConfig {
+            batch_cap: Some(batch_cap),
+            ..self
+        }
+    }
+
+    /// The same configuration with prefill chunked at `chunk_tokens` prompt
+    /// tokens.
+    pub fn with_chunk_tokens(self, chunk_tokens: usize) -> Self {
+        ServeConfig {
+            chunk_tokens: Some(chunk_tokens),
+            ..self
+        }
+    }
+
+    /// The same configuration with decode-batch admission governed by `kv`.
+    pub fn with_kv_pool(self, kv: KvPool) -> Self {
+        ServeConfig { kv, ..self }
     }
 
     /// The same configuration under a different admission mode.
@@ -82,7 +156,17 @@ struct InFlight {
     /// Absolute TTFT deadline in cycles, if the request's class sets one.
     ttft_deadline_cycle: Option<u64>,
     prompt_tokens: usize,
+    /// Per-chunk CC-stage cycles (vision encode + projector folded into the
+    /// first chunk). A single entry when prefill is unchunked.
+    chunk_cycles: Vec<u64>,
+    chunks_done: usize,
+    /// Sum of the not-yet-executed chunks — the CC time the request still
+    /// needs, which is what feasibility and cost-aware policies care about.
+    remaining_prefill_cycles: u64,
+    /// Total CC-stage cycles (all chunks).
     prefill_cycles: u64,
+    /// Peak KV-cache footprint reserved in the pool while decoding.
+    kv_bytes: u64,
     /// Per-operator cost of one average decode step, solo.
     step_costs: Vec<OpCost>,
     solo_step_cycles: u64,
@@ -94,11 +178,16 @@ struct InFlight {
 }
 
 impl InFlight {
-    /// Could the TTFT deadline still be met if the prefill started at
-    /// `now`? Deadline-free requests always can.
+    /// Could the TTFT deadline still be met if the *remaining* prefill ran
+    /// uninterrupted from `now`? Deadline-free requests always can.
     fn ttft_feasible_at(&self, now: u64) -> bool {
-        self.ttft_deadline_cycle
-            .map_or(true, |deadline| now + self.prefill_cycles <= deadline)
+        self.ttft_deadline_cycle.map_or(true, |deadline| {
+            now + self.remaining_prefill_cycles <= deadline
+        })
+    }
+
+    fn prefill_finished(&self) -> bool {
+        self.chunks_done == self.chunk_cycles.len()
     }
 
     fn as_queued(&self) -> QueuedRequest {
@@ -108,6 +197,7 @@ impl InFlight {
             prompt_tokens: self.prompt_tokens,
             output_tokens: self.request.output_tokens,
             prefill_cycles: self.prefill_cycles,
+            remaining_prefill_cycles: self.remaining_prefill_cycles,
             decode_cycles: self.solo_step_cycles * self.request.output_tokens as u64,
             slo: self.request.slo,
         }
@@ -127,9 +217,16 @@ impl<'a> ServeSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the batch capacity is zero.
+    /// Panics if a configured batch capacity or chunk budget is zero.
     pub fn new(machine: &'a Machine, model: MllmConfig, config: ServeConfig) -> Self {
-        assert!(config.batch_cap >= 1, "batch capacity must be at least 1");
+        assert!(
+            config.batch_cap != Some(0),
+            "batch capacity must be at least 1"
+        );
+        assert!(
+            config.chunk_tokens != Some(0),
+            "chunk budget must be at least one token"
+        );
         ServeSimulator {
             machine,
             model,
@@ -157,7 +254,9 @@ impl<'a> ServeSimulator<'a> {
             batch: 1,
         };
         let cc_kind = ClusterKind::ComputeCentric;
-        let prefill_cycles: u64 = [Phase::VisionEncode, Phase::Projector, Phase::Prefill]
+        // Vision encode + projector always run ahead of the first prompt
+        // chunk; they are unsplittable and folded into chunk 0.
+        let setup_cycles: u64 = [Phase::VisionEncode, Phase::Projector]
             .iter()
             .map(|&phase| {
                 self.machine
@@ -165,6 +264,40 @@ impl<'a> ServeSimulator<'a> {
                     .cycles
             })
             .sum();
+        let chunk_cycles: Vec<u64> = match self.config.chunk_tokens {
+            None => {
+                let prefill = self
+                    .machine
+                    .run_phase_on(&workload, Phase::Prefill, cc_kind, decode)
+                    .cycles;
+                // A zero-cycle stage would stall the event loop (events must
+                // advance time), so degenerate costs are clamped to one
+                // cycle.
+                vec![(setup_cycles + prefill).max(1)]
+            }
+            Some(budget) => self
+                .machine
+                .prefill_chunk_costs(&workload, cc_kind, budget)
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let cycles = if i == 0 {
+                        setup_cycles + chunk.cycles
+                    } else {
+                        chunk.cycles
+                    };
+                    cycles.max(1)
+                })
+                .collect(),
+        };
+        let prefill_cycles: u64 = chunk_cycles.iter().sum();
+        // Peak resident KV: every layer caches K and V for the prompt plus
+        // the whole generation, at the MC-side weight precision (the same
+        // bytes/value the decode step's KV traffic is charged at).
+        let kv_bytes = workload.config().llm.kv_cache_bytes(
+            workload.prompt_tokens() + request.output_tokens,
+            self.machine.config().mc_weight_bytes,
+        );
         let step_costs = self.machine.decode_step_costs(
             &workload,
             ClusterKind::MemoryCentric,
@@ -185,9 +318,11 @@ impl<'a> ServeSimulator<'a> {
                 .ttft_deadline_s
                 .map(|d| arrival_cycle + (d * clock_hz).floor() as u64),
             prompt_tokens: workload.prompt_tokens(),
-            // A zero-cycle stage would stall the event loop (events must
-            // advance time), so degenerate costs are clamped to one cycle.
-            prefill_cycles: prefill_cycles.max(1),
+            remaining_prefill_cycles: prefill_cycles,
+            prefill_cycles,
+            chunk_cycles,
+            chunks_done: 0,
+            kv_bytes,
             step_costs,
             solo_step_cycles,
             remaining_tokens: request.output_tokens,
@@ -199,13 +334,17 @@ impl<'a> ServeSimulator<'a> {
         }
     }
 
-    /// Cycles of one stream-batched decode step for the given batch members.
+    /// Cycles of one stream-batched decode step for the given batch members
+    /// under the pool's current KV traffic scaling.
     ///
     /// All requests serve the same model, so the per-step operator streams
     /// align positionally: for each operator, compute repeats per stream and
     /// KV-cache traffic is per stream (every request owns its cache), while
-    /// the weight fetch is issued once and shared by the whole batch.
-    fn step_cycles(&self, states: &[InFlight], batch: &[usize]) -> u64 {
+    /// the weight fetch is issued once and shared by the whole batch. The
+    /// summed KV DRAM cycles are scaled by `kv_factor` — below 1.0 when the
+    /// batch's caches fit the on-chip tier, above 1.0 when a penalised
+    /// majority spills to DRAM (see [`KvPool::kv_traffic_factor`]).
+    fn step_cycles(&self, states: &[InFlight], batch: &[usize], kv_factor: f64) -> u64 {
         let ops = states[batch[0]].step_costs.len();
         let mut total = 0u64;
         for op in 0..ops {
@@ -221,16 +360,27 @@ impl<'a> ServeSimulator<'a> {
                     weight_dram = weight_dram.max(cost.dram_cycles);
                 }
             }
+            // Exact integer path when the pool is neutral, so the unbounded
+            // configuration reproduces the pre-pool model byte for byte.
+            if kv_factor != 1.0 {
+                kv_dram = (kv_dram as f64 * kv_factor).round() as u64;
+            }
             total += compute.max(weight_dram + kv_dram);
         }
         total.max(1)
     }
 
     /// Isolated end-to-end cycles of one request (no queueing, no batching):
-    /// the latency lower bound that serving can only add to.
+    /// the latency lower bound that serving can only add to. Includes the
+    /// configured chunking overhead and the empty-pool KV scaling, so it is
+    /// the solo latency *under this serving configuration*.
     pub fn solo_cycles(&self, request: &ServeRequest) -> u64 {
         let state = self.admit(request);
-        state.prefill_cycles + state.solo_step_cycles * request.output_tokens as u64
+        let mut kv = self.config.kv;
+        kv.try_reserve(state.kv_bytes);
+        let states = [state];
+        let step = self.step_cycles(&states, &[0], kv.kv_traffic_factor());
+        states[0].prefill_cycles + step * request.output_tokens as u64
     }
 
     /// Serve a trace of requests under `policy` and report per-request
@@ -260,10 +410,15 @@ impl<'a> ServeSimulator<'a> {
         let mut batch: Vec<usize> = Vec::new();
         let mut cc_busy: Option<(u64, usize)> = None;
         let mut step_end: Option<u64> = None;
+        let mut kv = self.config.kv;
         let mut completed_order: Vec<usize> = Vec::new();
         let mut rejected_order: Vec<(usize, u64)> = Vec::new();
         let mut queue_samples: Vec<QueueSample> = Vec::new();
         let mut decode_steps = 0u64;
+        let mut preemptions = 0u64;
+        // The request whose chunk just finished and went back to the queue:
+        // the only request a pick can *preempt* (displace mid-prefill).
+        let mut cc_resumable: Option<usize> = None;
 
         loop {
             // Earliest pending event across the three sources.
@@ -281,17 +436,28 @@ impl<'a> ServeSimulator<'a> {
             let Some(now) = next else { break };
 
             // Drain everything due at `now` before dispatching, so a request
-            // arriving or finishing prefill exactly at a step boundary can be
+            // arriving or finishing a chunk exactly at a step boundary can be
             // considered for the very next step. Arrivals first (the CC pick
-            // must see them), then the prefill completion, then the step.
+            // must see them), then the chunk completion, then the step.
             while next_arrival < order.len() && states[order[next_arrival]].arrival_cycle <= now {
                 cc_queue.push(order[next_arrival]);
                 next_arrival += 1;
             }
             if let Some((end, idx)) = cc_busy {
                 if end <= now {
-                    states[idx].prefill_end = now;
-                    ready.push(idx);
+                    let done = states[idx].chunks_done;
+                    states[idx].remaining_prefill_cycles -= states[idx].chunk_cycles[done];
+                    states[idx].chunks_done = done + 1;
+                    if states[idx].prefill_finished() {
+                        states[idx].prefill_end = now;
+                        ready.push(idx);
+                    } else {
+                        // Back to the queue: the policy decides at the chunk
+                        // boundary whether this prefill continues or an
+                        // urgent arrival preempts it.
+                        cc_queue.push(idx);
+                        cc_resumable = Some(idx);
+                    }
                     cc_busy = None;
                 }
             }
@@ -304,6 +470,7 @@ impl<'a> ServeSimulator<'a> {
                         let finished = states[idx].remaining_tokens == 0;
                         if finished {
                             states[idx].finish = now;
+                            kv.release(states[idx].kv_bytes);
                             completed_order.push(idx);
                         }
                         !finished
@@ -312,9 +479,10 @@ impl<'a> ServeSimulator<'a> {
                 }
             }
 
-            // Dispatch the serial CC stage: one prefill at a time, chosen by
-            // the policy from a snapshot of the queue. Admission control
-            // first splits the queue on TTFT slack.
+            // Dispatch the serial CC stage: one prefill chunk at a time,
+            // chosen by the policy from a snapshot of the queue. Admission
+            // control first splits the queue on TTFT slack (for requests
+            // mid-prefill, the slack of their *remaining* chunks).
             if cc_busy.is_none() && !cc_queue.is_empty() {
                 if self.config.admission == AdmissionControl::Reject {
                     let mut i = 0;
@@ -356,21 +524,40 @@ impl<'a> ServeSimulator<'a> {
                         pool.len()
                     );
                     let idx = cc_queue.swap_remove(pool[pick]);
-                    states[idx].prefill_start = now;
-                    cc_busy = Some((now + states[idx].prefill_cycles, idx));
+                    // A preemption is a pick that displaces the request
+                    // whose chunk just ran: it wanted to continue (it is
+                    // still queued mid-prefill) and something else took the
+                    // stage at its chunk boundary. Continuing an earlier
+                    // victim while the queue holds other mid-prefill
+                    // requests is not a *new* preemption.
+                    if cc_resumable.is_some_and(|prev| idx != prev && cc_queue.contains(&prev)) {
+                        preemptions += 1;
+                    }
+                    cc_resumable = None;
+                    if states[idx].chunks_done == 0 {
+                        states[idx].prefill_start = now;
+                    }
+                    let chunk = states[idx].chunk_cycles[states[idx].chunks_done];
+                    cc_busy = Some((now + chunk, idx));
                 }
             }
 
             // Dispatch the MC stage: top the batch up from the ready set in
-            // the policy's join order (continuous batching), then start the
-            // next step.
+            // the policy's join order (continuous batching). A join must fit
+            // the KV pool's headroom and the optional hard cap; when the
+            // policy's next pick does not fit, the top-up stops — the pick
+            // blocks at the head of the ready queue until a finishing
+            // stream releases KV bytes (no bypass, so the policy's order is
+            // honoured under memory pressure too).
             if step_end.is_none() {
-                if batch.len() < self.config.batch_cap && !ready.is_empty() {
+                let has_slot =
+                    |batch_len: usize| self.config.batch_cap.map_or(true, |cap| batch_len < cap);
+                if has_slot(batch.len()) && !ready.is_empty() {
                     // Snapshot the ready set once per top-up; `swap_remove`
                     // on both vectors in lockstep keeps indices aligned.
                     let mut snapshot: Vec<QueuedRequest> =
                         ready.iter().map(|&idx| states[idx].as_queued()).collect();
-                    while batch.len() < self.config.batch_cap && !ready.is_empty() {
+                    while has_slot(batch.len()) && !ready.is_empty() {
                         let pick = policy.choose_join(&snapshot);
                         assert!(
                             pick < ready.len(),
@@ -378,6 +565,9 @@ impl<'a> ServeSimulator<'a> {
                             policy.name(),
                             ready.len()
                         );
+                        if !kv.try_reserve(states[ready[pick]].kv_bytes) {
+                            break;
+                        }
                         snapshot.swap_remove(pick);
                         let idx = ready.swap_remove(pick);
                         states[idx].decode_start = now;
@@ -385,7 +575,8 @@ impl<'a> ServeSimulator<'a> {
                     }
                 }
                 if !batch.is_empty() {
-                    step_end = Some(now + self.step_cycles(&states, &batch));
+                    step_end =
+                        Some(now + self.step_cycles(&states, &batch, kv.kv_traffic_factor()));
                     decode_steps += 1;
                 }
             }
@@ -439,6 +630,8 @@ impl<'a> ServeSimulator<'a> {
             rejected,
             queue_samples,
             decode_steps,
+            preemptions,
+            peak_kv_bytes: kv.peak_bytes(),
             makespan_s,
         }
     }
@@ -660,6 +853,168 @@ mod tests {
     }
 
     #[test]
+    fn chunked_single_chunk_reproduces_the_unchunked_run() {
+        // chunk_tokens >= the prompt and an unbounded pool: the chunked code
+        // path must be byte-for-byte the legacy simulator.
+        let m = machine();
+        let trace = TraceConfig::interactive(10, 40.0, 17).generate();
+        let legacy = simulator(&m, 4).run(&trace, &EarliestDeadlineFirst);
+        let chunked = ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::with_batch_cap(4).with_chunk_tokens(usize::MAX),
+        )
+        .run(&trace, &EarliestDeadlineFirst);
+        assert_eq!(legacy, chunked);
+    }
+
+    #[test]
+    fn chunking_preempts_a_long_prefill_for_an_urgent_arrival() {
+        // A long batch-class prefill is underway when an interactive request
+        // arrives. Unchunked, the arrival waits out the whole block; chunked,
+        // EDF grabs the CC stage at the next chunk boundary and the
+        // interactive TTFT collapses.
+        let m = machine();
+        let long = ServeRequest::new(0, 0.0, 768, 8).with_slo(SloClass::batch());
+        let urgent = ServeRequest::new(1, 0.001, 8, 8).with_slo(SloClass::interactive());
+        let run = |config: ServeConfig| {
+            ServeSimulator::new(&m, zoo::sphinx_tiny(), config)
+                .run(&[long, urgent], &EarliestDeadlineFirst)
+        };
+        let unchunked = run(ServeConfig::with_batch_cap(4));
+        let chunked = run(ServeConfig::with_batch_cap(4).with_chunk_tokens(160));
+        let ttft = |report: &ServeReport| {
+            report
+                .completed
+                .iter()
+                .find(|c| c.id == 1)
+                .expect("served")
+                .time_to_first_token_s()
+        };
+        assert_eq!(unchunked.preemptions, 0);
+        assert!(chunked.preemptions > 0, "no chunk-boundary preemption");
+        // The urgent request escapes the long block early enough to beat
+        // both the unchunked TTFT (by a wide margin — its own prefill now
+        // carries chunk overhead, so the win must be structural) and its
+        // 250 ms interactive deadline, which the unchunked run misses.
+        assert!(
+            ttft(&chunked) < 0.8 * ttft(&unchunked),
+            "chunked TTFT {} vs unchunked {}",
+            ttft(&chunked),
+            ttft(&unchunked)
+        );
+        assert!(chunked.completed.iter().all(|c| c.meets_ttft()));
+        assert_eq!(unchunked.deadline_misses(), 1);
+    }
+
+    #[test]
+    fn fcfs_never_preempts_even_when_chunked() {
+        // FCFS picks by arrival, so the in-progress (earliest) prefill wins
+        // every chunk boundary: chunking must not change the order.
+        let m = machine();
+        let long = ServeRequest::new(0, 0.0, 256, 8);
+        let late = ServeRequest::new(1, 0.001, 8, 8);
+        let report = ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::with_batch_cap(4).with_chunk_tokens(64),
+        )
+        .run(&[long, late], &Fcfs);
+        assert_eq!(report.preemptions, 0);
+        let first_end = report.completed.iter().find(|c| c.id == 0).unwrap();
+        let second_start = report.completed.iter().find(|c| c.id == 1).unwrap();
+        assert!(second_start.prefill_start_s >= first_end.prefill_end_s - 1e-12);
+    }
+
+    #[test]
+    fn kv_pool_bounds_the_batch_by_bytes() {
+        // Identical requests; a pool sized for ~2 streams must cap the batch
+        // at 2 even though no hard cap is set, and peak KV stays in budget.
+        let m = machine();
+        let trace = TraceConfig::saturated(6, 20, 16).generate();
+        let per_stream = zoo::sphinx_tiny().llm.kv_cache_bytes(
+            zoo::sphinx_tiny().prompt_tokens(20) + 16,
+            m.config().mc_weight_bytes,
+        );
+        let config = ServeConfig::new().with_kv_pool(KvPool::with_budget(2 * per_stream + 1));
+        let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config).run(&trace, &Fcfs);
+        assert_eq!(report.completed.len(), 6);
+        assert!(report.peak_kv_bytes <= 2 * per_stream + 1);
+        assert!(report.queue_samples.iter().all(|s| s.active <= 2));
+        assert!(report.queue_samples.iter().any(|s| s.active == 2));
+    }
+
+    #[test]
+    fn unbounded_pool_with_no_cap_batches_everything() {
+        let m = machine();
+        // Long enough generations that the first stream is still decoding
+        // when the last prefill lands: all five must overlap.
+        let trace = TraceConfig::saturated(5, 20, 64).generate();
+        let report =
+            ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::new()).run(&trace, &Fcfs);
+        assert!(report.queue_samples.iter().any(|s| s.active == 5));
+        assert_eq!(report.completed.len(), 5);
+    }
+
+    #[test]
+    fn oversized_request_runs_solo_instead_of_deadlocking() {
+        let m = machine();
+        let trace = TraceConfig::saturated(3, 20, 16).generate();
+        // Budget below a single stream's footprint: the escape hatch admits
+        // one stream at a time and the run still drains.
+        let config = ServeConfig::new().with_kv_pool(KvPool::with_budget(1024));
+        let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config).run(&trace, &Fcfs);
+        assert_eq!(report.completed.len(), 3);
+        assert!(report.queue_samples.iter().all(|s| s.active <= 1));
+    }
+
+    #[test]
+    fn onchip_kv_tier_speeds_up_decode_steps() {
+        // Same trace, same admission; a pool whose on-chip tier swallows the
+        // whole batch's KV drops the KV DRAM traffic and finishes sooner
+        // than the all-spill baseline.
+        let m = machine();
+        let trace = TraceConfig::saturated(4, 20, 32).generate();
+        let run = |kv: KvPool| {
+            ServeSimulator::new(
+                &m,
+                zoo::sphinx_tiny(),
+                ServeConfig::with_batch_cap(4).with_kv_pool(kv),
+            )
+            .run(&trace, &Fcfs)
+        };
+        let spilled = run(KvPool::with_budget(1 << 40));
+        let onchip = run(KvPool::with_budget(1 << 40).with_onchip(1 << 40));
+        assert_eq!(spilled.completed.len(), onchip.completed.len());
+        assert!(
+            onchip.makespan_s < spilled.makespan_s,
+            "on-chip KV did not help: {} vs {}",
+            onchip.makespan_s,
+            spilled.makespan_s
+        );
+    }
+
+    #[test]
+    fn spill_penalty_slows_decode_steps() {
+        let m = machine();
+        let trace = TraceConfig::saturated(4, 20, 32).generate();
+        let run = |kv: KvPool| {
+            ServeSimulator::new(
+                &m,
+                zoo::sphinx_tiny(),
+                ServeConfig::with_batch_cap(4).with_kv_pool(kv),
+            )
+            .run(&trace, &Fcfs)
+        };
+        let neutral = run(KvPool::unbounded());
+        let penalised = run(KvPool::with_budget(1 << 40).with_spill_penalty(2.0));
+        assert!(
+            penalised.makespan_s > neutral.makespan_s,
+            "spill penalty had no effect"
+        );
+    }
+
+    #[test]
     fn empty_trace_yields_empty_report() {
         let m = machine();
         let report = simulator(&m, 4).run(&[], &Fcfs);
@@ -667,6 +1022,8 @@ mod tests {
         assert!(report.rejected.is_empty());
         assert_eq!(report.makespan_s, 0.0);
         assert_eq!(report.decode_steps, 0);
+        assert_eq!(report.preemptions, 0);
+        assert_eq!(report.peak_kv_bytes, 0);
     }
 
     #[test]
@@ -686,5 +1043,16 @@ mod tests {
     fn zero_batch_cap_rejected() {
         let m = machine();
         simulator(&m, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk budget must be at least one token")]
+    fn zero_chunk_budget_rejected() {
+        let m = machine();
+        ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::new().with_chunk_tokens(0),
+        );
     }
 }

@@ -9,11 +9,18 @@
 //! - range strategies over the integer and float primitives,
 //! - [`collection::vec`] and [`any`],
 //! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
-//!   [`prop_assume!`].
+//!   [`prop_assume!`],
+//! - **failure shrinking** by per-parameter bisection: when a case fails,
+//!   each sampled value is bisected toward its strategy's origin (the range
+//!   start; the minimum length for vectors) while the failure reproduces,
+//!   and the panic reports both the original and the shrunk inputs. For a
+//!   monotone failure boundary the bisection lands exactly on it.
 //!
-//! Unlike real proptest there is no shrinking: a failing case panics with
-//! the sampled inputs printed, which is enough to reproduce it (sampling is
-//! fully deterministic — case `i` of a test always sees the same inputs).
+//! Sampling is fully deterministic — case `i` of a test always sees the
+//! same inputs — so the original failing case is always reproducible too.
+//! Strategy expressions must be pure (they are re-evaluated during
+//! shrinking) and sampled values must be `Clone + Debug` (the body re-runs
+//! on cloned candidates).
 //!
 //! The default case count matches upstream proptest: **256 cases per
 //! property**, overridable through the `PROPTEST_CASES` environment
@@ -129,12 +136,26 @@ pub mod strategy {
     use crate::test_runner::TestRng;
     use core::ops::Range;
 
-    /// A recipe for sampling values of an associated type.
+    /// A recipe for sampling values of an associated type, plus the
+    /// shrinking order the [`crate::proptest!`] runner bisects along.
     pub trait Strategy {
         /// The type of value this strategy produces.
         type Value;
+
         /// Sample one value from the deterministic stream.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Propose a simpler candidate between `lo` (exclusive; the
+        /// strategy's origin when `None`) and the failing value `hi`
+        /// (exclusive). The runner keeps the candidate as the new failing
+        /// `hi` when the failure reproduces and raises `lo` to it
+        /// otherwise, so repeated calls bisect to the smallest failing
+        /// value. With `lo == None` implementations should propose the
+        /// origin itself first. `None` means nothing simpler remains — the
+        /// default for strategies that do not shrink.
+        fn shrink(&self, _lo: Option<&Self::Value>, _hi: &Self::Value) -> Option<Self::Value> {
+            None
+        }
     }
 
     macro_rules! impl_int_range_strategy {
@@ -145,6 +166,14 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty strategy range");
                     let span = (self.end - self.start) as u64;
                     self.start + (rng.next_u64() % span) as $t
+                }
+                fn shrink(&self, lo: Option<&$t>, hi: &$t) -> Option<$t> {
+                    let Some(&lo) = lo else {
+                        // Try the origin itself before bisecting.
+                        return (*hi > self.start).then_some(self.start);
+                    };
+                    // No integer strictly between lo and hi: converged.
+                    (*hi > lo && *hi - lo > 1).then(|| lo + (*hi - lo) / 2)
                 }
             }
         )*};
@@ -162,6 +191,20 @@ pub mod strategy {
                     // Rounding in the multiply (or the f64 -> f32 cast) can
                     // land exactly on the exclusive bound; keep half-open.
                     if v >= self.end { self.start } else { v }
+                }
+                fn shrink(&self, lo: Option<&$t>, hi: &$t) -> Option<$t> {
+                    let Some(&lo) = lo else {
+                        return (*hi > self.start).then_some(self.start);
+                    };
+                    if *hi <= lo {
+                        // Range values are always finite, so <= is the
+                        // complete negation of > here.
+                        return None;
+                    }
+                    let mid = lo + (*hi - lo) / 2.0;
+                    // Denormal convergence: stop once the midpoint is no
+                    // longer strictly between the bounds.
+                    (mid > lo && mid < *hi).then_some(mid)
                 }
             }
         )*};
@@ -193,7 +236,8 @@ pub mod strategy {
         }
     }
 
-    /// Strategy wrapper produced by [`crate::any`].
+    /// Strategy wrapper produced by [`crate::any`]. Whole-domain values
+    /// have no meaningful origin, so `any` does not shrink.
     #[derive(Debug, Clone, Copy)]
     pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
 
@@ -208,6 +252,38 @@ pub mod strategy {
 /// Strategy over the whole domain of `T` (e.g. `any::<u32>()`).
 pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
     strategy::Any(core::marker::PhantomData)
+}
+
+/// Run one case of a property body, converting a hard panic (a plain
+/// `assert!`, an arithmetic overflow, an `unwrap`) into a
+/// [`TestCaseError::Fail`] so the runner can shrink it like a
+/// `prop_assert!` failure instead of aborting mid-shrink — the behaviour of
+/// real proptest. Used by the [`proptest!`] expansion; not part of the
+/// public proptest API surface.
+#[doc(hidden)]
+pub fn catch_case(run: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(), TestCaseError> {
+    // Silence the default panic hook while the body runs: shrinking a
+    // hard-panicking property re-runs it on up to 64 candidates per
+    // parameter, and each caught panic would otherwise print a full
+    // "thread panicked at ..." report, burying the final shrunk summary.
+    // (Like upstream proptest, the hook swap is process-global — a test
+    // failing on another thread in exactly this window would lose its
+    // printed report; acceptable for a deterministic offline shim.)
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+    std::panic::set_hook(hook);
+    match outcome {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test body panicked".to_string());
+            Err(TestCaseError::Fail(format!("panic: {msg}")))
+        }
+    }
 }
 
 /// Collection strategies.
@@ -229,13 +305,25 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             assert!(self.len.start < self.len.end, "empty length range");
             let span = self.len.end - self.len.start;
             let n = self.len.start + rng.below(span);
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+        /// Vectors shrink by length only (truncation bisected toward the
+        /// minimum length); elements are left as sampled.
+        fn shrink(&self, lo: Option<&Vec<S::Value>>, hi: &Vec<S::Value>) -> Option<Vec<S::Value>> {
+            let Some(lo) = lo else {
+                return (hi.len() > self.len.start).then(|| hi[..self.len.start].to_vec());
+            };
+            let lo_len = lo.len();
+            (hi.len() > lo_len + 1).then(|| hi[..lo_len + (hi.len() - lo_len) / 2].to_vec())
         }
     }
 }
@@ -244,44 +332,129 @@ pub mod collection {
 ///
 /// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
 /// running `cases` sampled inputs through the body. `prop_assume!` rejects
-/// a case without failing; `prop_assert*!` failures panic with the inputs.
+/// a case without failing; `prop_assert*!` failures shrink each input by
+/// bisection toward its strategy's origin (re-running the body on cloned
+/// candidates) and then panic with the original and the shrunk inputs.
 #[macro_export]
 macro_rules! proptest {
     // Entry: optional `#![proptest_config(...)]` inner attribute.
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
-        $crate::proptest!(@run ($cfg) $($rest)*);
+        $crate::proptest!(@split ($cfg) $($rest)*);
     };
-    // One generated zero-arg fn per property. The parameter list is taken
-    // as raw tokens and lowered by the `@bind` muncher so that both
-    // `name in strategy` and proptest's `name: Type` forms work.
-    (@run ($cfg:expr) $(
+    // One property at a time.
+    (@split ($cfg:expr) $(
         $(#[$meta:meta])*
         fn $name:ident($($params:tt)*) $body:block
     )*) => {$(
+        $crate::proptest!(@accum ($cfg) $(#[$meta])* fn $name [] ($($params)*) $body);
+    )*};
+    // Parameter accumulator: `name in strategy` form.
+    (@accum ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@accum ($cfg) $(#[$meta])* fn $name
+            [$($acc)* ($arg, $strat)] ($($rest)*) $body);
+    };
+    (@accum ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident in $strat:expr) $body:block) => {
+        $crate::proptest!(@accum ($cfg) $(#[$meta])* fn $name
+            [$($acc)* ($arg, $strat)] () $body);
+    };
+    // Parameter accumulator: `name: Type` shorthand for `any::<Type>()`.
+    (@accum ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@accum ($cfg) $(#[$meta])* fn $name
+            [$($acc)* ($arg, $crate::any::<$ty>())] ($($rest)*) $body);
+    };
+    (@accum ($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident : $ty:ty) $body:block) => {
+        $crate::proptest!(@accum ($cfg) $(#[$meta])* fn $name
+            [$($acc)* ($arg, $crate::any::<$ty>())] () $body);
+    };
+    // Every parameter munched: emit the test fn. Values live in RefCells
+    // so one zero-argument closure can re-run the body on current values —
+    // both for the initial case and for every shrink candidate.
+    (@accum ($cfg:expr) $(#[$meta:meta])* fn $name:ident
+        [$(($arg:ident, $strat:expr))*] () $body:block) => {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
             let mut executed: u32 = 0;
             for case in 0..config.cases {
                 let mut rng = $crate::TestRng::for_named_case(stringify!($name), case as u64);
-                // Rendered per-binding, before the body can move the values.
-                let mut rendered_inputs: ::std::vec::Vec<::std::string::String> =
+                let mut original_inputs: ::std::vec::Vec<::std::string::String> =
                     ::std::vec::Vec::new();
-                $crate::proptest!(@bind rng rendered_inputs $($params)*);
-                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                $(
+                    let $arg = ::core::cell::RefCell::new(
+                        $crate::Strategy::sample(&($strat), &mut rng),
+                    );
+                    original_inputs
+                        .push(format!(concat!(stringify!($arg), " = {:?}"), &*$arg.borrow()));
+                )*
+                let run = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $(
+                        // A property is allowed to ignore a parameter (it
+                        // still participates in sampling and shrinking).
+                        #[allow(unused_variables)]
+                        let $arg = ::core::clone::Clone::clone(&*$arg.borrow());
+                    )*
                     $body
-                    Ok(())
-                })();
-                match outcome {
-                    Ok(()) => executed += 1,
-                    Err($crate::TestCaseError::Reject(_)) => continue,
-                    Err($crate::TestCaseError::Fail(msg)) => panic!(
-                        "property {} failed at case {}: {}\ninputs: {}",
-                        stringify!($name),
-                        case,
-                        msg,
-                        rendered_inputs.join("  "),
-                    ),
+                    ::core::result::Result::Ok(())
+                };
+                match $crate::catch_case(&run) {
+                    ::core::result::Result::Ok(()) => executed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(first_msg)) => {
+                        // Shrink: bisect each parameter toward its origin
+                        // while the failure reproduces, repeating passes
+                        // until no parameter improves (a candidate that
+                        // passes or is rejected raises the bisection floor
+                        // instead).
+                        let mut msg = first_msg;
+                        let mut passes = 0u32;
+                        loop {
+                            passes += 1;
+                            let mut improved = false;
+                            let _ = &mut improved;
+                            $(
+                                let mut lo = ::core::option::Option::None;
+                                for _ in 0..64 {
+                                    let cand = {
+                                        let hi = $arg.borrow();
+                                        $crate::Strategy::shrink(&($strat), lo.as_ref(), &*hi)
+                                    };
+                                    let ::core::option::Option::Some(cand) = cand else {
+                                        break;
+                                    };
+                                    let prev = $arg.replace(cand);
+                                    match $crate::catch_case(&run) {
+                                        ::core::result::Result::Err(
+                                            $crate::TestCaseError::Fail(m),
+                                        ) => {
+                                            msg = m;
+                                            improved = true;
+                                        }
+                                        _ => {
+                                            lo = ::core::option::Option::Some($arg.replace(prev));
+                                        }
+                                    }
+                                }
+                            )*
+                            if !improved || passes >= 8 {
+                                break;
+                            }
+                        }
+                        let shrunk: ::std::vec::Vec<::std::string::String> = ::std::vec![
+                            $(format!(concat!(stringify!($arg), " = {:?}"), &*$arg.borrow())),*
+                        ];
+                        panic!(
+                            "property {} failed at case {}: {}\ninputs: {}\nshrunk: {}",
+                            stringify!($name),
+                            case,
+                            msg,
+                            original_inputs.join("  "),
+                            shrunk.join("  "),
+                        );
+                    }
                 }
             }
             // A property whose assumption rejects every case proved nothing.
@@ -292,29 +465,10 @@ macro_rules! proptest {
                 config.cases,
             );
         }
-    )*};
-    // Parameter-list muncher: `name in strategy` form.
-    (@bind $rng:ident $inputs:ident $arg:ident in $strat:expr, $($rest:tt)*) => {
-        $crate::proptest!(@bind $rng $inputs $arg in $strat);
-        $crate::proptest!(@bind $rng $inputs $($rest)*);
     };
-    (@bind $rng:ident $inputs:ident $arg:ident in $strat:expr) => {
-        let $arg = $crate::Strategy::sample(&($strat), &mut $rng);
-        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
-    };
-    // Parameter-list muncher: `name: Type` shorthand for `any::<Type>()`.
-    (@bind $rng:ident $inputs:ident $arg:ident : $ty:ty, $($rest:tt)*) => {
-        $crate::proptest!(@bind $rng $inputs $arg : $ty);
-        $crate::proptest!(@bind $rng $inputs $($rest)*);
-    };
-    (@bind $rng:ident $inputs:ident $arg:ident : $ty:ty) => {
-        let $arg = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
-        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
-    };
-    (@bind $rng:ident $inputs:ident) => {};
     // Entry: no inner config attribute.
     ($($rest:tt)*) => {
-        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+        $crate::proptest!(@split ($crate::ProptestConfig::default()) $($rest)*);
     };
 }
 
@@ -438,5 +592,80 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn integer_shrink_proposes_origin_then_bisects() {
+        let strat = 3usize..100;
+        // First candidate is the origin itself...
+        assert_eq!(strat.shrink(None, &80), Some(3));
+        // ...then the midpoint of the open interval...
+        assert_eq!(strat.shrink(Some(&3), &80), Some(41));
+        assert_eq!(strat.shrink(Some(&41), &80), Some(60));
+        // ...until nothing lies strictly between the bounds.
+        assert_eq!(strat.shrink(Some(&79), &80), None);
+        assert_eq!(strat.shrink(None, &3), None);
+    }
+
+    #[test]
+    fn float_shrink_bisects_and_converges() {
+        let strat = 1.0f64..9.0;
+        assert_eq!(strat.shrink(None, &8.0), Some(1.0));
+        assert_eq!(strat.shrink(Some(&1.0), &8.0), Some(4.5));
+        // Convergence: a denormal-width interval yields no midpoint.
+        let hi = 1.0f64 + f64::EPSILON;
+        assert_eq!(strat.shrink(Some(&1.0), &hi), None);
+    }
+
+    #[test]
+    fn vec_shrink_truncates_toward_the_minimum_length() {
+        let strat = crate::collection::vec(0usize..10, 2..9);
+        let v: Vec<usize> = vec![5, 6, 7, 8, 9, 1];
+        // Origin first: the minimum length...
+        assert_eq!(strat.shrink(None, &v), Some(vec![5, 6]));
+        // ...then length bisection, keeping a prefix.
+        assert_eq!(strat.shrink(Some(&vec![5, 6]), &v), Some(vec![5, 6, 7, 8]));
+        assert_eq!(strat.shrink(Some(&vec![5, 6, 7, 8, 9]), &v), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrunk: x = 10")]
+    fn shrinking_bisects_to_the_failure_boundary() {
+        // Fails for every x >= 10: whatever the first failing draw is, the
+        // bisection must land exactly on the boundary value 10.
+        proptest! {
+            fn fails_from_ten(x in 0usize..1000) {
+                prop_assert!(x < 10, "x = {} is over the line", x);
+            }
+        }
+        fails_from_ten();
+    }
+
+    #[test]
+    #[should_panic(expected = "shrunk: x = 0")]
+    fn hard_panics_shrink_like_failures() {
+        // A plain `assert!` (not `prop_assert!`) panics out of the body;
+        // `catch_case` must convert it into a shrinkable failure so the
+        // runner still bisects (here all the way to the origin) and reports
+        // structured inputs instead of aborting mid-shrink.
+        proptest! {
+            fn panics_on_everything(x in 0usize..100) {
+                assert!(x > 1000, "x = {x} hard-panics");
+            }
+        }
+        panics_on_everything();
+    }
+
+    #[test]
+    #[should_panic(expected = "shrunk: x = 0  y = 90")]
+    fn shrinking_is_per_parameter() {
+        // Only y matters: x must shrink all the way to its origin while y
+        // bisects to its own boundary.
+        proptest! {
+            fn fails_on_y(x in 0usize..50, y in 0usize..1000) {
+                prop_assert!(y < 90, "y = {} is over the line", y);
+            }
+        }
+        fails_on_y();
     }
 }

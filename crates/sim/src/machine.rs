@@ -242,6 +242,54 @@ impl Machine {
         }
     }
 
+    /// Price a prefill in token-budget chunks of at most `chunk_tokens`
+    /// prompt tokens each (Sarathi/vLLM-style chunked prefill), returning
+    /// one [`PhaseResult`] per chunk in prompt order.
+    ///
+    /// Chunk `i` covers tokens `[i*chunk_tokens, ...)` of the prompt and its
+    /// causal attention reads the prefix cached by the chunks before it, so
+    /// per-chunk KV traffic grows with the prefix instead of charging the
+    /// whole prompt at once. Weight-facing operators are re-streamed once
+    /// per chunk — the summed chunked cost is therefore at least the
+    /// unchunked cost, which is the real DRAM price of chunking and the
+    /// reason a serving scheduler picks the chunk budget instead of always
+    /// chunking maximally.
+    ///
+    /// With `chunk_tokens >= prompt_tokens` this returns exactly one chunk
+    /// identical to [`Self::run_phase_on`] for [`Phase::Prefill`]: the
+    /// existing whole-phase path is the one-chunk special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens` is zero.
+    pub fn prefill_chunk_costs(
+        &self,
+        workload: &ModelWorkload,
+        kind: ClusterKind,
+        chunk_tokens: usize,
+    ) -> Vec<PhaseResult> {
+        assert!(chunk_tokens >= 1, "chunk budget must be at least one token");
+        let prompt = workload.prompt_tokens();
+        let mut chunks = Vec::with_capacity(prompt.div_ceil(chunk_tokens.max(1)).max(1));
+        let mut cached = 0;
+        while cached < prompt {
+            let len = chunk_tokens.min(prompt - cached);
+            chunks.push(self.run_ops(
+                Phase::Prefill,
+                &workload.prefill_chunk_ops(cached, len),
+                kind,
+                PruningEffect::disabled(),
+            ));
+            cached += len;
+        }
+        if chunks.is_empty() {
+            // A zero-token prompt still produces one (empty) chunk so the
+            // caller always has a prefill completion event to schedule.
+            chunks.push(PhaseResult::empty(Phase::Prefill));
+        }
+        chunks
+    }
+
     /// Per-operator costs of one "average" decode step on `kind` (cached
     /// context = prompt plus half the output), in operator-stream order.
     ///
@@ -530,6 +578,80 @@ mod tests {
         assert_eq!(full.cycles, step.cycles * 16);
         assert_eq!(full.dram_bytes, step.dram_bytes * 16);
         assert_eq!(full.ops, step.ops * 16);
+    }
+
+    #[test]
+    fn one_chunk_prefill_matches_the_whole_phase() {
+        let m = hetero();
+        let w = workload(8);
+        let whole = m.run_phase_on(
+            &w,
+            Phase::Prefill,
+            ClusterKind::ComputeCentric,
+            DecodeOptions::baseline(),
+        );
+        for budget in [w.prompt_tokens(), w.prompt_tokens() + 1, usize::MAX] {
+            let chunks = m.prefill_chunk_costs(&w, ClusterKind::ComputeCentric, budget);
+            assert_eq!(chunks.len(), 1);
+            assert_eq!(chunks[0], whole);
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_splits_the_prompt_and_costs_at_least_the_whole() {
+        let m = hetero();
+        let w = workload(8);
+        let s = w.prompt_tokens();
+        let whole = m.run_phase_on(
+            &w,
+            Phase::Prefill,
+            ClusterKind::ComputeCentric,
+            DecodeOptions::baseline(),
+        );
+        let chunk = 128;
+        let chunks = m.prefill_chunk_costs(&w, ClusterKind::ComputeCentric, chunk);
+        assert_eq!(chunks.len(), s.div_ceil(chunk));
+        let total_cycles: u64 = chunks.iter().map(|c| c.cycles).sum();
+        // Chunking re-streams the layer weights once per chunk, so the
+        // summed cost can only grow. Small-m chunks stop hiding the weight
+        // stream under compute, so the overhead is substantial — but it must
+        // stay within the chunk-count factor (each chunk costs at most one
+        // full weight pass).
+        assert!(total_cycles >= whole.cycles, "chunking got cheaper");
+        assert!(
+            (total_cycles as f64) < chunks.len() as f64 * whole.cycles as f64,
+            "chunk overhead exploded: {total_cycles} vs {}",
+            whole.cycles
+        );
+        // Weight traffic scales with the chunk count; KV traffic does not.
+        let total_bytes: u64 = chunks.iter().map(|c| c.dram_bytes).sum();
+        assert!(total_bytes > whole.dram_bytes);
+    }
+
+    #[test]
+    fn finer_chunks_monotonically_increase_prefill_cost() {
+        let m = hetero();
+        let w = workload(8);
+        let mut last = u64::MAX;
+        for budget in [32usize, 64, 128, 512] {
+            let total: u64 = m
+                .prefill_chunk_costs(&w, ClusterKind::ComputeCentric, budget)
+                .iter()
+                .map(|c| c.cycles)
+                .sum();
+            assert!(
+                total <= last,
+                "coarser budget {budget} cost more ({total} > {last})"
+            );
+            last = total;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk budget must be at least one token")]
+    fn zero_chunk_budget_rejected() {
+        let m = hetero();
+        m.prefill_chunk_costs(&workload(4), ClusterKind::ComputeCentric, 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
             &model,
             &burst,
             ServeOptions {
-                batch_cap: cap,
+                batch_cap: Some(cap),
                 ..ServeOptions::with_pruning()
             },
         );
@@ -77,7 +77,7 @@ fn main() {
         &model,
         &burst,
         ServeOptions {
-            batch_cap: 8,
+            batch_cap: Some(8),
             ..ServeOptions::with_pruning()
         },
     );

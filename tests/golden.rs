@@ -155,6 +155,105 @@ fn golden_slo_sweep_point() {
     assert!(edf.rejected.is_empty(), "defer never drops requests");
 }
 
+/// One memory-pressure sweep point, pinned: interactive traffic at 12 req/s
+/// over long-prompt (512-768 text tokens, ~800-1050 total) background
+/// summarisation jobs, edf/defer, no hard batch cap, a 48 MiB KV budget.
+/// Compares unchunked prefill against prefill chunked at 320 tokens (about
+/// one interactive prompt) and asserts the tentpole headline outright:
+/// chunked EDF misses strictly fewer interactive TTFT deadlines than
+/// unchunked EDF, because the long background prefills get preempted at
+/// chunk boundaries instead of blocking the serial CC stage. KV-pool
+/// admission keeps the peak resident KV within the byte budget in both
+/// runs.
+#[test]
+fn golden_memory_pressure_point() {
+    const KV_BUDGET: u64 = 48 << 20;
+    let system = EdgeMm::paper_default();
+    let mixed = merge(&[
+        TraceConfig::interactive(24, 12.0, 11).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(8, 3.0, 12)
+        }
+        .generate(),
+    ]);
+    let run = |chunk_tokens: Option<usize>| -> ServeReport {
+        system.serve(
+            &zoo::sphinx_tiny(),
+            &mixed,
+            ServeOptions {
+                batch_cap: None,
+                chunk_tokens,
+                kv_budget_bytes: Some(KV_BUDGET),
+                ..ServeOptions::slo_aware()
+            },
+        )
+    };
+    let unchunked = run(None);
+    let chunked = run(Some(320));
+    let interactive_ttft_misses = |report: &ServeReport| {
+        report
+            .completed
+            .iter()
+            .filter(|c| c.slo.priority == Priority::Interactive && !c.meets_ttft())
+            .count()
+            + report.rejected.len()
+    };
+    if probing() {
+        println!(
+            "memory.unchunked_ttft_misses = {}",
+            interactive_ttft_misses(&unchunked)
+        );
+        println!(
+            "memory.chunked_ttft_misses = {}",
+            interactive_ttft_misses(&chunked)
+        );
+        println!("memory.chunked_preemptions = {}", chunked.preemptions);
+        println!("memory.unchunked_peak_kv = {}", unchunked.peak_kv_bytes);
+        println!("memory.chunked_peak_kv = {}", chunked.peak_kv_bytes);
+    } else {
+        assert_eq!(
+            interactive_ttft_misses(&unchunked),
+            6,
+            "unchunked miss count drifted"
+        );
+        assert_eq!(
+            interactive_ttft_misses(&chunked),
+            3,
+            "chunked miss count drifted"
+        );
+        assert_eq!(chunked.preemptions, 4, "preemption count drifted");
+        assert_eq!(unchunked.peak_kv_bytes, 50_091_008, "peak KV drifted");
+        assert_eq!(chunked.peak_kv_bytes, 50_091_008, "peak KV drifted");
+    }
+    assert_close(
+        "memory.unchunked_attainment",
+        unchunked.slo_attainment(),
+        8.125e-1,
+    );
+    assert_close(
+        "memory.chunked_attainment",
+        chunked.slo_attainment(),
+        9.0625e-1,
+    );
+    // The acceptance headlines, independent of the pinned constants:
+    // chunked EDF strictly beats unchunked EDF on interactive TTFT misses,
+    // preempting at chunk boundaries to do it, and KV admission holds the
+    // byte budget.
+    assert!(
+        interactive_ttft_misses(&chunked) < interactive_ttft_misses(&unchunked),
+        "chunked EDF ({}) must strictly beat unchunked EDF ({})",
+        interactive_ttft_misses(&chunked),
+        interactive_ttft_misses(&unchunked)
+    );
+    assert_eq!(unchunked.preemptions, 0, "unchunked prefill cannot preempt");
+    assert!(chunked.preemptions > 0, "no chunk-boundary preemptions");
+    assert!(unchunked.peak_kv_bytes <= KV_BUDGET);
+    assert!(chunked.peak_kv_bytes <= KV_BUDGET);
+    assert_eq!(unchunked.submitted(), 32);
+    assert_eq!(chunked.submitted(), 32);
+}
+
 /// Table I: parameter counts of the six representative MLLMs (exact —
 /// integer arithmetic over the published geometries).
 #[test]

@@ -2,7 +2,10 @@
 //! crate boundaries for any reasonable configuration or workload.
 
 use edgemm::arch::{ChipConfig, CimGeometry, SystolicGeometry};
-use edgemm::serve::{AdmissionControl, PolicyKind, ServeRequest, SloClass, TraceConfig};
+use edgemm::serve::{
+    AdmissionControl, KvPool, PolicyKind, ServeConfig, ServeRequest, ServeSimulator, SloClass,
+    TraceConfig,
+};
 use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
 use edgemm::{EdgeMm, RequestOptions, ServeOptions};
 use edgemm_mllm::{
@@ -151,7 +154,7 @@ proptest! {
         };
         let system = EdgeMm::paper_default();
         let report = system.serve_trace(&tiny_model(), &trace, ServeOptions {
-            batch_cap: cap,
+            batch_cap: Some(cap),
             policy: PolicyKind::ALL[policy_sel],
             ..ServeOptions::default()
         });
@@ -186,7 +189,7 @@ proptest! {
         let system = EdgeMm::paper_default();
         let generated = trace.generate();
         let report = system.serve_trace(&model, &trace, ServeOptions {
-            batch_cap: cap,
+            batch_cap: Some(cap),
             ..ServeOptions::default()
         });
         for done in &report.completed {
@@ -240,7 +243,7 @@ proptest! {
             let report = system.serve(&model, &trace, ServeOptions {
                 policy,
                 admission,
-                batch_cap: 4,
+                batch_cap: Some(4),
                 ..ServeOptions::default()
             });
             prop_assert_eq!(report.submitted(), requests);
@@ -278,7 +281,7 @@ proptest! {
         .generate();
         let system = EdgeMm::paper_default();
         let report = system.serve(&tiny_model(), &trace, ServeOptions {
-            batch_cap: cap,
+            batch_cap: Some(cap),
             policy: PolicyKind::ALL[policy_sel],
             admission: AdmissionControl::Reject,
             ..ServeOptions::default()
@@ -301,6 +304,91 @@ proptest! {
         prop_assert!(report.completed.iter().all(|c| c.meets_ttft()));
     }
 
+    /// Backward-compatibility pin for the memory-aware refactor: the
+    /// chunked/KV-pooled code path with `chunk_tokens = ∞` and
+    /// `kv_budget = ∞` (a budget that never binds, no on-chip tier, unit
+    /// spill penalty) reproduces the unchunked, capacity-only simulator
+    /// byte for byte — every timeline, sample and counter is identical.
+    #[test]
+    fn infinite_chunk_and_kv_budget_reproduce_the_unchunked_simulator(
+        requests in 1usize..8,
+        rate in 1.0f64..200.0,
+        cap in 1usize..6,
+        policy_sel in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 10),
+            seed,
+            slo: SloClass::interactive(),
+        }
+        .generate();
+        let machine = Machine::new(SimConfig::paper_default());
+        let model = tiny_model();
+        let policy = PolicyKind::ALL[policy_sel].policy();
+        let legacy = ServeSimulator::new(&machine, model.clone(), ServeConfig::with_batch_cap(cap))
+            .run(&trace, policy);
+        let memory_aware = ServeSimulator::new(
+            &machine,
+            model,
+            ServeConfig::with_batch_cap(cap)
+                .with_chunk_tokens(usize::MAX)
+                .with_kv_pool(KvPool::with_budget(u64::MAX - 1)),
+        )
+        .run(&trace, policy);
+        prop_assert_eq!(legacy, memory_aware);
+    }
+
+    /// KV-pool admission never lets resident KV exceed the budget: for any
+    /// trace and any budget large enough to hold the biggest single
+    /// request (smaller budgets fall back to documented solo admission),
+    /// the reported peak stays within the budget while every request still
+    /// completes.
+    #[test]
+    fn kv_pool_admission_keeps_peak_within_budget(
+        requests in 1usize..8,
+        rate in 1.0f64..500.0,
+        budget_kib in 1u64..64,
+        chunked in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 10),
+            seed,
+            slo: SloClass::best_effort(),
+        }
+        .generate();
+        let model = tiny_model();
+        let machine = Machine::new(SimConfig::paper_default());
+        // Clamp the sampled budget up to the largest single-request
+        // footprint so no request needs the oversized-solo escape hatch.
+        let per_token = model.llm.kv_cache_bytes(1, machine.config().mc_weight_bytes);
+        let max_footprint = trace
+            .iter()
+            .map(|r| per_token * (model.prompt_tokens(r.text_tokens) + r.output_tokens) as u64)
+            .max()
+            .unwrap_or(0);
+        let budget = (budget_kib * 1024).max(max_footprint);
+        let mut config = ServeConfig::new().with_kv_pool(KvPool::with_budget(budget));
+        if chunked == 1 {
+            config = config.with_chunk_tokens(16);
+        }
+        let report = ServeSimulator::new(&machine, model, config)
+            .run(&trace, PolicyKind::EarliestDeadlineFirst.policy());
+        prop_assert_eq!(report.completed.len(), requests);
+        prop_assert!(
+            report.peak_kv_bytes <= budget,
+            "peak KV {} exceeded the budget {}",
+            report.peak_kv_bytes, budget
+        );
+    }
+
     /// For saturated arrivals of identical requests, serving throughput is
     /// monotone non-decreasing in the decode batch capacity: a bigger
     /// stream batch can only amortise the weight fetch further.
@@ -316,7 +404,7 @@ proptest! {
         let mut last = 0.0f64;
         for cap in [1usize, 2, 4, 8] {
             let report = system.serve_trace(&model, &trace, ServeOptions {
-                batch_cap: cap,
+                batch_cap: Some(cap),
                 ..ServeOptions::default()
             });
             let tps = report.tokens_per_second();
