@@ -17,9 +17,15 @@
 //!    overload trace, with batch membership governed by the KV pool instead
 //!    of a constant cap — shows where the byte budget starts costing
 //!    deadlines and how much chunked prefill buys back.
+//! 4. **Paged vs reserved**: the same overload trace per (KV budget x
+//!    allocation mode) — whole-request peak reservation against paged
+//!    block allocation with mid-decode eviction — splitting the interactive
+//!    misses into TTFT and TPOT so the decode-slot revocation win (and the
+//!    re-prefill recompute tax it pays) are both visible.
 //!
 //! Set `EDGEMM_SMOKE=1` to run a small, fast configuration (used by CI and
-//! the bin smoke test). See `docs/serving.md` for how to read the output.
+//! the bin smoke test). See `docs/serving.md` and `docs/memory.md` for how
+//! to read the output.
 
 use edgemm::serve::{merge, AdmissionControl, PolicyKind, TraceConfig};
 use edgemm::{EdgeMm, ServeOptions};
@@ -240,10 +246,76 @@ fn memory_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
     );
 }
 
+fn paged_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
+    use edgemm::serve::{Priority, ServeReport};
+    let model = zoo::sphinx_tiny();
+    // The same overload regime as the memory-pressure section, under
+    // budgets tight enough that a single long-prompt background context
+    // rivals (or overflows) the pool.
+    let rate = 12.0;
+    let background = (sweep.requests / 4).max(1);
+    let mixed = merge(&[
+        TraceConfig::interactive(sweep.requests, rate, 11).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(background, rate / 4.0, 12)
+        }
+        .generate(),
+    ]);
+    println!(
+        "\n== Paged vs reserved (edf/defer, chunk 320, block 16: KV budget x allocation, \
+         {} requests at {rate:.0}/s) ==",
+        mixed.len()
+    );
+    println!(
+        "{:>8} {:>9} {:>6} {:>6} {:>6} {:>9} {:>7} {:>8} {:>8}",
+        "kv", "alloc", "att%", "i-ttft", "i-tpot", "tok/s", "peakKV", "evict", "restart"
+    );
+    let budgets: &[u64] = if smoke { &[8] } else { &[8, 12, 24] };
+    let interactive = |report: &ServeReport, miss: fn(&edgemm::serve::CompletedRequest) -> bool| {
+        report
+            .completed
+            .iter()
+            .filter(|c| c.slo.priority == Priority::Interactive && miss(c))
+            .count()
+            + report.rejected.len()
+    };
+    for &budget in budgets {
+        for paged in [false, true] {
+            let mut options = ServeOptions::memory_aware(budget << 20, 320);
+            if paged {
+                options = options.paged(16);
+            }
+            let report = system.serve(&model, &mixed, options);
+            println!(
+                "{:>7}M {:>9} {:>6.1} {:>6} {:>6} {:>9.1} {:>6.1}M {:>8} {:>8}",
+                budget,
+                if paged { "paged" } else { "reserved" },
+                report.slo_attainment() * 100.0,
+                interactive(&report, |c| !c.meets_ttft()),
+                interactive(&report, |c| !c.meets_tpot()),
+                report.tokens_per_second(),
+                report.peak_kv_bytes as f64 / (1u64 << 20) as f64,
+                report.evictions,
+                report.restarted_prefill_tokens,
+            );
+        }
+    }
+    println!(
+        "\n(alloc = KV admission mode: whole-request peak reservation vs 16-token paged blocks \
+         with mid-decode\n eviction; i-ttft/i-tpot = interactive TTFT/TPOT deadline misses \
+         (rejects count in both); evict =\n mid-decode evictions; restart = re-prefilled \
+         tokens evictions forced back through the CC stage.\n Revoking decode slots erases \
+         the TPOT misses; the recompute load can add TTFT misses — docs/memory.md\n walks \
+         the pinned 8 MiB point by hand.)"
+    );
+}
+
 fn main() {
     let (sweep, scale) = sweep_scale();
     let system = EdgeMm::paper_default();
     latency_sweep(&system, &sweep, scale);
     slo_sweep(&system, &sweep);
     memory_sweep(&system, &sweep, scale == "smoke");
+    paged_sweep(&system, &sweep, scale == "smoke");
 }

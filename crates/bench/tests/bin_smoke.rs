@@ -62,9 +62,12 @@ fn serving_sweep() {
     let (latency, rest) = stdout
         .split_once("== SLO sweep")
         .unwrap_or_else(|| panic!("missing SLO sweep section:\n{stdout}"));
-    let (slo, memory) = rest
+    let (slo, rest) = rest
         .split_once("== Memory pressure")
         .unwrap_or_else(|| panic!("missing memory pressure section:\n{rest}"));
+    let (memory, paged) = rest
+        .split_once("== Paged vs reserved")
+        .unwrap_or_else(|| panic!("missing paged-vs-reserved section:\n{rest}"));
     // Latency section: one line per (rate, cap, policy): 2 x 2 x 4 in smoke.
     let points = latency
         .lines()
@@ -103,6 +106,27 @@ fn serving_sweep() {
         assert!(
             memory.contains(marker),
             "memory sweep lost {marker}:\n{memory}"
+        );
+    }
+    // Paged section: one line per (KV budget, allocation mode): 1 x 2 in
+    // smoke. Data rows lead with the budget ("8M").
+    let paged_points = paged
+        .lines()
+        .filter(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
+        .count();
+    assert_eq!(
+        paged_points, 2,
+        "unexpected paged-vs-reserved output:\n{paged}"
+    );
+    for marker in ["reserved", "paged", "evict", "restart"] {
+        assert!(
+            paged.contains(marker),
+            "paged sweep lost {marker}:\n{paged}"
         );
     }
 }

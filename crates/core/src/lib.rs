@@ -34,7 +34,7 @@
 //! | `edgemm-arch` | chip hierarchy, coprocessor geometries, 22 nm area/power model |
 //! | `edgemm-isa` | extended instruction formats, CSRs, register files, kernels |
 //! | `edgemm-coproc` | systolic array, digital CIM macro, vector unit, hardware pruner |
-//! | `edgemm-mem` | DRAM model, DMA + PMC throttling, bandwidth allocation |
+//! | `edgemm-mem` | DRAM model, DMA + PMC throttling, bandwidth allocation, KV pools (flat + paged) |
 //! | `edgemm-mllm` | model zoo (Table I), operator streams, synthetic activations |
 //! | `edgemm-pruning` | dynamic Top-k (Alg. 1), fixed/threshold baselines, metrics |
 //! | `edgemm-sim` | the performance simulator and mapping explorer |

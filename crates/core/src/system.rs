@@ -62,6 +62,14 @@ pub struct ServeOptions {
     /// per step) and whose spill traffic pays
     /// [`DEFAULT_SPILL_PENALTY`].
     pub kv_budget_bytes: Option<u64>,
+    /// KV block size in tokens for *paged* allocation. `None` (default)
+    /// keeps whole-request peak reservations; `Some(n)` allocates KV in
+    /// `n`-token blocks lazily as decode progresses, prices every decode
+    /// step at each stream's actual context length, and enables
+    /// priority-aware mid-decode eviction (a strictly-less-urgent stream
+    /// can lose its decode slot to a waiting arrival and re-queue for
+    /// re-prefill). See `docs/memory.md` and [`ServeOptions::paged`].
+    pub block_tokens: Option<usize>,
     /// Scheduling policy governing CC admission and decode-batch join order.
     pub policy: PolicyKind,
     /// What happens to requests whose TTFT deadline is already unreachable
@@ -88,6 +96,7 @@ impl Default for ServeOptions {
             batch_cap: Some(8),
             chunk_tokens: None,
             kv_budget_bytes: None,
+            block_tokens: None,
             policy: PolicyKind::Fcfs,
             admission: AdmissionControl::Serve,
             pruning: false,
@@ -125,6 +134,20 @@ impl ServeOptions {
             chunk_tokens: Some(chunk_tokens),
             kv_budget_bytes: Some(kv_budget_bytes),
             ..Self::slo_aware()
+        }
+    }
+
+    /// The same options with the KV budget *paged* at `block_tokens` tokens
+    /// per block: KV is allocated lazily as decode progresses, decode steps
+    /// are priced at each stream's actual context length, and mid-decode
+    /// eviction with priority-aware decode-slot revocation is enabled —
+    /// under pressure a less-urgent stream loses its slot (and re-queues
+    /// for re-prefill) instead of making an urgent arrival wait for a full
+    /// drain. Layer it on [`Self::memory_aware`] for the full stack.
+    pub fn paged(self, block_tokens: usize) -> Self {
+        ServeOptions {
+            block_tokens: Some(block_tokens),
+            ..self
         }
     }
 }
@@ -345,6 +368,7 @@ impl EdgeMm {
             batch_cap: options.batch_cap,
             chunk_tokens: options.chunk_tokens,
             kv,
+            block_tokens: options.block_tokens,
             pruning: self.serving_pruning(model, options),
             admission: options.admission,
         };

@@ -16,10 +16,13 @@
 //!    Adjusting the CC:MC budget ratio rebalances the encode/prefill vs
 //!    decode pipeline for different output token lengths.
 //!
-//! On top of the raw timing models sits the [`KvPool`] capacity model: a
-//! byte-budgeted, two-tier (on-chip SRAM + DRAM spill) account of resident
-//! KV cache that the serving layer uses to admit decode streams by memory
-//! headroom instead of a constant batch cap.
+//! On top of the raw timing models sit the KV-cache capacity models: the
+//! [`KvPool`] — a byte-budgeted, two-tier (on-chip SRAM + DRAM spill)
+//! account of resident KV cache that the serving layer uses to admit decode
+//! streams by memory headroom instead of a constant batch cap — and its
+//! block-granular refinement, the [`PagedKvPool`], which allocates KV in
+//! fixed-size token blocks lazily as decode progresses and supports
+//! mid-decode eviction of a running stream (see `docs/memory.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +31,12 @@ mod bandwidth;
 mod dma;
 mod dram;
 mod kv;
+mod paged;
 mod traffic;
 
 pub use bandwidth::{BandwidthAllocation, BandwidthManager, BudgetPolicy};
 pub use dma::{DmaEngine, DmaRequest, DmaTranscript};
 pub use dram::DramModel;
 pub use kv::KvPool;
+pub use paged::{BlockTable, PagedKvPool};
 pub use traffic::{TrafficClass, TrafficStats};

@@ -1,0 +1,347 @@
+//! Block-granular ("paged") KV-cache allocation with mid-decode eviction.
+//!
+//! [`KvPool`](crate::KvPool) admits decode streams by reserving each
+//! stream's *whole-request peak* footprint up front — conservative and
+//! simple, but it refuses joins that would fit right now and it can never
+//! take memory back from a running stream. [`PagedKvPool`] is the
+//! vLLM-style refinement: KV is allocated in fixed-size **token blocks**,
+//! lazily, as decode actually extends each stream's context. A stream's
+//! [`BlockTable`] grows one block at a time, so
+//!
+//! * a join needs only the blocks for its *current* context (the prompt
+//!   prefix plus whatever it has generated so far), not its peak;
+//! * occupancy tracks real resident KV, so more streams share the same
+//!   byte budget; and
+//! * under pressure the pool can **evict** a running stream — its blocks
+//!   are freed and the request re-queued for re-prefill from its cached
+//!   prefix — instead of blocking a higher-priority arrival behind a full
+//!   drain.
+//!
+//! The pool keeps the two-tier spill model of [`KvPool`](crate::KvPool):
+//! occupied bytes up to the on-chip tier are read back each step without
+//! touching DRAM, everything above re-streams at the spill penalty, and the
+//! per-step scaling applied to a batch's KV DRAM cycles is
+//!
+//! ```text
+//! factor = max(occupied − onchip, 0) / occupied × spill_penalty
+//! ```
+//!
+//! with `occupied = allocated_blocks × block_bytes` (a partially filled
+//! tail block occupies a whole block — the internal-fragmentation cost of
+//! paging, bounded by `block_tokens − 1` tokens per stream).
+//!
+//! One escape hatch mirrors the flat pool's: a stream that holds *every*
+//! allocated block (it has the pool to itself) may grow past the budget, so
+//! an oversized request degrades to running solo instead of deadlocking.
+
+use crate::kv::KvPool;
+
+/// The per-stream page table: how many KV tokens a stream has materialised
+/// and how many fixed-size blocks back them.
+///
+/// A table starts empty, grows through [`PagedKvPool::try_grow_to`], and
+/// returns its blocks through [`PagedKvPool::release`] (completion) or
+/// [`PagedKvPool::evict`] (revocation). It is plain data — all accounting
+/// lives in the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockTable {
+    tokens: usize,
+    blocks: u64,
+}
+
+impl BlockTable {
+    /// An empty table holding no blocks.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Tokens the table is currently sized for.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Blocks currently allocated to the table.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Whether the table holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+}
+
+/// A block-granular KV pool: the byte budget, on-chip tier and spill
+/// penalty of a [`KvPool`], allocated in fixed `block_tokens`-token blocks
+/// and reclaimable mid-decode via [`Self::evict`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagedKvPool {
+    budget_bytes: u64,
+    onchip_bytes: u64,
+    spill_penalty: f64,
+    block_tokens: usize,
+    block_bytes: u64,
+    occupied_blocks: u64,
+    peak_bytes: u64,
+    evictions: u64,
+    evicted_blocks: u64,
+}
+
+impl PagedKvPool {
+    /// Build a paged pool over `pool`'s budget, on-chip tier and spill
+    /// penalty, with blocks of `block_tokens` tokens at `bytes_per_token`
+    /// KV bytes per token (across all layers, both K and V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` or `bytes_per_token` is zero.
+    pub fn new(pool: KvPool, block_tokens: usize, bytes_per_token: u64) -> Self {
+        assert!(block_tokens > 0, "block size must be at least one token");
+        assert!(bytes_per_token > 0, "KV bytes per token must be positive");
+        PagedKvPool {
+            budget_bytes: pool.budget_bytes(),
+            onchip_bytes: pool.onchip_bytes(),
+            spill_penalty: pool.spill_penalty(),
+            block_tokens,
+            block_bytes: block_tokens as u64 * bytes_per_token,
+            occupied_blocks: 0,
+            peak_bytes: 0,
+            evictions: 0,
+            evicted_blocks: 0,
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Bytes per block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// The byte budget (`u64::MAX` when unbounded).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Blocks needed to hold `tokens` cached tokens.
+    pub fn blocks_for(&self, tokens: usize) -> u64 {
+        tokens.div_ceil(self.block_tokens) as u64
+    }
+
+    /// Blocks currently allocated across every table.
+    pub fn occupied_blocks(&self) -> u64 {
+        self.occupied_blocks
+    }
+
+    /// Bytes currently occupied: allocated blocks times the block size
+    /// (a partially filled tail block counts whole).
+    pub fn occupied_bytes(&self) -> u64 {
+        self.occupied_blocks.saturating_mul(self.block_bytes)
+    }
+
+    /// High-water mark of occupied bytes over the pool's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Streams evicted over the pool's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Blocks reclaimed by evictions over the pool's lifetime.
+    pub fn evicted_blocks(&self) -> u64 {
+        self.evicted_blocks
+    }
+
+    /// Grow `table` to cover `tokens` cached tokens, allocating whatever
+    /// blocks the growth needs. All-or-nothing: returns `false` (changing
+    /// nothing) when the new blocks would push occupancy past the budget —
+    /// unless `table` already holds every allocated block (the stream has
+    /// the pool to itself), in which case the growth is admitted over
+    /// budget so an oversized request runs solo instead of deadlocking.
+    ///
+    /// Growing to a token count the table already covers (or fewer tokens)
+    /// only updates the token count and always succeeds: blocks are never
+    /// returned by shrinking, only by [`Self::release`] / [`Self::evict`].
+    pub fn try_grow_to(&mut self, table: &mut BlockTable, tokens: usize) -> bool {
+        let needed = self.blocks_for(tokens);
+        if needed <= table.blocks {
+            table.tokens = tokens;
+            return true;
+        }
+        let delta = needed - table.blocks;
+        let solo = table.blocks == self.occupied_blocks;
+        let fits = self
+            .occupied_blocks
+            .checked_add(delta)
+            .and_then(|blocks| blocks.checked_mul(self.block_bytes))
+            .is_some_and(|bytes| bytes <= self.budget_bytes);
+        if !fits && !solo {
+            return false;
+        }
+        self.occupied_blocks += delta;
+        table.blocks = needed;
+        table.tokens = tokens;
+        self.peak_bytes = self.peak_bytes.max(self.occupied_bytes());
+        true
+    }
+
+    /// Return a finished stream's blocks to the pool.
+    pub fn release(&mut self, table: &mut BlockTable) {
+        debug_assert!(table.blocks <= self.occupied_blocks);
+        self.occupied_blocks -= table.blocks;
+        *table = BlockTable::empty();
+    }
+
+    /// Revoke a running stream's blocks: frees them like [`Self::release`]
+    /// and counts the eviction. The caller re-queues the request for
+    /// re-prefill from its cached prefix (this model recomputes the freed
+    /// KV; a spill-and-restore variant would keep the blocks in DRAM).
+    pub fn evict(&mut self, table: &mut BlockTable) {
+        self.evictions += 1;
+        self.evicted_blocks += table.blocks;
+        self.release(table);
+    }
+
+    /// The multiplier the current occupancy applies to a decode step's KV
+    /// DRAM cycles — the same two-tier spill formula as
+    /// [`KvPool::kv_traffic_factor`], over block-granular occupancy.
+    pub fn kv_traffic_factor(&self) -> f64 {
+        let occupied = self.occupied_bytes();
+        if occupied == 0 || (self.onchip_bytes == 0 && self.spill_penalty == 1.0) {
+            return 1.0;
+        }
+        let spilled = occupied.saturating_sub(self.onchip_bytes);
+        spilled as f64 / occupied as f64 * self.spill_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(budget: u64, block_tokens: usize, bytes_per_token: u64) -> PagedKvPool {
+        PagedKvPool::new(KvPool::with_budget(budget), block_tokens, bytes_per_token)
+    }
+
+    #[test]
+    fn blocks_allocate_lazily_and_round_up() {
+        let mut p = pool(1000, 4, 10); // block = 40 bytes, 25 blocks fit
+        let mut t = BlockTable::empty();
+        assert!(p.try_grow_to(&mut t, 3));
+        assert_eq!((t.tokens(), t.blocks()), (3, 1));
+        assert_eq!(p.occupied_bytes(), 40);
+        // Growing within the tail block allocates nothing.
+        assert!(p.try_grow_to(&mut t, 4));
+        assert_eq!(t.blocks(), 1);
+        assert!(p.try_grow_to(&mut t, 5));
+        assert_eq!(t.blocks(), 2);
+        assert_eq!(p.occupied_bytes(), 80);
+        assert_eq!(p.peak_bytes(), 80);
+    }
+
+    #[test]
+    fn budget_blocks_growth_and_release_frees() {
+        let mut p = pool(100, 2, 10); // block = 20 bytes, 5 blocks
+        let mut a = BlockTable::empty();
+        let mut b = BlockTable::empty();
+        assert!(p.try_grow_to(&mut a, 6)); // 3 blocks
+        assert!(p.try_grow_to(&mut b, 4)); // 2 blocks -> full
+        assert!(!p.try_grow_to(&mut b, 6), "over-budget growth admitted");
+        assert_eq!((b.tokens(), b.blocks()), (4, 2), "failed growth mutated");
+        p.release(&mut a);
+        assert!(a.is_empty());
+        assert!(p.try_grow_to(&mut b, 6));
+        assert_eq!(p.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn solo_stream_may_exceed_the_budget() {
+        let mut p = pool(100, 2, 10);
+        let mut a = BlockTable::empty();
+        assert!(p.try_grow_to(&mut a, 40), "solo oversized stream must run");
+        assert_eq!(p.occupied_bytes(), 400);
+        let mut b = BlockTable::empty();
+        assert!(
+            !p.try_grow_to(&mut b, 2),
+            "nothing may join an oversized solo"
+        );
+        // Once another stream holds blocks, the hatch closes for everyone.
+        p.release(&mut a);
+        assert!(p.try_grow_to(&mut b, 2));
+        let mut c = BlockTable::empty();
+        assert!(
+            !p.try_grow_to(&mut c, 40),
+            "escape hatch requires sole ownership"
+        );
+    }
+
+    #[test]
+    fn eviction_frees_blocks_and_counts() {
+        let mut p = pool(100, 2, 10);
+        let mut a = BlockTable::empty();
+        let mut b = BlockTable::empty();
+        assert!(p.try_grow_to(&mut a, 6));
+        assert!(p.try_grow_to(&mut b, 4));
+        p.evict(&mut a);
+        assert!(a.is_empty());
+        assert_eq!(p.evictions(), 1);
+        assert_eq!(p.evicted_blocks(), 3);
+        assert_eq!(p.occupied_bytes(), 40);
+        // The freed blocks are immediately reusable.
+        let mut c = BlockTable::empty();
+        assert!(p.try_grow_to(&mut c, 6));
+    }
+
+    #[test]
+    fn traffic_factor_follows_the_spill_formula() {
+        let kv = KvPool::with_budget(1000)
+            .with_onchip(400)
+            .with_spill_penalty(1.5);
+        let mut p = PagedKvPool::new(kv, 10, 10); // block = 100 bytes
+        assert_eq!(p.kv_traffic_factor(), 1.0, "empty pool is neutral");
+        let mut a = BlockTable::empty();
+        assert!(p.try_grow_to(&mut a, 20)); // 200 bytes, all on chip
+        assert_eq!(p.kv_traffic_factor(), 0.0);
+        let mut b = BlockTable::empty();
+        assert!(p.try_grow_to(&mut b, 60)); // 800 total: 400 of 800 spilled
+        assert!((p.kv_traffic_factor() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_pool_never_blocks() {
+        let mut p = PagedKvPool::new(KvPool::unbounded(), 16, 1 << 20);
+        let mut tables = [BlockTable::empty(); 4];
+        for t in &mut tables {
+            assert!(p.try_grow_to(t, 10_000));
+            assert_eq!(p.kv_traffic_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn shrinking_never_returns_blocks() {
+        let mut p = pool(1000, 4, 10);
+        let mut t = BlockTable::empty();
+        assert!(p.try_grow_to(&mut t, 8));
+        assert_eq!(t.blocks(), 2);
+        assert!(p.try_grow_to(&mut t, 2));
+        assert_eq!((t.tokens(), t.blocks()), (2, 2));
+        assert_eq!(p.occupied_bytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be at least one token")]
+    fn zero_block_tokens_rejected() {
+        pool(100, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV bytes per token must be positive")]
+    fn zero_bytes_per_token_rejected() {
+        pool(100, 1, 0);
+    }
+}

@@ -52,6 +52,13 @@ impl LlmConfig {
     pub fn kv_cache_bytes(&self, tokens: usize, bytes_per_value: usize) -> u64 {
         2 * self.layers as u64 * tokens as u64 * self.kv_dim() as u64 * bytes_per_value as u64
     }
+
+    /// KV-cache bytes one cached token occupies across every layer (K and V)
+    /// at `bytes_per_value` precision — the unit a block-granular KV
+    /// allocator sizes its pages in.
+    pub fn kv_bytes_per_token(&self, bytes_per_value: usize) -> u64 {
+        self.kv_cache_bytes(1, bytes_per_value)
+    }
 }
 
 /// Geometry of a ViT-style vision encoder.

@@ -421,10 +421,19 @@ impl ModelWorkload {
             .collect()
     }
 
-    /// Operators of an "average" decode step (cached length = prompt plus
-    /// half the output), used when a single representative step is enough.
+    /// The "average" decode context length: prompt plus half the output.
+    /// This is the single representative context the whole-phase decode
+    /// model prices every step at; per-step serving costs instead price the
+    /// actual context via [`Self::decode_step_ops`].
+    pub fn average_context_tokens(&self) -> usize {
+        self.prompt_tokens() + self.output_tokens / 2
+    }
+
+    /// Operators of an "average" decode step (cached length =
+    /// [`Self::average_context_tokens`]), used when a single representative
+    /// step is enough.
     pub fn average_decode_step_ops(&self) -> Vec<MatmulOp> {
-        self.decode_step_ops(self.prompt_tokens() + self.output_tokens / 2)
+        self.decode_step_ops(self.average_context_tokens())
     }
 
     /// Operators of a whole phase. For [`Phase::Decode`] this returns the

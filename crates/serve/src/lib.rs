@@ -50,7 +50,15 @@
 //!   leave at step boundaries and prefilled requests join as long as the
 //!   [`KvPool`] has headroom for their peak KV footprint (join order picked
 //!   by [`SchedulePolicy::choose_join`]); [`ServeConfig::batch_cap`] remains
-//!   as an optional hard override on top of the memory model.
+//!   as an optional hard override on top of the memory model. With
+//!   [`ServeConfig::block_tokens`] the pool is *paged* ([`PagedKvPool`]):
+//!   KV is allocated in fixed token blocks lazily as each context grows,
+//!   steps are priced at each stream's actual context length, and under
+//!   pressure a strictly-less-urgent running stream is **evicted** — its
+//!   blocks freed, the request re-queued for re-prefill — so an urgent
+//!   arrival takes its decode slot instead of waiting for a full drain
+//!   (counted in [`ServeReport::evictions`] /
+//!   [`ServeReport::restarted_prefill_tokens`]; see `docs/memory.md`).
 //!
 //! # Step cost model
 //!
@@ -85,22 +93,25 @@
 //!
 //! # Known simplifications
 //!
-//! Earlier revisions listed three simplifications; chunked prefill retired
-//! "prefill does not chunk" and the KV pool retired "the batch cap is a
-//! constant". What remains, bounding the model's fidelity:
+//! The original three simplifications are all retired: chunked prefill
+//! retired "prefill does not chunk", the KV pool retired "the batch cap is
+//! a constant", and paged mode retired the last two — "decode uses the
+//! average context length" (paged steps are priced at each stream's actual
+//! context via [`edgemm_sim::Machine::decode_step_costs_at`]) and "KV
+//! reservations are whole-request" (block-granular allocation with
+//! priority-aware mid-decode eviction). The retired pair is *opt-in*: the
+//! default `block_tokens: None` keeps average-context costs and peak
+//! reservations so pre-paging results reproduce byte for byte
+//! (property-pinned). What genuinely remains, bounding fidelity:
 //!
-//! 1. **Decode uses the average context length.** Each request's per-step
-//!    cost is computed once at its *mean* context length instead of growing
-//!    the KV traffic step by step, so within-request KV growth is averaged
-//!    away (correct totals, flattened step-to-step profile). Prefill-side
-//!    KV traffic no longer shares this averaging — each chunk reads exactly
-//!    its cached prefix — and the pool reserves each stream's *peak*
-//!    footprint, so admission errs conservative, never optimistic.
-//! 2. **KV reservations are whole-request.** A stream reserves its peak KV
-//!    footprint when it joins the decode batch and holds it to completion —
-//!    there is no paging, no block-granular allocation, and no mid-decode
-//!    eviction of a running stream (preemptive decode revocation is queued
-//!    work in the ROADMAP).
+//! 1. **Prefix KV of ready streams is unaccounted.** KV written by prefill
+//!    enters the pool's account only when the stream joins the decode
+//!    batch; while it waits in the ready queue the prefix is assumed parked
+//!    in DRAM outside the budget.
+//! 2. **Eviction recomputes.** An evicted stream's freed KV is re-prefilled
+//!    from its accumulated context; there is no spill-and-restore (DMA
+//!    swap) path, and blocks are never shared between requests (no prefix
+//!    sharing / copy-on-write).
 //!
 //! # Example
 //!
@@ -138,7 +149,7 @@ mod simulator;
 mod slo;
 mod trace;
 
-pub use edgemm_mem::KvPool;
+pub use edgemm_mem::{BlockTable, KvPool, PagedKvPool};
 pub use metrics::{ClassStats, QueueSample, ServeReport};
 pub use policy::{
     EarliestDeadlineFirst, Fcfs, PolicyKind, PruningAware, QueuedRequest, SchedulePolicy,

@@ -14,6 +14,14 @@ pub struct QueueSample {
     pub waiting: usize,
     /// Streams currently in the decode batch.
     pub active: usize,
+    /// KV-cache bytes resident in the pool at this instant: reserved bytes
+    /// under whole-request reservations, allocated-block bytes under paged
+    /// allocation. With a bounded pool this stays within the budget at
+    /// *every* sample, not just at the peak (property-tested) — except
+    /// while a single oversized stream admitted through the sole-owner
+    /// escape hatch runs solo, exactly as for
+    /// [`ServeReport::peak_kv_bytes`].
+    pub kv_bytes: u64,
 }
 
 /// Nearest-rank percentile over an unsorted sample, `pct` in `(0, 100]`.
@@ -80,6 +88,17 @@ pub struct ServeReport {
     /// unreachable mid-flight is parked behind feasible arrivals at its
     /// next chunk boundary.
     pub preemptions: u64,
+    /// Mid-decode evictions (paged mode only): times a running stream's KV
+    /// blocks were revoked — because a strictly-more-urgent ready request
+    /// claimed its decode slot, or because the pool could not grow a
+    /// stream's context under the byte budget. Evicted requests are never
+    /// dropped; they re-queue for re-prefill and still complete
+    /// (property-tested). Always zero under whole-request reservations.
+    pub evictions: u64,
+    /// Prompt-plus-generated tokens the CC stage had to prefill *again*
+    /// because an eviction freed their KV — the recompute cost of paging,
+    /// in tokens. Zero when nothing was evicted.
+    pub restarted_prefill_tokens: u64,
     /// High-water mark of KV-cache bytes reserved in the pool at once.
     /// With a bounded [`edgemm_mem::KvPool`] this stays within the budget
     /// (property-tested), except for a single oversized stream admitted
@@ -283,15 +302,19 @@ mod tests {
                     time_s: 0.0,
                     waiting: 3,
                     active: 1,
+                    kv_bytes: 0,
                 },
                 QueueSample {
                     time_s: 1.0,
                     waiting: 1,
                     active: 2,
+                    kv_bytes: 0,
                 },
             ],
             decode_steps: 10,
             preemptions: 0,
+            evictions: 0,
+            restarted_prefill_tokens: 0,
             peak_kv_bytes: 0,
             total_output_tokens: 4 * latencies.len() as u64,
             makespan_s: 2.0,
@@ -393,6 +416,8 @@ mod tests {
             queue_samples: vec![],
             decode_steps: 0,
             preemptions: 0,
+            evictions: 0,
+            restarted_prefill_tokens: 0,
             peak_kv_bytes: 0,
             total_output_tokens: 0,
             makespan_s: 0.0,

@@ -44,8 +44,10 @@
 //! and the KV traffic is scaled by the pool's spill state
 //! ([`KvPool::kv_traffic_factor`]).
 
+use std::collections::HashMap;
+
 use edgemm_arch::ClusterKind;
-use edgemm_mem::KvPool;
+use edgemm_mem::{BlockTable, KvPool, PagedKvPool};
 use edgemm_mllm::{MllmConfig, ModelWorkload, Phase, TrafficClass};
 use edgemm_sim::{DecodeOptions, Machine, OpCost, PruningEffect};
 
@@ -78,6 +80,17 @@ pub struct ServeConfig {
     /// The KV-cache capacity model admitting decode streams by byte
     /// headroom ([`KvPool::unbounded`] reproduces the pre-pool behaviour).
     pub kv: KvPool,
+    /// Block size, in cached tokens, of *paged* KV allocation. `None` (the
+    /// default) keeps whole-request peak reservations: a stream reserves
+    /// `kv_cache_bytes(prompt + output)` when it joins the decode batch and
+    /// holds it to completion. `Some(n)` turns the [`Self::kv`] budget into
+    /// a block-granular [`PagedKvPool`]: streams allocate `n`-token blocks
+    /// lazily as decode extends their context, every decode step is priced
+    /// at each stream's *actual* context length (not the request average),
+    /// and under KV or slot pressure a strictly-less-urgent stream can be
+    /// **evicted mid-decode** — its blocks freed and the request re-queued
+    /// for re-prefill over its accumulated context (see `docs/memory.md`).
+    pub block_tokens: Option<usize>,
     /// Activation-aware pruning effect applied to every request's decode
     /// FFN GEMVs (use [`PruningEffect::disabled`] for dense serving).
     pub pruning: PruningEffect,
@@ -96,6 +109,7 @@ impl ServeConfig {
             batch_cap: None,
             chunk_tokens: None,
             kv: KvPool::unbounded(),
+            block_tokens: None,
             pruning: PruningEffect::disabled(),
             admission: AdmissionControl::Serve,
         }
@@ -136,6 +150,17 @@ impl ServeConfig {
         ServeConfig { kv, ..self }
     }
 
+    /// The same configuration with the KV pool paged at `block_tokens`
+    /// tokens per block (lazy allocation, per-step context-length pricing,
+    /// and priority-aware mid-decode eviction — see
+    /// [`ServeConfig::block_tokens`]).
+    pub fn with_block_tokens(self, block_tokens: usize) -> Self {
+        ServeConfig {
+            block_tokens: Some(block_tokens),
+            ..self
+        }
+    }
+
     /// The same configuration under a different admission mode.
     pub fn with_admission(self, admission: AdmissionControl) -> Self {
         ServeConfig { admission, ..self }
@@ -165,12 +190,26 @@ struct InFlight {
     remaining_prefill_cycles: u64,
     /// Total CC-stage cycles (all chunks).
     prefill_cycles: u64,
-    /// Peak KV-cache footprint reserved in the pool while decoding.
+    /// Peak KV-cache footprint reserved in the pool while decoding
+    /// (whole-request reservations; unused by the paged allocator).
     kv_bytes: u64,
-    /// Per-operator cost of one average decode step, solo.
+    /// Per-operator cost of one average decode step, solo. In paged mode
+    /// this doubles as the *template*: the weight-facing entries are exact
+    /// at any context, and the KV-facing entries are re-priced per step at
+    /// the stream's actual context length.
     step_costs: Vec<OpCost>,
     solo_step_cycles: u64,
     remaining_tokens: usize,
+    /// Tokens generated so far. Survives an eviction: the text exists, only
+    /// its KV must be recomputed, so the accumulated context of a stream is
+    /// always `prompt_tokens + generated`.
+    generated: usize,
+    /// Paged-mode page table of the stream's resident KV blocks.
+    table: BlockTable,
+    /// Whether the first prefill has completed (the first token exists).
+    /// TTFT is frozen then: an evicted request re-queued for re-prefill is
+    /// never re-judged (or rejected) on a deadline that is already history.
+    has_first_token: bool,
     prefill_start: u64,
     prefill_end: u64,
     decode_start: u64,
@@ -179,11 +218,19 @@ struct InFlight {
 
 impl InFlight {
     /// Could the TTFT deadline still be met if the *remaining* prefill ran
-    /// uninterrupted from `now`? Deadline-free requests always can.
+    /// uninterrupted from `now`? Deadline-free requests always can, and so
+    /// do requests whose first token already exists (eviction re-prefills
+    /// cannot re-miss a TTFT that is already decided).
     fn ttft_feasible_at(&self, now: u64) -> bool {
-        self.ttft_deadline_cycle.map_or(true, |deadline| {
-            now + self.remaining_prefill_cycles <= deadline
-        })
+        self.has_first_token
+            || self.ttft_deadline_cycle.map_or(true, |deadline| {
+                now + self.remaining_prefill_cycles <= deadline
+            })
+    }
+
+    /// Cached context of the stream: prompt prefix plus generated tokens.
+    fn context_tokens(&self) -> usize {
+        self.prompt_tokens + self.generated
     }
 
     fn prefill_finished(&self) -> bool {
@@ -210,6 +257,9 @@ pub struct ServeSimulator<'a> {
     machine: &'a Machine,
     model: MllmConfig,
     config: ServeConfig,
+    /// KV bytes one cached token occupies (all layers, K and V) at the MC
+    /// weight precision — the unit the paged allocator sizes blocks in.
+    kv_bytes_per_token: u64,
 }
 
 impl<'a> ServeSimulator<'a> {
@@ -217,7 +267,8 @@ impl<'a> ServeSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if a configured batch capacity or chunk budget is zero.
+    /// Panics if a configured batch capacity, chunk budget or KV block size
+    /// is zero.
     pub fn new(machine: &'a Machine, model: MllmConfig, config: ServeConfig) -> Self {
         assert!(
             config.batch_cap != Some(0),
@@ -227,10 +278,18 @@ impl<'a> ServeSimulator<'a> {
             config.chunk_tokens != Some(0),
             "chunk budget must be at least one token"
         );
+        assert!(
+            config.block_tokens != Some(0),
+            "KV block size must be at least one token"
+        );
+        let kv_bytes_per_token = model
+            .llm
+            .kv_bytes_per_token(machine.config().mc_weight_bytes);
         ServeSimulator {
             machine,
             model,
             config,
+            kv_bytes_per_token,
         }
     }
 
@@ -264,32 +323,7 @@ impl<'a> ServeSimulator<'a> {
                     .cycles
             })
             .sum();
-        let chunk_cycles: Vec<u64> = match self.config.chunk_tokens {
-            None => {
-                let prefill = self
-                    .machine
-                    .run_phase_on(&workload, Phase::Prefill, cc_kind, decode)
-                    .cycles;
-                // A zero-cycle stage would stall the event loop (events must
-                // advance time), so degenerate costs are clamped to one
-                // cycle.
-                vec![(setup_cycles + prefill).max(1)]
-            }
-            Some(budget) => self
-                .machine
-                .prefill_chunk_costs(&workload, cc_kind, budget)
-                .iter()
-                .enumerate()
-                .map(|(i, chunk)| {
-                    let cycles = if i == 0 {
-                        setup_cycles + chunk.cycles
-                    } else {
-                        chunk.cycles
-                    };
-                    cycles.max(1)
-                })
-                .collect(),
-        };
+        let chunk_cycles = self.prefill_chunk_cycles(&workload, setup_cycles);
         let prefill_cycles: u64 = chunk_cycles.iter().sum();
         // Peak resident KV: every layer caches K and V for the prompt plus
         // the whole generation, at the MC-side weight precision (the same
@@ -326,12 +360,90 @@ impl<'a> ServeSimulator<'a> {
             step_costs,
             solo_step_cycles,
             remaining_tokens: request.output_tokens,
+            generated: 0,
+            table: BlockTable::empty(),
+            has_first_token: false,
             request: *request,
             prefill_start: 0,
             prefill_end: 0,
             decode_start: 0,
             finish: 0,
         }
+    }
+
+    /// Price one prefill as the CC stage's chunk list under the configured
+    /// chunk budget: `setup_cycles` (vision encode + projector — zero for
+    /// an eviction re-prefill) folds into the first chunk, and every chunk
+    /// is clamped to one cycle because a zero-cycle stage would stall the
+    /// event loop (events must advance time).
+    fn prefill_chunk_cycles(&self, workload: &ModelWorkload, setup_cycles: u64) -> Vec<u64> {
+        let cc_kind = ClusterKind::ComputeCentric;
+        match self.config.chunk_tokens {
+            None => {
+                let decode = DecodeOptions {
+                    pruning: self.config.pruning,
+                    batch: 1,
+                };
+                let prefill = self
+                    .machine
+                    .run_phase_on(workload, Phase::Prefill, cc_kind, decode)
+                    .cycles;
+                vec![(setup_cycles + prefill).max(1)]
+            }
+            Some(budget) => self
+                .machine
+                .prefill_chunk_costs(workload, cc_kind, budget)
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let cycles = if i == 0 {
+                        setup_cycles + chunk.cycles
+                    } else {
+                        chunk.cycles
+                    };
+                    cycles.max(1)
+                })
+                .collect(),
+        }
+    }
+
+    /// Cost of the two KV-facing attention operators (score and context
+    /// aggregation) of one decode step with exactly `context` cached tokens.
+    /// The shapes depend only on the model and the context — not on the
+    /// layer or the request — so one pair serves every layer of every
+    /// stream, and callers memoise per context length.
+    fn kv_step_costs_at(&self, context: usize) -> (OpCost, OpCost) {
+        let probe = ModelWorkload::new(self.model.clone(), 0, 1);
+        let ops = probe.decode_step_ops(context);
+        let mut kv_ops = ops
+            .iter()
+            .filter(|op| op.weight_class == TrafficClass::KvCache);
+        let scores = kv_ops.next().expect("attention scores op");
+        let aggregate = kv_ops.next().expect("attention context op");
+        let kind = ClusterKind::MemoryCentric;
+        (
+            self.machine.op_cost(scores, kind, self.config.pruning),
+            self.machine.op_cost(aggregate, kind, self.config.pruning),
+        )
+    }
+
+    /// Reset an evicted stream's CC-stage state for re-prefill: its freed
+    /// KV must be recomputed over the *accumulated* context (original
+    /// prompt plus every token generated so far — the text survives the
+    /// eviction, only the cache is lost). Vision encode and projector are
+    /// not re-run: their activations are tiny, context-independent and kept
+    /// in DRAM. The caller re-queues the request on the CC stage.
+    fn requeue_for_reprefill(&self, state: &mut InFlight) {
+        let workload = ModelWorkload::new(
+            self.model.clone(),
+            state.request.text_tokens + state.generated,
+            state.remaining_tokens.max(1),
+        );
+        let chunk_cycles = self.prefill_chunk_cycles(&workload, 0);
+        state.prefill_cycles = chunk_cycles.iter().sum();
+        state.remaining_prefill_cycles = state.prefill_cycles;
+        state.chunk_cycles = chunk_cycles;
+        state.chunks_done = 0;
     }
 
     /// Cycles of one stream-batched decode step for the given batch members
@@ -370,17 +482,89 @@ impl<'a> ServeSimulator<'a> {
         total.max(1)
     }
 
+    /// Paged-mode variant of [`Self::step_cycles`]: the weight-facing
+    /// operators come from each stream's template (they cost the same at
+    /// any context), while the two KV-facing attention operators of every
+    /// layer are re-priced at the stream's *actual* context length —
+    /// `prompt + generated` — via the memoised `kv_costs` cache. Within
+    /// each layer the first KV operator is the score GEMV and the second
+    /// the context aggregation, in [`ModelWorkload::decode_step_ops`]
+    /// order.
+    fn paged_step_cycles(
+        &self,
+        states: &[InFlight],
+        batch: &[usize],
+        kv_factor: f64,
+        kv_costs: &mut HashMap<usize, (OpCost, OpCost)>,
+    ) -> u64 {
+        let ops = states[batch[0]].step_costs.len();
+        let mut total = 0u64;
+        let mut kv_ops_seen = 0usize;
+        for op in 0..ops {
+            let mut compute = 0u64;
+            let mut kv_dram = 0u64;
+            let mut weight_dram = 0u64;
+            let is_kv = states[batch[0]].step_costs[op].traffic_class == TrafficClass::KvCache;
+            for &idx in batch {
+                let cost = if is_kv {
+                    let context = states[idx].context_tokens();
+                    let (scores, aggregate) = kv_costs
+                        .entry(context)
+                        .or_insert_with(|| self.kv_step_costs_at(context));
+                    if kv_ops_seen % 2 == 0 {
+                        &*scores
+                    } else {
+                        &*aggregate
+                    }
+                } else {
+                    &states[idx].step_costs[op]
+                };
+                compute += cost.compute_cycles;
+                if cost.traffic_class == TrafficClass::KvCache {
+                    kv_dram += cost.dram_cycles;
+                } else {
+                    weight_dram = weight_dram.max(cost.dram_cycles);
+                }
+            }
+            if is_kv {
+                kv_ops_seen += 1;
+            }
+            if kv_factor != 1.0 {
+                kv_dram = (kv_dram as f64 * kv_factor).round() as u64;
+            }
+            total += compute.max(weight_dram + kv_dram);
+        }
+        total.max(1)
+    }
+
     /// Isolated end-to-end cycles of one request (no queueing, no batching):
     /// the latency lower bound that serving can only add to. Includes the
-    /// configured chunking overhead and the empty-pool KV scaling, so it is
-    /// the solo latency *under this serving configuration*.
+    /// configured chunking overhead and the pool's KV scaling, so it is the
+    /// solo latency *under this serving configuration* — in paged mode that
+    /// means per-step pricing at the growing context (step `s` attends over
+    /// `prompt + s` cached tokens) with blocks allocated as it grows.
     pub fn solo_cycles(&self, request: &ServeRequest) -> u64 {
         let state = self.admit(request);
-        let mut kv = self.config.kv;
-        kv.try_reserve(state.kv_bytes);
-        let states = [state];
-        let step = self.step_cycles(&states, &[0], kv.kv_traffic_factor());
-        states[0].prefill_cycles + step * request.output_tokens as u64
+        let Some(block_tokens) = self.config.block_tokens else {
+            let mut kv = self.config.kv;
+            kv.try_reserve(state.kv_bytes);
+            let states = [state];
+            let step = self.step_cycles(&states, &[0], kv.kv_traffic_factor());
+            return states[0].prefill_cycles + step * request.output_tokens as u64;
+        };
+        let mut pool = PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token);
+        let mut kv_costs = HashMap::new();
+        let mut states = [state];
+        let mut total = states[0].prefill_cycles;
+        let mut table = BlockTable::empty();
+        pool.try_grow_to(&mut table, states[0].prompt_tokens);
+        for step in 0..request.output_tokens {
+            states[0].generated = step;
+            // A solo stream always grows (the sole-owner escape hatch).
+            pool.try_grow_to(&mut table, states[0].context_tokens() + 1);
+            total += self.paged_step_cycles(&states, &[0], pool.kv_traffic_factor(), &mut kv_costs);
+        }
+        total
     }
 
     /// Serve a trace of requests under `policy` and report per-request
@@ -411,6 +595,14 @@ impl<'a> ServeSimulator<'a> {
         let mut cc_busy: Option<(u64, usize)> = None;
         let mut step_end: Option<u64> = None;
         let mut kv = self.config.kv;
+        // Paged mode replaces the flat pool's whole-request reservations
+        // with block-granular tables plus a memoised per-context KV-cost
+        // cache (shared across streams — they serve the same model).
+        let mut paged = self.config.block_tokens.map(|block_tokens| {
+            PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token)
+        });
+        let mut kv_costs: HashMap<usize, (OpCost, OpCost)> = HashMap::new();
+        let mut restarted_prefill_tokens = 0u64;
         let mut completed_order: Vec<usize> = Vec::new();
         let mut rejected_order: Vec<(usize, u64)> = Vec::new();
         let mut queue_samples: Vec<QueueSample> = Vec::new();
@@ -449,7 +641,13 @@ impl<'a> ServeSimulator<'a> {
                     states[idx].remaining_prefill_cycles -= states[idx].chunk_cycles[done];
                     states[idx].chunks_done = done + 1;
                     if states[idx].prefill_finished() {
-                        states[idx].prefill_end = now;
+                        // TTFT freezes at the *first* prefill completion; an
+                        // eviction re-prefill (paged mode) re-materialises
+                        // KV without moving the recorded first token.
+                        if !states[idx].has_first_token {
+                            states[idx].prefill_end = now;
+                            states[idx].has_first_token = true;
+                        }
                         ready.push(idx);
                     } else {
                         // Back to the queue: the policy decides at the chunk
@@ -465,12 +663,16 @@ impl<'a> ServeSimulator<'a> {
                 if end <= now {
                     for &idx in &batch {
                         states[idx].remaining_tokens -= 1;
+                        states[idx].generated += 1;
                     }
                     batch.retain(|&idx| {
                         let finished = states[idx].remaining_tokens == 0;
                         if finished {
                             states[idx].finish = now;
-                            kv.release(states[idx].kv_bytes);
+                            match paged.as_mut() {
+                                Some(pool) => pool.release(&mut states[idx].table),
+                                None => kv.release(states[idx].kv_bytes),
+                            }
                             completed_order.push(idx);
                         }
                         !finished
@@ -548,36 +750,178 @@ impl<'a> ServeSimulator<'a> {
             // policy's next pick does not fit, the top-up stops — the pick
             // blocks at the head of the ready queue until a finishing
             // stream releases KV bytes (no bypass, so the policy's order is
-            // honoured under memory pressure too).
+            // honoured under memory pressure too). In paged mode a blocked
+            // pick may instead *revoke* the slot of a strictly-less-urgent
+            // running stream, and every stream's table must grow for the
+            // token the step will generate before the step is priced.
             if step_end.is_none() {
                 let has_slot =
                     |batch_len: usize| self.config.batch_cap.map_or(true, |cap| batch_len < cap);
-                if has_slot(batch.len()) && !ready.is_empty() {
-                    // Snapshot the ready set once per top-up; `swap_remove`
-                    // on both vectors in lockstep keeps indices aligned.
-                    let mut snapshot: Vec<QueuedRequest> =
-                        ready.iter().map(|&idx| states[idx].as_queued()).collect();
-                    while has_slot(batch.len()) && !ready.is_empty() {
-                        let pick = policy.choose_join(&snapshot);
-                        assert!(
-                            pick < ready.len(),
-                            "policy {} returned join index {pick} for a ready set of {}",
-                            policy.name(),
-                            ready.len()
-                        );
-                        if !kv.try_reserve(states[ready[pick]].kv_bytes) {
-                            break;
+                match paged.as_mut() {
+                    None => {
+                        if has_slot(batch.len()) && !ready.is_empty() {
+                            // Snapshot the ready set once per top-up;
+                            // `swap_remove` on both vectors in lockstep
+                            // keeps indices aligned.
+                            let mut snapshot: Vec<QueuedRequest> =
+                                ready.iter().map(|&idx| states[idx].as_queued()).collect();
+                            while has_slot(batch.len()) && !ready.is_empty() {
+                                let pick = policy.choose_join(&snapshot);
+                                assert!(
+                                    pick < ready.len(),
+                                    "policy {} returned join index {pick} for a ready set of {}",
+                                    policy.name(),
+                                    ready.len()
+                                );
+                                if !kv.try_reserve(states[ready[pick]].kv_bytes) {
+                                    break;
+                                }
+                                snapshot.swap_remove(pick);
+                                let idx = ready.swap_remove(pick);
+                                states[idx].decode_start = now;
+                                batch.push(idx);
+                            }
                         }
-                        snapshot.swap_remove(pick);
-                        let idx = ready.swap_remove(pick);
-                        states[idx].decode_start = now;
-                        batch.push(idx);
+                        if !batch.is_empty() {
+                            step_end = Some(
+                                now + self.step_cycles(&states, &batch, kv.kv_traffic_factor()),
+                            );
+                            decode_steps += 1;
+                        }
                     }
-                }
-                if !batch.is_empty() {
-                    step_end =
-                        Some(now + self.step_cycles(&states, &batch, kv.kv_traffic_factor()));
-                    decode_steps += 1;
+                    Some(pool) => {
+                        // The least-urgent batch member by (priority,
+                        // arrival, id): the eviction victim whenever one
+                        // must be chosen. Deterministic, so equal-priority
+                        // pressure always resolves the same way (the later
+                        // arrival loses) and cannot ping-pong.
+                        let worst_of = |states: &[InFlight], batch: &[usize]| -> Option<usize> {
+                            batch
+                                .iter()
+                                .enumerate()
+                                .max_by_key(|&(_, &v)| {
+                                    let s = &states[v];
+                                    (s.request.slo.priority, s.arrival_cycle, s.request.id)
+                                })
+                                .map(|(pos, _)| pos)
+                        };
+                        if !ready.is_empty() {
+                            let mut snapshot: Vec<QueuedRequest> =
+                                ready.iter().map(|&idx| states[idx].as_queued()).collect();
+                            'topup: while !ready.is_empty() {
+                                let pick = policy.choose_join(&snapshot);
+                                assert!(
+                                    pick < ready.len(),
+                                    "policy {} returned join index {pick} for a ready set of {}",
+                                    policy.name(),
+                                    ready.len()
+                                );
+                                let idx = ready[pick];
+                                let admit = |states: &mut Vec<InFlight>,
+                                             batch: &mut Vec<usize>,
+                                             pool: &mut PagedKvPool|
+                                 -> bool {
+                                    has_slot(batch.len()) && {
+                                        let context = states[idx].context_tokens();
+                                        pool.try_grow_to(&mut states[idx].table, context)
+                                    }
+                                };
+                                if !admit(&mut states, &mut batch, pool) {
+                                    // Priority-aware decode-slot revocation:
+                                    // only strictly-less-urgent streams can
+                                    // be evicted for the pick, so equal
+                                    // priorities wait instead of thrashing —
+                                    // and only when revoking *all* of them
+                                    // would actually admit the pick, so a
+                                    // victim never pays the re-prefill
+                                    // recompute for nothing.
+                                    let evictable: Vec<usize> = batch
+                                        .iter()
+                                        .filter(|&&v| {
+                                            states[v].request.slo.priority
+                                                > states[idx].request.slo.priority
+                                        })
+                                        .copied()
+                                        .collect();
+                                    let freed: u64 =
+                                        evictable.iter().map(|&v| states[v].table.blocks()).sum();
+                                    let needed = pool
+                                        .blocks_for(states[idx].context_tokens())
+                                        .saturating_sub(states[idx].table.blocks());
+                                    let occupied = pool.occupied_blocks();
+                                    // Evicting the whole batch makes the pick
+                                    // the sole owner (the escape hatch always
+                                    // admits it); otherwise the freed blocks
+                                    // must leave room under the budget.
+                                    let kv_feasible = evictable.len() == batch.len()
+                                        || (occupied - freed + needed)
+                                            .saturating_mul(pool.block_bytes())
+                                            <= pool.budget_bytes();
+                                    let slot_feasible = has_slot(batch.len() - evictable.len());
+                                    if !(kv_feasible && slot_feasible) {
+                                        break 'topup;
+                                    }
+                                    loop {
+                                        let pos = worst_of(&states, &batch)
+                                            .filter(|&pos| {
+                                                states[batch[pos]].request.slo.priority
+                                                    > states[idx].request.slo.priority
+                                            })
+                                            .expect("feasibility guaranteed a victim");
+                                        let victim = batch.remove(pos);
+                                        pool.evict(&mut states[victim].table);
+                                        restarted_prefill_tokens +=
+                                            states[victim].context_tokens() as u64;
+                                        self.requeue_for_reprefill(&mut states[victim]);
+                                        cc_queue.push(victim);
+                                        if admit(&mut states, &mut batch, pool) {
+                                            break;
+                                        }
+                                    }
+                                }
+                                snapshot.swap_remove(pick);
+                                ready.swap_remove(pick);
+                                if states[idx].decode_start == 0 {
+                                    states[idx].decode_start = now;
+                                }
+                                batch.push(idx);
+                            }
+                        }
+                        // Growth: room for the token each stream generates
+                        // this step. Under pressure the least-urgent member
+                        // is evicted — possibly the grower itself; a sole
+                        // remaining stream always grows (the pool's
+                        // sole-owner escape hatch), so this terminates.
+                        let mut i = 0;
+                        while i < batch.len() {
+                            let idx = batch[i];
+                            let target = states[idx].context_tokens() + 1;
+                            if pool.try_grow_to(&mut states[idx].table, target) {
+                                i += 1;
+                                continue;
+                            }
+                            let pos = worst_of(&states, &batch).expect("non-empty batch");
+                            let victim = batch.remove(pos);
+                            pool.evict(&mut states[victim].table);
+                            restarted_prefill_tokens += states[victim].context_tokens() as u64;
+                            self.requeue_for_reprefill(&mut states[victim]);
+                            cc_queue.push(victim);
+                            if pos < i {
+                                i -= 1;
+                            }
+                        }
+                        if !batch.is_empty() {
+                            step_end = Some(
+                                now + self.paged_step_cycles(
+                                    &states,
+                                    &batch,
+                                    pool.kv_traffic_factor(),
+                                    &mut kv_costs,
+                                ),
+                            );
+                            decode_steps += 1;
+                        }
+                    }
                 }
             }
 
@@ -585,6 +929,9 @@ impl<'a> ServeSimulator<'a> {
                 time_s: now as f64 / clock_hz,
                 waiting: cc_queue.len() + ready.len(),
                 active: batch.len(),
+                kv_bytes: paged
+                    .as_ref()
+                    .map_or(kv.reserved_bytes(), |pool| pool.occupied_bytes()),
             });
         }
 
@@ -631,7 +978,11 @@ impl<'a> ServeSimulator<'a> {
             queue_samples,
             decode_steps,
             preemptions,
-            peak_kv_bytes: kv.peak_bytes(),
+            evictions: paged.as_ref().map_or(0, |pool| pool.evictions()),
+            restarted_prefill_tokens,
+            peak_kv_bytes: paged
+                .as_ref()
+                .map_or(kv.peak_bytes(), |pool| pool.peak_bytes()),
             makespan_s,
         }
     }
@@ -1023,7 +1374,226 @@ mod tests {
         assert_eq!(report.makespan_s, 0.0);
         assert_eq!(report.decode_steps, 0);
         assert_eq!(report.preemptions, 0);
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.restarted_prefill_tokens, 0);
         assert_eq!(report.peak_kv_bytes, 0);
+    }
+
+    fn paged_sim(machine: &Machine, kv: KvPool, block_tokens: usize) -> ServeSimulator<'_> {
+        ServeSimulator::new(
+            machine,
+            zoo::sphinx_tiny(),
+            ServeConfig::new()
+                .with_kv_pool(kv)
+                .with_block_tokens(block_tokens),
+        )
+    }
+
+    #[test]
+    fn paged_single_request_matches_its_solo_cost() {
+        let m = machine();
+        let sim = paged_sim(&m, KvPool::unbounded(), 16);
+        let request = ServeRequest::new(0, 0.0, 20, 8);
+        let report = sim.run(&[request], &Fcfs);
+        assert_eq!(report.completed.len(), 1);
+        let clock_hz = m.config().chip.clock_mhz as f64 * 1.0e6;
+        let expected_s = sim.solo_cycles(&request) as f64 / clock_hz;
+        let got = report.completed[0].latency_s();
+        assert!(
+            (got - expected_s).abs() / expected_s < 1e-12,
+            "paged solo latency {got} vs expected {expected_s}"
+        );
+    }
+
+    #[test]
+    fn paged_solo_steps_price_the_actual_context_per_step() {
+        // With an unbounded (factor-neutral) pool, a paged solo run must
+        // cost exactly prefill + the sum over steps of the cycle-level
+        // decode step priced at that step's true context length.
+        let m = machine();
+        let sim = paged_sim(&m, KvPool::unbounded(), 16);
+        let request = ServeRequest::new(0, 0.0, 20, 11);
+        let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 11);
+        let prefill: u64 = [Phase::VisionEncode, Phase::Projector, Phase::Prefill]
+            .iter()
+            .map(|&phase| {
+                m.run_phase_on(
+                    &workload,
+                    phase,
+                    ClusterKind::ComputeCentric,
+                    DecodeOptions::baseline(),
+                )
+                .cycles
+            })
+            .sum();
+        let decode: u64 = (0..11)
+            .map(|step| {
+                m.decode_step_costs_at(
+                    &workload,
+                    ClusterKind::MemoryCentric,
+                    PruningEffect::disabled(),
+                    workload.prompt_tokens() + step,
+                )
+                .iter()
+                .map(OpCost::latency_cycles)
+                .sum::<u64>()
+                .max(1)
+            })
+            .sum();
+        assert_eq!(sim.solo_cycles(&request), prefill + decode);
+    }
+
+    #[test]
+    fn paged_allocation_fits_more_streams_than_peak_reservation() {
+        // A budget sized for ~2 whole-request peak footprints of long
+        // generations: peak reservation caps the batch at 2, while lazy
+        // block allocation fits more streams (their early contexts are far
+        // below peak — the prompt is ~55% of it here).
+        let m = machine();
+        let trace = TraceConfig::saturated(6, 20, 256).generate();
+        let per_stream = zoo::sphinx_tiny().llm.kv_cache_bytes(
+            zoo::sphinx_tiny().prompt_tokens(20) + 256,
+            m.config().mc_weight_bytes,
+        );
+        let kv = KvPool::with_budget(2 * per_stream + 1);
+        let reserved =
+            ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::new().with_kv_pool(kv))
+                .run(&trace, &Fcfs);
+        let paged = paged_sim(&m, kv, 16).run(&trace, &Fcfs);
+        let max_active = |r: &ServeReport| r.queue_samples.iter().map(|s| s.active).max().unwrap();
+        assert_eq!(reserved.completed.len(), 6);
+        assert_eq!(paged.completed.len(), 6);
+        assert!(max_active(&reserved) <= 2);
+        assert!(
+            max_active(&paged) > max_active(&reserved),
+            "paged batched {} streams vs reserved {}",
+            max_active(&paged),
+            max_active(&reserved)
+        );
+        assert!(paged.peak_kv_bytes <= 2 * per_stream + 1);
+    }
+
+    #[test]
+    fn paged_join_revokes_a_lower_priority_decode_slot() {
+        // A batch-class stream with a long generation owns the pool when an
+        // interactive request shows up. Under peak reservation the arrival
+        // waits for the full drain; with paged eviction it revokes the
+        // batch stream's slot, which re-queues for re-prefill and still
+        // completes.
+        let m = machine();
+        let long = ServeRequest::new(0, 0.0, 64, 200).with_slo(SloClass::batch());
+        let urgent = ServeRequest::new(1, 0.05, 8, 16).with_slo(SloClass::interactive());
+        let per_token = zoo::sphinx_tiny()
+            .llm
+            .kv_bytes_per_token(m.config().mc_weight_bytes);
+        // Room for the long stream's prefix plus a little growth, not for
+        // both streams at once.
+        let kv = KvPool::with_budget(500 * per_token);
+        let reserved =
+            ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::new().with_kv_pool(kv))
+                .run(&[long, urgent], &EarliestDeadlineFirst);
+        let paged = paged_sim(&m, kv, 16).run(&[long, urgent], &EarliestDeadlineFirst);
+        assert_eq!(reserved.evictions, 0);
+        assert!(paged.evictions >= 1, "no decode-slot revocation");
+        assert!(paged.restarted_prefill_tokens > 0);
+        assert_eq!(paged.completed.len(), 2, "an evicted request was lost");
+        let decode_wait = |r: &ServeReport, id: u64| {
+            let c = r.completed.iter().find(|c| c.id == id).expect("served");
+            c.decode_start_s - c.prefill_end_s
+        };
+        // The revocation is what gets the interactive stream its slot
+        // early; under peak reservation it waits out the long drain.
+        assert!(
+            decode_wait(&paged, 1) < 0.25 * decode_wait(&reserved, 1),
+            "paged wait {} vs reserved wait {}",
+            decode_wait(&paged, 1),
+            decode_wait(&reserved, 1)
+        );
+    }
+
+    #[test]
+    fn futile_revocation_is_skipped_entirely() {
+        // An interactive pick that would not fit even after revoking every
+        // strictly-lower-priority stream must not evict anyone: the victim
+        // would pay the full re-prefill recompute for zero admission
+        // benefit. Here the batch-class stream's blocks are far fewer than
+        // the pick still lacks, so the pick waits instead.
+        let m = machine();
+        let per_token = zoo::sphinx_tiny()
+            .llm
+            .kv_bytes_per_token(m.config().mc_weight_bytes);
+        // 68 blocks of 16 tokens: holds the two running streams at full
+        // growth (43 + 24 blocks) but not the 31-block pick even with the
+        // batch stream gone (43 + 31 > 68).
+        let kv = KvPool::with_budget(68 * 16 * per_token);
+        let a = ServeRequest::new(0, 0.0, 312, 80).with_slo(SloClass::interactive());
+        let b = ServeRequest::new(1, 0.001, 8, 80).with_slo(SloClass::batch());
+        let c = ServeRequest::new(2, 0.3, 200, 8).with_slo(SloClass::interactive());
+        let report = paged_sim(&m, kv, 16).run(&[a, b, c], &EarliestDeadlineFirst);
+        assert_eq!(report.evictions, 0, "futile revocation evicted a stream");
+        assert_eq!(report.restarted_prefill_tokens, 0);
+        assert_eq!(report.completed.len(), 3);
+        assert!(report.peak_kv_bytes <= kv.budget_bytes());
+    }
+
+    #[test]
+    fn paged_growth_pressure_evicts_the_least_urgent_stream() {
+        // Equal-priority saturated streams against a budget that cannot
+        // hold both full contexts: growth pressure must evict (the later
+        // id, by the deterministic tie-break) and everyone still finishes.
+        let m = machine();
+        let trace = TraceConfig::saturated(2, 20, 96).generate();
+        let model = zoo::sphinx_tiny();
+        let prompt = model.prompt_tokens(20);
+        let per_token = model.llm.kv_bytes_per_token(m.config().mc_weight_bytes);
+        // Both prompts fit; both full contexts (prompt + 96) do not.
+        let kv = KvPool::with_budget((2 * prompt + 96) as u64 * per_token);
+        let report = paged_sim(&m, kv, 16).run(&trace, &Fcfs);
+        assert!(report.evictions >= 1, "growth pressure never evicted");
+        assert_eq!(report.completed.len(), 2);
+        // The earlier-id stream survives the tie-break and finishes first.
+        let finish = |id: u64| {
+            report
+                .completed
+                .iter()
+                .find(|c| c.id == id)
+                .expect("served")
+                .finish_s
+        };
+        assert!(finish(0) < finish(1));
+        assert!(report.peak_kv_bytes <= kv.budget_bytes());
+    }
+
+    #[test]
+    fn paged_oversized_request_runs_solo_instead_of_deadlocking() {
+        let m = machine();
+        let trace = TraceConfig::saturated(3, 20, 16).generate();
+        let kv = KvPool::with_budget(1024);
+        let report = paged_sim(&m, kv, 16).run(&trace, &Fcfs);
+        assert_eq!(report.completed.len(), 3);
+        assert!(report.queue_samples.iter().all(|s| s.active <= 1));
+    }
+
+    #[test]
+    fn paged_without_pressure_never_evicts() {
+        let m = machine();
+        let trace = TraceConfig::saturated(5, 20, 32).generate();
+        let report = paged_sim(&m, KvPool::unbounded(), 16).run(&trace, &Fcfs);
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.restarted_prefill_tokens, 0);
+        assert_eq!(report.completed.len(), 5);
+        assert!(report.queue_samples.iter().any(|s| s.active == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "KV block size must be at least one token")]
+    fn zero_block_tokens_rejected() {
+        let m = machine();
+        ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::new().with_block_tokens(0),
+        );
     }
 
     #[test]

@@ -304,8 +304,27 @@ impl Machine {
         kind: ClusterKind,
         pruning: PruningEffect,
     ) -> Vec<OpCost> {
+        self.decode_step_costs_at(workload, kind, pruning, workload.average_context_tokens())
+    }
+
+    /// Per-operator costs of one decode step on `kind` with exactly
+    /// `context_tokens` tokens cached, in operator-stream order.
+    ///
+    /// Only the KV-facing attention operators (scores and context
+    /// aggregation) depend on the context; the weight-facing operators cost
+    /// the same at any context length. [`Self::decode_step_costs`] is the
+    /// special case at the workload's average context — paged serving
+    /// instead prices every step of every stream at that stream's *actual*
+    /// context length, retiring the averaging simplification.
+    pub fn decode_step_costs_at(
+        &self,
+        workload: &ModelWorkload,
+        kind: ClusterKind,
+        pruning: PruningEffect,
+        context_tokens: usize,
+    ) -> Vec<OpCost> {
         workload
-            .average_decode_step_ops()
+            .decode_step_ops(context_tokens)
             .iter()
             .map(|op| self.op_cost(op, kind, pruning))
             .collect()
@@ -663,6 +682,42 @@ mod tests {
         assert_eq!(costs.len(), step.ops);
         let cycles: u64 = costs.iter().map(OpCost::latency_cycles).sum();
         assert_eq!(cycles, step.cycles);
+    }
+
+    #[test]
+    fn decode_step_costs_are_the_average_context_special_case() {
+        let m = hetero();
+        let w = workload(16);
+        let avg = m.decode_step_costs(&w, ClusterKind::MemoryCentric, PruningEffect::disabled());
+        let at = m.decode_step_costs_at(
+            &w,
+            ClusterKind::MemoryCentric,
+            PruningEffect::disabled(),
+            w.average_context_tokens(),
+        );
+        assert_eq!(avg, at);
+    }
+
+    #[test]
+    fn only_kv_ops_vary_with_the_context_length() {
+        let m = hetero();
+        let w = workload(16);
+        let pruning = PruningEffect::disabled();
+        let short = m.decode_step_costs_at(&w, ClusterKind::MemoryCentric, pruning, 300);
+        let long = m.decode_step_costs_at(&w, ClusterKind::MemoryCentric, pruning, 900);
+        assert_eq!(short.len(), long.len());
+        for (a, b) in short.iter().zip(&long) {
+            if a.traffic_class == edgemm_mllm::TrafficClass::KvCache {
+                assert!(
+                    b.dram_bytes > a.dram_bytes,
+                    "KV bytes must grow: {a:?} {b:?}"
+                );
+            } else {
+                assert_eq!(a, b, "weight-facing op changed with the context");
+            }
+        }
+        let cycles = |costs: &[OpCost]| costs.iter().map(OpCost::latency_cycles).sum::<u64>();
+        assert!(cycles(&long) > cycles(&short));
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Mid-decode eviction: one decode-slot revocation, caught in close-up.
+//!
+//! The scenario picks up where `memory_pressure` left off. A dashcam
+//! summarisation job with a ~1050-token prompt has finished its prefill and
+//! is decoding a long summary. The KV budget is tight — the dashcam context
+//! alone rivals the whole pool — so under PR 4's whole-request peak
+//! reservation the stream was admitted through the oversized-solo escape
+//! hatch and now *owns* the decode engine: when the driver asks a question,
+//! the driver's prefill finishes quickly (TTFT is fine) but the answer
+//! cannot start streaming until the dashcam stream drains, and the 30 ms
+//! interactive TPOT deadline dies waiting for a decode slot.
+//!
+//! With the pool paged ([`edgemm::ServeOptions::paged`]), the moment the
+//! driver's request is prefilled it *revokes* the dashcam stream's slot:
+//! the batch-priority stream's KV blocks are freed and it re-queues for
+//! re-prefill over everything it had generated, while the driver's tokens
+//! start streaming immediately. The dashcam job still completes — eviction
+//! never drops a request — it just pays the recompute.
+//!
+//! Run with `cargo run --example eviction_closeup --release`.
+
+use edgemm::serve::{Priority, ServeReport, ServeRequest, SloClass};
+use edgemm::{EdgeMm, ServeOptions};
+use edgemm_mllm::zoo;
+
+const MIB: u64 = 1 << 20;
+
+fn report_line(label: &str, report: &ServeReport) {
+    let driver = report
+        .completed
+        .iter()
+        .find(|c| c.id == 1)
+        .expect("driver query served");
+    let dashcam = report
+        .completed
+        .iter()
+        .find(|c| c.id == 0)
+        .expect("dashcam job served");
+    println!(
+        "  {label:<22} driver: slot wait {:>5.0} ms, TPOT {:>5.1} ms ({}) | dashcam done at {:>4.2} s | {} eviction(s), {} re-prefilled tokens",
+        (driver.decode_start_s - driver.prefill_end_s) * 1e3,
+        driver.time_per_output_token_s() * 1e3,
+        if driver.meets_tpot() {
+            "meets 30 ms"
+        } else {
+            "MISSES 30 ms"
+        },
+        dashcam.finish_s,
+        report.evictions,
+        report.restarted_prefill_tokens,
+    );
+}
+
+fn main() {
+    let system = EdgeMm::paper_default();
+    let model = zoo::sphinx_tiny();
+
+    // The dashcam job arrives first and owns the machine; the driver asks a
+    // question 400 ms in, mid-decode.
+    let dashcam = ServeRequest::new(0, 0.0, 768, 192).with_slo(SloClass::batch());
+    let driver = ServeRequest::new(1, 0.4, 8, 24).with_slo(SloClass::interactive());
+    let budget = 12 * MIB;
+    println!(
+        "== A {}-token dashcam context vs a driver query, {} MiB KV budget ==",
+        model.prompt_tokens(768),
+        budget / MIB
+    );
+    println!(
+        "   (dashcam KV alone: {:.1} MiB resident by the end of its generation)\n",
+        model.llm.kv_cache_bytes(model.prompt_tokens(768) + 192, 1) as f64 / MIB as f64
+    );
+
+    let reserved = system.serve(
+        &model,
+        &[dashcam, driver],
+        ServeOptions::memory_aware(budget, 320),
+    );
+    let paged = system.serve(
+        &model,
+        &[dashcam, driver],
+        ServeOptions::memory_aware(budget, 320).paged(16),
+    );
+    report_line("reserved (PR 4):", &reserved);
+    report_line("paged + eviction:", &paged);
+
+    let wait = |report: &ServeReport| {
+        report
+            .completed
+            .iter()
+            .find(|c| c.id == 1)
+            .map(|c| c.decode_start_s - c.prefill_end_s)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "\n  -> revoking the batch stream's decode slot saves the driver {:.0} ms of slot wait",
+        (wait(&reserved) - wait(&paged)) * 1e3
+    );
+    assert!(reserved.evictions == 0 && paged.evictions > 0);
+    assert_eq!(paged.completed.len(), 2, "eviction must not drop a request");
+
+    // Both interactive deadlines only hold once slots are revocable.
+    let driver_ok = |r: &ServeReport| {
+        r.completed
+            .iter()
+            .filter(|c| c.slo.priority == Priority::Interactive)
+            .all(|c| c.meets_slo())
+    };
+    println!(
+        "  reserved meets the driver's SLO: {} | paged meets it: {}",
+        driver_ok(&reserved),
+        driver_ok(&paged)
+    );
+}

@@ -1,0 +1,98 @@
+//! Docs link check: every intra-repo markdown link in the top-level docs
+//! resolves to a real file, so the guides cannot silently rot as the tree
+//! moves. External (http/https/mailto) links and pure `#fragment` anchors
+//! are out of scope — this is an offline repo and CI has no network.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files whose links are checked: the top-level README plus
+/// everything under `docs/`.
+fn documents() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![root.join("README.md")];
+    let dir = root.join("docs");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    docs.extend(entries);
+    docs
+}
+
+/// Extract the targets of inline markdown links `[text](target)` from one
+/// line. Good enough for the hand-written guides in this repo: no
+/// reference-style links, no nested brackets inside link text.
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut targets = Vec::new();
+    let mut rest = line;
+    while let Some(close) = rest.find("](") {
+        let after = &rest[close + 2..];
+        let Some(end) = after.find(')') else { break };
+        targets.push(&after[..end]);
+        rest = &after[end + 1..];
+    }
+    targets
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for doc in documents() {
+        let text = std::fs::read_to_string(&doc)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+        let base = doc.parent().expect("doc has a parent directory");
+        for (lineno, line) in text.lines().enumerate() {
+            for target in link_targets(line) {
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                    || target.starts_with('#')
+                {
+                    continue;
+                }
+                // Strip a trailing `#anchor`; resolve relative to the doc.
+                let path_part = target.split('#').next().unwrap_or(target);
+                if path_part.is_empty() {
+                    continue;
+                }
+                let resolved = base.join(path_part);
+                checked += 1;
+                if !resolved.exists() {
+                    broken.push(format!(
+                        "{}:{}: [{}] -> {}",
+                        doc.strip_prefix(root).unwrap_or(&doc).display(),
+                        lineno + 1,
+                        target,
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        checked > 0,
+        "link check scanned no intra-repo links — the extractor broke"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extractor_handles_the_common_shapes() {
+    assert_eq!(
+        link_targets("see [a](docs/a.md) and [b](b.md#frag)"),
+        vec!["docs/a.md", "b.md#frag"]
+    );
+    assert_eq!(
+        link_targets("external [x](https://example.com) only"),
+        vec!["https://example.com"]
+    );
+    assert!(link_targets("no links here").is_empty());
+}

@@ -254,6 +254,116 @@ fn golden_memory_pressure_point() {
     assert_eq!(chunked.submitted(), 32);
 }
 
+/// One paged-vs-reserved sweep point, pinned: the PR 4 overload trace
+/// (24 interactive at 12 req/s over 8 long-prompt background jobs) under a
+/// *tight* 8 MiB KV budget, edf/defer, chunk 320. A background context alone
+/// (~800–1050 prompt tokens ≈ 9–12 MiB of KV) overflows the budget, so
+/// whole-request peak reservation admits it through the oversized-solo
+/// escape hatch and it then monopolises the decode engine for its whole
+/// drain — prefilled interactive requests wait for a decode slot and blow
+/// their TPOT deadlines. Paged allocation (`ServeOptions::paged(16)`)
+/// instead revokes the background stream's slot the moment an interactive
+/// request is ready: every TPOT miss disappears, at the price of the
+/// evictions' re-prefill recompute load on the serial CC stage (which
+/// converts a few interactive arrivals into TTFT misses — TTFT is
+/// CC-stage-bound by construction, so KV policy can only hurt it, never
+/// help). The net: interactive deadline misses drop strictly, 16 → 11.
+/// The worked example in `docs/memory.md` reproduces these numbers.
+#[test]
+fn golden_paged_eviction_point() {
+    const KV_BUDGET: u64 = 8 << 20;
+    let system = EdgeMm::paper_default();
+    let mixed = merge(&[
+        TraceConfig::interactive(24, 12.0, 11).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(8, 3.0, 12)
+        }
+        .generate(),
+    ]);
+    let base = ServeOptions::memory_aware(KV_BUDGET, 320);
+    let reserved = system.serve(&zoo::sphinx_tiny(), &mixed, base);
+    let paged = system.serve(&zoo::sphinx_tiny(), &mixed, base.paged(16));
+    let interactive_misses = |report: &ServeReport| {
+        report
+            .completed
+            .iter()
+            .filter(|c| c.slo.priority == Priority::Interactive && !c.meets_slo())
+            .count()
+            + report.rejected.len()
+    };
+    let interactive_ttft_misses = |report: &ServeReport| {
+        report
+            .completed
+            .iter()
+            .filter(|c| c.slo.priority == Priority::Interactive && !c.meets_ttft())
+            .count()
+            + report.rejected.len()
+    };
+    if probing() {
+        println!("paged.reserved_misses = {}", interactive_misses(&reserved));
+        println!("paged.paged_misses = {}", interactive_misses(&paged));
+        println!(
+            "paged.reserved_ttft_misses = {}",
+            interactive_ttft_misses(&reserved)
+        );
+        println!(
+            "paged.paged_ttft_misses = {}",
+            interactive_ttft_misses(&paged)
+        );
+        println!("paged.evictions = {}", paged.evictions);
+        println!(
+            "paged.restarted_prefill_tokens = {}",
+            paged.restarted_prefill_tokens
+        );
+    } else {
+        assert_eq!(
+            interactive_misses(&reserved),
+            16,
+            "reserved miss count drifted"
+        );
+        assert_eq!(interactive_misses(&paged), 11, "paged miss count drifted");
+        // All 11 paged misses are TTFT-side (the eviction recompute load on
+        // the serial CC stage); reserved misses are 3 TTFT + 13 TPOT.
+        assert_eq!(interactive_ttft_misses(&reserved), 3);
+        assert_eq!(interactive_ttft_misses(&paged), 11);
+        assert_eq!(paged.evictions, 20, "eviction count drifted");
+        assert_eq!(
+            paged.restarted_prefill_tokens, 7567,
+            "restarted-token count drifted"
+        );
+    }
+    assert_close(
+        "paged.reserved_attainment",
+        reserved.slo_attainment(),
+        5.0e-1,
+    );
+    assert_close("paged.paged_attainment", paged.slo_attainment(), 6.5625e-1);
+    // The acceptance headlines, independent of the pinned constants: paged
+    // eviction strictly reduces interactive deadline misses against peak
+    // reservation on the overload trace, evicts to do it, never drops a
+    // request, and reservation never evicts.
+    assert!(
+        interactive_misses(&paged) < interactive_misses(&reserved),
+        "paged+eviction ({}) must strictly beat peak reservation ({})",
+        interactive_misses(&paged),
+        interactive_misses(&reserved)
+    );
+    assert!(
+        paged.evictions > 0,
+        "no mid-decode evictions under pressure"
+    );
+    assert_eq!(reserved.evictions, 0, "reservation cannot evict");
+    assert_eq!(reserved.submitted(), 32);
+    assert_eq!(paged.submitted(), 32);
+    // Every interactive TPOT deadline holds once slots are revocable.
+    assert!(paged
+        .completed
+        .iter()
+        .filter(|c| c.slo.priority == Priority::Interactive)
+        .all(|c| c.meets_tpot()));
+}
+
 /// Table I: parameter counts of the six representative MLLMs (exact —
 /// integer arithmetic over the published geometries).
 #[test]

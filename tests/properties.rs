@@ -389,6 +389,157 @@ proptest! {
         );
     }
 
+    /// Paged KV allocation never lets resident KV exceed the budget at
+    /// *any* event-loop instant — not just at the peak: every queue sample
+    /// reports in-budget occupancy for any trace, block size and budget at
+    /// least one stream's full paged footprint (smaller budgets fall back
+    /// to the documented oversized-solo admission), while every request
+    /// still completes.
+    #[test]
+    fn paged_pool_stays_within_budget_at_every_sample(
+        requests in 1usize..8,
+        rate in 1.0f64..500.0,
+        budget_kib in 1u64..64,
+        block in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 10),
+            seed,
+            slo: SloClass::best_effort(),
+        }
+        .generate();
+        let model = tiny_model();
+        let machine = Machine::new(SimConfig::paper_default());
+        // Clamp the sampled budget up to the largest single-stream *paged*
+        // footprint (whole blocks, including the generation) so no stream
+        // needs the sole-owner escape hatch.
+        let per_token = model.llm.kv_bytes_per_token(machine.config().mc_weight_bytes);
+        let block_bytes = block as u64 * per_token;
+        let max_footprint = trace
+            .iter()
+            .map(|r| {
+                let tokens = model.prompt_tokens(r.text_tokens) + r.output_tokens;
+                tokens.div_ceil(block) as u64 * block_bytes
+            })
+            .max()
+            .unwrap_or(0);
+        let budget = (budget_kib * 1024).max(max_footprint);
+        let config = ServeConfig::new()
+            .with_kv_pool(KvPool::with_budget(budget))
+            .with_block_tokens(block);
+        let report = ServeSimulator::new(&machine, model, config)
+            .run(&trace, PolicyKind::EarliestDeadlineFirst.policy());
+        prop_assert_eq!(report.completed.len(), requests);
+        prop_assert!(
+            report.peak_kv_bytes <= budget,
+            "peak KV {} exceeded the budget {}",
+            report.peak_kv_bytes, budget
+        );
+        for sample in &report.queue_samples {
+            prop_assert!(
+                sample.kv_bytes <= budget,
+                "sample at {} s held {} KV bytes over the {} budget",
+                sample.time_s, sample.kv_bytes, budget
+            );
+        }
+    }
+
+    /// Mid-decode eviction never drops a request: under any KV pressure
+    /// (tight budgets, mixed priorities, slot revocation and growth
+    /// evictions) every submitted request still completes exactly once with
+    /// its full token count — conservation: completed + rejected =
+    /// submitted, and admit-all admission rejects nobody.
+    #[test]
+    fn paged_eviction_never_drops_a_request(
+        interactive in 1usize..5,
+        background in 1usize..5,
+        rate in 10.0f64..2000.0,
+        budget_kib in 1u64..16,
+        block in 1usize..17,
+        seed in 0u64..1000,
+    ) {
+        let trace = edgemm::serve::merge(&[
+            TraceConfig {
+                requests: interactive,
+                arrival_rate_per_s: rate,
+                text_tokens: (2, 8),
+                output_tokens: (1, 6),
+                seed,
+                slo: SloClass::interactive(),
+            }
+            .generate(),
+            TraceConfig {
+                requests: background,
+                arrival_rate_per_s: rate,
+                text_tokens: (8, 32),
+                output_tokens: (4, 12),
+                seed: seed + 1,
+                slo: SloClass::batch(),
+            }
+            .generate(),
+        ]);
+        let machine = Machine::new(SimConfig::paper_default());
+        let config = ServeConfig::new()
+            .with_kv_pool(KvPool::with_budget(budget_kib * 1024))
+            .with_block_tokens(block)
+            .with_chunk_tokens(16);
+        let report = ServeSimulator::new(&machine, tiny_model(), config)
+            .run(&trace, PolicyKind::EarliestDeadlineFirst.policy());
+        prop_assert_eq!(report.completed.len(), trace.len());
+        prop_assert!(report.rejected.is_empty());
+        let mut ids: Vec<u64> = report.completed.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len());
+        let submitted: u64 = trace.iter().map(|r| r.output_tokens as u64).sum();
+        prop_assert_eq!(report.total_output_tokens, submitted);
+        // Evictions and their re-prefill accounting travel together.
+        prop_assert_eq!(report.evictions == 0, report.restarted_prefill_tokens == 0);
+    }
+
+    /// The unpaged configuration is the PR 4 simulator, byte for byte: with
+    /// `block_tokens = None` nothing in the paged machinery may run (no
+    /// evictions, no restarted prefill tokens) and the run is identical to
+    /// one configured through the legacy constructor.
+    #[test]
+    fn unpaged_config_is_byte_for_byte_the_reserving_simulator(
+        requests in 1usize..8,
+        rate in 1.0f64..200.0,
+        cap in 1usize..6,
+        policy_sel in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig {
+            requests,
+            arrival_rate_per_s: rate,
+            text_tokens: (2, 24),
+            output_tokens: (1, 10),
+            seed,
+            slo: SloClass::interactive(),
+        }
+        .generate();
+        let machine = Machine::new(SimConfig::paper_default());
+        let model = tiny_model();
+        let policy = PolicyKind::ALL[policy_sel].policy();
+        let legacy = ServeSimulator::new(&machine, model.clone(), ServeConfig::with_batch_cap(cap))
+            .run(&trace, policy);
+        let unpaged = ServeSimulator::new(
+            &machine,
+            model,
+            ServeConfig::new()
+                .with_batch_cap_override(cap)
+                .with_kv_pool(KvPool::unbounded()),
+        )
+        .run(&trace, policy);
+        prop_assert_eq!(&legacy, &unpaged);
+        prop_assert_eq!(legacy.evictions, 0);
+        prop_assert_eq!(legacy.restarted_prefill_tokens, 0);
+    }
+
     /// For saturated arrivals of identical requests, serving throughput is
     /// monotone non-decreasing in the decode batch capacity: a bigger
     /// stream batch can only amortise the weight fetch further.
