@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use edgemm_core::float::is_zero;
+
 mod gpu;
 mod snitch;
 
@@ -49,7 +51,7 @@ pub trait RooflineDevice {
     /// Output tokens per second over the whole request.
     fn tokens_per_second(&self, workload: &ModelWorkload) -> f64 {
         let s = self.request_seconds(workload);
-        if s == 0.0 {
+        if is_zero(s) {
             0.0
         } else {
             workload.output_tokens() as f64 / s

@@ -28,6 +28,7 @@
 //! to read the output.
 
 use edgemm::serve::{merge, AdmissionControl, PolicyKind, TraceConfig};
+use edgemm::units::Bytes;
 use edgemm::{EdgeMm, ServeOptions};
 use edgemm_mllm::zoo;
 
@@ -221,7 +222,7 @@ fn memory_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
             let options = ServeOptions {
                 batch_cap: None,
                 chunk_tokens: chunk,
-                kv_budget_bytes: budget,
+                kv_budget_bytes: budget.map(Bytes::new),
                 ..ServeOptions::slo_aware()
             };
             let report = system.serve(&model, &mixed, options);
@@ -232,7 +233,7 @@ fn memory_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
                 report.slo_attainment() * 100.0,
                 report.deadline_misses(),
                 report.tokens_per_second(),
-                report.peak_kv_bytes as f64 / (1u64 << 20) as f64,
+                report.peak_kv_bytes.as_f64() / (1u64 << 20) as f64,
                 report.preemptions,
                 report.ttft_percentile_s(95.0) * 1e3,
             );
@@ -282,7 +283,7 @@ fn paged_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
     };
     for &budget in budgets {
         for paged in [false, true] {
-            let mut options = ServeOptions::memory_aware(budget << 20, 320);
+            let mut options = ServeOptions::memory_aware(Bytes::new(budget << 20), 320);
             if paged {
                 options = options.paged(16);
             }
@@ -295,7 +296,7 @@ fn paged_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
                 interactive(&report, |c| !c.meets_ttft()),
                 interactive(&report, |c| !c.meets_tpot()),
                 report.tokens_per_second(),
-                report.peak_kv_bytes as f64 / (1u64 << 20) as f64,
+                report.peak_kv_bytes.as_f64() / (1u64 << 20) as f64,
                 report.evictions,
                 report.restarted_prefill_tokens,
             );

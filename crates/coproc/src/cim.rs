@@ -138,6 +138,7 @@ impl CimMacro {
         let (q, k, n) = self
             .weights
             .as_ref()
+            // lint:allow(no-unwrap): documented panic contract (see # Panics)
             .expect("no weights resident in CIM macro");
         assert_eq!(x.len(), *k, "activation length mismatch");
         // Activations are quantized to the broadcast bit-width as well.
@@ -173,6 +174,7 @@ impl CimMacro {
         let (q, k, n) = self
             .weights
             .as_ref()
+            // lint:allow(no-unwrap): documented panic contract (see # Panics)
             .expect("no weights resident in CIM macro");
         assert_eq!(
             x_packed.len(),

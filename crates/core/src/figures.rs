@@ -6,6 +6,7 @@
 
 use edgemm_arch::{AreaModel, ChipConfig, ClusterKind, PowerModel};
 use edgemm_baseline::{GpuModel, RooflineDevice, SnitchBaseline};
+use edgemm_core::units::Bytes;
 use edgemm_mem::DramModel;
 use edgemm_mllm::{
     gemv, ActivationGenerator, ActivationProfile, Matrix, MllmConfig, ModelWorkload, Phase,
@@ -98,7 +99,7 @@ pub fn fig6_effective_bandwidth(block_sizes: &[u64]) -> Vec<(u64, f64)> {
     let dram = DramModel::paper_default();
     block_sizes
         .iter()
-        .map(|&b| (b, dram.effective_bandwidth_gib_s(b)))
+        .map(|&b| (b, dram.effective_bandwidth_gib_s(Bytes::new(b))))
         .collect()
 }
 
@@ -303,7 +304,7 @@ pub fn fig12_pruning(
         cosine_dynamic: cos_dyn,
         cosine_fixed_mild: cos_mild,
         cosine_fixed_aggressive: cos_aggr,
-        decode_latency_reduction: 1.0 - pruned.cycles as f64 / dense.cycles as f64,
+        decode_latency_reduction: 1.0 - pruned.cycles.ratio(dense.cycles),
     }
 }
 

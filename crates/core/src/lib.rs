@@ -31,6 +31,7 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
+//! | `edgemm-core` | unit-safe quantities ([`units::Cycles`], [`units::Bytes`], [`units::Tokens`]) and audited float comparisons |
 //! | `edgemm-arch` | chip hierarchy, coprocessor geometries, 22 nm area/power model |
 //! | `edgemm-isa` | extended instruction formats, CSRs, register files, kernels |
 //! | `edgemm-coproc` | systolic array, digital CIM macro, vector unit, hardware pruner |
@@ -51,6 +52,9 @@ mod system;
 pub use system::{
     EdgeMm, PruningMeasurement, RequestOptions, ServeOptions, SystemReport, DEFAULT_SPILL_PENALTY,
 };
+
+pub use edgemm_core::float;
+pub use edgemm_core::units;
 
 pub use edgemm_arch as arch;
 pub use edgemm_baseline as baseline;

@@ -1,6 +1,7 @@
 //! The assembled EdgeMM system: simulator + power model + pruning loop.
 
 use edgemm_arch::PowerModel;
+use edgemm_core::units::Bytes;
 use edgemm_mllm::{ActivationGenerator, ActivationProfile, MllmConfig, ModelWorkload, Phase};
 use edgemm_pruning::{DynamicTopK, Pruner};
 use edgemm_sched::{Pipeline, RooflineStage};
@@ -61,7 +62,7 @@ pub struct ServeOptions {
     /// MC-cluster data memory (KV resident there generates no DRAM traffic
     /// per step) and whose spill traffic pays
     /// [`DEFAULT_SPILL_PENALTY`].
-    pub kv_budget_bytes: Option<u64>,
+    pub kv_budget_bytes: Option<Bytes>,
     /// KV block size in tokens for *paged* allocation. `None` (default)
     /// keeps whole-request peak reservations; `Some(n)` allocates KV in
     /// `n`-token blocks lazily as decode progresses, prices every decode
@@ -128,7 +129,7 @@ impl ServeOptions {
     /// chunked prefill and KV-budget batch admission, with no hard batch
     /// cap — batch membership follows from context lengths and the byte
     /// budget.
-    pub fn memory_aware(kv_budget_bytes: u64, chunk_tokens: usize) -> Self {
+    pub fn memory_aware(kv_budget_bytes: Bytes, chunk_tokens: usize) -> Self {
         ServeOptions {
             batch_cap: None,
             chunk_tokens: Some(chunk_tokens),
@@ -303,7 +304,7 @@ impl EdgeMm {
             0.0
         };
         let dram = &self.machine.config().dram;
-        let bytes_per_token = run.total_dram_bytes() as f64 / generated.max(1.0);
+        let bytes_per_token = run.total_dram_bytes().as_f64() / generated.max(1.0);
         let tokens_per_joule = self.power.tokens_per_joule(
             &self.machine.config().chip,
             tokens_per_second.max(1e-9),
@@ -360,7 +361,7 @@ impl EdgeMm {
                     .chip
                     .total_data_memory(edgemm_arch::ClusterKind::MemoryCentric);
                 edgemm_serve::KvPool::with_budget(budget)
-                    .with_onchip(onchip)
+                    .with_onchip(Bytes::new(onchip))
                     .with_spill_penalty(DEFAULT_SPILL_PENALTY)
             }
         };
@@ -402,8 +403,8 @@ impl EdgeMm {
                 edgemm_arch::ClusterKind::ComputeCentric,
                 decode,
             );
-            cc_compute += r.compute_cycles as f64 / clock_hz;
-            cc_bytes += r.dram_bytes as f64;
+            cc_compute += r.compute_cycles.seconds_at(clock_hz);
+            cc_bytes += r.dram_bytes.as_f64();
         }
         let decode_all = self.machine.run_phase_on(
             workload,
@@ -415,8 +416,8 @@ impl EdgeMm {
         Pipeline::new(
             RooflineStage::new(cc_compute, cc_bytes, bw),
             RooflineStage::new(
-                decode_all.compute_cycles as f64 / clock_hz / tokens,
-                decode_all.dram_bytes as f64 / tokens,
+                decode_all.compute_cycles.seconds_at(clock_hz) / tokens,
+                decode_all.dram_bytes.as_f64() / tokens,
                 bw,
             ),
         )

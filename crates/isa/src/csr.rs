@@ -135,6 +135,7 @@ impl CsrFile {
     }
 
     fn slot(csr: Csr) -> usize {
+        // lint:allow(no-unwrap): Csr::ALL enumerates every variant
         Csr::ALL.iter().position(|c| *c == csr).expect("csr in ALL")
     }
 

@@ -1,0 +1,501 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for the rule set.
+//!
+//! The lexer understands line and (nested) block comments, normal / raw /
+//! byte string literals, char literals vs. lifetimes, identifiers, numeric
+//! literals (tracking whether they are floats), and a handful of two-char
+//! operators the rules care about (`==`, `!=`, `::`, ...). Everything else
+//! is a single-character punct. It deliberately does not build a syntax
+//! tree: the rules are token-pattern matchers.
+//!
+//! Two by-products of lexing feed the rule engine:
+//!
+//! * **Suppressions**: `// lint:allow(rule-id[, rule-id...])` comments. A
+//!   suppression applies to findings on its own line and on the line
+//!   immediately below (so it can sit trailing the offending expression or
+//!   on a comment line right above it).
+//! * **Test regions**: byte ranges covered by `#[cfg(test)]` / `#[test]`
+//!   items (attribute through the end of the item's brace block). Rules
+//!   skip findings inside these regions, mirroring the project policy that
+//!   tests may use raw casts, float equality and `unwrap` freely.
+
+/// Kinds of token the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `unwrap`, `SystemTime`, ...).
+    Ident,
+    /// Integer numeric literal.
+    Int,
+    /// Floating-point numeric literal (has a `.` or a decimal exponent).
+    Float,
+    /// String, raw string, byte string or char literal.
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator or delimiter; multi-char for the small set the rules use.
+    Punct,
+}
+
+/// One token with its location in the source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of the token.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column (in bytes) of the first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A `lint:allow` suppression parsed from a comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule identifiers listed in the `lint:allow(...)` clause.
+    pub rule_ids: Vec<String>,
+}
+
+/// Lexer output: tokens plus the suppression and test-region side tables.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// All tokens outside comments.
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` comments.
+    pub suppressions: Vec<Suppression>,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl LexedFile {
+    /// Whether `rule_id` is suppressed for a finding on `line`.
+    pub fn is_suppressed(&self, line: usize, rule_id: &str) -> bool {
+        self.suppressions.iter().any(|s| {
+            (s.line == line || s.line + 1 == line) && s.rule_ids.iter().any(|id| id == rule_id)
+        })
+    }
+
+    /// Whether a byte offset falls inside a test-only region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+}
+
+/// Lexes `src` and computes the side tables.
+pub fn lex(src: &str) -> LexedFile {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+
+    macro_rules! bump_lines {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if bytes[k] == b'\n' {
+                    line += 1;
+                    line_start = k + 1;
+                }
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let col = i - line_start + 1;
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let end = memchr_newline(bytes, i);
+                record_suppression(&src[i..end], line, &mut suppressions);
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                record_suppression(&src[i..j], start_line, &mut suppressions);
+                bump_lines!(i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    start: i,
+                    end,
+                    line,
+                    col,
+                });
+                bump_lines!(i, end);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                let is_char = i + 1 < bytes.len()
+                    && (bytes[i + 1] == b'\\'
+                        || (i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\''));
+                if is_char {
+                    let mut j = i + 1;
+                    if bytes[j] == b'\\' {
+                        j += 2; // escape introducer + escaped char
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1; // \u{...} and friends
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    let end = (j + 1).min(bytes.len());
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        start: i,
+                        end,
+                        line,
+                        col,
+                    });
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        start: i,
+                        end: j,
+                        line,
+                        col,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (end, is_float) = lex_number(bytes, i);
+                tokens.push(Token {
+                    kind: if is_float {
+                        TokenKind::Float
+                    } else {
+                        TokenKind::Int
+                    },
+                    start: i,
+                    end,
+                    line,
+                    col,
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let ident = &src[i..j];
+                // Raw / byte string prefixes glue the ident to the literal.
+                let next = bytes.get(j).copied();
+                if matches!(ident, "r" | "br" | "b") && matches!(next, Some(b'"') | Some(b'#')) {
+                    let raw = ident.contains('r');
+                    let end = if raw {
+                        skip_raw_string(bytes, j)
+                    } else if next == Some(b'"') {
+                        skip_string(bytes, j)
+                    } else {
+                        j // `b#` is not a literal prefix; re-lex from `#`
+                    };
+                    if end > j {
+                        tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            start: i,
+                            end,
+                            line,
+                            col,
+                        });
+                        bump_lines!(j, end);
+                        i = end;
+                        continue;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    start: i,
+                    end: j,
+                    line,
+                    col,
+                });
+                i = j;
+            }
+            _ => {
+                // Greedy two-char operators the rules pattern-match on.
+                const TWO: &[&[u8]] = &[
+                    b"==", b"!=", b"<=", b">=", b"::", b"->", b"=>", b"&&", b"||", b"..",
+                ];
+                let pair = if i + 1 < bytes.len() {
+                    &bytes[i..i + 2]
+                } else {
+                    &bytes[i..i + 1]
+                };
+                let len = if TWO.contains(&pair) { 2 } else { 1 };
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    start: i,
+                    end: i + len,
+                    line,
+                    col,
+                });
+                i += len;
+            }
+        }
+    }
+
+    let test_regions = find_test_regions(src, &tokens);
+    LexedFile {
+        tokens,
+        suppressions,
+        test_regions,
+    }
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    let mut j = from;
+    while j < bytes.len() && bytes[j] != b'\n' {
+        j += 1;
+    }
+    j
+}
+
+/// Skips a normal (escaped) string starting at the opening quote.
+fn skip_string(bytes: &[u8], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Skips a raw string starting at the first `#` or `"` after the prefix.
+fn skip_raw_string(bytes: &[u8], mut j: usize) -> usize {
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return j; // not actually a raw string
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"'
+            && bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+/// Lexes a numeric literal; returns (end, is_float).
+fn lex_number(bytes: &[u8], start: usize) -> (usize, bool) {
+    let mut j = start;
+    let hex = bytes[start] == b'0'
+        && matches!(
+            bytes.get(start + 1),
+            Some(b'x') | Some(b'X') | Some(b'b') | Some(b'o')
+        );
+    let mut is_float = false;
+    while j < bytes.len() {
+        let c = bytes[j];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            if !hex && (c == b'e' || c == b'E') {
+                // Decimal exponent only when followed by a digit or sign —
+                // otherwise it is a suffix/ident boundary (e.g. `2e` ident).
+                match bytes.get(j + 1) {
+                    Some(b'+') | Some(b'-') => {
+                        if bytes.get(j + 2).is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        j += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        } else if c == b'.'
+            && !is_float
+            && !hex
+            && bytes.get(j + 1).map_or(true, |d| d.is_ascii_digit())
+        {
+            is_float = true;
+            j += 1;
+        } else if c == b'.' && bytes.get(j + 1).is_some_and(|d| d.is_ascii_digit()) && !hex {
+            // Second dot with digits would be malformed; stop.
+            break;
+        } else {
+            break;
+        }
+    }
+    // Integer suffixes like `u64` keep the token an Int; a trailing `f64`
+    // suffix makes it a float even without a dot (rare, e.g. `1f64`).
+    let text = &bytes[start..j];
+    let suffix_float = text.windows(3).any(|w| w == b"f64" || w == b"f32");
+    (j, is_float || suffix_float)
+}
+
+fn record_suppression(comment: &str, line: usize, out: &mut Vec<Suppression>) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rule_ids: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if !rule_ids.is_empty() {
+        out.push(Suppression { line, rule_ids });
+    }
+}
+
+/// Finds byte ranges of items annotated `#[cfg(test)]` or `#[test]`.
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut idx = 0usize;
+    while idx < tokens.len() {
+        if !is_test_attribute(src, tokens, idx) {
+            idx += 1;
+            continue;
+        }
+        let region_start = tokens[idx].start;
+        // Skip this attribute and any further attributes on the same item.
+        let mut j = skip_attribute(src, tokens, idx);
+        while j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text(src) == "#" {
+            j = skip_attribute(src, tokens, j);
+        }
+        // Consume the item: up to the first top-level `{` (then its matching
+        // `}`) or a terminating `;` for brace-less items.
+        let mut depth = 0usize;
+        let mut end = src.len();
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text(src) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = t.end;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end = t.end;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        regions.push((region_start, end));
+        idx = j + 1;
+    }
+    regions
+}
+
+/// Whether the attribute starting at token `idx` (`#`) marks test-only code.
+fn is_test_attribute(src: &str, tokens: &[Token], idx: usize) -> bool {
+    if tokens[idx].kind != TokenKind::Punct || tokens[idx].text(src) != "#" {
+        return false;
+    }
+    let Some(open) = tokens.get(idx + 1) else {
+        return false;
+    };
+    if open.kind != TokenKind::Punct || open.text(src) != "[" {
+        return false;
+    }
+    // `#[test]`
+    if tokens.get(idx + 2).is_some_and(|t| t.text(src) == "test")
+        && tokens.get(idx + 3).is_some_and(|t| t.text(src) == "]")
+    {
+        return true;
+    }
+    // `#[cfg(test)]` — exact sequence, so `#[cfg(not(test))]` stays live.
+    ["cfg", "(", "test", ")", "]"]
+        .iter()
+        .enumerate()
+        .all(|(k, expect)| {
+            tokens
+                .get(idx + 2 + k)
+                .is_some_and(|t| t.text(src) == *expect)
+        })
+}
+
+/// Returns the token index one past the attribute starting at `#`.
+fn skip_attribute(src: &str, tokens: &[Token], idx: usize) -> usize {
+    let mut j = idx + 1; // at `[`
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].kind == TokenKind::Punct {
+            match tokens[j].text(src) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}

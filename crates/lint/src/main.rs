@@ -1,0 +1,62 @@
+//! CLI entry point: lint the enclosing workspace, print findings, exit
+//! non-zero if any rule fired. See `docs/static-analysis.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    for arg in &mut args {
+        match arg.as_str() {
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("usage: edgemm-lint [--list-rules] [WORKSPACE_ROOT]");
+                println!("Runs the EdgeMM rule set over the workspace sources.");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+
+    if list_rules {
+        for rule in edgemm_lint::RuleId::ALL {
+            println!("{:<16} {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match edgemm_lint::find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("edgemm-lint: no workspace root found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let report = match edgemm_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("edgemm-lint: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "edgemm-lint: {} file(s) checked, {} violation(s)",
+        report.files_checked,
+        report.findings.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

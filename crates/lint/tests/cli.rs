@@ -1,0 +1,88 @@
+//! Bin smoke tests for the `edgemm-lint` CLI, mirroring the bench crate's
+//! `bin_smoke` suite: the binary must run, stay at the zero-violation
+//! baseline, and exit non-zero when pointed at violating sources.
+
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_edgemm-lint");
+
+#[test]
+fn clean_workspace_exits_zero() {
+    // No root argument: the binary walks up from its CWD (this package dir)
+    // to the workspace root, exactly as `cargo run -p edgemm-lint` does.
+    let output = Command::new(BIN).output().expect("spawn edgemm-lint");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "baseline regressed:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn violations_exit_nonzero() {
+    // A fabricated mini-workspace in a temp dir: one unit-crate source with a
+    // raw cast, and a manifest whose member is missing from default-members.
+    let dir = std::env::temp_dir().join(format!("edgemm-lint-cli-{}", std::process::id()));
+    let src_dir = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\n    \"crates/sim\",\n    \"crates/mem\",\n]\ndefault-members = [\n    \"crates/sim\",\n]\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn widen(x: u32) -> u64 {\n    x as u64\n}\n",
+    )
+    .expect("write source");
+
+    let output = Command::new(BIN)
+        .arg(&dir)
+        .output()
+        .expect("spawn edgemm-lint");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!output.status.success(), "expected failure exit:\n{stdout}");
+    assert!(stdout.contains("[unit-cast]"), "{stdout}");
+    assert!(stdout.contains("[workspace-sync]"), "{stdout}");
+    assert!(stdout.contains("2 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn list_rules_names_all_five() {
+    let output = Command::new(BIN)
+        .arg("--list-rules")
+        .output()
+        .expect("spawn edgemm-lint");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for id in [
+        "unit-cast",
+        "float-eq",
+        "no-unwrap",
+        "sim-determinism",
+        "workspace-sync",
+    ] {
+        assert!(stdout.contains(id), "--list-rules lost {id}:\n{stdout}");
+    }
+    // Keep the help path exercised too.
+    let help = Command::new(BIN)
+        .arg("--help")
+        .output()
+        .expect("spawn edgemm-lint --help");
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("usage: edgemm-lint"));
+}
+
+#[test]
+fn fixture_directory_is_never_walked() {
+    // The deliberate violations in tests/fixtures/ must not reach the walker;
+    // a regression here would instantly break the baseline test above.
+    assert!(Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/unit_cast_bad.rs")
+        .is_file());
+}

@@ -1,0 +1,9 @@
+// Fixture: float-literal equality that `float-eq` must flag in any
+// library-scope file.
+pub fn is_neutral(factor: f64) -> bool {
+    factor == 1.0
+}
+
+pub fn has_traffic(bytes: f64) -> bool {
+    0.0 != bytes
+}

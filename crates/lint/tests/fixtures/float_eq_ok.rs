@@ -1,0 +1,28 @@
+// Fixture: float comparisons routed through the audited helpers, plus
+// integer equality (never flagged) and a float literal in a test.
+use edgemm_core::float::{approx_eq, is_one, is_zero};
+
+pub fn is_neutral(factor: f64) -> bool {
+    is_one(factor)
+}
+
+pub fn has_traffic(bytes: f64) -> bool {
+    !is_zero(bytes)
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    approx_eq(a, b, 1e-6)
+}
+
+pub fn count_matches(n: usize) -> bool {
+    n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_values_in_tests_are_fine() {
+        assert!(super::is_neutral(1.0));
+        assert!(0.5 == 0.5);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: unjustified `unwrap`/`expect` in library scope.
+pub fn first(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}
+
+pub fn parsed(text: &str) -> u64 {
+    text.parse().expect("numeric field")
+}

@@ -1,0 +1,18 @@
+// Fixture: panics routed through Result/Option, a justified invariant
+// `expect`, and free use inside a test region.
+pub fn first(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+pub fn head(values: &[u64]) -> u64 {
+    // lint:allow(no-unwrap): callers validate non-emptiness at construction
+    *values.first().expect("validated non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

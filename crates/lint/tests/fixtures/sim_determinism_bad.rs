@@ -1,0 +1,7 @@
+// Fixture: wall-clock sources that `sim-determinism` must flag inside the
+// deterministic cores.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,10 @@
+// Fixture: deterministic-core code deriving all time from modelled cycles.
+use edgemm_core::units::Cycles;
+
+pub fn advance(now: Cycles, step: Cycles) -> Cycles {
+    now + step
+}
+
+pub fn lifetime(start: Cycles, end: Cycles) -> Cycles {
+    end - start
+}

@@ -1,0 +1,22 @@
+// Fixture: the three suppression placements the harness tests — same line,
+// line directly above, and (deliberately) two lines above, which must NOT
+// suppress.
+pub fn same_line(x: f64) -> bool {
+    x == 0.0 // lint:allow(float-eq): audited exact sentinel comparison
+}
+
+pub fn line_above(x: f64) -> bool {
+    // lint:allow(float-eq): audited exact sentinel comparison
+    x == 1.0
+}
+
+pub fn too_far(x: f64) -> bool {
+    // lint:allow(float-eq): two lines up, out of range
+
+    x == 2.0
+}
+
+pub fn wrong_rule(values: &[u64]) -> u64 {
+    // lint:allow(float-eq): names a different rule, must not mask no-unwrap
+    *values.first().unwrap()
+}

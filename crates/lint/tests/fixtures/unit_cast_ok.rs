@@ -1,0 +1,25 @@
+// Fixture: unit-safe code plus the two legitimate escapes — an annotated
+// dimensionless count and a cast confined to a test region.
+use edgemm_core::units::{Bytes, Cycles};
+
+pub fn seconds(cycles: Cycles, clock_mhz: u32) -> f64 {
+    cycles.seconds(clock_mhz)
+}
+
+pub fn occupancy(used: Bytes, total: Bytes) -> f64 {
+    used.ratio(total)
+}
+
+pub fn label(id: usize) -> u64 {
+    // Request ids are opaque labels, not a tracked quantity.
+    // lint:allow(unit-cast)
+    id as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_are_fine_in_tests() {
+        assert_eq!(3usize as u64, 3u64);
+    }
+}

@@ -1,0 +1,252 @@
+//! Fixture tests for every `edgemm-lint` rule: positives fire with the
+//! right stable id, negatives stay silent, and the suppression / scoping
+//! escapes behave exactly as documented in `docs/static-analysis.md`.
+//!
+//! Fixtures live under `tests/fixtures/` and are deliberately NOT cargo
+//! targets: the bad ones would not compile as project code (and must not),
+//! and `lint_workspace` skips any `fixtures` directory so they never count
+//! against the workspace baseline.
+
+use std::path::{Path, PathBuf};
+
+use edgemm_lint::{check_workspace_sync, lint_source, lint_workspace, scope_of, RuleId, Scope};
+
+/// A synthetic path inside a unit-bearing crate: all four code rules apply.
+fn unit_crate_path() -> &'static Path {
+    Path::new("crates/sim/src/fixture.rs")
+}
+
+/// A synthetic path outside the unit-bearing crates: `unit-cast` and
+/// `sim-determinism` do not apply, `float-eq` and `no-unwrap` still do.
+fn plain_crate_path() -> &'static Path {
+    Path::new("crates/sched/src/fixture.rs")
+}
+
+fn rules_fired(rel: &Path, src: &str) -> Vec<RuleId> {
+    lint_source(rel, src).into_iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- unit-cast
+
+#[test]
+fn unit_cast_fires_on_raw_casts_in_unit_crates() {
+    let fired = rules_fired(unit_crate_path(), include_str!("fixtures/unit_cast_bad.rs"));
+    assert_eq!(fired.len(), 2, "one finding per cast: {fired:?}");
+    assert!(fired.iter().all(|r| *r == RuleId::UnitCast));
+}
+
+#[test]
+fn unit_cast_is_silent_on_unit_safe_code() {
+    let fired = rules_fired(unit_crate_path(), include_str!("fixtures/unit_cast_ok.rs"));
+    assert!(fired.is_empty(), "unexpected findings: {fired:?}");
+}
+
+#[test]
+fn unit_cast_does_not_apply_outside_unit_crates() {
+    let fired = rules_fired(
+        plain_crate_path(),
+        include_str!("fixtures/unit_cast_bad.rs"),
+    );
+    assert!(
+        !fired.contains(&RuleId::UnitCast),
+        "unit-cast leaked outside sim/mem/serve: {fired:?}"
+    );
+}
+
+#[test]
+fn unit_cast_exempts_the_units_module_itself() {
+    // The newtypes must cast internally; the rule exempts `units.rs` so the
+    // escape hatch lives in exactly one audited file.
+    let fired = rules_fired(
+        Path::new("crates/sim/src/units.rs"),
+        include_str!("fixtures/unit_cast_bad.rs"),
+    );
+    assert!(!fired.contains(&RuleId::UnitCast), "{fired:?}");
+}
+
+// ----------------------------------------------------------------- float-eq
+
+#[test]
+fn float_eq_fires_on_float_literal_comparisons() {
+    let findings = lint_source(plain_crate_path(), include_str!("fixtures/float_eq_bad.rs"));
+    let fired: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        fired.len(),
+        2,
+        "literal on either side counts: {findings:?}"
+    );
+    assert!(fired.iter().all(|r| *r == RuleId::FloatEq));
+}
+
+#[test]
+fn float_eq_is_silent_on_helper_based_comparisons() {
+    let fired = rules_fired(plain_crate_path(), include_str!("fixtures/float_eq_ok.rs"));
+    assert!(fired.is_empty(), "unexpected findings: {fired:?}");
+}
+
+// ---------------------------------------------------------------- no-unwrap
+
+#[test]
+fn no_unwrap_fires_on_bare_unwrap_and_expect() {
+    let fired = rules_fired(
+        plain_crate_path(),
+        include_str!("fixtures/no_unwrap_bad.rs"),
+    );
+    assert_eq!(fired.len(), 2, "unwrap and expect both count: {fired:?}");
+    assert!(fired.iter().all(|r| *r == RuleId::NoUnwrap));
+}
+
+#[test]
+fn no_unwrap_is_silent_on_justified_and_test_code() {
+    let fired = rules_fired(plain_crate_path(), include_str!("fixtures/no_unwrap_ok.rs"));
+    assert!(fired.is_empty(), "unexpected findings: {fired:?}");
+}
+
+// ---------------------------------------------------------- sim-determinism
+
+#[test]
+fn sim_determinism_fires_on_wall_clock_sources() {
+    let findings = lint_source(
+        unit_crate_path(),
+        include_str!("fixtures/sim_determinism_bad.rs"),
+    );
+    assert!(!findings.is_empty(), "expected wall-clock findings");
+    assert!(
+        findings.iter().all(|f| f.rule == RuleId::SimDeterminism),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn sim_determinism_is_silent_on_cycle_derived_time() {
+    let fired = rules_fired(
+        unit_crate_path(),
+        include_str!("fixtures/sim_determinism_ok.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected findings: {fired:?}");
+}
+
+#[test]
+fn sim_determinism_does_not_apply_outside_the_cores() {
+    let fired = rules_fired(
+        plain_crate_path(),
+        include_str!("fixtures/sim_determinism_bad.rs"),
+    );
+    assert!(
+        !fired.contains(&RuleId::SimDeterminism),
+        "sim-determinism leaked outside sim/mem/serve: {fired:?}"
+    );
+}
+
+// -------------------------------------------------------------- suppression
+
+#[test]
+fn suppression_covers_own_line_and_line_above_only() {
+    let findings = lint_source(plain_crate_path(), include_str!("fixtures/suppression.rs"));
+    // `same_line` and `line_above` are suppressed; `too_far` (comment two
+    // lines up) and `wrong_rule` (allow names float-eq, violation is
+    // no-unwrap) must still fire.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert_eq!(findings[0].rule, RuleId::FloatEq);
+    assert!(findings[0].line >= 16, "too_far comparison: {findings:?}");
+    assert_eq!(findings[1].rule, RuleId::NoUnwrap);
+}
+
+// -------------------------------------------------------------- file scopes
+
+#[test]
+fn test_like_paths_are_fully_exempt() {
+    let bad = include_str!("fixtures/no_unwrap_bad.rs");
+    for rel in [
+        "crates/sim/tests/fixture.rs",
+        "crates/sim/src/bin/tool.rs",
+        "crates/sim/examples/demo.rs",
+        "crates/sim/benches/bench.rs",
+        "crates/sim/src/main.rs",
+        "crates/sim/build.rs",
+    ] {
+        assert_eq!(scope_of(Path::new(rel)), Scope::TestLike, "{rel}");
+        assert!(
+            lint_source(Path::new(rel), bad).is_empty(),
+            "{rel} should be exempt"
+        );
+    }
+    assert_eq!(scope_of(unit_crate_path()), Scope::Library);
+}
+
+// ----------------------------------------------------------- workspace-sync
+
+#[test]
+fn workspace_sync_fires_on_member_missing_from_defaults() {
+    let toml = r#"
+[workspace]
+members = [
+    "crates/core",
+    "crates/sim",
+    "crates/lint",
+]
+default-members = [
+    "crates/core",
+    "crates/sim",
+]
+"#;
+    let findings = check_workspace_sync(Path::new("Cargo.toml"), toml);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, RuleId::WorkspaceSync);
+    assert!(findings[0].message.contains("crates/lint"), "{findings:?}");
+    // The finding points at the `"crates/lint",` line of the members array.
+    assert_eq!(findings[0].line, 6, "{findings:?}");
+}
+
+#[test]
+fn workspace_sync_is_silent_when_lists_match() {
+    let toml = r#"
+[workspace]
+members = [
+    "crates/core",
+    "crates/sim",
+]
+default-members = [
+    "crates/core",
+    "crates/sim",
+]
+"#;
+    let findings = check_workspace_sync(Path::new("Cargo.toml"), toml);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn workspace_sync_is_silent_without_default_members() {
+    // A workspace with no `default-members` builds everything by default;
+    // nothing can be silently skipped.
+    let toml = "[workspace]\nmembers = [\n    \"crates/core\",\n]\n";
+    let findings = check_workspace_sync(Path::new("Cargo.toml"), toml);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ------------------------------------------------------- workspace baseline
+
+#[test]
+fn the_workspace_itself_is_lint_clean() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let report = lint_workspace(&root).expect("workspace walk");
+    assert!(
+        report.findings.is_empty(),
+        "workspace lint baseline regressed:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_checked > 50,
+        "walk looks truncated: {} files",
+        report.files_checked
+    );
+}

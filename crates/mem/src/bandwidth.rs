@@ -9,6 +9,9 @@
 //! and byte budgets. The *policy* choosing the ratio for a given token
 //! length lives in `edgemm-sched`.
 
+use edgemm_core::float::count;
+use edgemm_core::units::{Bytes, Cycles};
+
 use crate::dram::DramModel;
 
 /// A bandwidth split between the CC clusters (as a group) and the MC
@@ -88,7 +91,7 @@ impl BandwidthAllocation {
         if cc_clusters == 0 {
             0.0
         } else {
-            self.cc_share / cc_clusters as f64
+            self.cc_share / count(cc_clusters)
         }
     }
 
@@ -97,7 +100,7 @@ impl BandwidthAllocation {
         if mc_clusters == 0 {
             0.0
         } else {
-            self.mc_share / mc_clusters as f64
+            self.mc_share / count(mc_clusters)
         }
     }
 }
@@ -112,20 +115,20 @@ impl Default for BandwidthAllocation {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetPolicy {
     /// Interval `T` over which the PMCs accumulate, in core cycles.
-    pub interval_cycles: u64,
+    pub interval_cycles: Cycles,
 }
 
 impl BudgetPolicy {
     /// The paper-style default interval (10k cycles = 10 us at 1 GHz).
     pub fn paper_default() -> Self {
         BudgetPolicy {
-            interval_cycles: 10_000,
+            interval_cycles: Cycles::new(10_000),
         }
     }
 
     /// Byte budget per interval corresponding to a bandwidth share.
-    pub fn budget_bytes(&self, dram: &DramModel, share: f64) -> u64 {
-        (dram.peak_bytes_per_cycle() * share * self.interval_cycles as f64).floor() as u64
+    pub fn budget_bytes(&self, dram: &DramModel, share: f64) -> Bytes {
+        Bytes::from_f64_floor(dram.peak_bytes_per_cycle() * share * self.interval_cycles.as_f64())
     }
 }
 
@@ -162,13 +165,13 @@ impl BandwidthManager {
     }
 
     /// Byte budget per interval for one CC cluster.
-    pub fn cc_cluster_budget(&self, cc_clusters: usize) -> u64 {
+    pub fn cc_cluster_budget(&self, cc_clusters: usize) -> Bytes {
         self.policy
             .budget_bytes(&self.dram, self.allocation.cc_cluster_share(cc_clusters))
     }
 
     /// Byte budget per interval for one MC cluster.
-    pub fn mc_cluster_budget(&self, mc_clusters: usize) -> u64 {
+    pub fn mc_cluster_budget(&self, mc_clusters: usize) -> Bytes {
         self.policy
             .budget_bytes(&self.dram, self.allocation.mc_cluster_share(mc_clusters))
     }
@@ -229,12 +232,12 @@ mod tests {
     fn budget_bytes_scale_with_share_and_interval() {
         let dram = DramModel::paper_default();
         let policy = BudgetPolicy {
-            interval_cycles: 10_000,
+            interval_cycles: Cycles::new(10_000),
         };
         let half = policy.budget_bytes(&dram, 0.5);
         let quarter = policy.budget_bytes(&dram, 0.25);
         assert!(half > quarter);
-        assert!((half as f64 / quarter as f64 - 2.0).abs() < 0.01);
+        assert!((half.ratio(quarter) - 2.0).abs() < 0.01);
         // Half the 68 GiB/s bandwidth over 10k cycles at 1 GHz ~ 356 KiB.
         assert!(half > 350_000 && half < 380_000, "half budget = {half}");
     }

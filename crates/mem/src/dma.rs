@@ -7,6 +7,8 @@
 //! requests are blocked until the interval elapses and the PMC resets
 //! (paper Sec. IV-B).
 
+use edgemm_core::units::{Bytes, Cycles};
+
 use crate::dram::DramModel;
 use crate::traffic::{TrafficClass, TrafficStats};
 
@@ -14,14 +16,14 @@ use crate::traffic::{TrafficClass, TrafficStats};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaRequest {
     /// Bytes to move.
-    pub bytes: u64,
+    pub bytes: Bytes,
     /// Semantic class of the data (for the Fig. 2c breakdown).
     pub class: TrafficClass,
 }
 
 impl DmaRequest {
     /// Convenience constructor.
-    pub fn new(bytes: u64, class: TrafficClass) -> Self {
+    pub fn new(bytes: Bytes, class: TrafficClass) -> Self {
         DmaRequest { bytes, class }
     }
 }
@@ -32,11 +34,11 @@ pub struct DmaTranscript {
     /// The request that was served.
     pub request: DmaRequest,
     /// Cycle at which the transfer started (after any throttling stall).
-    pub start_cycle: u64,
+    pub start_cycle: Cycles,
     /// Cycle at which the transfer completed.
-    pub end_cycle: u64,
+    pub end_cycle: Cycles,
     /// Cycles the request was stalled waiting for budget.
-    pub stall_cycles: u64,
+    pub stall_cycles: Cycles,
 }
 
 /// A cluster DMA engine with budget throttling.
@@ -48,21 +50,21 @@ pub struct DmaTranscript {
 pub struct DmaEngine {
     dram: DramModel,
     /// Largest contiguous block the cluster data memory can accept.
-    max_block_bytes: u64,
+    max_block_bytes: Bytes,
     /// Fraction of the chip DRAM bandwidth allocated to this cluster.
     bandwidth_share: f64,
     /// Budget `B` in bytes per interval, `None` = unthrottled.
-    budget_per_interval: Option<u64>,
+    budget_per_interval: Option<Bytes>,
     /// Interval `T` in cycles.
-    interval_cycles: u64,
+    interval_cycles: Cycles,
     /// PMC: bytes used in the current interval.
-    pmc_bytes: u64,
+    pmc_bytes: Bytes,
     /// Start cycle of the current interval.
-    interval_start: u64,
+    interval_start: Cycles,
     /// Local time of the engine (cycle at which it becomes idle).
-    now: u64,
+    now: Cycles,
     stats: TrafficStats,
-    total_stall_cycles: u64,
+    total_stall_cycles: Cycles,
 }
 
 impl DmaEngine {
@@ -73,8 +75,8 @@ impl DmaEngine {
     /// # Panics
     ///
     /// Panics if `max_block_bytes` is zero or the share is not in `(0, 1]`.
-    pub fn new(dram: DramModel, max_block_bytes: u64, bandwidth_share: f64) -> Self {
-        assert!(max_block_bytes > 0, "block size must be non-zero");
+    pub fn new(dram: DramModel, max_block_bytes: Bytes, bandwidth_share: f64) -> Self {
+        assert!(!max_block_bytes.is_zero(), "block size must be non-zero");
         assert!(
             bandwidth_share > 0.0 && bandwidth_share <= 1.0,
             "share must be in (0, 1]"
@@ -84,12 +86,12 @@ impl DmaEngine {
             max_block_bytes,
             bandwidth_share,
             budget_per_interval: None,
-            interval_cycles: 10_000,
-            pmc_bytes: 0,
-            interval_start: 0,
-            now: 0,
+            interval_cycles: Cycles::new(10_000),
+            pmc_bytes: Bytes::ZERO,
+            interval_start: Cycles::ZERO,
+            now: Cycles::ZERO,
             stats: TrafficStats::new(),
-            total_stall_cycles: 0,
+            total_stall_cycles: Cycles::ZERO,
         }
     }
 
@@ -98,8 +100,8 @@ impl DmaEngine {
     /// # Panics
     ///
     /// Panics if `interval_cycles` is zero.
-    pub fn set_budget(&mut self, budget_bytes: u64, interval_cycles: u64) {
-        assert!(interval_cycles > 0, "interval must be non-zero");
+    pub fn set_budget(&mut self, budget_bytes: Bytes, interval_cycles: Cycles) {
+        assert!(!interval_cycles.is_zero(), "interval must be non-zero");
         self.budget_per_interval = Some(budget_bytes);
         self.interval_cycles = interval_cycles;
     }
@@ -125,7 +127,7 @@ impl DmaEngine {
     }
 
     /// The engine's local clock: the cycle at which it becomes idle.
-    pub fn now(&self) -> u64 {
+    pub fn now(&self) -> Cycles {
         self.now
     }
 
@@ -135,17 +137,17 @@ impl DmaEngine {
     }
 
     /// Total cycles spent stalled on budget throttling.
-    pub fn total_stall_cycles(&self) -> u64 {
+    pub fn total_stall_cycles(&self) -> Cycles {
         self.total_stall_cycles
     }
 
     /// Submit a request at `issue_cycle` (clamped to the engine's local time)
     /// and return the transcript of its execution.
-    pub fn submit(&mut self, request: DmaRequest, issue_cycle: u64) -> DmaTranscript {
+    pub fn submit(&mut self, request: DmaRequest, issue_cycle: Cycles) -> DmaTranscript {
         let mut start = issue_cycle.max(self.now);
         // Advance the throttling interval to cover `start`.
         self.roll_interval(start);
-        let mut stall = 0u64;
+        let mut stall = Cycles::ZERO;
         if let Some(budget) = self.budget_per_interval {
             // If the PMC already exceeds the budget, stall to the next
             // interval boundary (requests are blocked until T elapses).
@@ -172,10 +174,10 @@ impl DmaEngine {
         }
     }
 
-    fn roll_interval(&mut self, cycle: u64) {
+    fn roll_interval(&mut self, cycle: Cycles) {
         while cycle >= self.interval_start + self.interval_cycles {
             self.interval_start += self.interval_cycles;
-            self.pmc_bytes = 0;
+            self.pmc_bytes = Bytes::ZERO;
         }
     }
 }
@@ -185,14 +187,18 @@ mod tests {
     use super::*;
 
     fn engine() -> DmaEngine {
-        DmaEngine::new(DramModel::paper_default(), 64 * 1024, 1.0)
+        DmaEngine::new(DramModel::paper_default(), Bytes::new(64 * 1024), 1.0)
+    }
+
+    fn request(bytes: u64, class: TrafficClass) -> DmaRequest {
+        DmaRequest::new(Bytes::new(bytes), class)
     }
 
     #[test]
     fn unthrottled_requests_never_stall() {
         let mut dma = engine();
         for _ in 0..10 {
-            let t = dma.submit(DmaRequest::new(32 * 1024, TrafficClass::FfnWeights), 0);
+            let t = dma.submit(request(32 * 1024, TrafficClass::FfnWeights), Cycles::ZERO);
             assert_eq!(t.stall_cycles, 0);
         }
         assert_eq!(dma.total_stall_cycles(), 0);
@@ -202,8 +208,8 @@ mod tests {
     #[test]
     fn requests_serialise_on_the_engine() {
         let mut dma = engine();
-        let a = dma.submit(DmaRequest::new(64 * 1024, TrafficClass::Activations), 0);
-        let b = dma.submit(DmaRequest::new(64 * 1024, TrafficClass::Activations), 0);
+        let a = dma.submit(request(64 * 1024, TrafficClass::Activations), Cycles::ZERO);
+        let b = dma.submit(request(64 * 1024, TrafficClass::Activations), Cycles::ZERO);
         assert_eq!(b.start_cycle, a.end_cycle);
         assert!(dma.now() == b.end_cycle);
     }
@@ -211,15 +217,12 @@ mod tests {
     #[test]
     fn budget_blocks_until_interval_end() {
         let mut dma = engine();
-        dma.set_budget(100 * 1024, 50_000);
+        dma.set_budget(Bytes::new(100 * 1024), Cycles::new(50_000));
         // First request consumes the whole budget.
-        let a = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), 0);
+        let a = dma.submit(request(128 * 1024, TrafficClass::FfnWeights), Cycles::ZERO);
         assert_eq!(a.stall_cycles, 0);
         // Second request must wait for the next interval boundary.
-        let b = dma.submit(
-            DmaRequest::new(4 * 1024, TrafficClass::FfnWeights),
-            a.end_cycle,
-        );
+        let b = dma.submit(request(4 * 1024, TrafficClass::FfnWeights), a.end_cycle);
         assert!(b.stall_cycles > 0);
         assert_eq!(b.start_cycle, 50_000);
         assert_eq!(dma.total_stall_cycles(), b.stall_cycles);
@@ -228,12 +231,12 @@ mod tests {
     #[test]
     fn pmc_resets_every_interval() {
         let mut dma = engine();
-        dma.set_budget(100 * 1024, 10_000);
-        let a = dma.submit(DmaRequest::new(128 * 1024, TrafficClass::FfnWeights), 0);
+        dma.set_budget(Bytes::new(100 * 1024), Cycles::new(10_000));
+        let a = dma.submit(request(128 * 1024, TrafficClass::FfnWeights), Cycles::ZERO);
         // Issue far in the future: the PMC has long reset, no stall.
         let b = dma.submit(
-            DmaRequest::new(128 * 1024, TrafficClass::FfnWeights),
-            a.end_cycle + 100_000,
+            request(128 * 1024, TrafficClass::FfnWeights),
+            a.end_cycle + Cycles::new(100_000),
         );
         assert_eq!(b.stall_cycles, 0);
     }
@@ -241,19 +244,19 @@ mod tests {
     #[test]
     fn clearing_budget_removes_stalls() {
         let mut dma = engine();
-        dma.set_budget(1, 1_000_000);
-        let a = dma.submit(DmaRequest::new(1024, TrafficClass::KvCache), 0);
+        dma.set_budget(Bytes::new(1), Cycles::new(1_000_000));
+        let a = dma.submit(request(1024, TrafficClass::KvCache), Cycles::ZERO);
         dma.clear_budget();
-        let b = dma.submit(DmaRequest::new(1024, TrafficClass::KvCache), a.end_cycle);
+        let b = dma.submit(request(1024, TrafficClass::KvCache), a.end_cycle);
         assert_eq!(b.stall_cycles, 0);
     }
 
     #[test]
     fn smaller_share_means_longer_transfers() {
         let mut full = engine();
-        let mut quarter = DmaEngine::new(DramModel::paper_default(), 64 * 1024, 0.25);
-        let a = full.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), 0);
-        let b = quarter.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), 0);
+        let mut quarter = DmaEngine::new(DramModel::paper_default(), Bytes::new(64 * 1024), 0.25);
+        let a = full.submit(request(1 << 20, TrafficClass::FfnWeights), Cycles::ZERO);
+        let b = quarter.submit(request(1 << 20, TrafficClass::FfnWeights), Cycles::ZERO);
         assert!(b.end_cycle > a.end_cycle);
         assert!((quarter.bandwidth_share() - 0.25).abs() < 1e-12);
     }
@@ -261,10 +264,10 @@ mod tests {
     #[test]
     fn share_can_be_retuned_at_runtime() {
         let mut dma = engine();
-        let slow_before = dma.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), 0);
+        let slow_before = dma.submit(request(1 << 20, TrafficClass::FfnWeights), Cycles::ZERO);
         dma.set_bandwidth_share(0.125);
         let start = slow_before.end_cycle;
-        let slow_after = dma.submit(DmaRequest::new(1 << 20, TrafficClass::FfnWeights), start);
+        let slow_after = dma.submit(request(1 << 20, TrafficClass::FfnWeights), start);
         assert!(
             slow_after.end_cycle - slow_after.start_cycle
                 > slow_before.end_cycle - slow_before.start_cycle
@@ -274,12 +277,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "share must be in (0, 1]")]
     fn invalid_share_panics() {
-        DmaEngine::new(DramModel::paper_default(), 1024, 1.5);
+        DmaEngine::new(DramModel::paper_default(), Bytes::new(1024), 1.5);
     }
 
     #[test]
     #[should_panic(expected = "interval must be non-zero")]
     fn zero_interval_panics() {
-        engine().set_budget(1024, 0);
+        engine().set_budget(Bytes::new(1024), Cycles::ZERO);
     }
 }

@@ -12,6 +12,11 @@
 //! which drops sharply for small transfers and approaches the ideal
 //! bandwidth for large ones — the curve of the paper's Fig. 6b.
 
+use edgemm_core::units::{clock_hz, Bytes, Cycles};
+
+/// Bytes per GiB, as an exact float.
+const GIB: f64 = 1_073_741_824.0;
+
 /// Timing model of the shared external DRAM interface.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramModel {
@@ -21,7 +26,7 @@ pub struct DramModel {
     pub clock_mhz: u32,
     /// Fixed overhead per DMA transfer, in core cycles (controller latency,
     /// AXI traversal, page activation).
-    pub overhead_cycles: u64,
+    pub overhead_cycles: Cycles,
     /// Energy cost of moving one byte from DRAM, in picojoules (used for the
     /// token/J efficiency figure).
     pub energy_pj_per_byte: f64,
@@ -34,7 +39,7 @@ impl DramModel {
         DramModel {
             peak_gib_s: 68.0,
             clock_mhz: 1000,
-            overhead_cycles: 200,
+            overhead_cycles: Cycles::new(200),
             energy_pj_per_byte: 20.0,
         }
     }
@@ -47,7 +52,7 @@ impl DramModel {
     pub fn new(
         peak_gib_s: f64,
         clock_mhz: u32,
-        overhead_cycles: u64,
+        overhead_cycles: Cycles,
         energy_pj_per_byte: f64,
     ) -> Self {
         assert!(peak_gib_s > 0.0, "peak bandwidth must be positive");
@@ -62,7 +67,7 @@ impl DramModel {
 
     /// Peak bandwidth in bytes per core cycle.
     pub fn peak_bytes_per_cycle(&self) -> f64 {
-        self.peak_gib_s * (1u64 << 30) as f64 / (self.clock_mhz as f64 * 1.0e6)
+        self.peak_gib_s * GIB / clock_hz(self.clock_mhz)
     }
 
     /// Core cycles to move `bytes` with a fraction `share` (0 < share <= 1)
@@ -71,36 +76,38 @@ impl DramModel {
     /// # Panics
     ///
     /// Panics if `share` is not in `(0, 1]` or `block_bytes` is zero.
-    pub fn transfer_cycles(&self, bytes: u64, block_bytes: u64, share: f64) -> u64 {
+    pub fn transfer_cycles(&self, bytes: Bytes, block_bytes: Bytes, share: f64) -> Cycles {
         assert!(share > 0.0 && share <= 1.0, "share must be in (0, 1]");
-        assert!(block_bytes > 0, "block size must be non-zero");
-        if bytes == 0 {
-            return 0;
+        assert!(!block_bytes.is_zero(), "block size must be non-zero");
+        if bytes.is_zero() {
+            return Cycles::ZERO;
         }
         let transfers = bytes.div_ceil(block_bytes);
-        let stream_cycles = (bytes as f64 / (self.peak_bytes_per_cycle() * share)).ceil() as u64;
-        transfers * self.overhead_cycles + stream_cycles
+        let stream_cycles =
+            Cycles::from_f64_ceil(bytes.as_f64() / (self.peak_bytes_per_cycle() * share));
+        self.overhead_cycles * transfers + stream_cycles
     }
 
     /// Effective bandwidth in GiB/s achieved when moving data in blocks of
     /// `block_bytes` at full share — the quantity plotted in Fig. 6b.
-    pub fn effective_bandwidth_gib_s(&self, block_bytes: u64) -> f64 {
-        if block_bytes == 0 {
+    pub fn effective_bandwidth_gib_s(&self, block_bytes: Bytes) -> f64 {
+        if block_bytes.is_zero() {
             return 0.0;
         }
-        let cycles = self.transfer_cycles(block_bytes, block_bytes, 1.0);
-        let seconds = cycles as f64 / (self.clock_mhz as f64 * 1.0e6);
-        block_bytes as f64 / (1u64 << 30) as f64 / seconds
+        let seconds = self
+            .transfer_cycles(block_bytes, block_bytes, 1.0)
+            .seconds(self.clock_mhz);
+        block_bytes.as_f64() / GIB / seconds
     }
 
     /// Energy in joules for moving `bytes` from DRAM.
-    pub fn transfer_energy_j(&self, bytes: u64) -> f64 {
-        bytes as f64 * self.energy_pj_per_byte * 1e-12
+    pub fn transfer_energy_j(&self, bytes: Bytes) -> f64 {
+        bytes.as_f64() * self.energy_pj_per_byte * 1e-12
     }
 
     /// Seconds corresponding to `cycles` core cycles.
-    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
-        cycles as f64 / (self.clock_mhz as f64 * 1.0e6)
+    pub fn cycles_to_seconds(&self, cycles: Cycles) -> f64 {
+        cycles.seconds(self.clock_mhz)
     }
 }
 
@@ -126,8 +133,8 @@ mod tests {
     #[test]
     fn small_transfers_are_overhead_dominated() {
         let dram = DramModel::paper_default();
-        let small = dram.effective_bandwidth_gib_s(1024);
-        let large = dram.effective_bandwidth_gib_s(4 * 1024 * 1024);
+        let small = dram.effective_bandwidth_gib_s(Bytes::new(1024));
+        let large = dram.effective_bandwidth_gib_s(Bytes::new(4 * 1024 * 1024));
         // Fig. 6b: effective bandwidth drops notably for small matrices but
         // nears the ideal bandwidth as the block size increases.
         assert!(small < 0.3 * dram.peak_gib_s, "small-block BW = {small}");
@@ -138,7 +145,7 @@ mod tests {
     fn effective_bandwidth_is_monotonic_in_block_size() {
         let dram = DramModel::paper_default();
         let sizes = [
-            1usize << 10,
+            1u64 << 10,
             1 << 12,
             1 << 14,
             1 << 16,
@@ -148,7 +155,7 @@ mod tests {
         ];
         let bws: Vec<f64> = sizes
             .iter()
-            .map(|&s| dram.effective_bandwidth_gib_s(s as u64))
+            .map(|&s| dram.effective_bandwidth_gib_s(Bytes::new(s)))
             .collect();
         for pair in bws.windows(2) {
             assert!(
@@ -161,25 +168,28 @@ mod tests {
     #[test]
     fn transfer_cycles_scale_with_share() {
         let dram = DramModel::paper_default();
-        let full = dram.transfer_cycles(1 << 20, 1 << 20, 1.0);
-        let half = dram.transfer_cycles(1 << 20, 1 << 20, 0.5);
+        let full = dram.transfer_cycles(Bytes::new(1 << 20), Bytes::new(1 << 20), 1.0);
+        let half = dram.transfer_cycles(Bytes::new(1 << 20), Bytes::new(1 << 20), 0.5);
         // Streaming part doubles; overhead stays the same.
         assert!(half > full);
-        assert!(half < 2 * full);
+        assert!(half < full * 2u64);
     }
 
     #[test]
     fn zero_bytes_is_free() {
         let dram = DramModel::paper_default();
-        assert_eq!(dram.transfer_cycles(0, 1024, 1.0), 0);
-        assert_eq!(dram.effective_bandwidth_gib_s(0), 0.0);
+        assert_eq!(
+            dram.transfer_cycles(Bytes::ZERO, Bytes::new(1024), 1.0),
+            Cycles::ZERO
+        );
+        assert_eq!(dram.effective_bandwidth_gib_s(Bytes::ZERO), 0.0);
     }
 
     #[test]
     fn energy_scales_linearly() {
         let dram = DramModel::paper_default();
-        let one = dram.transfer_energy_j(1_000_000);
-        let two = dram.transfer_energy_j(2_000_000);
+        let one = dram.transfer_energy_j(Bytes::new(1_000_000));
+        let two = dram.transfer_energy_j(Bytes::new(2_000_000));
         assert!((two - 2.0 * one).abs() < 1e-15);
         // 20 pJ/byte * 1 MB = 20 uJ.
         assert!((one - 20.0e-6).abs() < 1e-9);
@@ -188,13 +198,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "share must be in (0, 1]")]
     fn bad_share_panics() {
-        DramModel::paper_default().transfer_cycles(1024, 1024, 0.0);
+        DramModel::paper_default().transfer_cycles(Bytes::new(1024), Bytes::new(1024), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "peak bandwidth must be positive")]
     fn bad_peak_panics() {
-        DramModel::new(0.0, 1000, 10, 20.0);
+        DramModel::new(0.0, 1000, Cycles::new(10), 20.0);
     }
 
     proptest! {
@@ -202,16 +212,17 @@ mod tests {
         #[test]
         fn effective_never_exceeds_peak(block in 1u64..(1 << 26)) {
             let dram = DramModel::paper_default();
-            prop_assert!(dram.effective_bandwidth_gib_s(block) <= dram.peak_gib_s + 1e-9);
+            prop_assert!(dram.effective_bandwidth_gib_s(Bytes::new(block)) <= dram.peak_gib_s + 1e-9);
         }
 
         /// Transfer cycles are monotonic in the byte count.
         #[test]
         fn cycles_monotonic_in_bytes(bytes in 1u64..(1 << 26), extra in 1u64..(1 << 20)) {
             let dram = DramModel::paper_default();
-            let block = 64 * 1024;
+            let block = Bytes::new(64 * 1024);
             prop_assert!(
-                dram.transfer_cycles(bytes + extra, block, 1.0) >= dram.transfer_cycles(bytes, block, 1.0)
+                dram.transfer_cycles(Bytes::new(bytes + extra), block, 1.0)
+                    >= dram.transfer_cycles(Bytes::new(bytes), block, 1.0)
             );
         }
     }

@@ -29,6 +29,9 @@
 //! penalty 1.0) the factor is exactly 1.0 and the serving simulator
 //! reproduces the pre-pool cost model byte for byte.
 
+use edgemm_core::float::is_one;
+use edgemm_core::units::Bytes;
+
 /// A byte-budgeted KV-cache pool with an on-chip tier and a spill penalty.
 ///
 /// The pool tracks reservations, the high-water mark, and the traffic
@@ -37,11 +40,11 @@
 /// run its own working copy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KvPool {
-    budget_bytes: u64,
-    onchip_bytes: u64,
+    budget_bytes: Bytes,
+    onchip_bytes: Bytes,
     spill_penalty: f64,
-    reserved_bytes: u64,
-    peak_bytes: u64,
+    reserved_bytes: Bytes,
+    peak_bytes: Bytes,
 }
 
 impl KvPool {
@@ -50,11 +53,11 @@ impl KvPool {
     /// is exactly the pre-pool serving cost model.
     pub fn unbounded() -> Self {
         KvPool {
-            budget_bytes: u64::MAX,
-            onchip_bytes: 0,
+            budget_bytes: Bytes::MAX,
+            onchip_bytes: Bytes::ZERO,
             spill_penalty: 1.0,
-            reserved_bytes: 0,
-            peak_bytes: 0,
+            reserved_bytes: Bytes::ZERO,
+            peak_bytes: Bytes::ZERO,
         }
     }
 
@@ -65,8 +68,8 @@ impl KvPool {
     /// # Panics
     ///
     /// Panics if the budget is zero.
-    pub fn with_budget(budget_bytes: u64) -> Self {
-        assert!(budget_bytes > 0, "KV budget must be positive");
+    pub fn with_budget(budget_bytes: Bytes) -> Self {
+        assert!(!budget_bytes.is_zero(), "KV budget must be positive");
         KvPool {
             budget_bytes,
             ..Self::unbounded()
@@ -75,7 +78,7 @@ impl KvPool {
 
     /// The same pool with the first `onchip_bytes` of occupancy served from
     /// on-chip memory (clamped to the budget).
-    pub fn with_onchip(self, onchip_bytes: u64) -> Self {
+    pub fn with_onchip(self, onchip_bytes: Bytes) -> Self {
         KvPool {
             onchip_bytes: onchip_bytes.min(self.budget_bytes),
             ..self
@@ -100,13 +103,13 @@ impl KvPool {
         }
     }
 
-    /// The admission capacity in bytes (`u64::MAX` when unbounded).
-    pub fn budget_bytes(&self) -> u64 {
+    /// The admission capacity in bytes ([`Bytes::MAX`] when unbounded).
+    pub fn budget_bytes(&self) -> Bytes {
         self.budget_bytes
     }
 
     /// Size of the on-chip tier in bytes.
-    pub fn onchip_bytes(&self) -> u64 {
+    pub fn onchip_bytes(&self) -> Bytes {
         self.onchip_bytes
     }
 
@@ -117,21 +120,21 @@ impl KvPool {
 
     /// Whether the pool has no capacity limit.
     pub fn is_unbounded(&self) -> bool {
-        self.budget_bytes == u64::MAX
+        self.budget_bytes == Bytes::MAX
     }
 
     /// Bytes currently reserved.
-    pub fn reserved_bytes(&self) -> u64 {
+    pub fn reserved_bytes(&self) -> Bytes {
         self.reserved_bytes
     }
 
     /// High-water mark of reserved bytes over the pool's lifetime.
-    pub fn peak_bytes(&self) -> u64 {
+    pub fn peak_bytes(&self) -> Bytes {
         self.peak_bytes
     }
 
     /// Headroom left under the budget.
-    pub fn available_bytes(&self) -> u64 {
+    pub fn available_bytes(&self) -> Bytes {
         self.budget_bytes.saturating_sub(self.reserved_bytes)
     }
 
@@ -141,12 +144,12 @@ impl KvPool {
     /// the pool is *empty*, so an oversized request degrades to running
     /// solo instead of deadlocking the queue. (Its spilled majority still
     /// pays the spill penalty every step.)
-    pub fn try_reserve(&mut self, bytes: u64) -> bool {
+    pub fn try_reserve(&mut self, bytes: Bytes) -> bool {
         let fits = self
             .reserved_bytes
             .checked_add(bytes)
             .is_some_and(|total| total <= self.budget_bytes);
-        if !fits && self.reserved_bytes > 0 {
+        if !fits && !self.reserved_bytes.is_zero() {
             return false;
         }
         self.reserved_bytes = self.reserved_bytes.saturating_add(bytes);
@@ -159,7 +162,7 @@ impl KvPool {
     /// # Panics
     ///
     /// Panics if more bytes are released than are reserved.
-    pub fn release(&mut self, bytes: u64) {
+    pub fn release(&mut self, bytes: Bytes) {
         assert!(
             bytes <= self.reserved_bytes,
             "released {bytes} bytes with only {} reserved",
@@ -175,11 +178,13 @@ impl KvPool {
     /// when most of the batch's KV fits on chip; above 1.0 when a penalised
     /// majority spills.
     pub fn kv_traffic_factor(&self) -> f64 {
-        if self.reserved_bytes == 0 || (self.onchip_bytes == 0 && self.spill_penalty == 1.0) {
+        if self.reserved_bytes.is_zero()
+            || (self.onchip_bytes.is_zero() && is_one(self.spill_penalty))
+        {
             return 1.0;
         }
         let spilled = self.reserved_bytes.saturating_sub(self.onchip_bytes);
-        spilled as f64 / self.reserved_bytes as f64 * self.spill_penalty
+        spilled.ratio(self.reserved_bytes) * self.spill_penalty
     }
 }
 
@@ -198,7 +203,7 @@ mod tests {
         let mut pool = KvPool::unbounded();
         assert!(pool.is_unbounded());
         for _ in 0..8 {
-            assert!(pool.try_reserve(1 << 40));
+            assert!(pool.try_reserve(Bytes::new(1 << 40)));
             assert_eq!(pool.kv_traffic_factor(), 1.0);
         }
         assert_eq!(pool.peak_bytes(), 8 << 40);
@@ -206,50 +211,59 @@ mod tests {
 
     #[test]
     fn budget_blocks_at_capacity_and_frees_on_release() {
-        let mut pool = KvPool::with_budget(100);
-        assert!(pool.try_reserve(60));
-        assert!(!pool.try_reserve(41), "over-budget reservation admitted");
+        let mut pool = KvPool::with_budget(Bytes::new(100));
+        assert!(pool.try_reserve(Bytes::new(60)));
+        assert!(
+            !pool.try_reserve(Bytes::new(41)),
+            "over-budget reservation admitted"
+        );
         assert_eq!(pool.reserved_bytes(), 60);
-        assert!(pool.try_reserve(40));
+        assert!(pool.try_reserve(Bytes::new(40)));
         assert_eq!(pool.available_bytes(), 0);
-        pool.release(60);
-        assert!(pool.try_reserve(60));
+        pool.release(Bytes::new(60));
+        assert!(pool.try_reserve(Bytes::new(60)));
         assert_eq!(pool.peak_bytes(), 100);
     }
 
     #[test]
     fn oversized_stream_is_admitted_only_into_an_empty_pool() {
-        let mut pool = KvPool::with_budget(100);
-        assert!(pool.try_reserve(250), "solo oversized stream must run");
-        assert_eq!(pool.reserved_bytes(), 250);
-        assert!(!pool.try_reserve(1), "nothing may join an oversized solo");
-        pool.release(250);
-        assert!(pool.try_reserve(10));
+        let mut pool = KvPool::with_budget(Bytes::new(100));
         assert!(
-            !pool.try_reserve(250),
+            pool.try_reserve(Bytes::new(250)),
+            "solo oversized stream must run"
+        );
+        assert_eq!(pool.reserved_bytes(), 250);
+        assert!(
+            !pool.try_reserve(Bytes::new(1)),
+            "nothing may join an oversized solo"
+        );
+        pool.release(Bytes::new(250));
+        assert!(pool.try_reserve(Bytes::new(10)));
+        assert!(
+            !pool.try_reserve(Bytes::new(250)),
             "escape hatch requires an empty pool"
         );
     }
 
     #[test]
     fn traffic_factor_follows_the_spill_formula() {
-        let mut pool = KvPool::with_budget(1000)
-            .with_onchip(400)
+        let mut pool = KvPool::with_budget(Bytes::new(1000))
+            .with_onchip(Bytes::new(400))
             .with_spill_penalty(1.5);
         assert_eq!(pool.kv_traffic_factor(), 1.0, "empty pool is neutral");
-        assert!(pool.try_reserve(200));
+        assert!(pool.try_reserve(Bytes::new(200)));
         assert_eq!(pool.kv_traffic_factor(), 0.0, "fully on-chip KV is free");
-        assert!(pool.try_reserve(600));
+        assert!(pool.try_reserve(Bytes::new(600)));
         // 400 of 800 spilled: factor = 0.5 * 1.5.
         assert!((pool.kv_traffic_factor() - 0.75).abs() < 1e-12);
-        pool.release(600);
-        pool.release(200);
+        pool.release(Bytes::new(600));
+        pool.release(Bytes::new(200));
         assert_eq!(pool.kv_traffic_factor(), 1.0);
     }
 
     #[test]
     fn onchip_tier_is_clamped_to_the_budget() {
-        let pool = KvPool::with_budget(100).with_onchip(500);
+        let pool = KvPool::with_budget(Bytes::new(100)).with_onchip(Bytes::new(500));
         assert_eq!(pool.onchip_bytes(), 100);
     }
 
@@ -261,7 +275,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "KV budget must be positive")]
     fn zero_budget_rejected() {
-        KvPool::with_budget(0);
+        KvPool::with_budget(Bytes::ZERO);
     }
 
     #[test]
@@ -273,7 +287,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "released")]
     fn over_release_panics() {
-        let mut pool = KvPool::with_budget(10);
-        pool.release(1);
+        let mut pool = KvPool::with_budget(Bytes::new(10));
+        pool.release(Bytes::new(1));
     }
 }

@@ -34,6 +34,9 @@
 //! allocated block (it has the pool to itself) may grow past the budget, so
 //! an oversized request degrades to running solo instead of deadlocking.
 
+use edgemm_core::float::is_one;
+use edgemm_core::units::{Bytes, BytesPerToken, Tokens};
+
 use crate::kv::KvPool;
 
 /// The per-stream page table: how many KV tokens a stream has materialised
@@ -45,7 +48,7 @@ use crate::kv::KvPool;
 /// lives in the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockTable {
-    tokens: usize,
+    tokens: Tokens,
     blocks: u64,
 }
 
@@ -56,7 +59,7 @@ impl BlockTable {
     }
 
     /// Tokens the table is currently sized for.
-    pub fn tokens(&self) -> usize {
+    pub fn tokens(&self) -> Tokens {
         self.tokens
     }
 
@@ -76,13 +79,13 @@ impl BlockTable {
 /// and reclaimable mid-decode via [`Self::evict`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PagedKvPool {
-    budget_bytes: u64,
-    onchip_bytes: u64,
+    budget_bytes: Bytes,
+    onchip_bytes: Bytes,
     spill_penalty: f64,
     block_tokens: usize,
-    block_bytes: u64,
+    block_bytes: Bytes,
     occupied_blocks: u64,
-    peak_bytes: u64,
+    peak_bytes: Bytes,
     evictions: u64,
     evicted_blocks: u64,
 }
@@ -95,17 +98,20 @@ impl PagedKvPool {
     /// # Panics
     ///
     /// Panics if `block_tokens` or `bytes_per_token` is zero.
-    pub fn new(pool: KvPool, block_tokens: usize, bytes_per_token: u64) -> Self {
+    pub fn new(pool: KvPool, block_tokens: usize, bytes_per_token: BytesPerToken) -> Self {
         assert!(block_tokens > 0, "block size must be at least one token");
-        assert!(bytes_per_token > 0, "KV bytes per token must be positive");
+        assert!(
+            bytes_per_token.get() > 0,
+            "KV bytes per token must be positive"
+        );
         PagedKvPool {
             budget_bytes: pool.budget_bytes(),
             onchip_bytes: pool.onchip_bytes(),
             spill_penalty: pool.spill_penalty(),
             block_tokens,
-            block_bytes: block_tokens as u64 * bytes_per_token,
+            block_bytes: bytes_per_token * block_tokens,
             occupied_blocks: 0,
-            peak_bytes: 0,
+            peak_bytes: Bytes::ZERO,
             evictions: 0,
             evicted_blocks: 0,
         }
@@ -117,18 +123,18 @@ impl PagedKvPool {
     }
 
     /// Bytes per block.
-    pub fn block_bytes(&self) -> u64 {
+    pub fn block_bytes(&self) -> Bytes {
         self.block_bytes
     }
 
-    /// The byte budget (`u64::MAX` when unbounded).
-    pub fn budget_bytes(&self) -> u64 {
+    /// The byte budget ([`Bytes::MAX`] when unbounded).
+    pub fn budget_bytes(&self) -> Bytes {
         self.budget_bytes
     }
 
     /// Blocks needed to hold `tokens` cached tokens.
-    pub fn blocks_for(&self, tokens: usize) -> u64 {
-        tokens.div_ceil(self.block_tokens) as u64
+    pub fn blocks_for(&self, tokens: Tokens) -> u64 {
+        tokens.div_ceil(self.block_tokens)
     }
 
     /// Blocks currently allocated across every table.
@@ -138,12 +144,14 @@ impl PagedKvPool {
 
     /// Bytes currently occupied: allocated blocks times the block size
     /// (a partially filled tail block counts whole).
-    pub fn occupied_bytes(&self) -> u64 {
-        self.occupied_blocks.saturating_mul(self.block_bytes)
+    pub fn occupied_bytes(&self) -> Bytes {
+        self.block_bytes
+            .checked_mul(self.occupied_blocks)
+            .unwrap_or(Bytes::MAX)
     }
 
     /// High-water mark of occupied bytes over the pool's lifetime.
-    pub fn peak_bytes(&self) -> u64 {
+    pub fn peak_bytes(&self) -> Bytes {
         self.peak_bytes
     }
 
@@ -167,7 +175,7 @@ impl PagedKvPool {
     /// Growing to a token count the table already covers (or fewer tokens)
     /// only updates the token count and always succeeds: blocks are never
     /// returned by shrinking, only by [`Self::release`] / [`Self::evict`].
-    pub fn try_grow_to(&mut self, table: &mut BlockTable, tokens: usize) -> bool {
+    pub fn try_grow_to(&mut self, table: &mut BlockTable, tokens: Tokens) -> bool {
         let needed = self.blocks_for(tokens);
         if needed <= table.blocks {
             table.tokens = tokens;
@@ -178,7 +186,7 @@ impl PagedKvPool {
         let fits = self
             .occupied_blocks
             .checked_add(delta)
-            .and_then(|blocks| blocks.checked_mul(self.block_bytes))
+            .and_then(|blocks| self.block_bytes.checked_mul(blocks))
             .is_some_and(|bytes| bytes <= self.budget_bytes);
         if !fits && !solo {
             return false;
@@ -212,11 +220,11 @@ impl PagedKvPool {
     /// [`KvPool::kv_traffic_factor`], over block-granular occupancy.
     pub fn kv_traffic_factor(&self) -> f64 {
         let occupied = self.occupied_bytes();
-        if occupied == 0 || (self.onchip_bytes == 0 && self.spill_penalty == 1.0) {
+        if occupied.is_zero() || (self.onchip_bytes.is_zero() && is_one(self.spill_penalty)) {
             return 1.0;
         }
         let spilled = occupied.saturating_sub(self.onchip_bytes);
-        spilled as f64 / occupied as f64 * self.spill_penalty
+        spilled.ratio(occupied) * self.spill_penalty
     }
 }
 
@@ -225,20 +233,24 @@ mod tests {
     use super::*;
 
     fn pool(budget: u64, block_tokens: usize, bytes_per_token: u64) -> PagedKvPool {
-        PagedKvPool::new(KvPool::with_budget(budget), block_tokens, bytes_per_token)
+        PagedKvPool::new(
+            KvPool::with_budget(Bytes::new(budget)),
+            block_tokens,
+            Bytes::per_token(bytes_per_token),
+        )
     }
 
     #[test]
     fn blocks_allocate_lazily_and_round_up() {
         let mut p = pool(1000, 4, 10); // block = 40 bytes, 25 blocks fit
         let mut t = BlockTable::empty();
-        assert!(p.try_grow_to(&mut t, 3));
-        assert_eq!((t.tokens(), t.blocks()), (3, 1));
+        assert!(p.try_grow_to(&mut t, Tokens::new(3)));
+        assert_eq!((t.tokens(), t.blocks()), (Tokens::new(3), 1));
         assert_eq!(p.occupied_bytes(), 40);
         // Growing within the tail block allocates nothing.
-        assert!(p.try_grow_to(&mut t, 4));
+        assert!(p.try_grow_to(&mut t, Tokens::new(4)));
         assert_eq!(t.blocks(), 1);
-        assert!(p.try_grow_to(&mut t, 5));
+        assert!(p.try_grow_to(&mut t, Tokens::new(5)));
         assert_eq!(t.blocks(), 2);
         assert_eq!(p.occupied_bytes(), 80);
         assert_eq!(p.peak_bytes(), 80);
@@ -249,13 +261,20 @@ mod tests {
         let mut p = pool(100, 2, 10); // block = 20 bytes, 5 blocks
         let mut a = BlockTable::empty();
         let mut b = BlockTable::empty();
-        assert!(p.try_grow_to(&mut a, 6)); // 3 blocks
-        assert!(p.try_grow_to(&mut b, 4)); // 2 blocks -> full
-        assert!(!p.try_grow_to(&mut b, 6), "over-budget growth admitted");
-        assert_eq!((b.tokens(), b.blocks()), (4, 2), "failed growth mutated");
+        assert!(p.try_grow_to(&mut a, Tokens::new(6))); // 3 blocks
+        assert!(p.try_grow_to(&mut b, Tokens::new(4))); // 2 blocks -> full
+        assert!(
+            !p.try_grow_to(&mut b, Tokens::new(6)),
+            "over-budget growth admitted"
+        );
+        assert_eq!(
+            (b.tokens(), b.blocks()),
+            (Tokens::new(4), 2),
+            "failed growth mutated"
+        );
         p.release(&mut a);
         assert!(a.is_empty());
-        assert!(p.try_grow_to(&mut b, 6));
+        assert!(p.try_grow_to(&mut b, Tokens::new(6)));
         assert_eq!(p.peak_bytes(), 100);
     }
 
@@ -263,19 +282,22 @@ mod tests {
     fn solo_stream_may_exceed_the_budget() {
         let mut p = pool(100, 2, 10);
         let mut a = BlockTable::empty();
-        assert!(p.try_grow_to(&mut a, 40), "solo oversized stream must run");
+        assert!(
+            p.try_grow_to(&mut a, Tokens::new(40)),
+            "solo oversized stream must run"
+        );
         assert_eq!(p.occupied_bytes(), 400);
         let mut b = BlockTable::empty();
         assert!(
-            !p.try_grow_to(&mut b, 2),
+            !p.try_grow_to(&mut b, Tokens::new(2)),
             "nothing may join an oversized solo"
         );
         // Once another stream holds blocks, the hatch closes for everyone.
         p.release(&mut a);
-        assert!(p.try_grow_to(&mut b, 2));
+        assert!(p.try_grow_to(&mut b, Tokens::new(2)));
         let mut c = BlockTable::empty();
         assert!(
-            !p.try_grow_to(&mut c, 40),
+            !p.try_grow_to(&mut c, Tokens::new(40)),
             "escape hatch requires sole ownership"
         );
     }
@@ -285,8 +307,8 @@ mod tests {
         let mut p = pool(100, 2, 10);
         let mut a = BlockTable::empty();
         let mut b = BlockTable::empty();
-        assert!(p.try_grow_to(&mut a, 6));
-        assert!(p.try_grow_to(&mut b, 4));
+        assert!(p.try_grow_to(&mut a, Tokens::new(6)));
+        assert!(p.try_grow_to(&mut b, Tokens::new(4)));
         p.evict(&mut a);
         assert!(a.is_empty());
         assert_eq!(p.evictions(), 1);
@@ -294,30 +316,30 @@ mod tests {
         assert_eq!(p.occupied_bytes(), 40);
         // The freed blocks are immediately reusable.
         let mut c = BlockTable::empty();
-        assert!(p.try_grow_to(&mut c, 6));
+        assert!(p.try_grow_to(&mut c, Tokens::new(6)));
     }
 
     #[test]
     fn traffic_factor_follows_the_spill_formula() {
-        let kv = KvPool::with_budget(1000)
-            .with_onchip(400)
+        let kv = KvPool::with_budget(Bytes::new(1000))
+            .with_onchip(Bytes::new(400))
             .with_spill_penalty(1.5);
-        let mut p = PagedKvPool::new(kv, 10, 10); // block = 100 bytes
+        let mut p = PagedKvPool::new(kv, 10, Bytes::per_token(10)); // block = 100 bytes
         assert_eq!(p.kv_traffic_factor(), 1.0, "empty pool is neutral");
         let mut a = BlockTable::empty();
-        assert!(p.try_grow_to(&mut a, 20)); // 200 bytes, all on chip
+        assert!(p.try_grow_to(&mut a, Tokens::new(20))); // 200 bytes, all on chip
         assert_eq!(p.kv_traffic_factor(), 0.0);
         let mut b = BlockTable::empty();
-        assert!(p.try_grow_to(&mut b, 60)); // 800 total: 400 of 800 spilled
+        assert!(p.try_grow_to(&mut b, Tokens::new(60))); // 800 total: 400 of 800 spilled
         assert!((p.kv_traffic_factor() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn unbounded_pool_never_blocks() {
-        let mut p = PagedKvPool::new(KvPool::unbounded(), 16, 1 << 20);
+        let mut p = PagedKvPool::new(KvPool::unbounded(), 16, Bytes::per_token(1 << 20));
         let mut tables = [BlockTable::empty(); 4];
         for t in &mut tables {
-            assert!(p.try_grow_to(t, 10_000));
+            assert!(p.try_grow_to(t, Tokens::new(10_000)));
             assert_eq!(p.kv_traffic_factor(), 1.0);
         }
     }
@@ -326,10 +348,10 @@ mod tests {
     fn shrinking_never_returns_blocks() {
         let mut p = pool(1000, 4, 10);
         let mut t = BlockTable::empty();
-        assert!(p.try_grow_to(&mut t, 8));
+        assert!(p.try_grow_to(&mut t, Tokens::new(8)));
         assert_eq!(t.blocks(), 2);
-        assert!(p.try_grow_to(&mut t, 2));
-        assert_eq!((t.tokens(), t.blocks()), (2, 2));
+        assert!(p.try_grow_to(&mut t, Tokens::new(2)));
+        assert_eq!((t.tokens(), t.blocks()), (Tokens::new(2), 2));
         assert_eq!(p.occupied_bytes(), 80);
     }
 

@@ -7,6 +7,8 @@
 
 use std::collections::BTreeMap;
 
+use edgemm_core::units::Bytes;
+
 /// Semantic class of a DRAM access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficClass {
@@ -53,7 +55,7 @@ impl std::fmt::Display for TrafficClass {
 /// Byte counters per traffic class.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficStats {
-    bytes: BTreeMap<TrafficClass, u64>,
+    bytes: BTreeMap<TrafficClass, Bytes>,
 }
 
 impl TrafficStats {
@@ -63,39 +65,39 @@ impl TrafficStats {
     }
 
     /// Record `bytes` of traffic of the given class.
-    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
-        *self.bytes.entry(class).or_insert(0) += bytes;
+    pub fn record(&mut self, class: TrafficClass, bytes: Bytes) {
+        *self.bytes.entry(class).or_insert(Bytes::ZERO) += bytes;
     }
 
     /// Bytes recorded for one class.
-    pub fn bytes(&self, class: TrafficClass) -> u64 {
-        self.bytes.get(&class).copied().unwrap_or(0)
+    pub fn bytes(&self, class: TrafficClass) -> Bytes {
+        self.bytes.get(&class).copied().unwrap_or(Bytes::ZERO)
     }
 
     /// Total bytes across all classes.
-    pub fn total_bytes(&self) -> u64 {
-        self.bytes.values().sum()
+    pub fn total_bytes(&self) -> Bytes {
+        self.bytes.values().copied().sum()
     }
 
     /// Fraction of total traffic contributed by one class (0 when empty).
     pub fn fraction(&self, class: TrafficClass) -> f64 {
         let total = self.total_bytes();
-        if total == 0 {
+        if total.is_zero() {
             0.0
         } else {
-            self.bytes(class) as f64 / total as f64
+            self.bytes(class).ratio(total)
         }
     }
 
     /// Merge another set of counters into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         for (class, bytes) in &other.bytes {
-            *self.bytes.entry(*class).or_insert(0) += bytes;
+            *self.bytes.entry(*class).or_insert(Bytes::ZERO) += *bytes;
         }
     }
 
     /// Iterate over `(class, bytes)` pairs in display order, skipping zero entries.
-    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, u64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, Bytes)> + '_ {
         TrafficClass::ALL
             .into_iter()
             .filter_map(|c| self.bytes.get(&c).map(|b| (c, *b)))
@@ -109,9 +111,9 @@ mod tests {
     #[test]
     fn record_and_total() {
         let mut stats = TrafficStats::new();
-        stats.record(TrafficClass::FfnWeights, 1000);
-        stats.record(TrafficClass::FfnWeights, 500);
-        stats.record(TrafficClass::KvCache, 100);
+        stats.record(TrafficClass::FfnWeights, Bytes::new(1000));
+        stats.record(TrafficClass::FfnWeights, Bytes::new(500));
+        stats.record(TrafficClass::KvCache, Bytes::new(100));
         assert_eq!(stats.bytes(TrafficClass::FfnWeights), 1500);
         assert_eq!(stats.bytes(TrafficClass::KvCache), 100);
         assert_eq!(stats.bytes(TrafficClass::Activations), 0);
@@ -121,9 +123,9 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let mut stats = TrafficStats::new();
-        stats.record(TrafficClass::FfnWeights, 700);
-        stats.record(TrafficClass::AttentionWeights, 200);
-        stats.record(TrafficClass::KvCache, 100);
+        stats.record(TrafficClass::FfnWeights, Bytes::new(700));
+        stats.record(TrafficClass::AttentionWeights, Bytes::new(200));
+        stats.record(TrafficClass::KvCache, Bytes::new(100));
         let sum: f64 = TrafficClass::ALL.iter().map(|&c| stats.fraction(c)).sum();
         assert!((sum - 1.0).abs() < 1e-12);
         assert!((stats.fraction(TrafficClass::FfnWeights) - 0.7).abs() < 1e-12);
@@ -139,10 +141,10 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = TrafficStats::new();
-        a.record(TrafficClass::FfnWeights, 10);
+        a.record(TrafficClass::FfnWeights, Bytes::new(10));
         let mut b = TrafficStats::new();
-        b.record(TrafficClass::FfnWeights, 5);
-        b.record(TrafficClass::Activations, 3);
+        b.record(TrafficClass::FfnWeights, Bytes::new(5));
+        b.record(TrafficClass::Activations, Bytes::new(3));
         a.merge(&b);
         assert_eq!(a.bytes(TrafficClass::FfnWeights), 15);
         assert_eq!(a.bytes(TrafficClass::Activations), 3);
@@ -151,12 +153,15 @@ mod tests {
     #[test]
     fn iter_skips_zero_entries_and_is_ordered() {
         let mut stats = TrafficStats::new();
-        stats.record(TrafficClass::KvCache, 1);
-        stats.record(TrafficClass::FfnWeights, 2);
+        stats.record(TrafficClass::KvCache, Bytes::new(1));
+        stats.record(TrafficClass::FfnWeights, Bytes::new(2));
         let items: Vec<_> = stats.iter().collect();
         assert_eq!(
             items,
-            vec![(TrafficClass::FfnWeights, 2), (TrafficClass::KvCache, 1)]
+            vec![
+                (TrafficClass::FfnWeights, Bytes::new(2)),
+                (TrafficClass::KvCache, Bytes::new(1))
+            ]
         );
     }
 

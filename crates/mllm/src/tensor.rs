@@ -6,6 +6,8 @@
 //! those experiments dependency-free; the cycle-accurate numerics live in
 //! `edgemm-coproc`.
 
+use edgemm_core::float::is_zero_f32;
+
 /// A dense row-major `rows x cols` matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -109,7 +111,7 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     for i in 0..m {
         for kk in 0..k {
             let aik = a.get(i, kk);
-            if aik == 0.0 {
+            if is_zero_f32(aik) {
                 continue;
             }
             for j in 0..n {
@@ -130,7 +132,7 @@ pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
     let n = b.cols();
     let mut out = vec![0.0f32; n];
     for (row, &xv) in b.data.chunks_exact(n).zip(x) {
-        if xv == 0.0 {
+        if is_zero_f32(xv) {
             continue;
         }
         for (o, &w) in out.iter_mut().zip(row) {

@@ -12,6 +12,8 @@
 //!    budget shrinks to `n` — so deeper layers, whose outliers are more
 //!    prominent, get pruned more aggressively.
 
+use edgemm_core::float::is_zero_f32;
+
 use crate::topk::{top_k_indices, PruneSelection};
 use crate::Pruner;
 
@@ -108,7 +110,7 @@ impl DynamicTopK {
     /// Count of significant channels per Alg. 1: `|{i : |v_i| > max|v|/t}|`.
     fn significant_channels(&self, activations: &[f32]) -> usize {
         let max_abs = activations.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        if max_abs == 0.0 {
+        if is_zero_f32(max_abs) {
             return 0;
         }
         let threshold = max_abs / self.config.threshold as f32;

@@ -7,6 +7,8 @@
 //! * [`ThresholdPruning`] — CATS-style: keep every channel whose magnitude
 //!   exceeds a fraction of the per-layer maximum, with no Top-k budget.
 
+use edgemm_core::float::is_zero_f32;
+
 use crate::topk::{top_k_indices, PruneSelection};
 use crate::Pruner;
 
@@ -77,7 +79,7 @@ impl Pruner for ThresholdPruning {
     fn select(&mut self, _layer: usize, activations: &[f32]) -> PruneSelection {
         let total = activations.len();
         let max_abs = activations.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        if max_abs == 0.0 {
+        if is_zero_f32(max_abs) {
             return PruneSelection::keep_all(total);
         }
         let cut = max_abs / self.threshold;

@@ -6,6 +6,8 @@
 //!   kurtosis means more distinct outliers and therefore more pruning
 //!   headroom.
 
+use edgemm_core::float::is_zero;
+
 /// Cosine similarity between two vectors.
 ///
 /// Returns 1.0 for two zero vectors (identical by convention) and 0.0 when
@@ -24,9 +26,9 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
         na += (x as f64).powi(2);
         nb += (y as f64).powi(2);
     }
-    if na == 0.0 && nb == 0.0 {
+    if is_zero(na) && is_zero(nb) {
         1.0
-    } else if na == 0.0 || nb == 0.0 {
+    } else if is_zero(na) || is_zero(nb) {
         0.0
     } else {
         dot / (na.sqrt() * nb.sqrt())
@@ -49,7 +51,7 @@ pub fn kurtosis(values: &[f32]) -> f64 {
         .map(|&x| (x as f64 - mean).powi(2))
         .sum::<f64>()
         / n;
-    if var == 0.0 {
+    if is_zero(var) {
         return 0.0;
     }
     let m4 = values

@@ -1,5 +1,6 @@
 //! Two-stage streaming pipeline: CC (encode + prefill) and MC (decode).
 
+use edgemm_core::float::is_zero;
 use edgemm_mem::BandwidthAllocation;
 
 use crate::stage::RooflineStage;
@@ -34,7 +35,7 @@ impl PipelinePoint {
     /// Steady-state throughput in output tokens per second.
     pub fn tokens_per_second(&self) -> f64 {
         let period = self.period_s();
-        if period == 0.0 {
+        if is_zero(period) {
             0.0
         } else {
             (self.batch * self.output_tokens) as f64 / period
@@ -44,7 +45,7 @@ impl PipelinePoint {
     /// Imbalance between the stages (0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
         let period = self.period_s();
-        if period == 0.0 {
+        if is_zero(period) {
             0.0
         } else {
             (self.cc_seconds - self.mc_seconds).abs() / period

@@ -98,7 +98,8 @@ impl TokenLengthManager {
                 self.pipeline
                     .evaluate(output_tokens, BandwidthAllocation::from_ratio(1.0, bm), 1)
             })
-            .min_by(|a, b| a.period_s().partial_cmp(&b.period_s()).expect("finite"))
+            .min_by(|a, b| a.period_s().total_cmp(&b.period_s()))
+            // lint:allow(no-unwrap): candidate_ratios is validated non-empty
             .expect("at least one candidate ratio")
     }
 
@@ -117,6 +118,7 @@ impl TokenLengthManager {
             .policy
             .candidate_ratios
             .last()
+            // lint:allow(no-unwrap): candidate_ratios is validated non-empty
             .expect("at least one candidate ratio");
         let skewed_point = self.pipeline.evaluate(
             output_tokens,

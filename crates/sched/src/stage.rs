@@ -1,5 +1,7 @@
 //! Roofline summary of one pipeline stage.
 
+use edgemm_core::float::is_zero;
+
 /// A pipeline stage summarised by its compute time (independent of the DRAM
 /// split) and its DRAM traffic (whose duration depends on the bandwidth share
 /// the stage is granted).
@@ -48,8 +50,8 @@ impl RooflineStage {
     /// memory-bound (1.0 if it is memory-bound even at full bandwidth,
     /// 0 if it has no traffic).
     pub fn saturating_share(&self) -> f64 {
-        if self.dram_bytes == 0.0 || self.compute_s == 0.0 {
-            return if self.dram_bytes == 0.0 { 0.0 } else { 1.0 };
+        if is_zero(self.dram_bytes) || is_zero(self.compute_s) {
+            return if is_zero(self.dram_bytes) { 0.0 } else { 1.0 };
         }
         let needed =
             self.dram_bytes / (self.compute_s * self.full_bandwidth_gib_s * (1u64 << 30) as f64);

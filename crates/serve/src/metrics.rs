@@ -1,6 +1,9 @@
 //! Aggregate serving metrics: latency/TTFT/TPOT percentiles, throughput,
 //! queue depth, SLO attainment and per-class breakdowns.
 
+use edgemm_core::float::{count, count_u64, fraction};
+use edgemm_core::units::{Bytes, Tokens};
+
 use crate::request::{CompletedRequest, RejectedRequest};
 use crate::slo::Priority;
 
@@ -21,7 +24,7 @@ pub struct QueueSample {
     /// while a single oversized stream admitted through the sole-owner
     /// escape hatch runs solo, exactly as for
     /// [`ServeReport::peak_kv_bytes`].
-    pub kv_bytes: u64,
+    pub kv_bytes: Bytes,
 }
 
 /// Nearest-rank percentile over an unsorted sample, `pct` in `(0, 100]`.
@@ -31,8 +34,10 @@ fn percentile(mut values: Vec<f64>, pct: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
-    let rank = ((pct / 100.0) * values.len() as f64).ceil() as usize;
+    values.sort_by(f64::total_cmp);
+    // The nearest-rank index is a dimensionless position in the sample.
+    // lint:allow(unit-cast)
+    let rank = ((pct / 100.0) * count(values.len())).ceil() as usize;
     values[rank.clamp(1, values.len()) - 1]
 }
 
@@ -98,14 +103,14 @@ pub struct ServeReport {
     /// Prompt-plus-generated tokens the CC stage had to prefill *again*
     /// because an eviction freed their KV — the recompute cost of paging,
     /// in tokens. Zero when nothing was evicted.
-    pub restarted_prefill_tokens: u64,
+    pub restarted_prefill_tokens: Tokens,
     /// High-water mark of KV-cache bytes reserved in the pool at once.
     /// With a bounded [`edgemm_mem::KvPool`] this stays within the budget
     /// (property-tested), except for a single oversized stream admitted
     /// solo.
-    pub peak_kv_bytes: u64,
+    pub peak_kv_bytes: Bytes,
     /// Total output tokens generated across all completed requests.
-    pub total_output_tokens: u64,
+    pub total_output_tokens: Tokens,
     /// First arrival to last completion, in seconds (0 when nothing
     /// completed) — requests that were rejected without consuming the
     /// machine do not stretch it.
@@ -174,7 +179,7 @@ impl ServeReport {
         if self.completed.is_empty() {
             return 0.0;
         }
-        self.completed.iter().map(|r| r.latency_s()).sum::<f64>() / self.completed.len() as f64
+        self.completed.iter().map(|r| r.latency_s()).sum::<f64>() / count(self.completed.len())
     }
 
     /// Fraction of submitted requests that completed within every deadline
@@ -185,7 +190,7 @@ impl ServeReport {
             return 1.0;
         }
         let met = self.completed.iter().filter(|r| r.meets_slo()).count();
-        met as f64 / self.submitted() as f64
+        fraction(met, self.submitted())
     }
 
     /// Submitted requests that missed their SLO: completions that blew a
@@ -228,7 +233,7 @@ impl ServeReport {
                     completed: completed.len(),
                     rejected,
                     misses: submitted - met,
-                    attainment: met as f64 / submitted as f64,
+                    attainment: fraction(met, submitted),
                     p50_ttft_s: percentile(ttft.clone(), 50.0),
                     p95_ttft_s: percentile(ttft.clone(), 95.0),
                     p99_ttft_s: percentile(ttft, 99.0),
@@ -246,7 +251,7 @@ impl ServeReport {
         if self.makespan_s <= 0.0 {
             return 0.0;
         }
-        self.total_output_tokens as f64 / self.makespan_s
+        self.total_output_tokens.as_f64() / self.makespan_s
     }
 
     /// Completed requests per second over the whole run.
@@ -254,7 +259,7 @@ impl ServeReport {
         if self.makespan_s <= 0.0 {
             return 0.0;
         }
-        self.completed.len() as f64 / self.makespan_s
+        count(self.completed.len()) / self.makespan_s
     }
 
     /// Average number of streams decoded per step (weight-reuse factor).
@@ -262,7 +267,7 @@ impl ServeReport {
         if self.decode_steps == 0 {
             return 0.0;
         }
-        self.total_output_tokens as f64 / self.decode_steps as f64
+        self.total_output_tokens.as_f64() / count_u64(self.decode_steps)
     }
 
     /// Largest number of requests simultaneously waiting.
@@ -302,21 +307,21 @@ mod tests {
                     time_s: 0.0,
                     waiting: 3,
                     active: 1,
-                    kv_bytes: 0,
+                    kv_bytes: Bytes::ZERO,
                 },
                 QueueSample {
                     time_s: 1.0,
                     waiting: 1,
                     active: 2,
-                    kv_bytes: 0,
+                    kv_bytes: Bytes::ZERO,
                 },
             ],
             decode_steps: 10,
             preemptions: 0,
             evictions: 0,
-            restarted_prefill_tokens: 0,
-            peak_kv_bytes: 0,
-            total_output_tokens: 4 * latencies.len() as u64,
+            restarted_prefill_tokens: Tokens::ZERO,
+            peak_kv_bytes: Bytes::ZERO,
+            total_output_tokens: Tokens::new(4 * latencies.len()),
             makespan_s: 2.0,
         }
     }
@@ -417,9 +422,9 @@ mod tests {
             decode_steps: 0,
             preemptions: 0,
             evictions: 0,
-            restarted_prefill_tokens: 0,
-            peak_kv_bytes: 0,
-            total_output_tokens: 0,
+            restarted_prefill_tokens: Tokens::ZERO,
+            peak_kv_bytes: Bytes::ZERO,
+            total_output_tokens: Tokens::ZERO,
             makespan_s: 0.0,
         };
         assert_eq!(r.p99_latency_s(), 0.0);

@@ -14,6 +14,8 @@
 //! A policy sees a snapshot of the queue with per-request cost estimates and
 //! SLO classes and picks one request.
 
+use edgemm_core::units::Cycles;
+
 use crate::slo::SloClass;
 
 /// A queued request as presented to a scheduling policy.
@@ -31,23 +33,23 @@ pub struct QueuedRequest {
     /// the request, including any chunks already executed — the request's
     /// original demand, which keeps cost-aware orderings stable across
     /// chunk boundaries (and identical to the pre-chunking simulator).
-    pub prefill_cycles: u64,
+    pub prefill_cycles: Cycles,
     /// The not-yet-executed remainder of [`Self::prefill_cycles`]: the
     /// whole stage for a request that has not started, the unexecuted
     /// chunks for one preempted mid-prefill, and zero once the request is
     /// prefilled and waiting for a decode slot. Custom policies that want
     /// shortest-*remaining*-work ordering should rank by this.
-    pub remaining_prefill_cycles: u64,
+    pub remaining_prefill_cycles: Cycles,
     /// Estimated solo decode cycles for the whole generation, with the
     /// configured activation-aware pruning already applied.
-    pub decode_cycles: u64,
+    pub decode_cycles: Cycles,
     /// Priority class and deadlines the request is served under.
     pub slo: SloClass,
 }
 
 impl QueuedRequest {
     /// Estimated total service demand (prefill plus pruned decode).
-    pub fn service_cycles(&self) -> u64 {
+    pub fn service_cycles(&self) -> Cycles {
         self.prefill_cycles + self.decode_cycles
     }
 
@@ -225,9 +227,9 @@ mod tests {
             arrival_s,
             prompt_tokens: prompt,
             output_tokens: 16,
-            prefill_cycles: prefill,
-            remaining_prefill_cycles: prefill,
-            decode_cycles: decode,
+            prefill_cycles: Cycles::new(prefill),
+            remaining_prefill_cycles: Cycles::new(prefill),
+            decode_cycles: Cycles::new(decode),
             slo: SloClass::best_effort(),
         }
     }
@@ -298,8 +300,8 @@ mod tests {
         // (only its decode is left) and silently change legacy schedules.
         let mut long_prefill = queued(0, 0.0, 600, 1_000_000, 100);
         let mut short_prefill = queued(1, 0.0, 10, 1_000, 500);
-        long_prefill.remaining_prefill_cycles = 0;
-        short_prefill.remaining_prefill_cycles = 0;
+        long_prefill.remaining_prefill_cycles = Cycles::ZERO;
+        short_prefill.remaining_prefill_cycles = Cycles::ZERO;
         let ready = [long_prefill, short_prefill];
         assert_eq!(PruningAware.choose_join(&ready), 1);
         assert_eq!(PruningAware.choose(&ready), 1);

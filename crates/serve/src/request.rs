@@ -1,5 +1,7 @@
 //! Requests entering and leaving the serving simulator.
 
+use edgemm_core::units::Tokens;
+
 use crate::slo::SloClass;
 
 /// One inference request submitted to the serving queue: an image plus a
@@ -85,7 +87,7 @@ impl CompletedRequest {
     /// decode slot to the request — what the user streaming the answer sees,
     /// not the machine's raw step rate.
     pub fn time_per_output_token_s(&self) -> f64 {
-        (self.finish_s - self.prefill_end_s) / self.output_tokens as f64
+        (self.finish_s - self.prefill_end_s) / Tokens::new(self.output_tokens).as_f64()
     }
 
     /// Total time spent waiting in queues (for the CC stage and then for a

@@ -47,6 +47,8 @@
 use std::collections::HashMap;
 
 use edgemm_arch::ClusterKind;
+use edgemm_core::float::is_one;
+use edgemm_core::units::{clock_hz, Bytes, BytesPerToken, Cycles, Tokens};
 use edgemm_mem::{BlockTable, KvPool, PagedKvPool};
 use edgemm_mllm::{MllmConfig, ModelWorkload, Phase, TrafficClass};
 use edgemm_sim::{DecodeOptions, Machine, OpCost, PruningEffect};
@@ -177,28 +179,28 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 struct InFlight {
     request: ServeRequest,
-    arrival_cycle: u64,
+    arrival_cycle: Cycles,
     /// Absolute TTFT deadline in cycles, if the request's class sets one.
-    ttft_deadline_cycle: Option<u64>,
+    ttft_deadline_cycle: Option<Cycles>,
     prompt_tokens: usize,
     /// Per-chunk CC-stage cycles (vision encode + projector folded into the
     /// first chunk). A single entry when prefill is unchunked.
-    chunk_cycles: Vec<u64>,
+    chunk_cycles: Vec<Cycles>,
     chunks_done: usize,
     /// Sum of the not-yet-executed chunks — the CC time the request still
     /// needs, which is what feasibility and cost-aware policies care about.
-    remaining_prefill_cycles: u64,
+    remaining_prefill_cycles: Cycles,
     /// Total CC-stage cycles (all chunks).
-    prefill_cycles: u64,
+    prefill_cycles: Cycles,
     /// Peak KV-cache footprint reserved in the pool while decoding
     /// (whole-request reservations; unused by the paged allocator).
-    kv_bytes: u64,
+    kv_bytes: Bytes,
     /// Per-operator cost of one average decode step, solo. In paged mode
     /// this doubles as the *template*: the weight-facing entries are exact
     /// at any context, and the KV-facing entries are re-priced per step at
     /// the stream's actual context length.
     step_costs: Vec<OpCost>,
-    solo_step_cycles: u64,
+    solo_step_cycles: Cycles,
     remaining_tokens: usize,
     /// Tokens generated so far. Survives an eviction: the text exists, only
     /// its KV must be recomputed, so the accumulated context of a stream is
@@ -210,10 +212,10 @@ struct InFlight {
     /// TTFT is frozen then: an evicted request re-queued for re-prefill is
     /// never re-judged (or rejected) on a deadline that is already history.
     has_first_token: bool,
-    prefill_start: u64,
-    prefill_end: u64,
-    decode_start: u64,
-    finish: u64,
+    prefill_start: Cycles,
+    prefill_end: Cycles,
+    decode_start: Cycles,
+    finish: Cycles,
 }
 
 impl InFlight {
@@ -221,7 +223,7 @@ impl InFlight {
     /// uninterrupted from `now`? Deadline-free requests always can, and so
     /// do requests whose first token already exists (eviction re-prefills
     /// cannot re-miss a TTFT that is already decided).
-    fn ttft_feasible_at(&self, now: u64) -> bool {
+    fn ttft_feasible_at(&self, now: Cycles) -> bool {
         self.has_first_token
             || self.ttft_deadline_cycle.map_or(true, |deadline| {
                 now + self.remaining_prefill_cycles <= deadline
@@ -245,7 +247,7 @@ impl InFlight {
             output_tokens: self.request.output_tokens,
             prefill_cycles: self.prefill_cycles,
             remaining_prefill_cycles: self.remaining_prefill_cycles,
-            decode_cycles: self.solo_step_cycles * self.request.output_tokens as u64,
+            decode_cycles: self.solo_step_cycles * self.request.output_tokens,
             slo: self.request.slo,
         }
     }
@@ -259,7 +261,7 @@ pub struct ServeSimulator<'a> {
     config: ServeConfig,
     /// KV bytes one cached token occupies (all layers, K and V) at the MC
     /// weight precision — the unit the paged allocator sizes blocks in.
-    kv_bytes_per_token: u64,
+    kv_bytes_per_token: BytesPerToken,
 }
 
 impl<'a> ServeSimulator<'a> {
@@ -282,9 +284,11 @@ impl<'a> ServeSimulator<'a> {
             config.block_tokens != Some(0),
             "KV block size must be at least one token"
         );
-        let kv_bytes_per_token = model
-            .llm
-            .kv_bytes_per_token(machine.config().mc_weight_bytes);
+        let kv_bytes_per_token = Bytes::per_token(
+            model
+                .llm
+                .kv_bytes_per_token(machine.config().mc_weight_bytes),
+        );
         ServeSimulator {
             machine,
             model,
@@ -299,7 +303,7 @@ impl<'a> ServeSimulator<'a> {
     }
 
     fn clock_hz(&self) -> f64 {
-        self.machine.config().chip.clock_mhz as f64 * 1.0e6
+        clock_hz(self.machine.config().chip.clock_mhz)
     }
 
     fn admit(&self, request: &ServeRequest) -> InFlight {
@@ -315,7 +319,7 @@ impl<'a> ServeSimulator<'a> {
         let cc_kind = ClusterKind::ComputeCentric;
         // Vision encode + projector always run ahead of the first prompt
         // chunk; they are unsplittable and folded into chunk 0.
-        let setup_cycles: u64 = [Phase::VisionEncode, Phase::Projector]
+        let setup_cycles: Cycles = [Phase::VisionEncode, Phase::Projector]
             .iter()
             .map(|&phase| {
                 self.machine
@@ -324,14 +328,14 @@ impl<'a> ServeSimulator<'a> {
             })
             .sum();
         let chunk_cycles = self.prefill_chunk_cycles(&workload, setup_cycles);
-        let prefill_cycles: u64 = chunk_cycles.iter().sum();
+        let prefill_cycles: Cycles = chunk_cycles.iter().copied().sum();
         // Peak resident KV: every layer caches K and V for the prompt plus
         // the whole generation, at the MC-side weight precision (the same
         // bytes/value the decode step's KV traffic is charged at).
-        let kv_bytes = workload.config().llm.kv_cache_bytes(
+        let kv_bytes = Bytes::new(workload.config().llm.kv_cache_bytes(
             workload.prompt_tokens() + request.output_tokens,
             self.machine.config().mc_weight_bytes,
-        );
+        ));
         let step_costs = self.machine.decode_step_costs(
             &workload,
             ClusterKind::MemoryCentric,
@@ -339,7 +343,7 @@ impl<'a> ServeSimulator<'a> {
         );
         let solo_step_cycles = step_costs.iter().map(OpCost::latency_cycles).sum();
         let clock_hz = self.clock_hz();
-        let arrival_cycle = (request.arrival_s * clock_hz).round() as u64;
+        let arrival_cycle = Cycles::from_seconds_round(request.arrival_s, clock_hz);
         InFlight {
             arrival_cycle,
             // Offset from the *quantized* arrival and floored, so that a
@@ -350,7 +354,7 @@ impl<'a> ServeSimulator<'a> {
             ttft_deadline_cycle: request
                 .slo
                 .ttft_deadline_s
-                .map(|d| arrival_cycle + (d * clock_hz).floor() as u64),
+                .map(|d| arrival_cycle + Cycles::from_seconds_floor(d, clock_hz)),
             prompt_tokens: workload.prompt_tokens(),
             remaining_prefill_cycles: prefill_cycles,
             prefill_cycles,
@@ -364,10 +368,10 @@ impl<'a> ServeSimulator<'a> {
             table: BlockTable::empty(),
             has_first_token: false,
             request: *request,
-            prefill_start: 0,
-            prefill_end: 0,
-            decode_start: 0,
-            finish: 0,
+            prefill_start: Cycles::ZERO,
+            prefill_end: Cycles::ZERO,
+            decode_start: Cycles::ZERO,
+            finish: Cycles::ZERO,
         }
     }
 
@@ -376,7 +380,7 @@ impl<'a> ServeSimulator<'a> {
     /// an eviction re-prefill) folds into the first chunk, and every chunk
     /// is clamped to one cycle because a zero-cycle stage would stall the
     /// event loop (events must advance time).
-    fn prefill_chunk_cycles(&self, workload: &ModelWorkload, setup_cycles: u64) -> Vec<u64> {
+    fn prefill_chunk_cycles(&self, workload: &ModelWorkload, setup_cycles: Cycles) -> Vec<Cycles> {
         let cc_kind = ClusterKind::ComputeCentric;
         match self.config.chunk_tokens {
             None => {
@@ -388,7 +392,7 @@ impl<'a> ServeSimulator<'a> {
                     .machine
                     .run_phase_on(workload, Phase::Prefill, cc_kind, decode)
                     .cycles;
-                vec![(setup_cycles + prefill).max(1)]
+                vec![(setup_cycles + prefill).max(Cycles::new(1))]
             }
             Some(budget) => self
                 .machine
@@ -401,7 +405,7 @@ impl<'a> ServeSimulator<'a> {
                     } else {
                         chunk.cycles
                     };
-                    cycles.max(1)
+                    cycles.max(Cycles::new(1))
                 })
                 .collect(),
         }
@@ -418,7 +422,9 @@ impl<'a> ServeSimulator<'a> {
         let mut kv_ops = ops
             .iter()
             .filter(|op| op.weight_class == TrafficClass::KvCache);
+        // lint:allow(no-unwrap): decode_step_ops always emits both KV ops
         let scores = kv_ops.next().expect("attention scores op");
+        // lint:allow(no-unwrap): decode_step_ops always emits both KV ops
         let aggregate = kv_ops.next().expect("attention context op");
         let kind = ClusterKind::MemoryCentric;
         (
@@ -439,8 +445,8 @@ impl<'a> ServeSimulator<'a> {
             state.request.text_tokens + state.generated,
             state.remaining_tokens.max(1),
         );
-        let chunk_cycles = self.prefill_chunk_cycles(&workload, 0);
-        state.prefill_cycles = chunk_cycles.iter().sum();
+        let chunk_cycles = self.prefill_chunk_cycles(&workload, Cycles::ZERO);
+        state.prefill_cycles = chunk_cycles.iter().copied().sum();
         state.remaining_prefill_cycles = state.prefill_cycles;
         state.chunk_cycles = chunk_cycles;
         state.chunks_done = 0;
@@ -456,13 +462,13 @@ impl<'a> ServeSimulator<'a> {
     /// summed KV DRAM cycles are scaled by `kv_factor` — below 1.0 when the
     /// batch's caches fit the on-chip tier, above 1.0 when a penalised
     /// majority spills to DRAM (see [`KvPool::kv_traffic_factor`]).
-    fn step_cycles(&self, states: &[InFlight], batch: &[usize], kv_factor: f64) -> u64 {
+    fn step_cycles(&self, states: &[InFlight], batch: &[usize], kv_factor: f64) -> Cycles {
         let ops = states[batch[0]].step_costs.len();
-        let mut total = 0u64;
+        let mut total = Cycles::ZERO;
         for op in 0..ops {
-            let mut compute = 0u64;
-            let mut kv_dram = 0u64;
-            let mut weight_dram = 0u64;
+            let mut compute = Cycles::ZERO;
+            let mut kv_dram = Cycles::ZERO;
+            let mut weight_dram = Cycles::ZERO;
             for &idx in batch {
                 let cost = &states[idx].step_costs[op];
                 compute += cost.compute_cycles;
@@ -474,12 +480,12 @@ impl<'a> ServeSimulator<'a> {
             }
             // Exact integer path when the pool is neutral, so the unbounded
             // configuration reproduces the pre-pool model byte for byte.
-            if kv_factor != 1.0 {
-                kv_dram = (kv_dram as f64 * kv_factor).round() as u64;
+            if !is_one(kv_factor) {
+                kv_dram = kv_dram.scale_round(kv_factor);
             }
             total += compute.max(weight_dram + kv_dram);
         }
-        total.max(1)
+        total.max(Cycles::new(1))
     }
 
     /// Paged-mode variant of [`Self::step_cycles`]: the weight-facing
@@ -496,14 +502,14 @@ impl<'a> ServeSimulator<'a> {
         batch: &[usize],
         kv_factor: f64,
         kv_costs: &mut HashMap<usize, (OpCost, OpCost)>,
-    ) -> u64 {
+    ) -> Cycles {
         let ops = states[batch[0]].step_costs.len();
-        let mut total = 0u64;
+        let mut total = Cycles::ZERO;
         let mut kv_ops_seen = 0usize;
         for op in 0..ops {
-            let mut compute = 0u64;
-            let mut kv_dram = 0u64;
-            let mut weight_dram = 0u64;
+            let mut compute = Cycles::ZERO;
+            let mut kv_dram = Cycles::ZERO;
+            let mut weight_dram = Cycles::ZERO;
             let is_kv = states[batch[0]].step_costs[op].traffic_class == TrafficClass::KvCache;
             for &idx in batch {
                 let cost = if is_kv {
@@ -529,12 +535,12 @@ impl<'a> ServeSimulator<'a> {
             if is_kv {
                 kv_ops_seen += 1;
             }
-            if kv_factor != 1.0 {
-                kv_dram = (kv_dram as f64 * kv_factor).round() as u64;
+            if !is_one(kv_factor) {
+                kv_dram = kv_dram.scale_round(kv_factor);
             }
             total += compute.max(weight_dram + kv_dram);
         }
-        total.max(1)
+        total.max(Cycles::new(1))
     }
 
     /// Isolated end-to-end cycles of one request (no queueing, no batching):
@@ -543,25 +549,25 @@ impl<'a> ServeSimulator<'a> {
     /// solo latency *under this serving configuration* — in paged mode that
     /// means per-step pricing at the growing context (step `s` attends over
     /// `prompt + s` cached tokens) with blocks allocated as it grows.
-    pub fn solo_cycles(&self, request: &ServeRequest) -> u64 {
+    pub fn solo_cycles(&self, request: &ServeRequest) -> Cycles {
         let state = self.admit(request);
         let Some(block_tokens) = self.config.block_tokens else {
             let mut kv = self.config.kv;
             kv.try_reserve(state.kv_bytes);
             let states = [state];
             let step = self.step_cycles(&states, &[0], kv.kv_traffic_factor());
-            return states[0].prefill_cycles + step * request.output_tokens as u64;
+            return states[0].prefill_cycles + step * request.output_tokens;
         };
         let mut pool = PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token);
         let mut kv_costs = HashMap::new();
         let mut states = [state];
         let mut total = states[0].prefill_cycles;
         let mut table = BlockTable::empty();
-        pool.try_grow_to(&mut table, states[0].prompt_tokens);
+        pool.try_grow_to(&mut table, Tokens::new(states[0].prompt_tokens));
         for step in 0..request.output_tokens {
             states[0].generated = step;
             // A solo stream always grows (the sole-owner escape hatch).
-            pool.try_grow_to(&mut table, states[0].context_tokens() + 1);
+            pool.try_grow_to(&mut table, Tokens::new(states[0].context_tokens() + 1));
             total += self.paged_step_cycles(&states, &[0], pool.kv_traffic_factor(), &mut kv_costs);
         }
         total
@@ -592,8 +598,8 @@ impl<'a> ServeSimulator<'a> {
         let mut cc_queue: Vec<usize> = Vec::new();
         let mut ready: Vec<usize> = Vec::new();
         let mut batch: Vec<usize> = Vec::new();
-        let mut cc_busy: Option<(u64, usize)> = None;
-        let mut step_end: Option<u64> = None;
+        let mut cc_busy: Option<(Cycles, usize)> = None;
+        let mut step_end: Option<Cycles> = None;
         let mut kv = self.config.kv;
         // Paged mode replaces the flat pool's whole-request reservations
         // with block-granular tables plus a memoised per-context KV-cost
@@ -602,9 +608,9 @@ impl<'a> ServeSimulator<'a> {
             PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token)
         });
         let mut kv_costs: HashMap<usize, (OpCost, OpCost)> = HashMap::new();
-        let mut restarted_prefill_tokens = 0u64;
+        let mut restarted_prefill_tokens = Tokens::ZERO;
         let mut completed_order: Vec<usize> = Vec::new();
-        let mut rejected_order: Vec<(usize, u64)> = Vec::new();
+        let mut rejected_order: Vec<(usize, Cycles)> = Vec::new();
         let mut queue_samples: Vec<QueueSample> = Vec::new();
         let mut decode_steps = 0u64;
         let mut preemptions = 0u64;
@@ -614,8 +620,8 @@ impl<'a> ServeSimulator<'a> {
 
         loop {
             // Earliest pending event across the three sources.
-            let mut next: Option<u64> = None;
-            let mut consider = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+            let mut next: Option<Cycles> = None;
+            let mut consider = |t: Cycles| next = Some(next.map_or(t, |n: Cycles| n.min(t)));
             if next_arrival < order.len() {
                 consider(states[order[next_arrival]].arrival_cycle);
             }
@@ -638,7 +644,8 @@ impl<'a> ServeSimulator<'a> {
             if let Some((end, idx)) = cc_busy {
                 if end <= now {
                     let done = states[idx].chunks_done;
-                    states[idx].remaining_prefill_cycles -= states[idx].chunk_cycles[done];
+                    let chunk = states[idx].chunk_cycles[done];
+                    states[idx].remaining_prefill_cycles -= chunk;
                     states[idx].chunks_done = done + 1;
                     if states[idx].prefill_finished() {
                         // TTFT freezes at the *first* prefill completion; an
@@ -822,7 +829,7 @@ impl<'a> ServeSimulator<'a> {
                                              pool: &mut PagedKvPool|
                                  -> bool {
                                     has_slot(batch.len()) && {
-                                        let context = states[idx].context_tokens();
+                                        let context = Tokens::new(states[idx].context_tokens());
                                         pool.try_grow_to(&mut states[idx].table, context)
                                     }
                                 };
@@ -846,7 +853,7 @@ impl<'a> ServeSimulator<'a> {
                                     let freed: u64 =
                                         evictable.iter().map(|&v| states[v].table.blocks()).sum();
                                     let needed = pool
-                                        .blocks_for(states[idx].context_tokens())
+                                        .blocks_for(Tokens::new(states[idx].context_tokens()))
                                         .saturating_sub(states[idx].table.blocks());
                                     let occupied = pool.occupied_blocks();
                                     // Evicting the whole batch makes the pick
@@ -854,8 +861,10 @@ impl<'a> ServeSimulator<'a> {
                                     // admits it); otherwise the freed blocks
                                     // must leave room under the budget.
                                     let kv_feasible = evictable.len() == batch.len()
-                                        || (occupied - freed + needed)
-                                            .saturating_mul(pool.block_bytes())
+                                        || pool
+                                            .block_bytes()
+                                            .checked_mul(occupied - freed + needed)
+                                            .unwrap_or(Bytes::MAX)
                                             <= pool.budget_bytes();
                                     let slot_feasible = has_slot(batch.len() - evictable.len());
                                     if !(kv_feasible && slot_feasible) {
@@ -867,11 +876,12 @@ impl<'a> ServeSimulator<'a> {
                                                 states[batch[pos]].request.slo.priority
                                                     > states[idx].request.slo.priority
                                             })
+                                            // lint:allow(no-unwrap): kv_feasible checked above
                                             .expect("feasibility guaranteed a victim");
                                         let victim = batch.remove(pos);
                                         pool.evict(&mut states[victim].table);
                                         restarted_prefill_tokens +=
-                                            states[victim].context_tokens() as u64;
+                                            Tokens::new(states[victim].context_tokens());
                                         self.requeue_for_reprefill(&mut states[victim]);
                                         cc_queue.push(victim);
                                         if admit(&mut states, &mut batch, pool) {
@@ -895,15 +905,17 @@ impl<'a> ServeSimulator<'a> {
                         let mut i = 0;
                         while i < batch.len() {
                             let idx = batch[i];
-                            let target = states[idx].context_tokens() + 1;
+                            let target = Tokens::new(states[idx].context_tokens() + 1);
                             if pool.try_grow_to(&mut states[idx].table, target) {
                                 i += 1;
                                 continue;
                             }
+                            // lint:allow(no-unwrap): loop guard keeps batch non-empty
                             let pos = worst_of(&states, &batch).expect("non-empty batch");
                             let victim = batch.remove(pos);
                             pool.evict(&mut states[victim].table);
-                            restarted_prefill_tokens += states[victim].context_tokens() as u64;
+                            restarted_prefill_tokens +=
+                                Tokens::new(states[victim].context_tokens());
                             self.requeue_for_reprefill(&mut states[victim]);
                             cc_queue.push(victim);
                             if pos < i {
@@ -926,7 +938,7 @@ impl<'a> ServeSimulator<'a> {
             }
 
             queue_samples.push(QueueSample {
-                time_s: now as f64 / clock_hz,
+                time_s: now.seconds_at(clock_hz),
                 waiting: cc_queue.len() + ready.len(),
                 active: batch.len(),
                 kv_bytes: paged
@@ -942,11 +954,11 @@ impl<'a> ServeSimulator<'a> {
                 let s = &states[idx];
                 CompletedRequest {
                     id: s.request.id,
-                    arrival_s: s.arrival_cycle as f64 / clock_hz,
-                    prefill_start_s: s.prefill_start as f64 / clock_hz,
-                    prefill_end_s: s.prefill_end as f64 / clock_hz,
-                    decode_start_s: s.decode_start as f64 / clock_hz,
-                    finish_s: s.finish as f64 / clock_hz,
+                    arrival_s: s.arrival_cycle.seconds_at(clock_hz),
+                    prefill_start_s: s.prefill_start.seconds_at(clock_hz),
+                    prefill_end_s: s.prefill_end.seconds_at(clock_hz),
+                    decode_start_s: s.decode_start.seconds_at(clock_hz),
+                    finish_s: s.finish.seconds_at(clock_hz),
                     output_tokens: s.request.output_tokens,
                     slo: s.request.slo,
                 }
@@ -958,21 +970,25 @@ impl<'a> ServeSimulator<'a> {
                 let s = &states[idx];
                 RejectedRequest {
                     id: s.request.id,
-                    arrival_s: s.arrival_cycle as f64 / clock_hz,
-                    reject_s: cycle as f64 / clock_hz,
+                    arrival_s: s.arrival_cycle.seconds_at(clock_hz),
+                    reject_s: cycle.seconds_at(clock_hz),
                     slo: s.request.slo,
                 }
             })
             .collect();
-        let first_arrival = states.iter().map(|s| s.arrival_cycle).min().unwrap_or(0);
+        let first_arrival = states
+            .iter()
+            .map(|s| s.arrival_cycle)
+            .min()
+            .unwrap_or(Cycles::ZERO);
         // First arrival to *last completion* — a straggler that arrives
         // after the machine drained and is promptly rejected consumed no
         // resources and must not dilute the throughput metrics.
         let makespan_s = completed_order.last().map_or(0.0, |&idx| {
-            (states[idx].finish - first_arrival) as f64 / clock_hz
+            (states[idx].finish - first_arrival).seconds_at(clock_hz)
         });
         ServeReport {
-            total_output_tokens: completed.iter().map(|r| r.output_tokens as u64).sum(),
+            total_output_tokens: completed.iter().map(|r| Tokens::new(r.output_tokens)).sum(),
             completed,
             rejected,
             queue_samples,
@@ -1017,7 +1033,7 @@ mod tests {
         let report = sim.run(&[request], &Fcfs);
         assert_eq!(report.completed.len(), 1);
         let clock_hz = m.config().chip.clock_mhz as f64 * 1.0e6;
-        let expected_s = sim.solo_cycles(&request) as f64 / clock_hz;
+        let expected_s = sim.solo_cycles(&request).seconds_at(clock_hz);
         let got = report.completed[0].latency_s();
         assert!(
             (got - expected_s).abs() / expected_s < 1e-12,
@@ -1037,7 +1053,7 @@ mod tests {
         assert_eq!(ids, (0..12).collect::<Vec<u64>>());
         assert_eq!(
             report.total_output_tokens,
-            trace.iter().map(|r| r.output_tokens as u64).sum::<u64>()
+            trace.iter().map(|r| r.output_tokens).sum::<usize>()
         );
     }
 
@@ -1083,9 +1099,9 @@ mod tests {
         let sim = simulator(&m, 4);
         let trace = TraceConfig::saturated(8, 16, 16).generate();
         let report = sim.run(&trace, &Fcfs);
-        let serial_steps: u64 = trace.iter().map(|r| r.output_tokens as u64).sum();
+        let serial_steps: usize = trace.iter().map(|r| r.output_tokens).sum();
         assert!(
-            report.decode_steps < serial_steps / 2,
+            report.decode_steps < serial_steps as u64 / 2,
             "steps = {} vs serial {serial_steps}",
             report.decode_steps
         );
@@ -1287,7 +1303,8 @@ mod tests {
             zoo::sphinx_tiny().prompt_tokens(20) + 16,
             m.config().mc_weight_bytes,
         );
-        let config = ServeConfig::new().with_kv_pool(KvPool::with_budget(2 * per_stream + 1));
+        let config =
+            ServeConfig::new().with_kv_pool(KvPool::with_budget(Bytes::new(2 * per_stream + 1)));
         let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config).run(&trace, &Fcfs);
         assert_eq!(report.completed.len(), 6);
         assert!(report.peak_kv_bytes <= 2 * per_stream + 1);
@@ -1313,7 +1330,7 @@ mod tests {
         let trace = TraceConfig::saturated(3, 20, 16).generate();
         // Budget below a single stream's footprint: the escape hatch admits
         // one stream at a time and the run still drains.
-        let config = ServeConfig::new().with_kv_pool(KvPool::with_budget(1024));
+        let config = ServeConfig::new().with_kv_pool(KvPool::with_budget(Bytes::new(1024)));
         let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config).run(&trace, &Fcfs);
         assert_eq!(report.completed.len(), 3);
         assert!(report.queue_samples.iter().all(|s| s.active <= 1));
@@ -1334,8 +1351,8 @@ mod tests {
             )
             .run(&trace, &Fcfs)
         };
-        let spilled = run(KvPool::with_budget(1 << 40));
-        let onchip = run(KvPool::with_budget(1 << 40).with_onchip(1 << 40));
+        let spilled = run(KvPool::with_budget(Bytes::new(1 << 40)));
+        let onchip = run(KvPool::with_budget(Bytes::new(1 << 40)).with_onchip(Bytes::new(1 << 40)));
         assert_eq!(spilled.completed.len(), onchip.completed.len());
         assert!(
             onchip.makespan_s < spilled.makespan_s,
@@ -1358,7 +1375,7 @@ mod tests {
             .run(&trace, &Fcfs)
         };
         let neutral = run(KvPool::unbounded());
-        let penalised = run(KvPool::with_budget(1 << 40).with_spill_penalty(2.0));
+        let penalised = run(KvPool::with_budget(Bytes::new(1 << 40)).with_spill_penalty(2.0));
         assert!(
             penalised.makespan_s > neutral.makespan_s,
             "spill penalty had no effect"
@@ -1397,7 +1414,7 @@ mod tests {
         let report = sim.run(&[request], &Fcfs);
         assert_eq!(report.completed.len(), 1);
         let clock_hz = m.config().chip.clock_mhz as f64 * 1.0e6;
-        let expected_s = sim.solo_cycles(&request) as f64 / clock_hz;
+        let expected_s = sim.solo_cycles(&request).seconds_at(clock_hz);
         let got = report.completed[0].latency_s();
         assert!(
             (got - expected_s).abs() / expected_s < 1e-12,
@@ -1414,7 +1431,7 @@ mod tests {
         let sim = paged_sim(&m, KvPool::unbounded(), 16);
         let request = ServeRequest::new(0, 0.0, 20, 11);
         let workload = ModelWorkload::new(zoo::sphinx_tiny(), 20, 11);
-        let prefill: u64 = [Phase::VisionEncode, Phase::Projector, Phase::Prefill]
+        let prefill: Cycles = [Phase::VisionEncode, Phase::Projector, Phase::Prefill]
             .iter()
             .map(|&phase| {
                 m.run_phase_on(
@@ -1426,7 +1443,7 @@ mod tests {
                 .cycles
             })
             .sum();
-        let decode: u64 = (0..11)
+        let decode: Cycles = (0..11)
             .map(|step| {
                 m.decode_step_costs_at(
                     &workload,
@@ -1436,8 +1453,8 @@ mod tests {
                 )
                 .iter()
                 .map(OpCost::latency_cycles)
-                .sum::<u64>()
-                .max(1)
+                .sum::<Cycles>()
+                .max(Cycles::new(1))
             })
             .sum();
         assert_eq!(sim.solo_cycles(&request), prefill + decode);
@@ -1455,7 +1472,7 @@ mod tests {
             zoo::sphinx_tiny().prompt_tokens(20) + 256,
             m.config().mc_weight_bytes,
         );
-        let kv = KvPool::with_budget(2 * per_stream + 1);
+        let kv = KvPool::with_budget(Bytes::new(2 * per_stream + 1));
         let reserved =
             ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::new().with_kv_pool(kv))
                 .run(&trace, &Fcfs);
@@ -1488,7 +1505,7 @@ mod tests {
             .kv_bytes_per_token(m.config().mc_weight_bytes);
         // Room for the long stream's prefix plus a little growth, not for
         // both streams at once.
-        let kv = KvPool::with_budget(500 * per_token);
+        let kv = KvPool::with_budget(Bytes::new(500 * per_token));
         let reserved =
             ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::new().with_kv_pool(kv))
                 .run(&[long, urgent], &EarliestDeadlineFirst);
@@ -1525,7 +1542,7 @@ mod tests {
         // 68 blocks of 16 tokens: holds the two running streams at full
         // growth (43 + 24 blocks) but not the 31-block pick even with the
         // batch stream gone (43 + 31 > 68).
-        let kv = KvPool::with_budget(68 * 16 * per_token);
+        let kv = KvPool::with_budget(Bytes::new(68 * 16 * per_token));
         let a = ServeRequest::new(0, 0.0, 312, 80).with_slo(SloClass::interactive());
         let b = ServeRequest::new(1, 0.001, 8, 80).with_slo(SloClass::batch());
         let c = ServeRequest::new(2, 0.3, 200, 8).with_slo(SloClass::interactive());
@@ -1547,7 +1564,7 @@ mod tests {
         let prompt = model.prompt_tokens(20);
         let per_token = model.llm.kv_bytes_per_token(m.config().mc_weight_bytes);
         // Both prompts fit; both full contexts (prompt + 96) do not.
-        let kv = KvPool::with_budget((2 * prompt + 96) as u64 * per_token);
+        let kv = KvPool::with_budget(Bytes::new((2 * prompt + 96) as u64 * per_token));
         let report = paged_sim(&m, kv, 16).run(&trace, &Fcfs);
         assert!(report.evictions >= 1, "growth pressure never evicted");
         assert_eq!(report.completed.len(), 2);
@@ -1568,7 +1585,7 @@ mod tests {
     fn paged_oversized_request_runs_solo_instead_of_deadlocking() {
         let m = machine();
         let trace = TraceConfig::saturated(3, 20, 16).generate();
-        let kv = KvPool::with_budget(1024);
+        let kv = KvPool::with_budget(Bytes::new(1024));
         let report = paged_sim(&m, kv, 16).run(&trace, &Fcfs);
         assert_eq!(report.completed.len(), 3);
         assert!(report.queue_samples.iter().all(|s| s.active <= 1));

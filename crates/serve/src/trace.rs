@@ -103,6 +103,8 @@ impl TraceConfig {
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut arrival = 0.0f64;
+        // Request ids are opaque labels, not a tracked quantity.
+        // lint:allow(unit-cast)
         (0..self.requests as u64)
             .map(|id| {
                 if self.arrival_rate_per_s.is_finite() {
@@ -127,9 +129,9 @@ pub fn merge(traces: &[Vec<ServeRequest>]) -> Vec<ServeRequest> {
     let mut all: Vec<ServeRequest> = traces.iter().flatten().copied().collect();
     // Stable on (arrival, source order) because sort_by is stable and the
     // flatten preserves source order for equal arrivals.
-    all.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
+    all.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
     for (id, request) in all.iter_mut().enumerate() {
-        request.id = id as u64;
+        request.id = id as u64; // lint:allow(unit-cast): opaque id label
     }
     all
 }

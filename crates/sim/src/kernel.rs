@@ -1,6 +1,7 @@
 //! Per-operator cost model: compute vs DRAM, with optional pruning.
 
 use edgemm_arch::ClusterKind;
+use edgemm_core::units::{Bytes, Cycles};
 use edgemm_mllm::{MatmulOp, TrafficClass};
 
 /// Effect of activation-aware pruning on an FFN GEMV.
@@ -14,7 +15,7 @@ pub struct PruningEffect {
     /// Fraction of channels kept, in `(0, 1]`.
     pub keep_ratio: f64,
     /// Extra cycles charged per pruned operator for the hardware pruner pass.
-    pub pruner_overhead_cycles: u64,
+    pub pruner_overhead_cycles: Cycles,
 }
 
 impl PruningEffect {
@@ -22,7 +23,7 @@ impl PruningEffect {
     pub fn disabled() -> Self {
         PruningEffect {
             keep_ratio: 1.0,
-            pruner_overhead_cycles: 0,
+            pruner_overhead_cycles: Cycles::ZERO,
         }
     }
 
@@ -38,7 +39,7 @@ impl PruningEffect {
         );
         PruningEffect {
             keep_ratio,
-            pruner_overhead_cycles: 64,
+            pruner_overhead_cycles: Cycles::new(64),
         }
     }
 }
@@ -49,11 +50,11 @@ pub struct OpCost {
     /// Cluster kind that executed the operator.
     pub kind: ClusterKind,
     /// Compute cycles of the slowest participating core.
-    pub compute_cycles: u64,
+    pub compute_cycles: Cycles,
     /// DRAM bytes fetched for the stationary operand.
-    pub dram_bytes: u64,
+    pub dram_bytes: Bytes,
     /// Cycles spent waiting on DRAM at the granted bandwidth share.
-    pub dram_cycles: u64,
+    pub dram_cycles: Cycles,
     /// Traffic class of the DRAM bytes.
     pub traffic_class: TrafficClass,
 }
@@ -61,7 +62,7 @@ pub struct OpCost {
 impl OpCost {
     /// Total operator latency assuming DMA double buffering (compute and the
     /// next tile's DMA overlap, so the op takes the longer of the two).
-    pub fn latency_cycles(&self) -> u64 {
+    pub fn latency_cycles(&self) -> Cycles {
         self.compute_cycles.max(self.dram_cycles)
     }
 
@@ -73,10 +74,14 @@ impl OpCost {
 
 /// Scale an operator's DRAM traffic for pruning: only prunable FFN GEMVs are
 /// affected; everything else keeps its full traffic.
-pub fn pruned_weight_bytes(op: &MatmulOp, bytes_per_weight: usize, pruning: PruningEffect) -> u64 {
-    let full = op.weight_bytes(bytes_per_weight);
+pub fn pruned_weight_bytes(
+    op: &MatmulOp,
+    bytes_per_weight: usize,
+    pruning: PruningEffect,
+) -> Bytes {
+    let full = Bytes::new(op.weight_bytes(bytes_per_weight));
     if op.prunable {
-        (full as f64 * pruning.keep_ratio).ceil() as u64
+        full.scale_ceil(pruning.keep_ratio)
     } else {
         full
     }
@@ -86,6 +91,8 @@ pub fn pruned_weight_bytes(op: &MatmulOp, bytes_per_weight: usize, pruning: Prun
 /// weight rows entirely, shortening the bit-serial reduction).
 pub fn pruned_k(op: &MatmulOp, pruning: PruningEffect) -> usize {
     if op.prunable {
+        // Reduction length is a dimensionless element count, not a tracked
+        // quantity. lint:allow(unit-cast)
         ((op.k as f64 * pruning.keep_ratio).ceil() as usize).max(1)
     } else {
         op.k
@@ -160,15 +167,15 @@ mod tests {
     fn latency_is_max_of_compute_and_dram() {
         let cost = OpCost {
             kind: ClusterKind::MemoryCentric,
-            compute_cycles: 100,
-            dram_bytes: 1,
-            dram_cycles: 250,
+            compute_cycles: Cycles::new(100),
+            dram_bytes: Bytes::new(1),
+            dram_cycles: Cycles::new(250),
             traffic_class: TrafficClass::FfnWeights,
         };
         assert_eq!(cost.latency_cycles(), 250);
         assert!(cost.is_memory_bound());
         let flipped = OpCost {
-            compute_cycles: 300,
+            compute_cycles: Cycles::new(300),
             ..cost
         };
         assert_eq!(flipped.latency_cycles(), 300);

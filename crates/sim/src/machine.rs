@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use edgemm_arch::{ChipConfig, ClusterKind};
+use edgemm_core::units::{Bytes, Cycles};
 use edgemm_mem::{BandwidthAllocation, DramModel};
 use edgemm_mllm::{MatmulOp, ModelWorkload, Phase};
 
@@ -143,13 +144,13 @@ impl Machine {
         }
     }
 
-    fn block_bytes_of(&self, kind: ClusterKind) -> u64 {
+    fn block_bytes_of(&self, kind: ClusterKind) -> Bytes {
         let mem = match kind {
             ClusterKind::ComputeCentric => self.config.chip.cc_cluster.memory.data_memory,
             ClusterKind::MemoryCentric => self.config.chip.mc_cluster.memory.data_memory,
         };
         // Double buffering: half the data memory is the DMA block size.
-        (mem as u64 / 2).max(1)
+        Bytes::new(Bytes::from_usize(mem).get() / 2).max(Bytes::new(1))
     }
 
     /// Cost of one operator executed cooperatively by every core of `kind`.
@@ -167,12 +168,12 @@ impl Machine {
             ..op.clone()
         };
         let mapping = self.explorer.best_mapping(&pruned_op, kind, cores.max(1));
-        let mut compute = mapping.compute_cycles;
+        let mut compute = Cycles::new(mapping.compute_cycles);
         if op.prunable && pruning.keep_ratio < 1.0 {
             compute += pruning.pruner_overhead_cycles;
         }
         let bytes = pruned_weight_bytes(op, self.weight_bytes_of(kind), pruning)
-            + op.activation_bytes() / 16; // most activations stay on chip
+            + Bytes::new(op.activation_bytes() / 16); // most activations stay on chip
         let dram_cycles = self
             .config
             .dram
@@ -197,18 +198,18 @@ impl Machine {
         kind: ClusterKind,
         pruning: PruningEffect,
     ) -> PhaseResult {
-        let mut cycles = 0u64;
-        let mut compute = 0u64;
-        let mut dram = 0u64;
-        let mut bytes = 0u64;
-        let mut traffic: BTreeMap<edgemm_mllm::TrafficClass, u64> = BTreeMap::new();
+        let mut cycles = Cycles::ZERO;
+        let mut compute = Cycles::ZERO;
+        let mut dram = Cycles::ZERO;
+        let mut bytes = Bytes::ZERO;
+        let mut traffic: BTreeMap<edgemm_mllm::TrafficClass, Bytes> = BTreeMap::new();
         for op in ops {
             let cost = self.op_cost(op, kind, pruning);
             cycles += cost.latency_cycles();
             compute += cost.compute_cycles;
             dram += cost.dram_cycles;
             bytes += cost.dram_bytes;
-            *traffic.entry(cost.traffic_class).or_insert(0) += cost.dram_bytes;
+            *traffic.entry(cost.traffic_class).or_insert(Bytes::ZERO) += cost.dram_bytes;
         }
         PhaseResult {
             phase,
@@ -342,13 +343,16 @@ impl Machine {
         assert!(options.batch >= 1, "batch must be at least 1");
         let mut step = PhaseResult::empty(Phase::Decode);
         for cost in self.decode_step_costs(workload, kind, options.pruning) {
-            let compute = cost.compute_cycles * options.batch as u64;
+            let compute = cost.compute_cycles * options.batch;
             let latency = compute.max(cost.dram_cycles);
             step.cycles += latency;
             step.compute_cycles += compute;
             step.dram_cycles += cost.dram_cycles;
             step.dram_bytes += cost.dram_bytes;
-            *step.traffic.entry(cost.traffic_class).or_insert(0) += cost.dram_bytes;
+            *step
+                .traffic
+                .entry(cost.traffic_class)
+                .or_insert(Bytes::ZERO) += cost.dram_bytes;
             step.ops += 1;
         }
         step
@@ -368,7 +372,7 @@ impl Machine {
     ) -> PhaseResult {
         let step = self.run_decode_step_on(workload, kind, options);
         // Repeat for every generated token.
-        let tokens = workload.output_tokens() as u64;
+        let tokens = workload.output_tokens();
         PhaseResult {
             phase: Phase::Decode,
             cycles: step.cycles * tokens,
@@ -380,7 +384,7 @@ impl Machine {
                 .into_iter()
                 .map(|(c, b)| (c, b * tokens))
                 .collect(),
-            ops: step.ops * tokens as usize,
+            ops: step.ops * tokens,
         }
     }
 
@@ -482,7 +486,7 @@ mod tests {
             ClusterKind::MemoryCentric,
             PruningEffect::disabled(),
         );
-        let ratio = mc.cycles as f64 / cc.cycles as f64;
+        let ratio = mc.cycles.ratio(cc.cycles);
         assert!(ratio > 2.0 && ratio < 10.0, "GEMM CC advantage = {ratio}");
     }
 
@@ -493,7 +497,7 @@ mod tests {
         let w = workload(8);
         let mc = m.run_decode_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
         let cc = m.run_decode_on(&w, ClusterKind::ComputeCentric, DecodeOptions::baseline());
-        let ratio = cc.cycles as f64 / mc.cycles as f64;
+        let ratio = cc.cycles.ratio(mc.cycles);
         assert!(ratio > 1.5 && ratio < 4.0, "GEMV MC advantage = {ratio}");
     }
 
@@ -508,7 +512,7 @@ mod tests {
             ClusterKind::MemoryCentric,
             DecodeOptions::with_pruning(0.5),
         );
-        let reduction = 1.0 - pruned.cycles as f64 / dense.cycles as f64;
+        let reduction = 1.0 - pruned.cycles.ratio(dense.cycles);
         assert!(
             reduction > 0.25 && reduction < 0.6,
             "reduction = {reduction}"
@@ -530,7 +534,7 @@ mod tests {
         );
         // 8x the tokens for much less than 8x the cycles.
         let token_ratio = 8.0;
-        let cycle_ratio = batched.cycles as f64 / single.cycles as f64;
+        let cycle_ratio = batched.cycles.ratio(single.cycles);
         assert!(
             cycle_ratio < 0.6 * token_ratio,
             "cycle ratio = {cycle_ratio}"
@@ -564,8 +568,12 @@ mod tests {
         let m = hetero();
         let short = m.run_request(&workload(8), DecodeOptions::baseline());
         let long = m.run_request(&workload(256), DecodeOptions::baseline());
-        let share =
-            |r: &RunReport| r.phase(Phase::Decode).unwrap().cycles as f64 / r.total_cycles() as f64;
+        let share = |r: &RunReport| {
+            r.phase(Phase::Decode)
+                .unwrap()
+                .cycles
+                .ratio(r.total_cycles())
+        };
         assert!(share(&long) > share(&short));
         assert!(share(&long) > 0.7);
     }
@@ -583,7 +591,7 @@ mod tests {
             ClusterKind::MemoryCentric,
             DecodeOptions::baseline(),
         );
-        let ratio = sixteen.cycles as f64 / eight.cycles as f64;
+        let ratio = sixteen.cycles.ratio(eight.cycles);
         assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
     }
 
@@ -594,8 +602,8 @@ mod tests {
         let options = DecodeOptions::with_pruning(0.6);
         let step = m.run_decode_step_on(&w, ClusterKind::MemoryCentric, options);
         let full = m.run_decode_on(&w, ClusterKind::MemoryCentric, options);
-        assert_eq!(full.cycles, step.cycles * 16);
-        assert_eq!(full.dram_bytes, step.dram_bytes * 16);
+        assert_eq!(full.cycles, step.cycles * 16usize);
+        assert_eq!(full.dram_bytes, step.dram_bytes * 16usize);
         assert_eq!(full.ops, step.ops * 16);
     }
 
@@ -630,7 +638,7 @@ mod tests {
         let chunk = 128;
         let chunks = m.prefill_chunk_costs(&w, ClusterKind::ComputeCentric, chunk);
         assert_eq!(chunks.len(), s.div_ceil(chunk));
-        let total_cycles: u64 = chunks.iter().map(|c| c.cycles).sum();
+        let total_cycles: Cycles = chunks.iter().map(|c| c.cycles).sum();
         // Chunking re-streams the layer weights once per chunk, so the
         // summed cost can only grow. Small-m chunks stop hiding the weight
         // stream under compute, so the overhead is substantial — but it must
@@ -638,12 +646,12 @@ mod tests {
         // full weight pass).
         assert!(total_cycles >= whole.cycles, "chunking got cheaper");
         assert!(
-            (total_cycles as f64) < chunks.len() as f64 * whole.cycles as f64,
+            total_cycles.as_f64() < chunks.len() as f64 * whole.cycles.as_f64(),
             "chunk overhead exploded: {total_cycles} vs {}",
             whole.cycles
         );
         // Weight traffic scales with the chunk count; KV traffic does not.
-        let total_bytes: u64 = chunks.iter().map(|c| c.dram_bytes).sum();
+        let total_bytes: Bytes = chunks.iter().map(|c| c.dram_bytes).sum();
         assert!(total_bytes > whole.dram_bytes);
     }
 
@@ -651,9 +659,9 @@ mod tests {
     fn finer_chunks_monotonically_increase_prefill_cost() {
         let m = hetero();
         let w = workload(8);
-        let mut last = u64::MAX;
+        let mut last = Cycles::MAX;
         for budget in [32usize, 64, 128, 512] {
-            let total: u64 = m
+            let total: Cycles = m
                 .prefill_chunk_costs(&w, ClusterKind::ComputeCentric, budget)
                 .iter()
                 .map(|c| c.cycles)
@@ -680,7 +688,7 @@ mod tests {
         let costs = m.decode_step_costs(&w, ClusterKind::MemoryCentric, PruningEffect::disabled());
         let step = m.run_decode_step_on(&w, ClusterKind::MemoryCentric, DecodeOptions::baseline());
         assert_eq!(costs.len(), step.ops);
-        let cycles: u64 = costs.iter().map(OpCost::latency_cycles).sum();
+        let cycles: Cycles = costs.iter().map(OpCost::latency_cycles).sum();
         assert_eq!(cycles, step.cycles);
     }
 
@@ -716,7 +724,7 @@ mod tests {
                 assert_eq!(a, b, "weight-facing op changed with the context");
             }
         }
-        let cycles = |costs: &[OpCost]| costs.iter().map(OpCost::latency_cycles).sum::<u64>();
+        let cycles = |costs: &[OpCost]| costs.iter().map(OpCost::latency_cycles).sum::<Cycles>();
         assert!(cycles(&long) > cycles(&short));
     }
 

@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use edgemm_core::float::is_zero;
+use edgemm_core::units::{Bytes, Cycles, Tokens};
 use edgemm_mllm::{Phase, TrafficClass};
 
 /// Aggregate result of simulating one phase (or one decode step).
@@ -10,16 +12,16 @@ pub struct PhaseResult {
     /// The phase simulated.
     pub phase: Phase,
     /// End-to-end cycles of the phase on the executing cluster kind.
-    pub cycles: u64,
+    pub cycles: Cycles,
     /// Cycles attributable to coprocessor compute (sum over ops of the
     /// compute component of the critical path).
-    pub compute_cycles: u64,
+    pub compute_cycles: Cycles,
     /// Cycles attributable to DRAM transfers on the critical path.
-    pub dram_cycles: u64,
+    pub dram_cycles: Cycles,
     /// Total DRAM bytes moved.
-    pub dram_bytes: u64,
+    pub dram_bytes: Bytes,
     /// DRAM bytes by traffic class.
-    pub traffic: BTreeMap<TrafficClass, u64>,
+    pub traffic: BTreeMap<TrafficClass, Bytes>,
     /// Number of operators executed.
     pub ops: usize,
 }
@@ -30,10 +32,10 @@ impl PhaseResult {
     pub fn empty(phase: Phase) -> Self {
         PhaseResult {
             phase,
-            cycles: 0,
-            compute_cycles: 0,
-            dram_cycles: 0,
-            dram_bytes: 0,
+            cycles: Cycles::ZERO,
+            compute_cycles: Cycles::ZERO,
+            dram_cycles: Cycles::ZERO,
+            dram_bytes: Bytes::ZERO,
             traffic: BTreeMap::new(),
             ops: 0,
         }
@@ -41,16 +43,16 @@ impl PhaseResult {
 
     /// Latency in seconds at a given clock.
     pub fn seconds(&self, clock_mhz: u32) -> f64 {
-        self.cycles as f64 / (clock_mhz as f64 * 1.0e6)
+        self.cycles.seconds(clock_mhz)
     }
 
     /// Fraction of the critical path spent waiting on DRAM.
     pub fn memory_bound_fraction(&self) -> f64 {
         let total = self.compute_cycles + self.dram_cycles;
-        if total == 0 {
+        if total.is_zero() {
             0.0
         } else {
-            self.dram_cycles as f64 / total as f64
+            self.dram_cycles.ratio(total)
         }
     }
 }
@@ -74,26 +76,27 @@ impl RunReport {
     }
 
     /// Total cycles across phases (sequential execution, no pipelining).
-    pub fn total_cycles(&self) -> u64 {
+    pub fn total_cycles(&self) -> Cycles {
         self.phases.iter().map(|p| p.cycles).sum()
     }
 
     /// Total latency in seconds (sequential execution).
     pub fn total_seconds(&self) -> f64 {
-        self.total_cycles() as f64 / (self.clock_mhz as f64 * 1.0e6)
+        self.total_cycles().seconds(self.clock_mhz)
     }
 
     /// Sequential (unpipelined) decoding throughput in tokens per second.
     pub fn tokens_per_second(&self) -> f64 {
-        if self.total_seconds() == 0.0 {
+        let seconds = self.total_seconds();
+        if is_zero(seconds) {
             0.0
         } else {
-            self.output_tokens as f64 / self.total_seconds()
+            Tokens::new(self.output_tokens).as_f64() / seconds
         }
     }
 
     /// Total DRAM bytes of the request.
-    pub fn total_dram_bytes(&self) -> u64 {
+    pub fn total_dram_bytes(&self) -> Bytes {
         self.phases.iter().map(|p| p.dram_bytes).sum()
     }
 }
@@ -105,10 +108,10 @@ mod tests {
     fn result(phase: Phase, cycles: u64) -> PhaseResult {
         PhaseResult {
             phase,
-            cycles,
-            compute_cycles: cycles / 2,
-            dram_cycles: cycles / 2,
-            dram_bytes: cycles * 10,
+            cycles: Cycles::new(cycles),
+            compute_cycles: Cycles::new(cycles / 2),
+            dram_cycles: Cycles::new(cycles / 2),
+            dram_bytes: Bytes::new(cycles * 10),
             traffic: BTreeMap::new(),
             ops: 3,
         }
@@ -143,8 +146,8 @@ mod tests {
     #[test]
     fn memory_bound_fraction() {
         let mut r = result(Phase::Decode, 100);
-        r.compute_cycles = 25;
-        r.dram_cycles = 75;
+        r.compute_cycles = Cycles::new(25);
+        r.dram_cycles = Cycles::new(75);
         assert!((r.memory_bound_fraction() - 0.75).abs() < 1e-12);
     }
 

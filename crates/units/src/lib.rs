@@ -1,0 +1,32 @@
+//! Unit-safe accounting primitives shared by every EdgeMM crate.
+//!
+//! Every quantity the simulator moves around — cycles from the cost model
+//! (Table I/II of the paper), KV bytes in the paged pool, prompt/block token
+//! counts in chunked prefill — used to be a bare `u64`/`usize`/`f64`, with
+//! raw `as` casts converting between them. This crate makes the type system
+//! the first static analyzer:
+//!
+//! * [`units`] defines `#[repr(transparent)]` newtypes ([`Cycles`],
+//!   [`Bytes`], [`Tokens`], [`BytesPerToken`]) that only admit dimensionally
+//!   meaningful arithmetic. Mixing a cycle count into a byte budget is a
+//!   compile error; leaving the unit system requires an explicit
+//!   [`Cycles::get`]-style escape hatch.
+//! * [`float`] collects the *audited* floating-point comparisons — exact
+//!   sentinel checks ([`float::is_zero`], [`float::is_one`]) and the golden
+//!   tolerance helper ([`float::approx_eq`]) — so the `float-eq` rule of
+//!   `edgemm-lint` can ban ad-hoc `==` on floats everywhere else.
+//!
+//! The newtypes are deliberately boring: no `Deref`, no blanket `From`
+//! integers, no implicit widening. All conversions that cross a unit
+//! boundary are named methods whose rounding behaviour is part of the
+//! signature (`scale_ceil`, `from_seconds_round`, …), which is what lets the
+//! golden suite prove the adoption refactor behaviour-preserving at 1e-6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod float;
+pub mod units;
+
+pub use float::approx_eq;
+pub use units::{Bytes, BytesPerToken, Cycles, Tokens};

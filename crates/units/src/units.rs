@@ -1,0 +1,470 @@
+//! Dimensional newtypes for the quantities the cost model trades in.
+//!
+//! This file is the one place in the workspace where raw numeric casts on
+//! unit-bearing values are allowed (the `unit-cast` rule of `edgemm-lint`
+//! exempts `units.rs` by name). Everything outside goes through the named
+//! constructors and accessors below.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Hz of a core clock given in MHz. The single blessed MHz→Hz conversion.
+pub fn clock_hz(clock_mhz: u32) -> f64 {
+    f64::from(clock_mhz) * 1.0e6
+}
+
+/// Generates the shared integer-quantity surface for a `u64`-backed newtype.
+macro_rules! u64_quantity {
+    ($name:ident, $unit:literal) => {
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: Self = Self(0);
+            /// Largest representable value (used for "unbounded" budgets).
+            pub const MAX: Self = Self(u64::MAX);
+
+            #[doc = concat!("Wraps a raw count of ", $unit, ".")]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Escape hatch: the raw count. Use at unit-system boundaries
+            /// only (formatting, hashing, FFI-like interfaces).
+            pub const fn get(self) -> u64 {
+                self.0
+            }
+
+            /// Whether the quantity is zero.
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Saturating addition.
+            pub const fn saturating_add(self, rhs: Self) -> Self {
+                Self(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction (clamps at zero).
+            pub const fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Checked addition; `None` on overflow. Pool accounting uses
+            /// this so an adversarial reservation cannot wrap the ledger.
+            pub const fn checked_add(self, rhs: Self) -> Option<Self> {
+                match self.0.checked_add(rhs.0) {
+                    Some(v) => Some(Self(v)),
+                    None => None,
+                }
+            }
+
+            /// Checked multiplication by a dimensionless count.
+            pub const fn checked_mul(self, count: u64) -> Option<Self> {
+                match self.0.checked_mul(count) {
+                    Some(v) => Some(Self(v)),
+                    None => None,
+                }
+            }
+
+            /// The larger of two quantities.
+            pub fn max(self, rhs: Self) -> Self {
+                Self(self.0.max(rhs.0))
+            }
+
+            /// The smaller of two quantities.
+            pub fn min(self, rhs: Self) -> Self {
+                Self(self.0.min(rhs.0))
+            }
+
+            /// The quantity as a float, for ratio and seconds conversions.
+            pub fn as_f64(self) -> f64 {
+                self.0 as f64
+            }
+
+            /// Dimensionless ratio of two like quantities.
+            pub fn ratio(self, denom: Self) -> f64 {
+                self.0 as f64 / denom.0 as f64
+            }
+
+            /// Scales by a dimensionless factor, rounding half away from
+            /// zero (`f64::round`), saturating on overflow.
+            pub fn scale_round(self, factor: f64) -> Self {
+                Self::from_f64_round(self.0 as f64 * factor)
+            }
+
+            /// Scales by a dimensionless factor, rounding up (`f64::ceil`),
+            /// saturating on overflow.
+            pub fn scale_ceil(self, factor: f64) -> Self {
+                Self::from_f64_ceil(self.0 as f64 * factor)
+            }
+
+            /// Rounds a float count to the nearest whole unit (saturating).
+            pub fn from_f64_round(value: f64) -> Self {
+                Self(value.round() as u64)
+            }
+
+            /// Rounds a float count up to a whole unit (saturating).
+            pub fn from_f64_ceil(value: f64) -> Self {
+                Self(value.ceil() as u64)
+            }
+
+            /// Rounds a float count down to a whole unit (saturating).
+            pub fn from_f64_floor(value: f64) -> Self {
+                Self(value.floor() as u64)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<u64> for $name {
+            type Output = Self;
+            fn mul(self, count: u64) -> Self {
+                Self(self.0 * count)
+            }
+        }
+
+        impl Mul<usize> for $name {
+            type Output = Self;
+            fn mul(self, count: usize) -> Self {
+                Self(self.0 * count as u64)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl PartialEq<u64> for $name {
+            fn eq(&self, other: &u64) -> bool {
+                self.0 == *other
+            }
+        }
+
+        impl PartialOrd<u64> for $name {
+            fn partial_cmp(&self, other: &u64) -> Option<std::cmp::Ordering> {
+                self.0.partial_cmp(other)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+    };
+}
+
+/// A count of core clock cycles (durations and event timestamps).
+///
+/// Produced by the cost model (Eq. 2/3 compute formulas, the DRAM
+/// effective-bandwidth model) and consumed by the serving event loop. The
+/// only ways in and out of seconds are the explicit conversions below, all
+/// of which take the clock they convert at.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Cycles(u64);
+
+u64_quantity!(Cycles, "core clock cycles");
+
+impl Cycles {
+    /// Duration in seconds at a core clock given in MHz.
+    pub fn seconds(self, clock_mhz: u32) -> f64 {
+        self.0 as f64 / clock_hz(clock_mhz)
+    }
+
+    /// Duration in seconds at a clock given in Hz.
+    pub fn seconds_at(self, hz: f64) -> f64 {
+        self.0 as f64 / hz
+    }
+
+    /// Nearest cycle to a duration in seconds at a clock in Hz.
+    pub fn from_seconds_round(seconds: f64, hz: f64) -> Self {
+        Self((seconds * hz).round() as u64)
+    }
+
+    /// Last whole cycle at or before a duration in seconds at a clock in Hz.
+    pub fn from_seconds_floor(seconds: f64, hz: f64) -> Self {
+        Self((seconds * hz).floor() as u64)
+    }
+}
+
+/// A count of bytes (DRAM traffic, KV-cache occupancy, memory budgets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Bytes(u64);
+
+u64_quantity!(Bytes, "bytes");
+
+impl Bytes {
+    /// Wraps a byte count held as `usize` (buffer and memory sizes).
+    pub const fn from_usize(raw: usize) -> Self {
+        Self(raw as u64)
+    }
+
+    /// A per-token byte rate, e.g. the KV bytes appended per decoded token.
+    pub const fn per_token(bytes: u64) -> BytesPerToken {
+        BytesPerToken(bytes)
+    }
+
+    /// Number of `chunk`-sized transfers needed to move this many bytes
+    /// (the DMA transfer count: last transfer may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub const fn div_ceil(self, chunk: Bytes) -> u64 {
+        self.0.div_ceil(chunk.0)
+    }
+}
+
+/// A count of tokens (prompt length, generated length, KV block capacity).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Tokens(usize);
+
+impl Tokens {
+    /// Zero tokens.
+    pub const ZERO: Self = Self(0);
+
+    /// Wraps a raw token count.
+    pub const fn new(raw: usize) -> Self {
+        Self(raw)
+    }
+
+    /// Escape hatch: the raw count.
+    pub const fn get(self) -> usize {
+        self.0
+    }
+
+    /// Whether the count is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The count as a float (throughput numerators).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The count widened to `u64` (cycle and block arithmetic).
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Number of `chunk`-sized blocks covering this many tokens (the paged
+    /// KV block count: last block may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub const fn div_ceil(self, chunk: usize) -> u64 {
+        self.0.div_ceil(chunk) as u64
+    }
+
+    /// The larger of two counts.
+    pub fn max(self, rhs: Self) -> Self {
+        Self(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Tokens {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tokens {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tokens {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Tokens {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|q| q.0).sum())
+    }
+}
+
+impl PartialEq<usize> for Tokens {
+    fn eq(&self, other: &usize) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialOrd<usize> for Tokens {
+    fn partial_cmp(&self, other: &usize) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl fmt::Display for Tokens {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A byte rate per token: multiplying by [`Tokens`] yields [`Bytes`].
+///
+/// This is the type of "KV bytes per token" in the paged pool — keeping the
+/// rate distinct from plain bytes is what catches the classic transposition
+/// `block_tokens * budget` at compile time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct BytesPerToken(u64);
+
+impl BytesPerToken {
+    /// Wraps a raw bytes-per-token rate.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Escape hatch: the raw rate.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl Mul<Tokens> for BytesPerToken {
+    type Output = Bytes;
+    fn mul(self, tokens: Tokens) -> Bytes {
+        Bytes(self.0 * tokens.0 as u64)
+    }
+}
+
+impl Mul<usize> for BytesPerToken {
+    type Output = Bytes;
+    fn mul(self, tokens: usize) -> Bytes {
+        Bytes(self.0 * tokens as u64)
+    }
+}
+
+impl fmt::Display for BytesPerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_preserves_raw_semantics() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(250);
+        assert_eq!((a + b).get(), 350);
+        assert_eq!((b - a).get(), 150);
+        assert_eq!(a.max(b), b);
+        assert_eq!((a * 3u64).get(), 300);
+        assert_eq!((a * 4usize).get(), 400);
+        let sum: Cycles = [a, b].into_iter().sum();
+        assert_eq!(sum.get(), 350);
+    }
+
+    #[test]
+    fn checked_and_saturating_variants() {
+        assert_eq!(Bytes::MAX.checked_add(Bytes::new(1)), None);
+        assert_eq!(Bytes::new(1 << 40).checked_mul(1 << 40), None);
+        assert_eq!(Bytes::MAX.saturating_add(Bytes::new(7)), Bytes::MAX);
+        assert_eq!(Bytes::new(3).saturating_sub(Bytes::new(9)), Bytes::ZERO);
+        assert_eq!(
+            Bytes::new(3).checked_add(Bytes::new(9)),
+            Some(Bytes::new(12))
+        );
+    }
+
+    #[test]
+    fn scaling_matches_raw_float_casts() {
+        // The adoption refactor is behaviour-preserving only if these equal
+        // the `(x as f64 * f).ceil() as u64` patterns they replaced.
+        for raw in [0u64, 1, 1023, 4096, 1_000_003] {
+            for factor in [0.0, 0.168, 0.5, 1.0, 1.25] {
+                assert_eq!(
+                    Bytes::new(raw).scale_ceil(factor).get(),
+                    (raw as f64 * factor).ceil() as u64
+                );
+                assert_eq!(
+                    Bytes::new(raw).scale_round(factor).get(),
+                    (raw as f64 * factor).round() as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        assert!((Cycles::new(4_000_000).seconds(1000) - 0.004).abs() < 1e-15);
+        assert!((Cycles::new(500).seconds_at(1.0e3) - 0.5).abs() < 1e-15);
+        assert_eq!(Cycles::from_seconds_round(0.5004, 1.0e3).get(), 500);
+        assert_eq!(Cycles::from_seconds_floor(0.9999, 1.0e3).get(), 999);
+        assert!((clock_hz(800) - 8.0e8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn byte_token_algebra() {
+        let rate = Bytes::per_token(2048);
+        assert_eq!(rate * Tokens::new(16), Bytes::new(32_768));
+        assert_eq!(rate * 3usize, Bytes::new(6144));
+        assert_eq!(Bytes::new(100).div_ceil(Bytes::new(64)), 2);
+        assert_eq!(Tokens::new(33).div_ceil(16), 3);
+        assert_eq!(Tokens::new(32).div_ceil(16), 2);
+        assert_eq!(Tokens::ZERO.div_ceil(16), 0);
+    }
+
+    #[test]
+    fn comparisons_against_raw_integers() {
+        assert!(Bytes::new(50_091_008) == 50_091_008u64);
+        assert!(Bytes::new(7) <= 8u64);
+        assert!(Cycles::new(9) > 8u64);
+        assert!(Tokens::new(7567) == 7567usize);
+        assert!(Tokens::new(12) < 13usize);
+    }
+
+    #[test]
+    fn display_prints_raw_count() {
+        assert_eq!(format!("{}", Bytes::new(42)), "42");
+        assert_eq!(format!("{}", Tokens::new(7)), "7");
+        assert_eq!(format!("{}", Cycles::new(0)), "0");
+        assert_eq!(format!("{}", Bytes::per_token(3)), "3");
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics_like_u64() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+}

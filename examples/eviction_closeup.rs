@@ -20,6 +20,7 @@
 //! Run with `cargo run --example eviction_closeup --release`.
 
 use edgemm::serve::{Priority, ServeReport, ServeRequest, SloClass};
+use edgemm::units::Bytes;
 use edgemm::{EdgeMm, ServeOptions};
 use edgemm_mllm::zoo;
 
@@ -73,12 +74,12 @@ fn main() {
     let reserved = system.serve(
         &model,
         &[dashcam, driver],
-        ServeOptions::memory_aware(budget, 320),
+        ServeOptions::memory_aware(Bytes::new(budget), 320),
     );
     let paged = system.serve(
         &model,
         &[dashcam, driver],
-        ServeOptions::memory_aware(budget, 320).paged(16),
+        ServeOptions::memory_aware(Bytes::new(budget), 320).paged(16),
     );
     report_line("reserved (PR 4):", &reserved);
     report_line("paged + eviction:", &paged);

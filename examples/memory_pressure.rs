@@ -18,6 +18,7 @@
 //! Run with `cargo run --example memory_pressure --release`.
 
 use edgemm::serve::{merge, Priority, ServeReport, ServeRequest, SloClass, TraceConfig};
+use edgemm::units::Bytes;
 use edgemm::{EdgeMm, ServeOptions};
 use edgemm_mllm::zoo;
 
@@ -101,7 +102,11 @@ fn main() {
     );
     let mut roomy_misses = 0;
     for budget in [16 * MIB, 32 * MIB, 48 * MIB, 96 * MIB] {
-        let report = system.serve(&model, &mixed, ServeOptions::memory_aware(budget, 320));
+        let report = system.serve(
+            &model,
+            &mixed,
+            ServeOptions::memory_aware(Bytes::new(budget), 320),
+        );
         let max_batch = report
             .queue_samples
             .iter()
@@ -114,7 +119,7 @@ fn main() {
             report.slo_attainment() * 100.0,
             report.deadline_misses(),
             report.tokens_per_second(),
-            report.peak_kv_bytes as f64 / MIB as f64,
+            report.peak_kv_bytes.as_f64() / MIB as f64,
             max_batch,
         );
         assert!(

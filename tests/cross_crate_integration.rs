@@ -71,7 +71,7 @@ fn pruning_speeds_up_decode_without_breaking_the_report() {
     let pruned = system.run(&workload, RequestOptions::with_pruning());
     let plain_decode = plain.run.phase(Phase::Decode).unwrap().cycles;
     let pruned_decode = pruned.run.phase(Phase::Decode).unwrap().cycles;
-    let reduction = 1.0 - pruned_decode as f64 / plain_decode as f64;
+    let reduction = 1.0 - pruned_decode.ratio(plain_decode);
     // The paper reports a 42% average decode-latency reduction; accept a
     // broad band around it for the synthetic-activation reproduction.
     assert!(
@@ -177,7 +177,7 @@ fn facade_bandwidth_allocation_partitions_the_paper_dram() {
     let total = {
         let mut manager = BandwidthManager::new(DramModel::paper_default());
         manager.set_allocation(BandwidthAllocation::all_mc());
-        8 * manager.mc_cluster_budget(8)
+        manager.mc_cluster_budget(8) * 8u64
     };
     for allocation in [
         BandwidthAllocation::equal(),
@@ -186,8 +186,8 @@ fn facade_bandwidth_allocation_partitions_the_paper_dram() {
     ] {
         let mut manager = BandwidthManager::new(DramModel::paper_default());
         manager.set_allocation(allocation);
-        let split = 8 * manager.cc_cluster_budget(8) + 8 * manager.mc_cluster_budget(8);
-        let drift = (split as f64 - total as f64).abs() / total as f64;
+        let split = manager.cc_cluster_budget(8) * 8u64 + manager.mc_cluster_budget(8) * 8u64;
+        let drift = (split.as_f64() - total.as_f64()).abs() / total.as_f64();
         assert!(
             drift < 0.01,
             "allocation {allocation:?} leaks bandwidth: {split} vs {total}"
@@ -224,7 +224,7 @@ fn facade_decode_options_batching_amortises_weight_traffic() {
     );
     // 4 concurrent requests in fewer than 4x the cycles of one request.
     assert!(
-        (batched.cycles as f64) < 4.0 * single.cycles as f64,
+        batched.cycles.as_f64() < 4.0 * single.cycles.as_f64(),
         "batching gained nothing: {} vs 4 x {}",
         batched.cycles,
         single.cycles

@@ -11,6 +11,7 @@
 
 use edgemm::figures::{fig11_hetero, table1_models, table2_gpu_comparison};
 use edgemm::serve::{merge, AdmissionControl, PolicyKind, Priority, ServeReport, TraceConfig};
+use edgemm::units::Bytes;
 use edgemm::{EdgeMm, RequestOptions, ServeOptions};
 use edgemm_mllm::{zoo, ModelWorkload};
 
@@ -184,7 +185,7 @@ fn golden_memory_pressure_point() {
             ServeOptions {
                 batch_cap: None,
                 chunk_tokens,
-                kv_budget_bytes: Some(KV_BUDGET),
+                kv_budget_bytes: Some(Bytes::new(KV_BUDGET)),
                 ..ServeOptions::slo_aware()
             },
         )
@@ -281,7 +282,7 @@ fn golden_paged_eviction_point() {
         }
         .generate(),
     ]);
-    let base = ServeOptions::memory_aware(KV_BUDGET, 320);
+    let base = ServeOptions::memory_aware(Bytes::new(KV_BUDGET), 320);
     let reserved = system.serve(&zoo::sphinx_tiny(), &mixed, base);
     let paged = system.serve(&zoo::sphinx_tiny(), &mixed, base.paged(16));
     let interactive_misses = |report: &ServeReport| {

@@ -7,6 +7,7 @@ use edgemm::serve::{
     TraceConfig,
 };
 use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
+use edgemm::units::{Bytes, Tokens};
 use edgemm::{EdgeMm, RequestOptions, ServeOptions};
 use edgemm_mllm::{
     zoo, LlmConfig, MllmConfig, ModelWorkload, ProjectorConfig, ProjectorKind, VisionEncoderConfig,
@@ -163,7 +164,7 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), requests);
-        let submitted: u64 = trace.generate().iter().map(|r| r.output_tokens as u64).sum();
+        let submitted: Tokens = trace.generate().iter().map(|r| Tokens::new(r.output_tokens)).sum();
         prop_assert_eq!(report.total_output_tokens, submitted);
     }
 
@@ -291,7 +292,7 @@ proptest! {
             prop_assert!(report.completed.iter().all(|c| c.id != rejected.id));
             prop_assert!(rejected.reject_s >= rejected.arrival_s - 1e-12);
         }
-        let generated: u64 = report.completed.iter().map(|c| c.output_tokens as u64).sum();
+        let generated: Tokens = report.completed.iter().map(|c| Tokens::new(c.output_tokens)).sum();
         prop_assert_eq!(report.total_output_tokens, generated);
         let class_total: usize = report
             .class_stats()
@@ -336,7 +337,7 @@ proptest! {
             model,
             ServeConfig::with_batch_cap(cap)
                 .with_chunk_tokens(usize::MAX)
-                .with_kv_pool(KvPool::with_budget(u64::MAX - 1)),
+                .with_kv_pool(KvPool::with_budget(Bytes::new(u64::MAX - 1))),
         )
         .run(&trace, policy);
         prop_assert_eq!(legacy, memory_aware);
@@ -374,7 +375,7 @@ proptest! {
             .map(|r| per_token * (model.prompt_tokens(r.text_tokens) + r.output_tokens) as u64)
             .max()
             .unwrap_or(0);
-        let budget = (budget_kib * 1024).max(max_footprint);
+        let budget = Bytes::new((budget_kib * 1024).max(max_footprint));
         let mut config = ServeConfig::new().with_kv_pool(KvPool::with_budget(budget));
         if chunked == 1 {
             config = config.with_chunk_tokens(16);
@@ -427,7 +428,7 @@ proptest! {
             })
             .max()
             .unwrap_or(0);
-        let budget = (budget_kib * 1024).max(max_footprint);
+        let budget = Bytes::new((budget_kib * 1024).max(max_footprint));
         let config = ServeConfig::new()
             .with_kv_pool(KvPool::with_budget(budget))
             .with_block_tokens(block);
@@ -484,7 +485,7 @@ proptest! {
         ]);
         let machine = Machine::new(SimConfig::paper_default());
         let config = ServeConfig::new()
-            .with_kv_pool(KvPool::with_budget(budget_kib * 1024))
+            .with_kv_pool(KvPool::with_budget(Bytes::new(budget_kib * 1024)))
             .with_block_tokens(block)
             .with_chunk_tokens(16);
         let report = ServeSimulator::new(&machine, tiny_model(), config)
@@ -495,7 +496,7 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), trace.len());
-        let submitted: u64 = trace.iter().map(|r| r.output_tokens as u64).sum();
+        let submitted: Tokens = trace.iter().map(|r| Tokens::new(r.output_tokens)).sum();
         prop_assert_eq!(report.total_output_tokens, submitted);
         // Evictions and their re-prefill accounting travel together.
         prop_assert_eq!(report.evictions == 0, report.restarted_prefill_tokens == 0);
