@@ -26,6 +26,11 @@
 //! Set `EDGEMM_SMOKE=1` to run a small, fast configuration (used by CI and
 //! the bin smoke test). See `docs/serving.md` and `docs/memory.md` for how
 //! to read the output.
+//!
+//! Set `EDGEMM_BENCH_JSON=1` to also time the golden multi-tenant sweep
+//! point (sharing + spill-and-restore at an 8 MiB paged budget) and write
+//! `BENCH_serving.json` — requests simulated per wall-second, the repo's
+//! first checked-in perf data point (ROADMAP direction 3).
 
 use edgemm::serve::{merge, AdmissionControl, PolicyKind, TraceConfig};
 use edgemm::units::Bytes;
@@ -312,6 +317,62 @@ fn paged_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
     );
 }
 
+/// Simulator throughput on the golden multi-tenant sweep point (the pinned
+/// `golden_multi_tenant_sharing_point` workload: 3 tenants' interactive
+/// traffic plus long-prompt background, served at an 8 MiB paged budget
+/// with prefix sharing and spill-and-restore on). Writes the measurement to
+/// `BENCH_serving.json` as requests simulated per wall-second.
+///
+/// Wall-clock use is deliberate and confined to this bin: the simulated
+/// *reports* stay bit-identical across runs (the `sim-determinism` lint
+/// guards the cores); only the host-side speed of producing them varies.
+fn bench_json(system: &EdgeMm) {
+    use std::time::Instant;
+    let model = zoo::sphinx_tiny();
+    let trace = merge(&[
+        TraceConfig::multi_tenant(3, 24, 8.0, 19).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(4, 3.0, 119)
+        }
+        .generate(),
+    ]);
+    let options = ServeOptions::memory_aware(Bytes::new(8 << 20), 64)
+        .paged(16)
+        .shared_prefixes(Bytes::new(128 << 20));
+    // One untimed warm-up, then timed repeats over the same trace.
+    let warm = system.serve(&model, &trace, options);
+    assert_eq!(
+        warm.completed.len(),
+        trace.len(),
+        "golden point must complete"
+    );
+    let repeats = 5u32;
+    let start = Instant::now();
+    let mut simulated = 0usize;
+    for _ in 0..repeats {
+        let report = system.serve(&model, &trace, options);
+        simulated += report.submitted();
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let requests_per_s = simulated as f64 / wall_s;
+    let json = format!(
+        "{{\n  \"bench\": \"serving_sweep/golden_multi_tenant_sharing_point\",\n  \
+         \"unit\": \"requests_simulated_per_wall_second\",\n  \
+         \"requests_per_trace\": {},\n  \"repeats\": {},\n  \
+         \"wall_s\": {:.6},\n  \"requests_per_s\": {:.1}\n}}\n",
+        trace.len(),
+        repeats,
+        wall_s,
+        requests_per_s,
+    );
+    let path = "BENCH_serving.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n[bench] {requests_per_s:.1} requests/wall-second -> {path}"),
+        Err(e) => eprintln!("\n[bench] failed to write {path}: {e}"),
+    }
+}
+
 fn main() {
     let (sweep, scale) = sweep_scale();
     let system = EdgeMm::paper_default();
@@ -319,4 +380,8 @@ fn main() {
     slo_sweep(&system, &sweep);
     memory_sweep(&system, &sweep, scale == "smoke");
     paged_sweep(&system, &sweep, scale == "smoke");
+    let bench = std::env::var("EDGEMM_BENCH_JSON").is_ok_and(|v| v != "0" && !v.is_empty());
+    if bench {
+        bench_json(&system);
+    }
 }

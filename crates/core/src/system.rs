@@ -71,6 +71,19 @@ pub struct ServeOptions {
     /// can lose its decode slot to a waiting arrival and re-queue for
     /// re-prefill). See `docs/memory.md` and [`ServeOptions::paged`].
     pub block_tokens: Option<usize>,
+    /// Share KV blocks of identical declared prompt prefixes across
+    /// requests (refcounted, copy-on-write). Requires [`Self::block_tokens`];
+    /// see [`ServeOptions::shared_prefixes`] and `docs/memory.md`.
+    pub prefix_sharing: bool,
+    /// DRAM spill area for mid-decode eviction: `Some(capacity)` swaps a
+    /// revoked stream's KV image out (and later back in) over DMA instead
+    /// of recomputing its prefill; `None` keeps the recompute path.
+    /// Requires [`Self::block_tokens`].
+    pub spill_capacity_bytes: Option<Bytes>,
+    /// Account KV written by finished prefill chunks while the stream still
+    /// waits for a decode slot, so admission sees the true footprint.
+    /// Requires [`Self::block_tokens`].
+    pub eager_kv_accounting: bool,
     /// Scheduling policy governing CC admission and decode-batch join order.
     pub policy: PolicyKind,
     /// What happens to requests whose TTFT deadline is already unreachable
@@ -98,6 +111,9 @@ impl Default for ServeOptions {
             chunk_tokens: None,
             kv_budget_bytes: None,
             block_tokens: None,
+            prefix_sharing: false,
+            spill_capacity_bytes: None,
+            eager_kv_accounting: false,
             policy: PolicyKind::Fcfs,
             admission: AdmissionControl::Serve,
             pruning: false,
@@ -148,6 +164,19 @@ impl ServeOptions {
     pub fn paged(self, block_tokens: usize) -> Self {
         ServeOptions {
             block_tokens: Some(block_tokens),
+            ..self
+        }
+    }
+
+    /// The full multi-tenant memory stack on top of paged options: prefix
+    /// sharing, eager KV accounting for queued prefill chunks, and DMA
+    /// spill-and-restore eviction with a `spill_capacity_bytes` DRAM area.
+    /// Layer it on [`Self::paged`].
+    pub fn shared_prefixes(self, spill_capacity_bytes: Bytes) -> Self {
+        ServeOptions {
+            prefix_sharing: true,
+            spill_capacity_bytes: Some(spill_capacity_bytes),
+            eager_kv_accounting: true,
             ..self
         }
     }
@@ -370,6 +399,9 @@ impl EdgeMm {
             chunk_tokens: options.chunk_tokens,
             kv,
             block_tokens: options.block_tokens,
+            prefix_sharing: options.prefix_sharing,
+            spill_capacity_bytes: options.spill_capacity_bytes,
+            eager_kv_accounting: options.eager_kv_accounting,
             pruning: self.serving_pruning(model, options),
             admission: options.admission,
         };

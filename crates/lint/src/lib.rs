@@ -10,7 +10,7 @@
 //! | `unit-cast` | no raw `as` numeric casts in the unit-bearing crates (`sim`, `mem`, `serve`); use `edgemm_core::units` |
 //! | `float-eq` | no `==`/`!=` against float literals outside tests; use `edgemm_core::float` helpers |
 //! | `no-unwrap` | no `unwrap`/`expect` in library code (tests/bins/examples exempt) |
-//! | `sim-determinism` | no wall-clock (`std::time`, `SystemTime`, `Instant`) in the `sim`/`serve`/`mem` cores |
+//! | `sim-determinism` | no wall-clock (`std::time`, `SystemTime`, `Instant`) or randomized hashing (`DefaultHasher`, `RandomState`) in the `sim`/`serve`/`mem` cores |
 //! | `workspace-sync` | every `[workspace] members` entry is also in `default-members` (the tier-1 silent-skip gotcha) |
 //!
 //! Findings can be suppressed per line with `// lint:allow(<id>)` (on the
@@ -75,7 +75,10 @@ impl RuleId {
                 "no ==/!= against float literals outside tests; use edgemm_core::float"
             }
             RuleId::NoUnwrap => "no unwrap/expect in library code (tests/bins/examples exempt)",
-            RuleId::SimDeterminism => "no std::time/SystemTime/Instant in the sim/serve/mem cores",
+            RuleId::SimDeterminism => {
+                "no wall clocks (std::time/SystemTime/Instant) or randomized \
+                 hashing (DefaultHasher/RandomState) in the sim/serve/mem cores"
+            }
             RuleId::WorkspaceSync => {
                 "every [workspace] member must also be listed in default-members"
             }
@@ -303,6 +306,11 @@ fn check_sim_determinism(rel: &Path, src: &str, lexed: &LexedFile, findings: &mu
         let name = tok.text(src);
         let hit = match name {
             "SystemTime" | "Instant" => true,
+            // Randomized hashing: `DefaultHasher`/`RandomState` seed from
+            // process entropy, so prefix keys or map iteration built on
+            // them differ across runs. The sharing/spill paths hash with
+            // the fixed-seed `edgemm_mem::fnv1a_64` instead.
+            "DefaultHasher" | "RandomState" => true,
             "time" => {
                 // `std::time` path segments.
                 i >= 2
@@ -312,17 +320,19 @@ fn check_sim_determinism(rel: &Path, src: &str, lexed: &LexedFile, findings: &mu
             _ => false,
         };
         if hit {
-            push_unless_allowed(
-                findings,
-                lexed,
-                rel,
-                tok,
-                RuleId::SimDeterminism,
+            let message = if matches!(name, "DefaultHasher" | "RandomState") {
+                format!(
+                    "randomized hasher `{name}` in a deterministic core; hash \
+                     with the fixed-seed `edgemm_mem::fnv1a_64` so prefix keys \
+                     are stable across runs"
+                )
+            } else {
                 format!(
                     "wall-clock source `{name}` in a deterministic core; the \
                      simulators must derive all time from modelled cycles"
-                ),
-            );
+                )
+            };
+            push_unless_allowed(findings, lexed, rel, tok, RuleId::SimDeterminism, message);
         }
     }
 }

@@ -1,0 +1,15 @@
+// Fixture: randomized hashers that `sim-determinism` must flag inside the
+// deterministic cores — both seed from process entropy, so prefix keys
+// built on them differ from run to run.
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::hash::{BuildHasher, Hasher};
+
+pub fn prefix_key(prompt: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    h.write(prompt);
+    h.finish()
+}
+
+pub fn registry_hasher() -> impl Hasher {
+    RandomState::new().build_hasher()
+}

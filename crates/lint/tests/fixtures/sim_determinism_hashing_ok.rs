@@ -1,0 +1,7 @@
+// Fixture: deterministic-core hashing done right — the fixed-seed FNV-1a
+// helper produces the same prefix key in every run and process.
+use edgemm_mem::fnv1a_64;
+
+pub fn prefix_key(prompt: &[u8]) -> u64 {
+    fnv1a_64(prompt)
+}

@@ -127,6 +127,35 @@ fn sim_determinism_is_silent_on_cycle_derived_time() {
 }
 
 #[test]
+fn sim_determinism_fires_on_randomized_hashers() {
+    let findings = lint_source(
+        unit_crate_path(),
+        include_str!("fixtures/sim_determinism_hashing_bad.rs"),
+    );
+    // One finding per mention: the `use` names both hashers, then each is
+    // constructed once.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(
+        findings.iter().all(|f| f.rule == RuleId::SimDeterminism),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("DefaultHasher"))
+            && findings.iter().any(|f| f.message.contains("RandomState")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn sim_determinism_is_silent_on_fixed_seed_hashing() {
+    let fired = rules_fired(
+        unit_crate_path(),
+        include_str!("fixtures/sim_determinism_hashing_ok.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected findings: {fired:?}");
+}
+
+#[test]
 fn sim_determinism_does_not_apply_outside_the_cores() {
     let fired = rules_fired(
         plain_crate_path(),

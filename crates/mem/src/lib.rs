@@ -21,8 +21,11 @@
 //! account of resident KV cache that the serving layer uses to admit decode
 //! streams by memory headroom instead of a constant batch cap — and its
 //! block-granular refinement, the [`PagedKvPool`], which allocates KV in
-//! fixed-size token blocks lazily as decode progresses and supports
-//! mid-decode eviction of a running stream (see `docs/memory.md`).
+//! fixed-size token blocks lazily as decode progresses, shares refcounted
+//! prompt-prefix blocks across requests (deterministic [`prefix_key`]
+//! hashing, copy-on-write divergence) and supports mid-decode eviction of
+//! a running stream — by DMA spill-and-restore when a spill area is
+//! configured, by recompute otherwise (see `docs/memory.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,5 +41,5 @@ pub use bandwidth::{BandwidthAllocation, BandwidthManager, BudgetPolicy};
 pub use dma::{DmaEngine, DmaRequest, DmaTranscript};
 pub use dram::DramModel;
 pub use kv::KvPool;
-pub use paged::{BlockTable, PagedKvPool};
+pub use paged::{fnv1a_64, prefix_key, BlockTable, PagedKvPool, PrefixAttach, SpillTicket};
 pub use traffic::{TrafficClass, TrafficStats};

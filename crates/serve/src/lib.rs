@@ -54,11 +54,18 @@
 //!   [`ServeConfig::block_tokens`] the pool is *paged* ([`PagedKvPool`]):
 //!   KV is allocated in fixed token blocks lazily as each context grows,
 //!   steps are priced at each stream's actual context length, and under
-//!   pressure a strictly-less-urgent running stream is **evicted** — its
-//!   blocks freed, the request re-queued for re-prefill — so an urgent
-//!   arrival takes its decode slot instead of waiting for a full drain
-//!   (counted in [`ServeReport::evictions`] /
-//!   [`ServeReport::restarted_prefill_tokens`]; see `docs/memory.md`).
+//!   pressure a strictly-less-urgent running stream is **evicted** — by DMA
+//!   spill-and-restore when [`ServeConfig::spill_capacity_bytes`] provides
+//!   an area ([`ServeReport::spilled_kv_bytes`] /
+//!   [`ServeReport::restored_kv_bytes`]), by recompute otherwise
+//!   ([`ServeReport::restarted_prefill_tokens`]) — so an urgent arrival
+//!   takes its decode slot instead of waiting for a full drain. Requests
+//!   declaring a [`SharedPrefix`] share one refcounted, copy-on-write
+//!   physical copy of their prompt-prefix blocks under
+//!   [`ServeConfig::prefix_sharing`], and
+//!   [`ServeConfig::eager_kv_accounting`] charges finished prefill chunks
+//!   to the pool while the stream still waits for a decode slot (see
+//!   `docs/memory.md`).
 //!
 //! # Step cost model
 //!
@@ -93,25 +100,11 @@
 //!
 //! # Known simplifications
 //!
-//! The original three simplifications are all retired: chunked prefill
-//! retired "prefill does not chunk", the KV pool retired "the batch cap is
-//! a constant", and paged mode retired the last two — "decode uses the
-//! average context length" (paged steps are priced at each stream's actual
-//! context via [`edgemm_sim::Machine::decode_step_costs_at`]) and "KV
-//! reservations are whole-request" (block-granular allocation with
-//! priority-aware mid-decode eviction). The retired pair is *opt-in*: the
-//! default `block_tokens: None` keeps average-context costs and peak
-//! reservations so pre-paging results reproduce byte for byte
-//! (property-pinned). What genuinely remains, bounding fidelity:
-//!
-//! 1. **Prefix KV of ready streams is unaccounted.** KV written by prefill
-//!    enters the pool's account only when the stream joins the decode
-//!    batch; while it waits in the ready queue the prefix is assumed parked
-//!    in DRAM outside the budget.
-//! 2. **Eviction recomputes.** An evicted stream's freed KV is re-prefilled
-//!    from its accumulated context; there is no spill-and-restore (DMA
-//!    swap) path, and blocks are never shared between requests (no prefix
-//!    sharing / copy-on-write).
+//! None remain open. The single source of truth for the memory model's
+//! retired-simplification ledger — what each gap was, which configuration
+//! retires it, and the opt-in defaults that keep earlier results
+//! reproducing byte for byte — is `docs/memory.md` (see its "Remaining
+//! simplifications" section).
 //!
 //! # Example
 //!
@@ -149,13 +142,13 @@ mod simulator;
 mod slo;
 mod trace;
 
-pub use edgemm_mem::{BlockTable, KvPool, PagedKvPool};
+pub use edgemm_mem::{prefix_key, BlockTable, KvPool, PagedKvPool, PrefixAttach, SpillTicket};
 pub use metrics::{ClassStats, QueueSample, ServeReport};
 pub use policy::{
     EarliestDeadlineFirst, Fcfs, PolicyKind, PruningAware, QueuedRequest, SchedulePolicy,
     ShortestPromptFirst,
 };
-pub use request::{CompletedRequest, RejectedRequest, ServeRequest};
+pub use request::{CompletedRequest, RejectedRequest, ServeRequest, SharedPrefix};
 pub use simulator::{ServeConfig, ServeSimulator};
 pub use slo::{AdmissionControl, Priority, SloClass};
 pub use trace::{merge, TraceConfig};

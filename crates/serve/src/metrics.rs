@@ -17,12 +17,21 @@ pub struct QueueSample {
     pub waiting: usize,
     /// Streams currently in the decode batch.
     pub active: usize,
-    /// KV-cache bytes resident in the pool at this instant: reserved bytes
-    /// under whole-request reservations, allocated-block bytes under paged
-    /// allocation. With a bounded pool this stays within the budget at
-    /// *every* sample, not just at the peak (property-tested) — except
-    /// while a single oversized stream admitted through the sole-owner
-    /// escape hatch runs solo, exactly as for
+    /// KV-cache bytes resident in the pool at this instant — the pool's
+    /// *full* account, precisely: under whole-request reservations, the sum
+    /// of every decode-batch member's reserved peak footprint; under paged
+    /// allocation, `allocated blocks × block bytes` over **all** block
+    /// holders — decode-batch tables, refcounted shared-prefix blocks
+    /// (counted once, however many streams map them) and, with
+    /// [`crate::ServeConfig::eager_kv_accounting`], the blocks written by
+    /// completed prefill chunks of streams still in the CC/ready queues.
+    /// Without eager accounting, paged samples cover decode-batch residents
+    /// plus shared-prefix blocks only (ready-queue KV enters the account at
+    /// join). KV images parked in the DRAM spill area are *excluded*: they
+    /// do not occupy the pool. With a bounded pool the value stays within
+    /// the budget at *every* sample, not just at the peak (property-tested)
+    /// — except while a single oversized stream admitted through the
+    /// sole-owner escape hatch runs solo, exactly as for
     /// [`ServeReport::peak_kv_bytes`].
     pub kv_bytes: Bytes,
 }
@@ -102,8 +111,20 @@ pub struct ServeReport {
     pub evictions: u64,
     /// Prompt-plus-generated tokens the CC stage had to prefill *again*
     /// because an eviction freed their KV — the recompute cost of paging,
-    /// in tokens. Zero when nothing was evicted.
+    /// in tokens. Zero when nothing was evicted, and collapses to zero when
+    /// a DRAM spill area absorbs every eviction
+    /// ([`crate::ServeConfig::spill_capacity_bytes`]): spilled streams
+    /// restore their KV verbatim instead of recomputing it.
     pub restarted_prefill_tokens: Tokens,
+    /// KV bytes written to the DRAM spill area by spill-and-restore
+    /// evictions, priced at the modeled DMA bandwidth. Zero without a
+    /// configured spill area.
+    pub spilled_kv_bytes: Bytes,
+    /// KV bytes read back from the spill area when spilled streams
+    /// re-joined the decode batch. Equals [`Self::spilled_kv_bytes`] at the
+    /// end of every run — every spilled stream restores exactly once
+    /// (property-tested conservation).
+    pub restored_kv_bytes: Bytes,
     /// High-water mark of KV-cache bytes reserved in the pool at once.
     /// With a bounded [`edgemm_mem::KvPool`] this stays within the budget
     /// (property-tested), except for a single oversized stream admitted
@@ -320,6 +341,8 @@ mod tests {
             preemptions: 0,
             evictions: 0,
             restarted_prefill_tokens: Tokens::ZERO,
+            spilled_kv_bytes: Bytes::ZERO,
+            restored_kv_bytes: Bytes::ZERO,
             peak_kv_bytes: Bytes::ZERO,
             total_output_tokens: Tokens::new(4 * latencies.len()),
             makespan_s: 2.0,
@@ -423,6 +446,8 @@ mod tests {
             preemptions: 0,
             evictions: 0,
             restarted_prefill_tokens: Tokens::ZERO,
+            spilled_kv_bytes: Bytes::ZERO,
+            restored_kv_bytes: Bytes::ZERO,
             peak_kv_bytes: Bytes::ZERO,
             total_output_tokens: Tokens::ZERO,
             makespan_s: 0.0,

@@ -4,6 +4,25 @@ use edgemm_core::units::Tokens;
 
 use crate::slo::SloClass;
 
+/// A declared shared prompt prefix: the leading `tokens` text tokens of the
+/// request's prompt are a system prompt identified by `id` — byte-identical
+/// across every request carrying the same `(id, tokens)` pair (a tenant's
+/// system prompt). The paged pool maps one physical copy of its KV blocks
+/// across all of them when prefix sharing is enabled.
+///
+/// The shared text precedes the image: it occupies the first `tokens`
+/// positions of the text prompt, before the model's vision tokens and the
+/// request's own user text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedPrefix {
+    /// Identity of the shared prompt (e.g. a tenant id). Two requests share
+    /// KV exactly when both `id` and `tokens` match.
+    pub id: u64,
+    /// Length of the shared prompt in text tokens; at most the request's
+    /// `text_tokens`.
+    pub tokens: usize,
+}
+
 /// One inference request submitted to the serving queue: an image plus a
 /// text prompt, generating `output_tokens` tokens, served under an
 /// [`SloClass`] (best effort unless set via [`ServeRequest::with_slo`]).
@@ -20,6 +39,9 @@ pub struct ServeRequest {
     pub output_tokens: usize,
     /// Priority class and latency deadlines the request is served under.
     pub slo: SloClass,
+    /// The request's shared system prompt, if it declares one. Metadata
+    /// only unless the simulator runs with prefix sharing enabled.
+    pub shared_prefix: Option<SharedPrefix>,
 }
 
 impl ServeRequest {
@@ -40,12 +62,30 @@ impl ServeRequest {
             text_tokens,
             output_tokens,
             slo: SloClass::best_effort(),
+            shared_prefix: None,
         }
     }
 
     /// The same request served under `slo`.
     pub fn with_slo(self, slo: SloClass) -> Self {
         ServeRequest { slo, ..self }
+    }
+
+    /// The same request declaring that its first `tokens` text tokens are
+    /// the shared system prompt identified by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` exceeds the request's `text_tokens`.
+    pub fn with_shared_prefix(self, id: u64, tokens: usize) -> Self {
+        assert!(
+            tokens <= self.text_tokens,
+            "shared prefix cannot exceed the text prompt"
+        );
+        ServeRequest {
+            shared_prefix: Some(SharedPrefix { id, tokens }),
+            ..self
+        }
     }
 }
 
@@ -182,6 +222,19 @@ mod tests {
         let r = ServeRequest::new(0, 0.0, 8, 4).with_slo(SloClass::interactive());
         assert_eq!(r.slo.priority, Priority::Interactive);
         assert_eq!(ServeRequest::new(0, 0.0, 8, 4).slo, SloClass::best_effort());
+    }
+
+    #[test]
+    fn shared_prefix_attaches_and_bounds_check() {
+        let r = ServeRequest::new(0, 0.0, 64, 4).with_shared_prefix(7, 48);
+        assert_eq!(r.shared_prefix, Some(SharedPrefix { id: 7, tokens: 48 }));
+        assert_eq!(ServeRequest::new(0, 0.0, 64, 4).shared_prefix, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the text prompt")]
+    fn oversized_shared_prefix_rejected() {
+        ServeRequest::new(0, 0.0, 8, 4).with_shared_prefix(1, 9);
     }
 
     #[test]

@@ -49,7 +49,10 @@ use std::collections::HashMap;
 use edgemm_arch::ClusterKind;
 use edgemm_core::float::is_one;
 use edgemm_core::units::{clock_hz, Bytes, BytesPerToken, Cycles, Tokens};
-use edgemm_mem::{BlockTable, KvPool, PagedKvPool};
+use edgemm_mem::{
+    prefix_key, BlockTable, DmaEngine, DmaRequest, KvPool, PagedKvPool, SpillTicket,
+    TrafficClass as MemTrafficClass,
+};
 use edgemm_mllm::{MllmConfig, ModelWorkload, Phase, TrafficClass};
 use edgemm_sim::{DecodeOptions, Machine, OpCost, PruningEffect};
 
@@ -93,6 +96,32 @@ pub struct ServeConfig {
     /// **evicted mid-decode** — its blocks freed and the request re-queued
     /// for re-prefill over its accumulated context (see `docs/memory.md`).
     pub block_tokens: Option<usize>,
+    /// Share KV blocks across requests that declare the same prompt prefix
+    /// ([`crate::SharedPrefix`]): the full blocks of a tenant's system
+    /// prompt are allocated once, refcounted, and mapped by every stream
+    /// carrying it — later streams skip the covered prefill chunks and pay
+    /// only a copy-on-write tail-block copy (priced on the DMA engine).
+    /// Requires paged allocation ([`Self::block_tokens`]); off by default.
+    pub prefix_sharing: bool,
+    /// DRAM spill area for evicted KV. `None` (the default) keeps the PR 5
+    /// recompute model: an eviction discards the stream's blocks and
+    /// re-queues it for re-prefill. `Some(bytes)` turns evictions into
+    /// **spill-and-restore**: the victim's KV image is written to the area
+    /// (a DMA transfer at the modeled bandwidth share, charged to the
+    /// decode step that forced it) and read back verbatim when the stream
+    /// re-joins, so [`ServeReport::restarted_prefill_tokens`] collapses to
+    /// zero; recompute remains the fallback once the area is full.
+    /// Requires paged allocation ([`Self::block_tokens`]).
+    pub spill_capacity_bytes: Option<Bytes>,
+    /// Account KV written by completed prefill chunks *as it is written*:
+    /// each chunk dispatch grows the stream's block table to the tokens the
+    /// chunk will cover, so streams waiting in the CC/ready queues hold
+    /// their true footprint in the pool and admission (and
+    /// [`QueueSample::kv_bytes`]) stop under-reporting. A chunk that cannot
+    /// allocate its blocks waits at the CC stage until the pool drains.
+    /// Requires paged allocation ([`Self::block_tokens`]); off by default
+    /// (join-time accounting, the PR 5 behaviour).
+    pub eager_kv_accounting: bool,
     /// Activation-aware pruning effect applied to every request's decode
     /// FFN GEMVs (use [`PruningEffect::disabled`] for dense serving).
     pub pruning: PruningEffect,
@@ -112,6 +141,9 @@ impl ServeConfig {
             chunk_tokens: None,
             kv: KvPool::unbounded(),
             block_tokens: None,
+            prefix_sharing: false,
+            spill_capacity_bytes: None,
+            eager_kv_accounting: false,
             pruning: PruningEffect::disabled(),
             admission: AdmissionControl::Serve,
         }
@@ -163,6 +195,37 @@ impl ServeConfig {
         }
     }
 
+    /// The same configuration with cross-request prefix sharing enabled
+    /// (see [`ServeConfig::prefix_sharing`]; requires
+    /// [`Self::with_block_tokens`]).
+    pub fn with_prefix_sharing(self) -> Self {
+        ServeConfig {
+            prefix_sharing: true,
+            ..self
+        }
+    }
+
+    /// The same configuration with a DRAM spill area of `capacity` bytes
+    /// for spill-and-restore eviction (see
+    /// [`ServeConfig::spill_capacity_bytes`]; requires
+    /// [`Self::with_block_tokens`]).
+    pub fn with_spill_capacity(self, capacity: Bytes) -> Self {
+        ServeConfig {
+            spill_capacity_bytes: Some(capacity),
+            ..self
+        }
+    }
+
+    /// The same configuration with eager (chunk-granular) KV accounting
+    /// (see [`ServeConfig::eager_kv_accounting`]; requires
+    /// [`Self::with_block_tokens`]).
+    pub fn with_eager_kv_accounting(self) -> Self {
+        ServeConfig {
+            eager_kv_accounting: true,
+            ..self
+        }
+    }
+
     /// The same configuration under a different admission mode.
     pub fn with_admission(self, admission: AdmissionControl) -> Self {
         ServeConfig { admission, ..self }
@@ -208,6 +271,12 @@ struct InFlight {
     generated: usize,
     /// Paged-mode page table of the stream's resident KV blocks.
     table: BlockTable,
+    /// The stream's parked KV image while spill-and-restore evicted it:
+    /// the ticket to restore from at re-admission. `None` while resident.
+    spill: Option<SpillTicket>,
+    /// Copy-on-write bytes a shared-prefix attach still owes the DMA
+    /// engine — charged to (and cleared by) the stream's next CC chunk.
+    pending_copy_bytes: Bytes,
     /// Whether the first prefill has completed (the first token exists).
     /// TTFT is frozen then: an evicted request re-queued for re-prefill is
     /// never re-judged (or rejected) on a deadline that is already history.
@@ -283,6 +352,18 @@ impl<'a> ServeSimulator<'a> {
         assert!(
             config.block_tokens != Some(0),
             "KV block size must be at least one token"
+        );
+        assert!(
+            config.block_tokens.is_some() || !config.prefix_sharing,
+            "prefix sharing requires paged allocation (block_tokens)"
+        );
+        assert!(
+            config.block_tokens.is_some() || config.spill_capacity_bytes.is_none(),
+            "spill-and-restore requires paged allocation (block_tokens)"
+        );
+        assert!(
+            config.block_tokens.is_some() || !config.eager_kv_accounting,
+            "eager KV accounting requires paged allocation (block_tokens)"
         );
         let kv_bytes_per_token = Bytes::per_token(
             model
@@ -366,6 +447,8 @@ impl<'a> ServeSimulator<'a> {
             remaining_tokens: request.output_tokens,
             generated: 0,
             table: BlockTable::empty(),
+            spill: None,
+            pending_copy_bytes: Bytes::ZERO,
             has_first_token: false,
             request: *request,
             prefill_start: Cycles::ZERO,
@@ -450,6 +533,134 @@ impl<'a> ServeSimulator<'a> {
         state.remaining_prefill_cycles = state.prefill_cycles;
         state.chunk_cycles = chunk_cycles;
         state.chunks_done = 0;
+    }
+
+    /// A shared-prefix registry hit reuses the prefix's KV, so the prefill
+    /// chunks it fully covers need not run: collapse them to the 1-cycle
+    /// event-loop minimum and refresh the cycle totals. Chunk 0 always runs
+    /// — it carries the unsplittable vision encode + projector — and so
+    /// does the chunk holding the first token past the reused prefix.
+    /// Unchunked prefill is one block and cannot be split, so sharing then
+    /// saves memory but no prefill compute.
+    fn skip_reused_chunks(&self, state: &mut InFlight, reused: Tokens) {
+        debug_assert_eq!(state.chunks_done, 0);
+        let Some(budget) = self.config.chunk_tokens else {
+            return;
+        };
+        let reused = reused.get();
+        for i in 1..state.chunk_cycles.len() {
+            if (i + 1) * budget <= reused {
+                state.chunk_cycles[i] = Cycles::new(1);
+            }
+        }
+        state.prefill_cycles = state.chunk_cycles.iter().copied().sum();
+        state.remaining_prefill_cycles = state.prefill_cycles;
+    }
+
+    /// The CC dispatch gate under prefix sharing / eager KV accounting: the
+    /// pool resources the candidate's next chunk needs before it can run.
+    /// On the first chunk of a stream declaring a shared prefix, attach it
+    /// to the registry (a hit maps the resident blocks, skips the covered
+    /// chunks and queues the copy-on-write bytes for pricing; a miss
+    /// allocates the prefix blocks with this stream as first holder; a
+    /// *refused* attach — no room — degrades to a private unshared
+    /// prefill). Under eager accounting, additionally grow the table to the
+    /// tokens the chunk will cover, so the KV it writes is in the pool's
+    /// account the moment it exists; when the pool is full the stream is
+    /// *parked* — its KV moves to the DRAM spill area and the prefill
+    /// writes through to it. Returns `false` only when eager accounting can
+    /// neither grow nor park (spill area exhausted or absent) — the
+    /// candidate is skipped this round and retried once memory drains
+    /// (anything it already holds stays attached).
+    ///
+    /// `force` admits the chunk unconditionally: a refused eager growth is
+    /// forced past the budget (restoring any parked image first). The
+    /// dispatcher forces exactly when nothing is decoding and nothing is
+    /// ready to decode — every pool block is then held by queued prefills,
+    /// so without the override no stream could ever run again.
+    fn cc_chunk_gate(&self, state: &mut InFlight, pool: &mut PagedKvPool, force: bool) -> bool {
+        if self.config.prefix_sharing
+            && state.chunks_done == 0
+            && state.table.is_empty()
+            && state.table.prefix_key().is_none()
+        {
+            if let Some(prefix) = state.request.shared_prefix {
+                if prefix.tokens > 0 {
+                    let key = prefix_key(prefix.id, prefix.tokens);
+                    // A refused attach (no room for the prefix blocks, or
+                    // for the divergence copy on a hit) degrades to a
+                    // private unshared prefill rather than stalling the CC
+                    // stage: the stream merely loses the dedup opportunity.
+                    if let Some(attach) =
+                        pool.try_attach_prefix(&mut state.table, key, Tokens::new(prefix.tokens))
+                    {
+                        state.pending_copy_bytes += attach.copied_bytes;
+                        if attach.reused_tokens.get() > 0 {
+                            self.skip_reused_chunks(state, attach.reused_tokens);
+                        }
+                    }
+                }
+            }
+        }
+        if self.config.eager_kv_accounting {
+            let covered = match self.config.chunk_tokens {
+                None => state.context_tokens(),
+                Some(budget) => ((state.chunks_done + 1) * budget).min(state.context_tokens()),
+            };
+            // Never shrink the recorded token count (a shared prefix may
+            // already cover more than this chunk).
+            let covered = Tokens::new(covered.max(state.table.tokens().get()));
+            if let Some(ticket) = state.spill.as_mut() {
+                // A parked prefill stays parked: the chunk's KV is written
+                // straight through to the DRAM spill area and the whole
+                // image is read back (and priced) at decode admission.
+                if pool.try_grow_spilled(ticket, covered) {
+                    return true;
+                }
+            } else {
+                if pool.try_grow_to(&mut state.table, covered) {
+                    return true;
+                }
+                // The serving pool is full. Rather than stall the CC stage
+                // until decode drains, park the stream's KV in the spill
+                // area and prefill write-through; the moved bytes extend
+                // this chunk's DMA transfer.
+                let moved = pool.block_bytes().checked_mul(state.table.blocks());
+                if let Some(ticket) = pool.try_park(&mut state.table, covered) {
+                    state.pending_copy_bytes += moved.unwrap_or(Bytes::ZERO);
+                    state.spill = Some(ticket);
+                    return true;
+                }
+            }
+            if force {
+                // No spill room either (or none configured): forced growth
+                // past the budget is the only remaining escape.
+                if let Some(ticket) = state.spill.take() {
+                    let restored = pool.try_restore(&mut state.table, &ticket, true);
+                    debug_assert!(restored, "forced restore cannot be refused");
+                    state.pending_copy_bytes += ticket.bytes();
+                }
+                pool.grow_to_forced(&mut state.table, covered);
+                return true;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Price a KV image transfer (spill, restore or copy-on-write) on the
+    /// serial DMA engine: the cycles from `now` until the transfer
+    /// completes, including any queueing behind an earlier transfer still
+    /// in flight. Zero when no engine is configured or nothing moves.
+    fn dma_transfer_cycles(dma: &mut Option<DmaEngine>, bytes: Bytes, now: Cycles) -> Cycles {
+        let Some(engine) = dma.as_mut() else {
+            return Cycles::ZERO;
+        };
+        if bytes.is_zero() {
+            return Cycles::ZERO;
+        }
+        let transcript = engine.submit(DmaRequest::new(bytes, MemTrafficClass::KvCache), now);
+        transcript.end_cycle - now
     }
 
     /// Cycles of one stream-batched decode step for the given batch members
@@ -605,8 +816,30 @@ impl<'a> ServeSimulator<'a> {
         // with block-granular tables plus a memoised per-context KV-cost
         // cache (shared across streams — they serve the same model).
         let mut paged = self.config.block_tokens.map(|block_tokens| {
-            PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token)
+            let pool = PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token);
+            match self.config.spill_capacity_bytes {
+                Some(capacity) => pool.with_spill_capacity(capacity),
+                None => pool,
+            }
         });
+        let sharing = self.config.prefix_sharing;
+        let spilling = self.config.spill_capacity_bytes.is_some();
+        // CC dispatches consult the pool (and may be refused) when prefix
+        // attaches or eager chunk accounting allocate blocks there.
+        let cc_gated = sharing || self.config.eager_kv_accounting;
+        // Any of the three features can leave ready/CC streams holding pool
+        // blocks, which closes the PR 5 sole-owner guarantees — the forced
+        // admission paths below reopen them, gated off in PR 5 mode.
+        let accounted = cc_gated || spilling;
+        // Spill images and copy-on-write copies move over the MC clusters'
+        // share of the DRAM interface, serially per the engine model.
+        let mut dma: Option<DmaEngine> =
+            paged.as_ref().filter(|_| sharing || spilling).map(|pool| {
+                let config = self.machine.config();
+                let share = config.allocation.mc_share;
+                let share = if share > 0.0 { share } else { 1.0 };
+                DmaEngine::new(config.dram, pool.block_bytes(), share)
+            });
         let mut kv_costs: HashMap<usize, (OpCost, OpCost)> = HashMap::new();
         let mut restarted_prefill_tokens = Tokens::ZERO;
         let mut completed_order: Vec<usize> = Vec::new();
@@ -701,6 +934,18 @@ impl<'a> ServeSimulator<'a> {
                             i += 1;
                         } else {
                             cc_queue.swap_remove(i);
+                            // Blocks the reject already holds (an attached
+                            // prefix, eager-accounted chunks) go back to the
+                            // pool; a no-op for the empty PR 5 tables. A
+                            // spilled image is read back and dropped so the
+                            // spill area's accounting settles (unpriced: the
+                            // reject leaves the system).
+                            if let Some(pool) = paged.as_mut() {
+                                if let Some(ticket) = states[idx].spill.take() {
+                                    pool.try_restore(&mut states[idx].table, &ticket, true);
+                                }
+                                pool.release(&mut states[idx].table);
+                            }
                             rejected_order.push((idx, now));
                         }
                     }
@@ -721,33 +966,93 @@ impl<'a> ServeSimulator<'a> {
                     (0..cc_queue.len()).collect()
                 };
                 if !pool.is_empty() {
-                    let snapshot: Vec<QueuedRequest> = pool
-                        .iter()
-                        .map(|&pos| states[cc_queue[pos]].as_queued())
-                        .collect();
-                    let pick = policy.choose(&snapshot);
-                    assert!(
-                        pick < pool.len(),
-                        "policy {} returned index {pick} for a queue of {}",
-                        policy.name(),
-                        pool.len()
-                    );
-                    let idx = cc_queue.swap_remove(pool[pick]);
-                    // A preemption is a pick that displaces the request
-                    // whose chunk just ran: it wanted to continue (it is
-                    // still queued mid-prefill) and something else took the
-                    // stage at its chunk boundary. Continuing an earlier
-                    // victim while the queue holds other mid-prefill
-                    // requests is not a *new* preemption.
-                    if cc_resumable.is_some_and(|prev| idx != prev && cc_queue.contains(&prev)) {
-                        preemptions += 1;
+                    // Two passes under CC-side KV gating: every candidate is
+                    // first tried within the budget; if all are refused while
+                    // nothing is decoding and nothing is ready to decode, the
+                    // queued prefills hold every pool block between them and
+                    // refusing them all would deadlock — the second pass
+                    // admits the policy's pick by force.
+                    'dispatch: for force in [false, true] {
+                        if force && !(cc_gated && batch.is_empty() && ready.is_empty()) {
+                            break;
+                        }
+                        let mut candidates = pool.clone();
+                        let mut snapshot: Vec<QueuedRequest> = candidates
+                            .iter()
+                            .map(|&pos| states[cc_queue[pos]].as_queued())
+                            .collect();
+                        while !candidates.is_empty() {
+                            let pick = policy.choose(&snapshot);
+                            assert!(
+                                pick < candidates.len(),
+                                "policy {} returned index {pick} for a queue of {}",
+                                policy.name(),
+                                candidates.len()
+                            );
+                            let idx = cc_queue[candidates[pick]];
+                            // A refused candidate is skipped this round and
+                            // the policy re-picks among the rest — it
+                            // retries once memory drains.
+                            if cc_gated {
+                                // lint:allow(no-unwrap): cc gating implies paged mode
+                                let kv_pool = paged.as_mut().expect("gating needs a pool");
+                                if force {
+                                    // Make room before forcing: park every
+                                    // *other* queued prefill's eager KV in the
+                                    // DRAM spill area (each reads it back when
+                                    // it next reaches the stage), so the
+                                    // forced stream runs against a drained
+                                    // pool instead of blowing past the budget.
+                                    // Without a spill area this is a no-op and
+                                    // the gate's forced growth is the only
+                                    // escape.
+                                    for &other in cc_queue.iter() {
+                                        if other == idx
+                                            || states[other].spill.is_some()
+                                            || states[other].table.is_empty()
+                                        {
+                                            continue;
+                                        }
+                                        if let Some(ticket) =
+                                            kv_pool.try_spill(&mut states[other].table)
+                                        {
+                                            states[idx].pending_copy_bytes += ticket.bytes();
+                                            states[other].spill = Some(ticket);
+                                        }
+                                    }
+                                }
+                                if !self.cc_chunk_gate(&mut states[idx], kv_pool, force) {
+                                    candidates.swap_remove(pick);
+                                    snapshot.swap_remove(pick);
+                                    continue;
+                                }
+                            }
+                            cc_queue.swap_remove(candidates[pick]);
+                            // A preemption is a pick that displaces the request
+                            // whose chunk just ran: it wanted to continue (it is
+                            // still queued mid-prefill) and something else took the
+                            // stage at its chunk boundary. Continuing an earlier
+                            // victim while the queue holds other mid-prefill
+                            // requests is not a *new* preemption.
+                            if cc_resumable
+                                .is_some_and(|prev| idx != prev && cc_queue.contains(&prev))
+                            {
+                                preemptions += 1;
+                            }
+                            cc_resumable = None;
+                            if states[idx].chunks_done == 0 {
+                                states[idx].prefill_start = now;
+                            }
+                            // A freshly attached prefix owes its copy-on-write
+                            // bytes: the DMA transfer extends this chunk.
+                            let copied =
+                                std::mem::replace(&mut states[idx].pending_copy_bytes, Bytes::ZERO);
+                            let copy_cycles = Self::dma_transfer_cycles(&mut dma, copied, now);
+                            let chunk = states[idx].chunk_cycles[states[idx].chunks_done];
+                            cc_busy = Some((now + chunk + copy_cycles, idx));
+                            break 'dispatch;
+                        }
                     }
-                    cc_resumable = None;
-                    if states[idx].chunks_done == 0 {
-                        states[idx].prefill_start = now;
-                    }
-                    let chunk = states[idx].chunk_cycles[states[idx].chunks_done];
-                    cc_busy = Some((now + chunk, idx));
                 }
             }
 
@@ -797,6 +1102,10 @@ impl<'a> ServeSimulator<'a> {
                         }
                     }
                     Some(pool) => {
+                        // DMA cycles this dispatch owes: spilled or restored
+                        // KV images and copy-on-write transfers extend the
+                        // decode step that forced them.
+                        let mut dma_cycles = Cycles::ZERO;
                         // The least-urgent batch member by (priority,
                         // arrival, id): the eviction victim whenever one
                         // must be chosen. Deterministic, so equal-priority
@@ -826,14 +1135,55 @@ impl<'a> ServeSimulator<'a> {
                                 let idx = ready[pick];
                                 let admit = |states: &mut Vec<InFlight>,
                                              batch: &mut Vec<usize>,
-                                             pool: &mut PagedKvPool|
+                                             pool: &mut PagedKvPool,
+                                             dma: &mut Option<DmaEngine>,
+                                             dma_cycles: &mut Cycles|
                                  -> bool {
                                     has_slot(batch.len()) && {
-                                        let context = Tokens::new(states[idx].context_tokens());
-                                        pool.try_grow_to(&mut states[idx].table, context)
+                                        if let Some(ticket) = states[idx].spill {
+                                            // A spilled stream re-joins by
+                                            // reading its image back; forced
+                                            // when the batch is empty, so
+                                            // decode progresses even while
+                                            // queued streams hold blocks.
+                                            let force = batch.is_empty();
+                                            if pool.try_restore(
+                                                &mut states[idx].table,
+                                                &ticket,
+                                                force,
+                                            ) {
+                                                states[idx].spill = None;
+                                                *dma_cycles += Self::dma_transfer_cycles(
+                                                    dma,
+                                                    ticket.bytes(),
+                                                    now,
+                                                );
+                                                true
+                                            } else {
+                                                false
+                                            }
+                                        } else {
+                                            let context = Tokens::new(states[idx].context_tokens());
+                                            if pool.try_grow_to(&mut states[idx].table, context) {
+                                                true
+                                            } else if accounted && batch.is_empty() {
+                                                // Queued streams hold pool
+                                                // blocks, so the sole-owner
+                                                // hatch cannot open; force the
+                                                // join — decode must drain.
+                                                pool.grow_to_forced(
+                                                    &mut states[idx].table,
+                                                    context,
+                                                );
+                                                true
+                                            } else {
+                                                false
+                                            }
+                                        }
                                     }
                                 };
-                                if !admit(&mut states, &mut batch, pool) {
+                                if !admit(&mut states, &mut batch, pool, &mut dma, &mut dma_cycles)
+                                {
                                     // Priority-aware decode-slot revocation:
                                     // only strictly-less-urgent streams can
                                     // be evicted for the pick, so equal
@@ -850,11 +1200,19 @@ impl<'a> ServeSimulator<'a> {
                                         })
                                         .copied()
                                         .collect();
-                                    let freed: u64 =
-                                        evictable.iter().map(|&v| states[v].table.blocks()).sum();
-                                    let needed = pool
-                                        .blocks_for(Tokens::new(states[idx].context_tokens()))
-                                        .saturating_sub(states[idx].table.blocks());
+                                    let freed: u64 = evictable
+                                        .iter()
+                                        .map(|&v| pool.reclaimable_blocks(&states[v].table))
+                                        .sum();
+                                    let needed = match states[idx].spill {
+                                        // A spilled pick re-admits by restoring
+                                        // its whole image, not by growing from
+                                        // an empty table.
+                                        Some(ticket) => ticket.blocks(),
+                                        None => pool
+                                            .blocks_for(Tokens::new(states[idx].context_tokens()))
+                                            .saturating_sub(states[idx].table.blocks()),
+                                    };
                                     let occupied = pool.occupied_blocks();
                                     // Evicting the whole batch makes the pick
                                     // the sole owner (the escape hatch always
@@ -879,12 +1237,38 @@ impl<'a> ServeSimulator<'a> {
                                             // lint:allow(no-unwrap): kv_feasible checked above
                                             .expect("feasibility guaranteed a victim");
                                         let victim = batch.remove(pos);
-                                        pool.evict(&mut states[victim].table);
-                                        restarted_prefill_tokens +=
-                                            Tokens::new(states[victim].context_tokens());
-                                        self.requeue_for_reprefill(&mut states[victim]);
-                                        cc_queue.push(victim);
-                                        if admit(&mut states, &mut batch, pool) {
+                                        // Spill-and-restore when the area has
+                                        // room: the victim's KV image parks in
+                                        // DRAM and it re-queues for
+                                        // re-admission with its state intact;
+                                        // recompute from scratch is the
+                                        // fallback (area full or none).
+                                        match pool.try_spill(&mut states[victim].table) {
+                                            Some(ticket) => {
+                                                dma_cycles += Self::dma_transfer_cycles(
+                                                    &mut dma,
+                                                    ticket.bytes(),
+                                                    now,
+                                                );
+                                                states[victim].spill = Some(ticket);
+                                                ready.push(victim);
+                                                snapshot.push(states[victim].as_queued());
+                                            }
+                                            None => {
+                                                pool.evict(&mut states[victim].table);
+                                                restarted_prefill_tokens +=
+                                                    Tokens::new(states[victim].context_tokens());
+                                                self.requeue_for_reprefill(&mut states[victim]);
+                                                cc_queue.push(victim);
+                                            }
+                                        }
+                                        if admit(
+                                            &mut states,
+                                            &mut batch,
+                                            pool,
+                                            &mut dma,
+                                            &mut dma_cycles,
+                                        ) {
                                             break;
                                         }
                                     }
@@ -910,26 +1294,48 @@ impl<'a> ServeSimulator<'a> {
                                 i += 1;
                                 continue;
                             }
+                            if accounted && batch.len() == 1 {
+                                // Sole batch member, but CC/ready streams hold
+                                // accounted blocks so the pool's own
+                                // sole-owner hatch stays shut: force the
+                                // growth — decode must always progress.
+                                pool.grow_to_forced(&mut states[idx].table, target);
+                                i += 1;
+                                continue;
+                            }
                             // lint:allow(no-unwrap): loop guard keeps batch non-empty
                             let pos = worst_of(&states, &batch).expect("non-empty batch");
                             let victim = batch.remove(pos);
-                            pool.evict(&mut states[victim].table);
-                            restarted_prefill_tokens +=
-                                Tokens::new(states[victim].context_tokens());
-                            self.requeue_for_reprefill(&mut states[victim]);
-                            cc_queue.push(victim);
+                            match pool.try_spill(&mut states[victim].table) {
+                                Some(ticket) => {
+                                    dma_cycles +=
+                                        Self::dma_transfer_cycles(&mut dma, ticket.bytes(), now);
+                                    states[victim].spill = Some(ticket);
+                                    ready.push(victim);
+                                }
+                                None => {
+                                    pool.evict(&mut states[victim].table);
+                                    restarted_prefill_tokens +=
+                                        Tokens::new(states[victim].context_tokens());
+                                    self.requeue_for_reprefill(&mut states[victim]);
+                                    cc_queue.push(victim);
+                                }
+                            }
                             if pos < i {
                                 i -= 1;
                             }
                         }
                         if !batch.is_empty() {
+                            // Spill/restore/copy DMA serialises with the step
+                            // that triggered it: the batch stalls until the
+                            // images have moved.
                             step_end = Some(
                                 now + self.paged_step_cycles(
                                     &states,
                                     &batch,
                                     pool.kv_traffic_factor(),
                                     &mut kv_costs,
-                                ),
+                                ) + dma_cycles,
                             );
                             decode_steps += 1;
                         }
@@ -996,6 +1402,12 @@ impl<'a> ServeSimulator<'a> {
             preemptions,
             evictions: paged.as_ref().map_or(0, |pool| pool.evictions()),
             restarted_prefill_tokens,
+            spilled_kv_bytes: paged
+                .as_ref()
+                .map_or(Bytes::ZERO, |pool| pool.spilled_bytes()),
+            restored_kv_bytes: paged
+                .as_ref()
+                .map_or(Bytes::ZERO, |pool| pool.restored_bytes()),
             peak_kv_bytes: paged
                 .as_ref()
                 .map_or(kv.peak_bytes(), |pool| pool.peak_bytes()),
@@ -1393,6 +1805,8 @@ mod tests {
         assert_eq!(report.preemptions, 0);
         assert_eq!(report.evictions, 0);
         assert_eq!(report.restarted_prefill_tokens, 0);
+        assert_eq!(report.spilled_kv_bytes, Bytes::ZERO);
+        assert_eq!(report.restored_kv_bytes, Bytes::ZERO);
         assert_eq!(report.peak_kv_bytes, 0);
     }
 
@@ -1600,6 +2014,171 @@ mod tests {
         assert_eq!(report.restarted_prefill_tokens, 0);
         assert_eq!(report.completed.len(), 5);
         assert!(report.queue_samples.iter().any(|s| s.active == 5));
+    }
+
+    #[test]
+    fn shared_prefix_metadata_alone_changes_nothing() {
+        // With every PR 7 feature off, a trace that merely *declares*
+        // shared prefixes must reproduce the stripped trace byte for byte:
+        // the metadata is inert until the simulator opts in.
+        let m = machine();
+        let trace = TraceConfig::multi_tenant(3, 16, 10.0, 5).generate();
+        let stripped: Vec<ServeRequest> = trace
+            .iter()
+            .map(|r| ServeRequest {
+                shared_prefix: None,
+                ..*r
+            })
+            .collect();
+        let sim = paged_sim(&m, KvPool::unbounded(), 16);
+        assert_eq!(sim.run(&trace, &Fcfs), sim.run(&stripped, &Fcfs));
+    }
+
+    #[test]
+    fn prefix_sharing_deduplicates_tenant_prompts() {
+        // Three tenants, one physical copy of each system prompt: sharing
+        // lowers the peak KV footprint, and skipping fully-reused prefill
+        // chunks lowers the mean TTFT. Everyone still completes.
+        let m = machine();
+        let trace = TraceConfig::multi_tenant(3, 24, 10.0, 9).generate();
+        let config = ServeConfig::new()
+            .with_kv_pool(KvPool::unbounded())
+            .with_block_tokens(16)
+            .with_chunk_tokens(64);
+        let base = ServeSimulator::new(&m, zoo::sphinx_tiny(), config).run(&trace, &Fcfs);
+        let shared = ServeSimulator::new(&m, zoo::sphinx_tiny(), config.with_prefix_sharing())
+            .run(&trace, &Fcfs);
+        assert_eq!(base.completed.len(), 24);
+        assert_eq!(shared.completed.len(), 24);
+        assert!(
+            shared.peak_kv_bytes < base.peak_kv_bytes,
+            "sharing did not shrink peak KV: {} vs {}",
+            shared.peak_kv_bytes,
+            base.peak_kv_bytes
+        );
+        let mean_ttft = |r: &ServeReport| {
+            r.completed
+                .iter()
+                .map(CompletedRequest::time_to_first_token_s)
+                .sum::<f64>()
+                / r.completed.len() as f64
+        };
+        assert!(
+            mean_ttft(&shared) < mean_ttft(&base),
+            "reused prefix chunks did not speed up TTFT: {} vs {}",
+            mean_ttft(&shared),
+            mean_ttft(&base)
+        );
+    }
+
+    #[test]
+    fn spill_and_restore_replaces_recompute() {
+        // The paged_join_revokes scenario with a spill area: the revoked
+        // batch stream's KV image swaps out over DMA and back in instead of
+        // being recomputed, so restarted prefill collapses to zero while
+        // the spilled and restored byte counters balance.
+        let m = machine();
+        let long = ServeRequest::new(0, 0.0, 64, 200).with_slo(SloClass::batch());
+        let urgent = ServeRequest::new(1, 0.05, 8, 16).with_slo(SloClass::interactive());
+        let per_token = zoo::sphinx_tiny()
+            .llm
+            .kv_bytes_per_token(m.config().mc_weight_bytes);
+        let kv = KvPool::with_budget(Bytes::new(500 * per_token));
+        let config = ServeConfig::new()
+            .with_kv_pool(kv)
+            .with_block_tokens(16)
+            .with_spill_capacity(Bytes::new(1 << 30));
+        let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config)
+            .run(&[long, urgent], &EarliestDeadlineFirst);
+        assert!(report.evictions >= 1, "no decode-slot revocation");
+        assert_eq!(
+            report.restarted_prefill_tokens, 0,
+            "spill-and-restore still recomputed"
+        );
+        assert!(report.spilled_kv_bytes > Bytes::ZERO);
+        assert_eq!(report.spilled_kv_bytes, report.restored_kv_bytes);
+        assert_eq!(report.completed.len(), 2, "a spilled request was lost");
+    }
+
+    #[test]
+    fn exhausted_spill_area_falls_back_to_recompute() {
+        // A spill area too small for a single KV image never admits a
+        // spill: eviction degrades to the PR 5 recompute path and the run
+        // still drains.
+        let m = machine();
+        let long = ServeRequest::new(0, 0.0, 64, 200).with_slo(SloClass::batch());
+        let urgent = ServeRequest::new(1, 0.05, 8, 16).with_slo(SloClass::interactive());
+        let per_token = zoo::sphinx_tiny()
+            .llm
+            .kv_bytes_per_token(m.config().mc_weight_bytes);
+        let kv = KvPool::with_budget(Bytes::new(500 * per_token));
+        let config = ServeConfig::new()
+            .with_kv_pool(kv)
+            .with_block_tokens(16)
+            .with_spill_capacity(Bytes::new(1));
+        let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config)
+            .run(&[long, urgent], &EarliestDeadlineFirst);
+        assert!(report.restarted_prefill_tokens > 0, "never recomputed");
+        assert_eq!(report.spilled_kv_bytes, Bytes::ZERO);
+        assert_eq!(report.restored_kv_bytes, Bytes::ZERO);
+        assert_eq!(report.completed.len(), 2);
+    }
+
+    #[test]
+    fn eager_accounting_charges_kv_before_the_decode_slot() {
+        // With eager accounting, KV written by finished prefill chunks
+        // shows up in the pool's account while the stream is still waiting
+        // for a decode slot: some sample reports KV bytes with zero active
+        // decode streams.
+        let m = machine();
+        let request = ServeRequest::new(0, 0.0, 64, 8);
+        let config = ServeConfig::new()
+            .with_kv_pool(KvPool::unbounded())
+            .with_block_tokens(16)
+            .with_chunk_tokens(32)
+            .with_eager_kv_accounting();
+        let report = ServeSimulator::new(&m, zoo::sphinx_tiny(), config).run(&[request], &Fcfs);
+        assert_eq!(report.completed.len(), 1);
+        assert!(
+            report
+                .queue_samples
+                .iter()
+                .any(|s| s.active == 0 && !s.kv_bytes.is_zero()),
+            "no sample charged queued-prefill KV"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix sharing requires paged allocation")]
+    fn prefix_sharing_without_paging_rejected() {
+        let m = machine();
+        ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::new().with_prefix_sharing(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "spill-and-restore requires paged allocation")]
+    fn spill_capacity_without_paging_rejected() {
+        let m = machine();
+        ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::new().with_spill_capacity(Bytes::new(1 << 20)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eager KV accounting requires paged allocation")]
+    fn eager_accounting_without_paging_rejected() {
+        let m = machine();
+        ServeSimulator::new(
+            &m,
+            zoo::sphinx_tiny(),
+            ServeConfig::new().with_eager_kv_accounting(),
+        );
     }
 
     #[test]

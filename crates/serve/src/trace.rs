@@ -30,6 +30,12 @@ pub struct TraceConfig {
     pub seed: u64,
     /// SLO class attached to every request in the trace.
     pub slo: SloClass,
+    /// Multi-tenant shape: `(tenants, (min, max))` — each request belongs
+    /// to one of `tenants` tenants, whose system prompt (drawn once per
+    /// tenant from the inclusive token range) is prepended to the request's
+    /// own text and declared via [`ServeRequest::with_shared_prefix`].
+    /// `None` generates independent single-tenant requests.
+    pub tenants: Option<(usize, (usize, usize))>,
 }
 
 impl TraceConfig {
@@ -44,6 +50,7 @@ impl TraceConfig {
             output_tokens: (16, 96),
             seed,
             slo: SloClass::interactive(),
+            tenants: None,
         }
     }
 
@@ -58,6 +65,7 @@ impl TraceConfig {
             output_tokens: (64, 192),
             seed,
             slo: SloClass::batch(),
+            tenants: None,
         }
     }
 
@@ -73,6 +81,36 @@ impl TraceConfig {
             output_tokens: (output_tokens, output_tokens),
             seed: 0,
             slo: SloClass::best_effort(),
+            tenants: None,
+        }
+    }
+
+    /// A multi-tenant interactive mix: `requests` requests spread over
+    /// `tenants` tenants, each tenant owning a system prompt of 128–256
+    /// tokens (drawn once per tenant) prepended to every one of its
+    /// requests' own 8–48 user-text tokens. Deterministic in `(config,
+    /// seed)` like every trace; the repeated system prompts are what
+    /// cross-request prefix sharing deduplicates.
+    ///
+    /// The SLO keeps [`SloClass::interactive`]'s priority and TPOT target
+    /// but stretches the TTFT deadline to 600 ms: the system prompt raises
+    /// the intrinsic prefill floor past the bare interactive 250 ms on the
+    /// paper's design point, so that deadline would be structurally
+    /// unreachable — prompted chat traffic gets a prompted budget.
+    pub fn multi_tenant(
+        tenants: usize,
+        requests: usize,
+        arrival_rate_per_s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        TraceConfig {
+            tenants: Some((tenants, (128, 256))),
+            slo: SloClass {
+                ttft_deadline_s: Some(0.6),
+                ..SloClass::interactive()
+            },
+            ..TraceConfig::interactive(requests, arrival_rate_per_s, seed)
         }
     }
 
@@ -102,6 +140,15 @@ impl TraceConfig {
             "arrival rate must be positive"
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // Tenant system-prompt lengths are drawn before the request stream
+        // so adding a tenant dimension never perturbs single-tenant traces.
+        let tenant_prompts: Vec<usize> = match self.tenants {
+            Some((tenants, (min, max))) => {
+                assert!(min <= max, "inverted tenant-prompt range");
+                (0..tenants).map(|_| rng.gen_range(min..max + 1)).collect()
+            }
+            None => Vec::new(),
+        };
         let mut arrival = 0.0f64;
         // Request ids are opaque labels, not a tracked quantity.
         // lint:allow(unit-cast)
@@ -115,7 +162,20 @@ impl TraceConfig {
                 }
                 let text = rng.gen_range(self.text_tokens.0..self.text_tokens.1 + 1);
                 let output = rng.gen_range(self.output_tokens.0..self.output_tokens.1 + 1);
-                ServeRequest::new(id, arrival, text, output).with_slo(self.slo)
+                let request = ServeRequest::new(id, arrival, text, output).with_slo(self.slo);
+                match tenant_prompts.as_slice() {
+                    [] => request,
+                    prompts => {
+                        let tenant = rng.gen_range(0..prompts.len());
+                        let prefix = prompts[tenant];
+                        ServeRequest {
+                            text_tokens: text + prefix,
+                            ..request
+                        }
+                        // lint:allow(unit-cast): opaque tenant id label
+                        .with_shared_prefix(tenant as u64, prefix)
+                    }
+                }
             })
             .collect()
     }
@@ -205,6 +265,33 @@ mod tests {
             .iter()
             .zip(&base)
             .all(|(a, b)| a.arrival_s == b.arrival_s && a.text_tokens == b.text_tokens));
+    }
+
+    #[test]
+    fn multi_tenant_traces_share_system_prompts() {
+        let config = TraceConfig::multi_tenant(3, 40, 10.0, 11);
+        let trace = config.generate();
+        assert_eq!(trace, config.generate(), "must be deterministic");
+        assert_eq!(trace.len(), 40);
+        // Every request declares a prefix belonging to one of 3 tenants,
+        // and all requests of a tenant declare the identical prefix.
+        let mut per_tenant: [Option<usize>; 3] = [None; 3];
+        for r in &trace {
+            let p = r.shared_prefix.expect("multi-tenant requests share");
+            assert!((128..=256).contains(&p.tokens));
+            let slot = &mut per_tenant[p.id as usize]; // lint:allow(unit-cast)
+            assert_eq!(*slot.get_or_insert(p.tokens), p.tokens);
+            // The prompt is prepended: user text alone stays in 8..=48.
+            assert!((8..=48).contains(&(r.text_tokens - p.tokens)));
+        }
+        // With 40 requests over 3 tenants, every tenant appears.
+        assert!(per_tenant.iter().all(|t| t.is_some()));
+        // Interactive priority/TPOT, with the stretched prompted-TTFT budget.
+        let slo = SloClass {
+            ttft_deadline_s: Some(0.6),
+            ..SloClass::interactive()
+        };
+        assert!(trace.iter().all(|r| r.slo == slo));
     }
 
     #[test]

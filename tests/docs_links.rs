@@ -84,6 +84,42 @@ fn intra_repo_markdown_links_resolve() {
     );
 }
 
+/// The memory model's gap list must have exactly one home. `docs/memory.md`
+/// owns the "Remaining simplifications" section; the serve crate rustdoc
+/// and `docs/serving.md` must point there instead of keeping their own
+/// ledgers, so the three surfaces cannot drift apart again.
+#[test]
+fn remaining_simplifications_have_a_single_source_of_truth() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let read = |rel: &str| {
+        std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("cannot read {rel}: {e}"))
+    };
+    let memory = read("docs/memory.md");
+    assert!(
+        memory.contains("## Remaining simplifications"),
+        "docs/memory.md lost its 'Remaining simplifications' section — \
+         the serve rustdoc and docs/serving.md link to it"
+    );
+    let serving = read("docs/serving.md");
+    let serving_section = serving
+        .split("### Remaining simplifications")
+        .nth(1)
+        .expect("docs/serving.md keeps its 'Remaining simplifications' stub");
+    assert!(
+        serving_section.contains("memory.md"),
+        "docs/serving.md's simplifications stub must defer to docs/memory.md"
+    );
+    let serve_lib = read("crates/serve/src/lib.rs");
+    let rustdoc_section = serve_lib
+        .split("# Known simplifications")
+        .nth(1)
+        .expect("the serve crate rustdoc keeps its 'Known simplifications' heading");
+    assert!(
+        rustdoc_section.contains("docs/memory.md"),
+        "the serve crate rustdoc must defer to docs/memory.md"
+    );
+}
+
 #[test]
 fn link_extractor_handles_the_common_shapes() {
     assert_eq!(

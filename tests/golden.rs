@@ -365,6 +365,169 @@ fn golden_paged_eviction_point() {
         .all(|c| c.meets_tpot()));
 }
 
+/// One multi-tenant sharing point, pinned: 24 interactive requests over 3
+/// tenants (128–256-token system prompts) at 8 req/s, mixed with 4 long
+/// background summarisation jobs, under the same tight 8 MiB budget as the
+/// eviction point, chunk 64, blocks of 16. The PR 5 paged stack prefills
+/// every tenant prompt per request and recomputes every eviction; the PR 7
+/// stack (`ServeOptions::shared_prefixes`) keeps one refcounted copy of
+/// each tenant prompt (copy-on-write tails), skips the fully-reused prefill
+/// chunks, accounts queued-prefill KV eagerly (parking it in the spill area
+/// when the pool is full) and swaps evicted KV images to a 128 MiB DRAM
+/// spill area instead of recomputing. Pinned headlines: restarted prefill
+/// collapses to exactly zero (every eviction spills and restores, bytes
+/// conserved), interactive deadline misses drop strictly, and mean TTFT
+/// shrinks. Peak KV does not grow — here both stacks peak at the sole-owner
+/// hatch for the largest background stream, and the *strict* peak shrink
+/// from sharing is pinned by the serve crate's unbounded-pool dedup test.
+#[test]
+fn golden_multi_tenant_sharing_point() {
+    const KV_BUDGET: u64 = 8 << 20;
+    let system = EdgeMm::paper_default();
+    let trace = merge(&[
+        TraceConfig::multi_tenant(3, 24, 8.0, 19).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(4, 3.0, 119)
+        }
+        .generate(),
+    ]);
+    let base = ServeOptions::memory_aware(Bytes::new(KV_BUDGET), 64).paged(16);
+    let paged = system.serve(&zoo::sphinx_tiny(), &trace, base);
+    let shared = system.serve(
+        &zoo::sphinx_tiny(),
+        &trace,
+        base.shared_prefixes(Bytes::new(128 << 20)),
+    );
+    let misses = |report: &ServeReport| {
+        report
+            .completed
+            .iter()
+            .filter(|c| c.slo.priority == Priority::Interactive && !c.meets_slo())
+            .count()
+            + report.rejected.len()
+    };
+    let mean_ttft = |report: &ServeReport| {
+        report
+            .completed
+            .iter()
+            .map(|c| c.time_to_first_token_s())
+            .sum::<f64>()
+            / report.completed.len() as f64
+    };
+    if probing() {
+        println!("tenant.paged_misses = {}", misses(&paged));
+        println!("tenant.shared_misses = {}", misses(&shared));
+        println!("tenant.paged_peak_kv = {}", paged.peak_kv_bytes);
+        println!("tenant.shared_peak_kv = {}", shared.peak_kv_bytes);
+        println!("tenant.paged_mean_ttft = {:.12e}", mean_ttft(&paged));
+        println!("tenant.shared_mean_ttft = {:.12e}", mean_ttft(&shared));
+        println!("tenant.paged_evictions = {}", paged.evictions);
+        println!("tenant.shared_evictions = {}", shared.evictions);
+        println!(
+            "tenant.paged_restarted = {}",
+            paged.restarted_prefill_tokens
+        );
+        println!(
+            "tenant.shared_restarted = {}",
+            shared.restarted_prefill_tokens
+        );
+        println!("tenant.shared_spilled = {}", shared.spilled_kv_bytes);
+        println!("tenant.shared_restored = {}", shared.restored_kv_bytes);
+    } else {
+        assert_eq!(misses(&paged), 13, "paged miss count drifted");
+        assert_eq!(misses(&shared), 12, "shared miss count drifted");
+        assert_eq!(paged.peak_kv_bytes, Bytes::new(12_795_904));
+        assert_eq!(shared.peak_kv_bytes, Bytes::new(12_795_904));
+        assert_close("tenant.paged_mean_ttft", mean_ttft(&paged), 4.276201903357);
+        assert_close(
+            "tenant.shared_mean_ttft",
+            mean_ttft(&shared),
+            3.740556789286,
+        );
+        assert_eq!(paged.evictions, 2, "paged eviction count drifted");
+        assert_eq!(shared.evictions, 5, "shared eviction count drifted");
+        assert_eq!(paged.restarted_prefill_tokens, 1811);
+        assert_eq!(shared.spilled_kv_bytes, Bytes::new(231_587_840));
+    }
+    // The acceptance headlines, independent of the pinned constants.
+    assert_eq!(paged.submitted(), 28);
+    assert_eq!(shared.submitted(), 28);
+    assert_eq!(shared.completed.len(), 28, "a shared-mode request was lost");
+    assert_eq!(
+        shared.restarted_prefill_tokens, 0,
+        "spill-and-restore must retire the recompute fallback here"
+    );
+    assert!(!shared.spilled_kv_bytes.is_zero(), "no spill activity");
+    assert_eq!(shared.spilled_kv_bytes, shared.restored_kv_bytes);
+    assert!(shared.evictions > 0, "no eviction pressure at this point");
+    assert!(
+        misses(&shared) < misses(&paged),
+        "sharing+spill ({}) must strictly beat PR 5 paged ({})",
+        misses(&shared),
+        misses(&paged)
+    );
+    assert!(
+        shared.peak_kv_bytes <= paged.peak_kv_bytes,
+        "sharing must never grow the peak: {} vs {}",
+        shared.peak_kv_bytes,
+        paged.peak_kv_bytes
+    );
+    assert!(
+        mean_ttft(&shared) < mean_ttft(&paged),
+        "reused prefix chunks must shrink mean TTFT"
+    );
+}
+
+/// The recompute fallback of the same multi-tenant point, pinned: a spill
+/// area too small for any KV image (1 byte) forces every eviction back onto
+/// the PR 5 re-prefill path — nothing spills, restarted prefill is nonzero
+/// again, and the run still completes every request. Eager accounting is
+/// left off here: its CC-side backpressure keeps the pool inside the budget
+/// so nothing would ever need evicting — the fallback is reached through
+/// PR 5's lazy decode-side admission, where joins grow tables under
+/// pressure and revoke less-urgent slots.
+#[test]
+fn golden_multi_tenant_recompute_fallback_point() {
+    const KV_BUDGET: u64 = 8 << 20;
+    let system = EdgeMm::paper_default();
+    let trace = merge(&[
+        TraceConfig::multi_tenant(3, 24, 8.0, 19).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(4, 3.0, 119)
+        }
+        .generate(),
+    ]);
+    let base = ServeOptions::memory_aware(Bytes::new(KV_BUDGET), 64).paged(16);
+    let fallback = system.serve(
+        &zoo::sphinx_tiny(),
+        &trace,
+        ServeOptions {
+            eager_kv_accounting: false,
+            ..base.shared_prefixes(Bytes::new(1))
+        },
+    );
+    if probing() {
+        println!("fallback.evictions = {}", fallback.evictions);
+        println!("fallback.restarted = {}", fallback.restarted_prefill_tokens);
+    } else {
+        assert_eq!(fallback.evictions, 2, "fallback eviction count drifted");
+        assert_eq!(
+            fallback.restarted_prefill_tokens, 1811,
+            "fallback restarted-token count drifted"
+        );
+    }
+    assert_eq!(fallback.submitted(), 28);
+    assert_eq!(fallback.completed.len(), 28);
+    assert!(
+        fallback.restarted_prefill_tokens > 0,
+        "an exhausted spill area must fall back to recompute"
+    );
+    assert_eq!(fallback.spilled_kv_bytes, Bytes::new(0));
+    assert_eq!(fallback.restored_kv_bytes, Bytes::new(0));
+}
+
 /// Table I: parameter counts of the six representative MLLMs (exact —
 /// integer arithmetic over the published geometries).
 #[test]

@@ -3,8 +3,8 @@
 
 use edgemm::arch::{ChipConfig, CimGeometry, SystolicGeometry};
 use edgemm::serve::{
-    AdmissionControl, KvPool, PolicyKind, ServeConfig, ServeRequest, ServeSimulator, SloClass,
-    TraceConfig,
+    AdmissionControl, BlockTable, KvPool, PagedKvPool, PolicyKind, ServeConfig, ServeRequest,
+    ServeSimulator, SloClass, TraceConfig,
 };
 use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
 use edgemm::units::{Bytes, Tokens};
@@ -152,6 +152,7 @@ proptest! {
             output_tokens: (1, 10),
             seed,
             slo: SloClass::best_effort(),
+            tenants: None,
         };
         let system = EdgeMm::paper_default();
         let report = system.serve_trace(&tiny_model(), &trace, ServeOptions {
@@ -185,6 +186,7 @@ proptest! {
             output_tokens: (1, 10),
             seed,
             slo: SloClass::best_effort(),
+            tenants: None,
         };
         let model = tiny_model();
         let system = EdgeMm::paper_default();
@@ -230,6 +232,7 @@ proptest! {
             output_tokens: (1, 6),
             seed,
             slo: SloClass::best_effort(),
+            tenants: None,
         }
         .generate()
         .into_iter()
@@ -278,6 +281,7 @@ proptest! {
             output_tokens: (1, 8),
             seed,
             slo: SloClass::interactive().with_ttft(0.0004),
+            tenants: None,
         }
         .generate();
         let system = EdgeMm::paper_default();
@@ -325,6 +329,7 @@ proptest! {
             output_tokens: (1, 10),
             seed,
             slo: SloClass::interactive(),
+            tenants: None,
         }
         .generate();
         let machine = Machine::new(SimConfig::paper_default());
@@ -363,6 +368,7 @@ proptest! {
             output_tokens: (1, 10),
             seed,
             slo: SloClass::best_effort(),
+            tenants: None,
         }
         .generate();
         let model = tiny_model();
@@ -411,6 +417,7 @@ proptest! {
             output_tokens: (1, 10),
             seed,
             slo: SloClass::best_effort(),
+            tenants: None,
         }
         .generate();
         let model = tiny_model();
@@ -471,6 +478,7 @@ proptest! {
                 output_tokens: (1, 6),
                 seed,
                 slo: SloClass::interactive(),
+                tenants: None,
             }
             .generate(),
             TraceConfig {
@@ -480,6 +488,7 @@ proptest! {
                 output_tokens: (4, 12),
                 seed: seed + 1,
                 slo: SloClass::batch(),
+                tenants: None,
             }
             .generate(),
         ]);
@@ -521,6 +530,7 @@ proptest! {
             output_tokens: (1, 10),
             seed,
             slo: SloClass::interactive(),
+            tenants: None,
         }
         .generate();
         let machine = Machine::new(SimConfig::paper_default());
@@ -566,5 +576,118 @@ proptest! {
             );
             last = tps;
         }
+    }
+
+    /// Refcounted prefix sharing conserves physical blocks: the pool's
+    /// occupied count always equals the shared prefix counted once plus
+    /// every stream's private blocks, the registry entry survives until the
+    /// last holder detaches (blocks mapped by a live stream are never
+    /// freed), and releasing the last holder reclaims everything.
+    #[test]
+    fn shared_prefix_blocks_survive_until_the_last_holder_detaches(
+        streams in 2usize..6,
+        prefix_blocks in 1usize..5,
+        extra in 0usize..24,
+        seed in 1u64..1000,
+    ) {
+        let block_tokens = 4usize;
+        let mut pool = PagedKvPool::new(KvPool::unbounded(), block_tokens, Bytes::per_token(8));
+        let key = seed; // any non-zero value is a valid registry key
+        let prefix_tokens = Tokens::new(prefix_blocks * block_tokens); // block-aligned
+        let mut tables: Vec<BlockTable> = Vec::new();
+        for i in 0..streams {
+            let mut t = BlockTable::empty();
+            let attach = pool.try_attach_prefix(&mut t, key, prefix_tokens);
+            prop_assert!(attach.is_some(), "unbounded attach refused");
+            let attach = attach.expect("checked above");
+            prop_assert_eq!(attach.hit, i > 0); // first attach misses, the rest hit
+            let context = prefix_tokens.get() + 1 + (extra + i * 3) % 17;
+            prop_assert!(pool.try_grow_to(&mut t, Tokens::new(context)));
+            prop_assert_eq!(t.shared_blocks(), prefix_blocks as u64);
+            tables.push(t);
+        }
+        let unique = |tables: &[BlockTable]| {
+            prefix_blocks as u64 + tables.iter().map(BlockTable::private_blocks).sum::<u64>()
+        };
+        prop_assert_eq!(pool.occupied_blocks(), unique(&tables));
+        prop_assert_eq!(pool.prefix_refs(key), streams as u64);
+        while tables.len() > 1 {
+            let mut t = tables.pop().expect("non-empty");
+            pool.release(&mut t);
+            prop_assert!(
+                pool.prefix_resident(key),
+                "prefix freed while {} streams still map it",
+                tables.len()
+            );
+            prop_assert_eq!(pool.prefix_refs(key), tables.len() as u64);
+            prop_assert_eq!(pool.occupied_blocks(), unique(&tables));
+        }
+        let mut last = tables.pop().expect("non-empty");
+        pool.release(&mut last);
+        prop_assert!(!pool.prefix_resident(key), "last detach drops the registry entry");
+        prop_assert_eq!(pool.occupied_blocks(), 0);
+        prop_assert_eq!(pool.occupied_bytes(), Bytes::ZERO);
+    }
+
+    /// Spill-and-restore conserves bytes end to end: on a run where every
+    /// request completes, each KV image written to the DRAM spill area is
+    /// read back exactly once, so the lifetime spilled and restored totals
+    /// match and nothing stays parked.
+    #[test]
+    fn spill_and_restore_conserves_bytes(
+        tenants in 1usize..4,
+        requests in 2usize..8,
+        rate in 1.0f64..50.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig::multi_tenant(tenants, requests, rate, seed).generate();
+        let system = EdgeMm::paper_default();
+        // A KV budget far below the per-request footprint forces parking
+        // and spill traffic; the spill area is ample, so the recompute
+        // fallback never hides an unmatched spill.
+        let report = system.serve(
+            &tiny_model(),
+            &trace,
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32)
+                .paged(16)
+                .shared_prefixes(Bytes::new(64 << 20)),
+        );
+        prop_assert_eq!(report.completed.len(), trace.len());
+        prop_assert!(report.rejected.is_empty());
+        prop_assert_eq!(report.spilled_kv_bytes, report.restored_kv_bytes);
+    }
+
+    /// With sharing, spill and eager accounting all disabled, the paged
+    /// simulator is the PR 5 simulator byte for byte — even on traces whose
+    /// requests carry `shared_prefix` metadata, which the PR 5 path must
+    /// ignore entirely (stripping it changes nothing).
+    #[test]
+    fn sharing_and_spill_disabled_reproduce_the_paged_simulator(
+        tenants in 1usize..4,
+        requests in 1usize..8,
+        rate in 1.0f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = TraceConfig::multi_tenant(tenants, requests, rate, seed).generate();
+        prop_assert!(trace.iter().all(|r| r.shared_prefix.is_some()));
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let base = ServeOptions::memory_aware(Bytes::new(512 << 10), 32).paged(16);
+        let paged = system.serve(&model, &trace, base);
+        let features_off = system.serve(&model, &trace, ServeOptions {
+            prefix_sharing: false,
+            spill_capacity_bytes: None,
+            eager_kv_accounting: false,
+            ..base
+        });
+        prop_assert_eq!(&paged, &features_off);
+        let mut stripped = trace.clone();
+        for r in &mut stripped {
+            r.shared_prefix = None;
+        }
+        let plain = system.serve(&model, &stripped, base);
+        prop_assert_eq!(&paged, &plain);
+        prop_assert_eq!(paged.spilled_kv_bytes, Bytes::ZERO);
+        prop_assert_eq!(paged.restored_kv_bytes, Bytes::ZERO);
     }
 }
