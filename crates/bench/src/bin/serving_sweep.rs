@@ -317,19 +317,50 @@ fn paged_sweep(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
     );
 }
 
-/// Simulator throughput on the golden multi-tenant sweep point (the pinned
-/// `golden_multi_tenant_sharing_point` workload: 3 tenants' interactive
-/// traffic plus long-prompt background, served at an 8 MiB paged budget
-/// with prefix sharing and spill-and-restore on). Writes the measurement to
-/// `BENCH_serving.json` as requests simulated per wall-second.
+/// The golden multi-tenant point's requests-per-wall-second as measured on
+/// the seed revision of this repo (pre event-engine; PR 5 reference loop).
+/// `speedup_vs_seed` in `BENCH_serving.json` is relative to this number and
+/// the bench-smoke test asserts it never regresses below 1.0.
+const SEED_REQUESTS_PER_S: f64 = 727.7;
+
+/// One timed section: untimed warm-up, then `repeats` timed serves of the
+/// same trace. Returns (wall seconds, requests simulated).
+fn time_section(
+    system: &EdgeMm,
+    trace: &[edgemm::serve::ServeRequest],
+    options: ServeOptions,
+    repeats: u32,
+) -> (f64, usize) {
+    use std::time::Instant;
+    let model = zoo::sphinx_tiny();
+    system.serve(&model, trace, options);
+    let start = Instant::now();
+    let mut simulated = 0usize;
+    for _ in 0..repeats {
+        let report = system.serve(&model, trace, options);
+        simulated += report.submitted();
+    }
+    (start.elapsed().as_secs_f64(), simulated)
+}
+
+/// Simulator throughput per bench section, written to `BENCH_serving.json`
+/// as a JSON array — one entry per pinned workload:
+///
+/// * `golden_multi_tenant_sharing_point`: 3 tenants plus long-prompt
+///   background at an 8 MiB paged budget with prefix sharing and
+///   spill-and-restore — the headline point, with `speedup_vs_seed`
+///   relative to [`SEED_REQUESTS_PER_S`].
+/// * `golden_paged_eviction_point`: the paged-eviction overload trace at an
+///   8 MiB budget (chunk 320, block 16).
+/// * `plain_sweep_point`: the unconstrained continuous-batching sweep cell
+///   (interactive trace, constant cap, no memory model).
 ///
 /// Wall-clock use is deliberate and confined to this bin: the simulated
 /// *reports* stay bit-identical across runs (the `sim-determinism` lint
 /// guards the cores); only the host-side speed of producing them varies.
 fn bench_json(system: &EdgeMm) {
-    use std::time::Instant;
-    let model = zoo::sphinx_tiny();
-    let trace = merge(&[
+    let repeats = 5u32;
+    let multi_tenant_trace = merge(&[
         TraceConfig::multi_tenant(3, 24, 8.0, 19).generate(),
         TraceConfig {
             text_tokens: (512, 768),
@@ -337,39 +368,64 @@ fn bench_json(system: &EdgeMm) {
         }
         .generate(),
     ]);
-    let options = ServeOptions::memory_aware(Bytes::new(8 << 20), 64)
-        .paged(16)
-        .shared_prefixes(Bytes::new(128 << 20));
-    // One untimed warm-up, then timed repeats over the same trace.
-    let warm = system.serve(&model, &trace, options);
-    assert_eq!(
-        warm.completed.len(),
-        trace.len(),
-        "golden point must complete"
-    );
-    let repeats = 5u32;
-    let start = Instant::now();
-    let mut simulated = 0usize;
-    for _ in 0..repeats {
-        let report = system.serve(&model, &trace, options);
-        simulated += report.submitted();
+    let paged_trace = merge(&[
+        TraceConfig::interactive(24, 12.0, 11).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(8, 3.0, 12)
+        }
+        .generate(),
+    ]);
+    let plain_trace = TraceConfig::interactive(32, 16.0, 11).generate();
+    let sections: [(&str, &[edgemm::serve::ServeRequest], ServeOptions); 3] = [
+        (
+            "golden_multi_tenant_sharing_point",
+            &multi_tenant_trace,
+            ServeOptions::memory_aware(Bytes::new(8 << 20), 64)
+                .paged(16)
+                .shared_prefixes(Bytes::new(128 << 20)),
+        ),
+        (
+            "golden_paged_eviction_point",
+            &paged_trace,
+            ServeOptions::memory_aware(Bytes::new(8 << 20), 320).paged(16),
+        ),
+        (
+            "plain_sweep_point",
+            &plain_trace,
+            ServeOptions {
+                batch_cap: Some(8),
+                ..ServeOptions::with_pruning()
+            },
+        ),
+    ];
+    let mut entries = Vec::new();
+    for (name, trace, options) in sections {
+        let (wall_s, simulated) = time_section(system, trace, options, repeats);
+        let requests_per_s = simulated as f64 / wall_s;
+        // Only the headline point has a checked-in seed baseline.
+        let speedup = if name == "golden_multi_tenant_sharing_point" {
+            format!(
+                ",\n    \"speedup_vs_seed\": {:.2}",
+                requests_per_s / SEED_REQUESTS_PER_S
+            )
+        } else {
+            String::new()
+        };
+        println!("[bench] {name}: {requests_per_s:.1} requests/wall-second");
+        entries.push(format!(
+            "  {{\n    \"bench\": \"serving_sweep/{name}\",\n    \
+             \"unit\": \"requests_simulated_per_wall_second\",\n    \
+             \"requests_per_trace\": {},\n    \"repeats\": {repeats},\n    \
+             \"wall_s\": {wall_s:.6},\n    \"requests_per_s\": {requests_per_s:.1}{speedup}\n  }}",
+            trace.len(),
+        ));
     }
-    let wall_s = start.elapsed().as_secs_f64();
-    let requests_per_s = simulated as f64 / wall_s;
-    let json = format!(
-        "{{\n  \"bench\": \"serving_sweep/golden_multi_tenant_sharing_point\",\n  \
-         \"unit\": \"requests_simulated_per_wall_second\",\n  \
-         \"requests_per_trace\": {},\n  \"repeats\": {},\n  \
-         \"wall_s\": {:.6},\n  \"requests_per_s\": {:.1}\n}}\n",
-        trace.len(),
-        repeats,
-        wall_s,
-        requests_per_s,
-    );
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
     let path = "BENCH_serving.json";
     match std::fs::write(path, &json) {
-        Ok(()) => println!("\n[bench] {requests_per_s:.1} requests/wall-second -> {path}"),
-        Err(e) => eprintln!("\n[bench] failed to write {path}: {e}"),
+        Ok(()) => println!("[bench] wrote {path}"),
+        Err(e) => eprintln!("[bench] failed to write {path}: {e}"),
     }
 }
 

@@ -143,19 +143,41 @@ impl CimMacro {
         assert_eq!(x.len(), *k, "activation length mismatch");
         // Activations are quantized to the broadcast bit-width as well.
         let xq = quantize_int8(x);
-        let mut output = vec![0.0f32; *n];
-        for (j, out) in output.iter_mut().enumerate() {
-            let mut acc: i32 = 0;
-            for i in 0..*k {
-                acc += xq.values[i] as i32 * q.values[i * *n + j] as i32;
+        let (k, n) = (*k, *n);
+        let mut output = vec![0.0f32; n];
+        // Four columns accumulate in separate i32 registers per block;
+        // integer addition is exact, so this matches the scalar column loop
+        // bit for bit while reading each activation once per block.
+        const LANES: usize = 4;
+        let mut j = 0;
+        while j + LANES <= n {
+            let mut acc = [0i32; LANES];
+            for i in 0..k {
+                let xv = xq.values[i] as i32;
+                let wrow = &q.values[i * n + j..i * n + j + LANES];
+                acc[0] += xv * wrow[0] as i32;
+                acc[1] += xv * wrow[1] as i32;
+                acc[2] += xv * wrow[2] as i32;
+                acc[3] += xv * wrow[3] as i32;
             }
-            *out = acc as f32 * xq.scale * q.scale;
+            for (lane, &a) in acc.iter().enumerate() {
+                output[j + lane] = a as f32 * xq.scale * q.scale;
+            }
+            j += LANES;
+        }
+        while j < n {
+            let mut acc: i32 = 0;
+            for i in 0..k {
+                acc += xq.values[i] as i32 * q.values[i * n + j] as i32;
+            }
+            output[j] = acc as f32 * xq.scale * q.scale;
+            j += 1;
         }
         GemvResult {
             output,
-            cycles: self.gemv_cycles(*k, *n),
-            passes: self.passes_for(*k, *n),
-            macs: (*k * *n) as u64,
+            cycles: self.gemv_cycles(k, n),
+            passes: self.passes_for(k, n),
+            macs: (k * n) as u64,
         }
     }
 
@@ -186,19 +208,40 @@ impl CimMacro {
             "row index out of range"
         );
         let xq = quantize_int8(x_packed);
-        let mut output = vec![0.0f32; *n];
-        for (j, out) in output.iter_mut().enumerate() {
+        let n = *n;
+        let mut output = vec![0.0f32; n];
+        // Same 4-column register blocking as the dense path, walking only
+        // the selected rows.
+        const LANES: usize = 4;
+        let mut j = 0;
+        while j + LANES <= n {
+            let mut acc = [0i32; LANES];
+            for (p, &i) in row_indices.iter().enumerate() {
+                let xv = xq.values[p] as i32;
+                let wrow = &q.values[i * n + j..i * n + j + LANES];
+                acc[0] += xv * wrow[0] as i32;
+                acc[1] += xv * wrow[1] as i32;
+                acc[2] += xv * wrow[2] as i32;
+                acc[3] += xv * wrow[3] as i32;
+            }
+            for (lane, &a) in acc.iter().enumerate() {
+                output[j + lane] = a as f32 * xq.scale * q.scale;
+            }
+            j += LANES;
+        }
+        while j < n {
             let mut acc: i32 = 0;
             for (p, &i) in row_indices.iter().enumerate() {
-                acc += xq.values[p] as i32 * q.values[i * *n + j] as i32;
+                acc += xq.values[p] as i32 * q.values[i * n + j] as i32;
             }
-            *out = acc as f32 * xq.scale * q.scale;
+            output[j] = acc as f32 * xq.scale * q.scale;
+            j += 1;
         }
         GemvResult {
             output,
-            cycles: self.gemv_cycles(row_indices.len(), *n),
-            passes: self.passes_for(row_indices.len().max(1), *n),
-            macs: (row_indices.len() * *n) as u64,
+            cycles: self.gemv_cycles(row_indices.len(), n),
+            passes: self.passes_for(row_indices.len().max(1), n),
+            macs: (row_indices.len() * n) as u64,
         }
     }
 }
@@ -224,6 +267,71 @@ mod tests {
             }
         }
         out.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// The straight (pre-unrolling) column loop over the resident quantized
+    /// weights — the bit-exact oracle for the blocked kernel.
+    fn scalar_quantized_gemv(cim: &CimMacro, x: &[f32]) -> Vec<f32> {
+        let (q, k, n) = cim.weights.as_ref().expect("weights resident");
+        let xq = quantize_int8(x);
+        let mut output = vec![0.0f32; *n];
+        for (j, out) in output.iter_mut().enumerate() {
+            let mut acc: i32 = 0;
+            for i in 0..*k {
+                acc += xq.values[i] as i32 * q.values[i * *n + j] as i32;
+            }
+            *out = acc as f32 * xq.scale * q.scale;
+        }
+        output
+    }
+
+    #[test]
+    fn unrolled_gemv_is_bit_identical_on_awkward_shapes() {
+        // Odd columns, sub-lane widths, single column, single row.
+        for &(k, n) in &[(5usize, 7usize), (1, 13), (9, 1), (1, 1), (3, 4), (16, 6)] {
+            let x: Vec<f32> = (0..k).map(|i| (i as f32 * 0.7).sin()).collect();
+            let w: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let mut cim = CimMacro::default();
+            cim.load_weights(&w, k, n);
+            assert_eq!(
+                cim.gemv(&x).output,
+                scalar_quantized_gemv(&cim, &x),
+                "shape {k}x{n}"
+            );
+        }
+    }
+
+    /// Scalar replica of the pruned column loop (same resident
+    /// quantization, only the selected rows participate).
+    fn scalar_pruned_gemv(cim: &CimMacro, x_packed: &[f32], rows: &[usize]) -> Vec<f32> {
+        let (q, _, n) = cim.weights.as_ref().expect("weights resident");
+        let xq = quantize_int8(x_packed);
+        let mut output = vec![0.0f32; *n];
+        for (j, out) in output.iter_mut().enumerate() {
+            let mut acc: i32 = 0;
+            for (p, &i) in rows.iter().enumerate() {
+                acc += xq.values[p] as i32 * q.values[i * *n + j] as i32;
+            }
+            *out = acc as f32 * xq.scale * q.scale;
+        }
+        output
+    }
+
+    #[test]
+    fn unrolled_pruned_gemv_is_bit_identical() {
+        for &(k, n) in &[(12usize, 7usize), (9, 3), (5, 1), (8, 8)] {
+            let x: Vec<f32> = (0..k).map(|i| (i as f32 * 0.7).sin()).collect();
+            let w: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let mut cim = CimMacro::default();
+            cim.load_weights(&w, k, n);
+            let rows: Vec<usize> = (0..k).step_by(3).collect();
+            let packed: Vec<f32> = rows.iter().map(|&i| x[i]).collect();
+            assert_eq!(
+                cim.gemv_pruned(&packed, &rows).output,
+                scalar_pruned_gemv(&cim, &packed, &rows),
+                "shape {k}x{n}"
+            );
+        }
     }
 
     #[test]
@@ -340,6 +448,24 @@ mod tests {
     }
 
     proptest! {
+        /// The blocked kernel equals the scalar column loop exactly on
+        /// random shapes.
+        #[test]
+        fn unrolled_gemv_bit_identical_random(
+            k in 1usize..24,
+            n in 1usize..24,
+            seed in 0u64..1000,
+        ) {
+            let f = |i: usize, s: u64| {
+                ((i as u64).wrapping_mul(s + 3) % 29) as f32 * 0.0625 - 0.875
+            };
+            let x: Vec<f32> = (0..k).map(|i| f(i, seed)).collect();
+            let w: Vec<f32> = (0..k * n).map(|i| f(i, seed + 17)).collect();
+            let mut cim = CimMacro::default();
+            cim.load_weights(&w, k, n);
+            prop_assert_eq!(cim.gemv(&x).output, scalar_quantized_gemv(&cim, &x));
+        }
+
         /// GEMV cycle counts are monotonic in both dimensions.
         #[test]
         fn gemv_cycles_monotonic(k in 1usize..4096, n in 1usize..4096) {

@@ -102,11 +102,7 @@ impl ActAwarePruner {
         // by channel index, matching a deterministic hardware comparator tree.
         let mut order: Vec<usize> = (0..len).collect();
         order.sort_by(|&a, &b| {
-            slice[b]
-                .abs()
-                .partial_cmp(&slice[a].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            edgemm_core::float::total_cmp_f32(slice[b].abs(), slice[a].abs()).then(a.cmp(&b))
         });
         let mut kept: Vec<usize> = order.into_iter().take(k).collect();
         kept.sort_unstable();

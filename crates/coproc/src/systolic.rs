@@ -116,26 +116,56 @@ impl SystolicArray {
     ) -> GemmResult {
         assert_eq!(activations.len(), m * k, "activation shape mismatch");
         assert_eq!(weights.len(), k * n, "weight shape mismatch");
+        // BF16 ingress rounding is a pure per-element function, so both
+        // operands are rounded once up front instead of once per use inside
+        // the tile loops — same values, a factor of the tile footprint fewer
+        // rounds.
+        let act: Vec<f32> = activations.iter().map(|&v| bf16_round(v)).collect();
+        let wts: Vec<f32> = weights.iter().map(|&v| bf16_round(v)).collect();
         let mut output = vec![0.0f32; m * n];
         let r = self.geometry.rows;
         let c = self.geometry.cols;
         let mut tiles = 0usize;
         // Weight-stationary tiling: iterate over k (rows of the weight tile)
-        // and n (columns of the weight tile); stream all m activations per tile.
+        // and n (columns of the weight tile); stream all m activations per
+        // tile. The column loop runs 4 independent accumulator chains at a
+        // time; each output element still sees the exact serial
+        // round(acc + round(a*w)) chain over ascending k, so the result is
+        // bit-identical to the straight scalar loop.
+        const LANES: usize = 4;
         for k0 in (0..k).step_by(r) {
             let k1 = (k0 + r).min(k);
             for n0 in (0..n).step_by(c) {
                 let n1 = (n0 + c).min(n);
                 tiles += 1;
                 for i in 0..m {
-                    for j in n0..n1 {
+                    let arow = &act[i * k..(i + 1) * k];
+                    let mut j = n0;
+                    while j + LANES <= n1 {
+                        let mut acc = [
+                            output[i * n + j],
+                            output[i * n + j + 1],
+                            output[i * n + j + 2],
+                            output[i * n + j + 3],
+                        ];
+                        for kk in k0..k1 {
+                            let a = arow[kk];
+                            let wrow = &wts[kk * n + j..kk * n + j + LANES];
+                            acc[0] = bf16_round(acc[0] + bf16_round(a * wrow[0]));
+                            acc[1] = bf16_round(acc[1] + bf16_round(a * wrow[1]));
+                            acc[2] = bf16_round(acc[2] + bf16_round(a * wrow[2]));
+                            acc[3] = bf16_round(acc[3] + bf16_round(a * wrow[3]));
+                        }
+                        output[i * n + j..i * n + j + LANES].copy_from_slice(&acc);
+                        j += LANES;
+                    }
+                    while j < n1 {
                         let mut acc = output[i * n + j];
                         for kk in k0..k1 {
-                            let a = bf16_round(activations[i * k + kk]);
-                            let w = bf16_round(weights[kk * n + j]);
-                            acc = bf16_round(acc + bf16_round(a * w));
+                            acc = bf16_round(acc + bf16_round(arow[kk] * wts[kk * n + j]));
                         }
                         output[i * n + j] = acc;
+                        j += 1;
                     }
                 }
             }
@@ -167,6 +197,77 @@ impl Default for SystolicArray {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The straight (pre-unrolling) tile loop with per-use BF16 rounding —
+    /// the bit-exact oracle for the blocked kernel.
+    fn scalar_tiled_gemm(
+        sa: &SystolicArray,
+        activations: &[f32],
+        weights: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut output = vec![0.0f32; m * n];
+        let r = sa.geometry().rows;
+        let c = sa.geometry().cols;
+        for k0 in (0..k).step_by(r) {
+            let k1 = (k0 + r).min(k);
+            for n0 in (0..n).step_by(c) {
+                let n1 = (n0 + c).min(n);
+                for i in 0..m {
+                    for j in n0..n1 {
+                        let mut acc = output[i * n + j];
+                        for kk in k0..k1 {
+                            let a = bf16_round(activations[i * k + kk]);
+                            let w = bf16_round(weights[kk * n + j]);
+                            acc = bf16_round(acc + bf16_round(a * w));
+                        }
+                        output[i * n + j] = acc;
+                    }
+                }
+            }
+        }
+        output
+    }
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(seed.wrapping_add(0x9e3779b9));
+                (v % 31) as f32 * 0.0625 - 0.9375
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unrolled_gemm_is_bit_identical_on_awkward_shapes() {
+        let sa = SystolicArray::new(SystolicGeometry {
+            rows: 4,
+            cols: 4,
+            matrix_registers: 4,
+        });
+        // Odd dims, 1xN, Nx1, sub-lane tiles, empty operands.
+        for &(m, k, n) in &[
+            (3usize, 5usize, 7usize),
+            (1, 9, 13),
+            (7, 5, 1),
+            (1, 1, 1),
+            (2, 10, 6),
+            (5, 4, 3),
+            (0, 4, 4),
+            (4, 0, 4),
+            (4, 4, 0),
+        ] {
+            let a = pseudo(m * k, 3);
+            let b = pseudo(k * n, 11);
+            assert_eq!(
+                sa.gemm(&a, &b, m, k, n).output,
+                scalar_tiled_gemm(&sa, &a, &b, m, k, n),
+                "shape {m}x{k}x{n}"
+            );
+        }
+    }
 
     fn reference_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let mut out = vec![0.0f64; m * n];
@@ -281,6 +382,30 @@ mod tests {
     }
 
     proptest! {
+        /// The blocked kernel equals the scalar tile loop exactly on random
+        /// shapes and geometries.
+        #[test]
+        fn unrolled_gemm_bit_identical_random(
+            m in 0usize..6,
+            k in 0usize..10,
+            n in 0usize..10,
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            let sa = SystolicArray::new(SystolicGeometry { rows, cols, matrix_registers: 4 });
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i as u64).wrapping_mul(seed + 7) % 19) as f32 * 0.125 - 1.0)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i as u64).wrapping_mul(seed + 13) % 19) as f32 * 0.125 - 1.0)
+                .collect();
+            prop_assert_eq!(
+                sa.gemm(&a, &b, m, k, n).output,
+                scalar_tiled_gemm(&sa, &a, &b, m, k, n)
+            );
+        }
+
         /// The tiled BF16 GEMM stays close to an f64 reference for modest values.
         #[test]
         fn gemm_close_to_reference(

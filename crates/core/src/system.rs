@@ -1,5 +1,8 @@
 //! The assembled EdgeMM system: simulator + power model + pruning loop.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use edgemm_arch::PowerModel;
 use edgemm_core::units::Bytes;
 use edgemm_mllm::{ActivationGenerator, ActivationProfile, MllmConfig, ModelWorkload, Phase};
@@ -208,11 +211,32 @@ pub struct SystemReport {
     pub pruning: Option<PruningMeasurement>,
 }
 
+/// Cache key for [`EdgeMm::measure_pruning`]: everything the synthetic
+/// measurement reads — the activation profile shape and the RNG seed.
+type PruningKey = (usize, usize, u64, usize);
+
 /// The assembled EdgeMM system.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EdgeMm {
     machine: Machine,
     power: PowerModel,
+    // Memoised pruning measurements: the synthetic activation sweep is a
+    // pure function of (layers, d_model, seed, tokens), yet `serve` needs
+    // its result on every call. Caching returns the exact struct the first
+    // run produced; a `Mutex` keeps `EdgeMm: Sync`.
+    pruning_cache: Mutex<HashMap<PruningKey, PruningMeasurement>>,
+}
+
+impl Clone for EdgeMm {
+    fn clone(&self) -> Self {
+        EdgeMm {
+            machine: self.machine.clone(),
+            power: self.power,
+            // Fresh cache: entries are pure recomputations, so an empty
+            // cache on the clone is semantically identical.
+            pruning_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl EdgeMm {
@@ -221,6 +245,7 @@ impl EdgeMm {
         EdgeMm {
             machine: Machine::new(config),
             power: PowerModel::calibrated_22nm(),
+            pruning_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -251,7 +276,37 @@ impl EdgeMm {
 
     /// Measure the dynamic Top-k pruning behaviour on synthetic activations
     /// with the Fig. 3 channel statistics, for `tokens` generated tokens.
+    ///
+    /// The measurement is deterministic in the model shape and seed, so it
+    /// is memoised: repeated calls (every `serve` invocation makes one)
+    /// return the exact result of the first.
     pub fn measure_pruning(
+        &self,
+        workload: &ModelWorkload,
+        seed: u64,
+        tokens: usize,
+    ) -> PruningMeasurement {
+        let llm = &workload.config().llm;
+        let key = (llm.layers, llm.d_model, seed, tokens.max(1));
+        if let Some(measurement) = self
+            .pruning_cache
+            .lock()
+            // lint:allow(no-unwrap): poisoning only follows a prior panic
+            .expect("pruning cache poisoned")
+            .get(&key)
+        {
+            return measurement.clone();
+        }
+        let measurement = self.measure_pruning_uncached(workload, seed, tokens);
+        self.pruning_cache
+            .lock()
+            // lint:allow(no-unwrap): poisoning only follows a prior panic
+            .expect("pruning cache poisoned")
+            .insert(key, measurement.clone());
+        measurement
+    }
+
+    fn measure_pruning_uncached(
         &self,
         workload: &ModelWorkload,
         seed: u64,

@@ -1,0 +1,264 @@
+//! Deterministic discrete-event core for the serving simulator.
+//!
+//! The serve loop used to find "what happens next" by min-scanning every
+//! queue it owns (`order`, `cc_queue`, the decode batch) on every
+//! iteration. This crate replaces those scans with the classic
+//! discrete-event pair:
+//!
+//! * [`Clock`] — a monotonic cycle counter. Time only moves forward;
+//!   attempting to rewind is a logic error and panics.
+//! * [`EventQueue`] — a binary min-heap of `(Cycles, seq, E)` entries.
+//!   `seq` is a per-queue insertion counter, so two events scheduled for
+//!   the same cycle pop in the order they were pushed. That makes the pop
+//!   order a pure function of the push sequence — the property the
+//!   differential harness in `tests/properties.rs` pins against the
+//!   reference engine.
+//!
+//! The queue deliberately knows nothing about what an event *is*: `E` needs
+//! no `Ord`, no `Hash`, nothing. Ordering lives entirely in the
+//! `(cycle, seq)` key, which keeps the heap's behaviour independent of the
+//! payload and therefore stable under refactors of the payload type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use edgemm_core::units::Cycles;
+
+/// A monotonic cycle clock.
+///
+/// Starts at zero. [`Clock::advance_to`] only moves forward; a backwards
+/// move is a scheduling bug (an event was popped out of order) and panics
+/// rather than silently corrupting the timeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Cycles,
+}
+
+impl Clock {
+    /// A clock at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current cycle.
+    pub fn now(self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock to `cycle`.
+    ///
+    /// Advancing to the current cycle is a no-op (events at the current
+    /// cycle are legal); moving backwards panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is earlier than the current cycle.
+    pub fn advance_to(&mut self, cycle: Cycles) {
+        assert!(
+            cycle >= self.now,
+            "clock moved backwards: {cycle:?} < {:?}",
+            self.now
+        );
+        self.now = cycle;
+    }
+}
+
+/// One scheduled entry: the key is `(cycle, seq)`, the payload is opaque.
+#[derive(Debug)]
+struct Entry<E> {
+    cycle: Cycles,
+    seq: u64,
+    event: E,
+}
+
+// Ordering is on the key only — the payload never participates, so `E`
+// needs no trait bounds and equal-keyed entries are impossible (`seq` is
+// unique per queue).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.cycle, self.seq) == (other.cycle, other.seq)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (cycle, seq) on top.
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+/// A binary-heap event queue with deterministic same-cycle ordering.
+///
+/// Events pushed for the same cycle pop in push order (FIFO within a
+/// cycle); events for different cycles pop earliest-first. There is no
+/// cancellation — the serve engine schedules at most one outstanding
+/// completion per state machine, so it never needs to retract an event.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `cycle`. Ties at the same cycle pop in push
+    /// order.
+    pub fn push(&mut self, cycle: Cycles, event: E) {
+        let entry = Entry {
+            cycle,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// The cycle of the next event, if any.
+    pub fn next_cycle(&self) -> Option<Cycles> {
+        self.heap.peek().map(|entry| entry.cycle)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|entry| (entry.cycle, entry.event))
+    }
+
+    /// Pops the earliest event if it is due at or before `cycle`.
+    pub fn pop_due(&mut self, cycle: Cycles) -> Option<(Cycles, E)> {
+        if self.next_cycle()? <= cycle {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let mut clock = Clock::new();
+        assert_eq!(clock.now(), Cycles::new(0));
+        clock.advance_to(Cycles::new(5));
+        clock.advance_to(Cycles::new(5));
+        assert_eq!(clock.now(), Cycles::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_refuses_to_rewind() {
+        let mut clock = Clock::new();
+        clock.advance_to(Cycles::new(5));
+        clock.advance_to(Cycles::new(4));
+    }
+
+    #[test]
+    fn events_pop_earliest_first() {
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(30), "late");
+        queue.push(Cycles::new(10), "early");
+        queue.push(Cycles::new(20), "middle");
+        assert_eq!(queue.next_cycle(), Some(Cycles::new(10)));
+        assert_eq!(queue.pop(), Some((Cycles::new(10), "early")));
+        assert_eq!(queue.pop(), Some((Cycles::new(20), "middle")));
+        assert_eq!(queue.pop(), Some((Cycles::new(30), "late")));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_ties_pop_in_push_order() {
+        let mut queue = EventQueue::new();
+        for label in ["a", "b", "c", "d"] {
+            queue.push(Cycles::new(7), label);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn interleaved_pushes_keep_fifo_within_each_cycle() {
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(2), 20);
+        queue.push(Cycles::new(1), 10);
+        queue.push(Cycles::new(2), 21);
+        queue.push(Cycles::new(1), 11);
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).collect();
+        assert_eq!(
+            order,
+            [
+                (Cycles::new(1), 10),
+                (Cycles::new(1), 11),
+                (Cycles::new(2), 20),
+                (Cycles::new(2), 21)
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(10), "due");
+        queue.push(Cycles::new(20), "future");
+        assert_eq!(
+            queue.pop_due(Cycles::new(15)),
+            Some((Cycles::new(10), "due"))
+        );
+        assert_eq!(queue.pop_due(Cycles::new(15)), None);
+        assert_eq!(queue.len(), 1);
+        assert!(!queue.is_empty());
+        assert_eq!(
+            queue.pop_due(Cycles::new(20)),
+            Some((Cycles::new(20), "future"))
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn payload_needs_no_ordering_traits() {
+        // A payload type with no Ord/Eq at all still schedules fine.
+        #[derive(Debug)]
+        struct Opaque(#[allow(dead_code)] f64);
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(1), Opaque(f64::NAN));
+        queue.push(Cycles::new(1), Opaque(0.0));
+        assert_eq!(queue.len(), 2);
+        assert!(queue.pop().is_some());
+    }
+}

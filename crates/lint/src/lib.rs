@@ -10,6 +10,7 @@
 //! | `unit-cast` | no raw `as` numeric casts in the unit-bearing crates (`sim`, `mem`, `serve`); use `edgemm_core::units` |
 //! | `float-eq` | no `==`/`!=` against float literals outside tests; use `edgemm_core::float` helpers |
 //! | `no-unwrap` | no `unwrap`/`expect` in library code (tests/bins/examples exempt) |
+//! | `float-partial-cmp` | no `.partial_cmp(` in the unit-bearing crates; float sort keys must use `edgemm_core::float::total_cmp` (unit newtypes are `Ord` — call `.cmp`) |
 //! | `sim-determinism` | no wall-clock (`std::time`, `SystemTime`, `Instant`) or randomized hashing (`DefaultHasher`, `RandomState`) in the `sim`/`serve`/`mem` cores |
 //! | `workspace-sync` | every `[workspace] members` entry is also in `default-members` (the tier-1 silent-skip gotcha) |
 //!
@@ -38,6 +39,8 @@ pub enum RuleId {
     FloatEq,
     /// `unwrap`/`expect` in library code.
     NoUnwrap,
+    /// `.partial_cmp(` in a unit-bearing crate (NaN-unsafe float ordering).
+    FloatPartialCmp,
     /// Wall-clock time source in a deterministic core.
     SimDeterminism,
     /// Workspace member missing from `default-members`.
@@ -46,10 +49,11 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::UnitCast,
         RuleId::FloatEq,
         RuleId::NoUnwrap,
+        RuleId::FloatPartialCmp,
         RuleId::SimDeterminism,
         RuleId::WorkspaceSync,
     ];
@@ -60,6 +64,7 @@ impl RuleId {
             RuleId::UnitCast => "unit-cast",
             RuleId::FloatEq => "float-eq",
             RuleId::NoUnwrap => "no-unwrap",
+            RuleId::FloatPartialCmp => "float-partial-cmp",
             RuleId::SimDeterminism => "sim-determinism",
             RuleId::WorkspaceSync => "workspace-sync",
         }
@@ -75,6 +80,10 @@ impl RuleId {
                 "no ==/!= against float literals outside tests; use edgemm_core::float"
             }
             RuleId::NoUnwrap => "no unwrap/expect in library code (tests/bins/examples exempt)",
+            RuleId::FloatPartialCmp => {
+                "no .partial_cmp( in sim/mem/serve; float sort keys use \
+                 edgemm_core::float::total_cmp, unit newtypes are Ord"
+            }
             RuleId::SimDeterminism => {
                 "no wall clocks (std::time/SystemTime/Instant) or randomized \
                  hashing (DefaultHasher/RandomState) in the sim/serve/mem cores"
@@ -171,6 +180,7 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     check_unit_cast(rel, src, &lexed, &mut findings);
     check_float_eq(rel, src, &lexed, &mut findings);
     check_no_unwrap(rel, src, &lexed, &mut findings);
+    check_float_partial_cmp(rel, src, &lexed, &mut findings);
     check_sim_determinism(rel, src, &lexed, &mut findings);
     findings
 }
@@ -289,6 +299,43 @@ fn check_no_unwrap(rel: &Path, src: &str, lexed: &LexedFile, findings: &mut Vec<
                     "`.{name}()` in library code; return an error/Option or \
                      justify the invariant with `// lint:allow(no-unwrap)`"
                 ),
+            );
+        }
+    }
+}
+
+/// `float-partial-cmp`: `.partial_cmp(` calls in the unit-bearing crates.
+/// A float sort key compared this way either panics (`.expect("finite")`)
+/// or silently mis-sorts (`unwrap_or(Equal)`) once a NaN slips in;
+/// `edgemm_core::float::total_cmp` orders every bit pattern. The unit
+/// newtypes themselves are `Ord`, so non-float keys have `.cmp`.
+fn check_float_partial_cmp(rel: &Path, src: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !in_unit_crates(rel) {
+        return;
+    }
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text(src) != "partial_cmp" {
+            continue;
+        }
+        let after_dot = i
+            .checked_sub(1)
+            .and_then(|j| lexed.tokens.get(j))
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == ".");
+        let before_paren = lexed
+            .tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == "(");
+        if after_dot && before_paren {
+            push_unless_allowed(
+                findings,
+                lexed,
+                rel,
+                tok,
+                RuleId::FloatPartialCmp,
+                "`.partial_cmp(` is NaN-unsafe; sort float keys with \
+                 `edgemm_core::float::total_cmp` (unit newtypes are `Ord`: \
+                 use `.cmp`)"
+                    .to_string(),
             );
         }
     }

@@ -1,0 +1,10 @@
+// Fixture: NaN-unsafe float ordering that `float-partial-cmp` must flag in
+// unit-crate library code. Both the panicking and the silently-equal forms
+// count — the call itself is the hazard.
+pub fn rank(latencies: &mut [f64]) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+}
+
+pub fn rank_lenient(latencies: &mut [f64]) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

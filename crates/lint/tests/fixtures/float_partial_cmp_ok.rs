@@ -1,0 +1,22 @@
+// Fixture: total-order float sorting via the audited helper, and `Ord`
+// comparison of unit newtypes — neither may fire `float-partial-cmp`.
+use edgemm_core::float::total_cmp;
+use edgemm_core::units::Cycles;
+
+pub fn rank(latencies: &mut [f64]) {
+    latencies.sort_by(|a, b| total_cmp(*a, *b));
+}
+
+pub fn rank_cycles(cycles: &mut [Cycles]) {
+    cycles.sort_by(|a, b| a.cmp(b));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn partial_cmp_in_tests_is_fine() {
+        let mut v = [2.0f64, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(v[0], 1.0);
+    }
+}

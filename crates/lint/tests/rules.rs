@@ -102,6 +102,51 @@ fn no_unwrap_is_silent_on_justified_and_test_code() {
     assert!(fired.is_empty(), "unexpected findings: {fired:?}");
 }
 
+// ------------------------------------------------------- float-partial-cmp
+
+#[test]
+fn float_partial_cmp_fires_on_nan_unsafe_sorts_in_unit_crates() {
+    let findings = lint_source(
+        unit_crate_path(),
+        include_str!("fixtures/float_partial_cmp_bad.rs"),
+    );
+    // The `.expect("finite")` in the fixture also trips no-unwrap; count
+    // only this rule's findings.
+    let fired: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::FloatPartialCmp)
+        .collect();
+    assert_eq!(
+        fired.len(),
+        2,
+        "panicking and lenient forms both count: {findings:?}"
+    );
+}
+
+#[test]
+fn float_partial_cmp_is_silent_on_total_cmp_and_ord() {
+    let fired = rules_fired(
+        unit_crate_path(),
+        include_str!("fixtures/float_partial_cmp_ok.rs"),
+    );
+    assert!(
+        !fired.contains(&RuleId::FloatPartialCmp),
+        "unexpected findings: {fired:?}"
+    );
+}
+
+#[test]
+fn float_partial_cmp_does_not_apply_outside_unit_crates() {
+    let fired = rules_fired(
+        plain_crate_path(),
+        include_str!("fixtures/float_partial_cmp_bad.rs"),
+    );
+    assert!(
+        !fired.contains(&RuleId::FloatPartialCmp),
+        "float-partial-cmp leaked outside sim/mem/serve: {fired:?}"
+    );
+}
+
 // ---------------------------------------------------------- sim-determinism
 
 #[test]

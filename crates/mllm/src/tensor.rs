@@ -99,6 +99,12 @@ impl Matrix {
     }
 }
 
+/// Column-block width of the unrolled [`gemm`]/[`gemv`] inner loops: each
+/// block keeps one independent scalar accumulator per output column in
+/// registers, so per-element accumulation order (ascending `k`) — and with
+/// it the exact f32 result — matches the straight scalar loop bit for bit.
+const LANES: usize = 4;
+
 /// Dense GEMM: `A (m x k) * B (k x n) -> (m x n)`.
 ///
 /// # Panics
@@ -109,14 +115,36 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
     for i in 0..m {
-        for kk in 0..k {
-            let aik = a.get(i, kk);
-            if is_zero_f32(aik) {
-                continue;
+        let arow = &a.data[i * k..(i + 1) * k];
+        let orow = &mut out.data[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + LANES <= n {
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if is_zero_f32(aik) {
+                    continue;
+                }
+                let brow = &b.data[kk * n + j..kk * n + j + LANES];
+                s0 += aik * brow[0];
+                s1 += aik * brow[1];
+                s2 += aik * brow[2];
+                s3 += aik * brow[3];
             }
-            for j in 0..n {
-                out.data[i * n + j] += aik * b.data[kk * n + j];
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += LANES;
+        }
+        while j < n {
+            let mut s = 0.0f32;
+            for (kk, &aik) in arow.iter().enumerate() {
+                if !is_zero_f32(aik) {
+                    s += aik * b.data[kk * n + j];
+                }
             }
+            orow[j] = s;
+            j += 1;
         }
     }
     out
@@ -131,13 +159,34 @@ pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
     assert_eq!(x.len(), b.rows(), "vector length must match matrix rows");
     let n = b.cols();
     let mut out = vec![0.0f32; n];
-    for (row, &xv) in b.data.chunks_exact(n).zip(x) {
-        if is_zero_f32(xv) {
-            continue;
+    let mut j = 0;
+    while j + LANES <= n {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (kk, &xv) in x.iter().enumerate() {
+            if is_zero_f32(xv) {
+                continue;
+            }
+            let brow = &b.data[kk * n + j..kk * n + j + LANES];
+            s0 += xv * brow[0];
+            s1 += xv * brow[1];
+            s2 += xv * brow[2];
+            s3 += xv * brow[3];
         }
-        for (o, &w) in out.iter_mut().zip(row) {
-            *o += xv * w;
+        out[j] = s0;
+        out[j + 1] = s1;
+        out[j + 2] = s2;
+        out[j + 3] = s3;
+        j += LANES;
+    }
+    while j < n {
+        let mut s = 0.0f32;
+        for (kk, &xv) in x.iter().enumerate() {
+            if !is_zero_f32(xv) {
+                s += xv * b.data[kk * n + j];
+            }
         }
+        out[j] = s;
+        j += 1;
     }
     out
 }
@@ -146,6 +195,84 @@ pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The straight (pre-unrolling) scalar loops, kept as the bit-exact
+    /// oracle for the blocked kernels.
+    fn gemm_scalar(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a.get(i, kk);
+                if is_zero_f32(aik) {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += aik * b.data[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn gemv_scalar(x: &[f32], b: &Matrix) -> Vec<f32> {
+        let n = b.cols();
+        let mut out = vec![0.0f32; n];
+        for (row, &xv) in b.data.chunks_exact(n).zip(x) {
+            if is_zero_f32(xv) {
+                continue;
+            }
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += xv * w;
+            }
+        }
+        out
+    }
+
+    /// Pseudo-random fill with exact zeros sprinkled in, so the zero-skip
+    /// fast path is exercised by the equality tests.
+    fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = (r * cols + c) as u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+            if v % 5 == 0 {
+                0.0
+            } else {
+                (v % 23) as f32 * 0.125 - 1.25
+            }
+        })
+    }
+
+    #[test]
+    fn unrolled_gemm_is_bit_identical_on_awkward_shapes() {
+        // Odd rows/cols, single-row, single-column, sub-lane widths — every
+        // remainder path of the 4-wide blocking.
+        for &(m, k, n) in &[
+            (3usize, 5usize, 7usize),
+            (1, 9, 13),
+            (7, 3, 1),
+            (1, 1, 1),
+            (2, 4, 3),
+            (5, 7, 4),
+            (4, 4, 8),
+        ] {
+            let a = fill(m, k, 17);
+            let b = fill(k, n, 91);
+            assert_eq!(
+                gemm(&a, &b).as_slice(),
+                gemm_scalar(&a, &b).as_slice(),
+                "shape {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrolled_gemv_is_bit_identical_on_awkward_shapes() {
+        for &(k, n) in &[(5usize, 7usize), (1, 13), (9, 1), (1, 1), (3, 4), (8, 6)] {
+            let x: Vec<f32> = fill(1, k, 29).as_slice().to_vec();
+            let b = fill(k, n, 57);
+            assert_eq!(gemv(&x, &b), gemv_scalar(&x, &b), "shape {k}x{n}");
+        }
+    }
 
     #[test]
     fn identity_gemm() {
@@ -198,6 +325,33 @@ mod tests {
     }
 
     proptest! {
+        /// The blocked GEMM equals the scalar loop exactly on random shapes.
+        #[test]
+        fn unrolled_gemm_bit_identical_random(
+            m in 1usize..12,
+            k in 1usize..12,
+            n in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            let a = fill(m, k, seed);
+            let b = fill(k, n, seed.wrapping_add(1));
+            let blocked = gemm(&a, &b);
+            let scalar = gemm_scalar(&a, &b);
+            prop_assert_eq!(blocked.as_slice(), scalar.as_slice());
+        }
+
+        /// The blocked GEMV equals the scalar loop exactly on random shapes.
+        #[test]
+        fn unrolled_gemv_bit_identical_random(
+            k in 1usize..16,
+            n in 1usize..16,
+            seed in 0u64..1000,
+        ) {
+            let x: Vec<f32> = fill(1, k, seed).as_slice().to_vec();
+            let b = fill(k, n, seed.wrapping_add(2));
+            prop_assert_eq!(gemv(&x, &b), gemv_scalar(&x, &b));
+        }
+
         /// GEMV is linear: gemv(a*x + b*y) == a*gemv(x) + b*gemv(y).
         #[test]
         fn gemv_is_linear(

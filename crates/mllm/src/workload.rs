@@ -421,6 +421,24 @@ impl ModelWorkload {
             .collect()
     }
 
+    /// The two KV-facing attention operators — score and context
+    /// aggregation, in stream order — of one decode step with `past_tokens`
+    /// tokens cached. They are identical in every decoder layer except for
+    /// the label, so this single pair (layer 0's) prices the KV side of a
+    /// whole step; it is carved from the same per-layer stream as
+    /// [`Self::decode_step_ops`], so the shapes can never drift apart.
+    pub fn decode_kv_ops(&self, past_tokens: usize) -> (MatmulOp, MatmulOp) {
+        let mut kv_ops = self
+            .decoder_layer_ops(0, Phase::Decode, 1, past_tokens)
+            .into_iter()
+            .filter(|op| op.weight_class == TrafficClass::KvCache);
+        // lint:allow(no-unwrap): every decoder layer emits both KV ops
+        let scores = kv_ops.next().expect("attention scores op");
+        // lint:allow(no-unwrap): every decoder layer emits both KV ops
+        let aggregate = kv_ops.next().expect("attention context op");
+        (scores, aggregate)
+    }
+
     /// The "average" decode context length: prompt plus half the output.
     /// This is the single representative context the whole-phase decode
     /// model prices every step at; per-step serving costs instead price the

@@ -69,11 +69,7 @@ pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
     }
     let mut order: Vec<usize> = (0..values.len()).collect();
     order.sort_by(|&a, &b| {
-        values[b]
-            .abs()
-            .partial_cmp(&values[a].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        edgemm_core::float::total_cmp_f32(values[b].abs(), values[a].abs()).then(a.cmp(&b))
     });
     let mut kept: Vec<usize> = order.into_iter().take(k).collect();
     kept.sort_unstable();

@@ -45,10 +45,12 @@
 //! ([`KvPool::kv_traffic_factor`]).
 
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use edgemm_arch::ClusterKind;
 use edgemm_core::float::is_one;
 use edgemm_core::units::{clock_hz, Bytes, BytesPerToken, Cycles, Tokens};
+use edgemm_event::{Clock, EventQueue};
 use edgemm_mem::{
     prefix_key, BlockTable, DmaEngine, DmaRequest, KvPool, PagedKvPool, SpillTicket,
     TrafficClass as MemTrafficClass,
@@ -238,6 +240,21 @@ impl Default for ServeConfig {
     }
 }
 
+/// What the heap-scheduled engine pops from its [`EventQueue`]: a request
+/// arrival, the CC stage finishing a prefill chunk, or the MC stage
+/// finishing a decode step. DMA spill/restore transfers complete *within*
+/// the chunk or step that forced them (the engine model serialises them
+/// into that stage's end cycle), so they need no event of their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Request `states[i]` enters the CC queue.
+    Arrival(usize),
+    /// The CC stage finishes the current prefill chunk of `states[i]`.
+    ChunkDone(usize),
+    /// The MC stage finishes the decode step of the current batch.
+    StepDone,
+}
+
 /// Precomputed costs plus recorded timeline of one request in flight.
 #[derive(Debug)]
 struct InFlight {
@@ -331,6 +348,23 @@ pub struct ServeSimulator<'a> {
     /// KV bytes one cached token occupies (all layers, K and V) at the MC
     /// weight precision — the unit the paged allocator sizes blocks in.
     kv_bytes_per_token: BytesPerToken,
+    /// A zero-prompt workload over the served model, kept around so pricing
+    /// probes (e.g. the per-context KV op shapes) need not rebuild one.
+    probe: ModelWorkload,
+    /// Vision encode + projector cycles. The two phases never see the text
+    /// prompt — their operators are fixed by the model alone — so the cost
+    /// is priced once and shared by every admission.
+    setup_cycles: OnceLock<Cycles>,
+    /// Prefill chunk cycles keyed by `(cached, len)`. A chunk's operators
+    /// depend only on the cached prefix and the chunk length, never on
+    /// which request's prompt it belongs to, so the full chunks of every
+    /// prompt under one budget share one entry.
+    chunk_cache: Mutex<HashMap<(usize, usize), Cycles>>,
+    /// One decode step's per-operator costs in stream order, priced once at
+    /// a fixed context. Only the two KV-facing operators of each layer
+    /// depend on the context, so per-request pricing clones this template
+    /// and patches the KV entries at the request's own context.
+    step_template: OnceLock<Vec<OpCost>>,
 }
 
 impl<'a> ServeSimulator<'a> {
@@ -370,11 +404,16 @@ impl<'a> ServeSimulator<'a> {
                 .llm
                 .kv_bytes_per_token(machine.config().mc_weight_bytes),
         );
+        let probe = ModelWorkload::new(model.clone(), 0, 1);
         ServeSimulator {
             machine,
             model,
             config,
             kv_bytes_per_token,
+            probe,
+            setup_cycles: OnceLock::new(),
+            chunk_cache: Mutex::new(HashMap::new()),
+            step_template: OnceLock::new(),
         }
     }
 
@@ -399,15 +438,19 @@ impl<'a> ServeSimulator<'a> {
         };
         let cc_kind = ClusterKind::ComputeCentric;
         // Vision encode + projector always run ahead of the first prompt
-        // chunk; they are unsplittable and folded into chunk 0.
-        let setup_cycles: Cycles = [Phase::VisionEncode, Phase::Projector]
-            .iter()
-            .map(|&phase| {
-                self.machine
-                    .run_phase_on(&workload, phase, cc_kind, decode)
-                    .cycles
-            })
-            .sum();
+        // chunk; they are unsplittable and folded into chunk 0. Their
+        // operators are prompt-independent, so the cost is priced once per
+        // simulator.
+        let setup_cycles: Cycles = *self.setup_cycles.get_or_init(|| {
+            [Phase::VisionEncode, Phase::Projector]
+                .iter()
+                .map(|&phase| {
+                    self.machine
+                        .run_phase_on(&workload, phase, cc_kind, decode)
+                        .cycles
+                })
+                .sum()
+        });
         let chunk_cycles = self.prefill_chunk_cycles(&workload, setup_cycles);
         let prefill_cycles: Cycles = chunk_cycles.iter().copied().sum();
         // Peak resident KV: every layer caches K and V for the prompt plus
@@ -417,11 +460,7 @@ impl<'a> ServeSimulator<'a> {
             workload.prompt_tokens() + request.output_tokens,
             self.machine.config().mc_weight_bytes,
         ));
-        let step_costs = self.machine.decode_step_costs(
-            &workload,
-            ClusterKind::MemoryCentric,
-            self.config.pruning,
-        );
+        let step_costs = self.decode_step_costs_from_template(workload.average_context_tokens());
         let solo_step_cycles = step_costs.iter().map(OpCost::latency_cycles).sum();
         let clock_hz = self.clock_hz();
         let arrival_cycle = Cycles::from_seconds_round(request.arrival_s, clock_hz);
@@ -477,21 +516,71 @@ impl<'a> ServeSimulator<'a> {
                     .cycles;
                 vec![(setup_cycles + prefill).max(Cycles::new(1))]
             }
-            Some(budget) => self
-                .machine
-                .prefill_chunk_costs(workload, cc_kind, budget)
-                .iter()
-                .enumerate()
-                .map(|(i, chunk)| {
-                    let cycles = if i == 0 {
-                        setup_cycles + chunk.cycles
+            Some(budget) => {
+                // Same chunk grid as `Machine::prefill_chunk_costs`, with a
+                // per-simulator memo: a chunk's operators are fixed by
+                // `(cached, len)` alone, so the full chunks of every prompt
+                // under one budget are priced exactly once.
+                let prompt = workload.prompt_tokens();
+                let mut chunks = Vec::with_capacity(prompt.div_ceil(budget).max(1));
+                // lint:allow(no-unwrap): poisoning only follows a prior panic
+                let mut cache = self.chunk_cache.lock().expect("chunk cache poisoned");
+                let mut cached = 0;
+                while cached < prompt {
+                    let len = budget.min(prompt - cached);
+                    let chunk = *cache.entry((cached, len)).or_insert_with(|| {
+                        self.machine
+                            .run_ops(
+                                Phase::Prefill,
+                                &workload.prefill_chunk_ops(cached, len),
+                                cc_kind,
+                                PruningEffect::disabled(),
+                            )
+                            .cycles
+                    });
+                    let cycles = if cached == 0 {
+                        setup_cycles + chunk
                     } else {
-                        chunk.cycles
+                        chunk
                     };
-                    cycles.max(Cycles::new(1))
-                })
-                .collect(),
+                    chunks.push(cycles.max(Cycles::new(1)));
+                    cached += len;
+                }
+                if chunks.is_empty() {
+                    // A zero-token prompt still yields one (setup-only)
+                    // chunk, mirroring `Machine::prefill_chunk_costs`.
+                    chunks.push(setup_cycles.max(Cycles::new(1)));
+                }
+                chunks
+            }
         }
+    }
+
+    /// Per-operator costs of one decode step at `context` cached tokens, in
+    /// stream order — byte-identical to [`Machine::decode_step_costs_at`]
+    /// but assembled from the cached template: the weight-facing operators
+    /// never depend on the context, so only each layer's two KV entries
+    /// (scores, then context aggregation — they alternate in stream order)
+    /// are re-priced at the requested context.
+    fn decode_step_costs_from_template(&self, context: usize) -> Vec<OpCost> {
+        let template = self.step_template.get_or_init(|| {
+            self.machine.decode_step_costs_at(
+                &self.probe,
+                ClusterKind::MemoryCentric,
+                self.config.pruning,
+                1,
+            )
+        });
+        let (scores, aggregate) = self.kv_step_costs_at(context);
+        let mut costs = template.clone();
+        let mut kv_seen = 0usize;
+        for cost in &mut costs {
+            if cost.traffic_class == TrafficClass::KvCache {
+                *cost = if kv_seen % 2 == 0 { scores } else { aggregate };
+                kv_seen += 1;
+            }
+        }
+        costs
     }
 
     /// Cost of the two KV-facing attention operators (score and context
@@ -500,19 +589,11 @@ impl<'a> ServeSimulator<'a> {
     /// layer or the request — so one pair serves every layer of every
     /// stream, and callers memoise per context length.
     fn kv_step_costs_at(&self, context: usize) -> (OpCost, OpCost) {
-        let probe = ModelWorkload::new(self.model.clone(), 0, 1);
-        let ops = probe.decode_step_ops(context);
-        let mut kv_ops = ops
-            .iter()
-            .filter(|op| op.weight_class == TrafficClass::KvCache);
-        // lint:allow(no-unwrap): decode_step_ops always emits both KV ops
-        let scores = kv_ops.next().expect("attention scores op");
-        // lint:allow(no-unwrap): decode_step_ops always emits both KV ops
-        let aggregate = kv_ops.next().expect("attention context op");
+        let (scores, aggregate) = self.probe.decode_kv_ops(context);
         let kind = ClusterKind::MemoryCentric;
         (
-            self.machine.op_cost(scores, kind, self.config.pruning),
-            self.machine.op_cost(aggregate, kind, self.config.pruning),
+            self.machine.op_cost(&scores, kind, self.config.pruning),
+            self.machine.op_cost(&aggregate, kind, self.config.pruning),
         )
     }
 
@@ -784,14 +865,25 @@ impl<'a> ServeSimulator<'a> {
         total
     }
 
-    /// Serve a trace of requests under `policy` and report per-request
-    /// timelines plus aggregate metrics.
+    /// The pre-heap reference engine: the original advance-and-scan event
+    /// loop, kept verbatim as the behavioural oracle for the heap-scheduled
+    /// [`Self::run`]. The differential harness (this crate's unit tests and
+    /// the workspace `tests/properties.rs`) replays traces through both and
+    /// asserts byte-identical [`ServeReport`]s.
+    ///
+    /// Compiled for this crate's tests and behind the `reference` feature
+    /// for external harnesses; it is not part of the production API.
     ///
     /// # Panics
     ///
     /// Panics if two requests share an id or a policy returns an
     /// out-of-range index.
-    pub fn run(&self, requests: &[ServeRequest], policy: &dyn SchedulePolicy) -> ServeReport {
+    #[cfg(any(test, feature = "reference"))]
+    pub fn run_reference(
+        &self,
+        requests: &[ServeRequest],
+        policy: &dyn SchedulePolicy,
+    ) -> ServeReport {
         let clock_hz = self.clock_hz();
         let mut states: Vec<InFlight> = requests.iter().map(|r| self.admit(r)).collect();
         {
@@ -1353,6 +1445,36 @@ impl<'a> ServeSimulator<'a> {
             });
         }
 
+        self.assemble_report(
+            &states,
+            &completed_order,
+            &rejected_order,
+            queue_samples,
+            decode_steps,
+            preemptions,
+            restarted_prefill_tokens,
+            &kv,
+            paged.as_ref(),
+        )
+    }
+
+    /// Assemble the [`ServeReport`] from the engine's final state. Shared by
+    /// the heap engine and the reference engine, so the two can only ever
+    /// differ in the state they hand over — never in how it is summarised.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_report(
+        &self,
+        states: &[InFlight],
+        completed_order: &[usize],
+        rejected_order: &[(usize, Cycles)],
+        queue_samples: Vec<QueueSample>,
+        decode_steps: u64,
+        preemptions: u64,
+        restarted_prefill_tokens: Tokens,
+        kv: &KvPool,
+        paged: Option<&PagedKvPool>,
+    ) -> ServeReport {
+        let clock_hz = self.clock_hz();
         debug_assert_eq!(completed_order.len() + rejected_order.len(), states.len());
         let completed: Vec<CompletedRequest> = completed_order
             .iter()
@@ -1413,6 +1535,696 @@ impl<'a> ServeSimulator<'a> {
                 .map_or(kv.peak_bytes(), |pool| pool.peak_bytes()),
             makespan_s,
         }
+    }
+
+    /// [`Self::step_cycles`] memoised on the decode-batch composition (and
+    /// the pool's KV traffic factor, which scales the summed KV DRAM term).
+    /// Non-paged streams price at their request-average context, so the
+    /// batch members and the factor determine the step exactly; the memo
+    /// needs no invalidation because the key captures everything the
+    /// computation reads.
+    fn step_cycles_memo(
+        &self,
+        states: &[InFlight],
+        batch: &[usize],
+        kv_factor: f64,
+        memo: &mut HashMap<(Vec<usize>, u64), Cycles>,
+    ) -> Cycles {
+        let key = (batch.to_vec(), kv_factor.to_bits());
+        if let Some(&cycles) = memo.get(&key) {
+            return cycles;
+        }
+        let cycles = self.step_cycles(states, batch, kv_factor);
+        memo.insert(key, cycles);
+        cycles
+    }
+
+    /// Incremental [`Self::paged_step_cycles`]: the same sum, reassociated
+    /// so each step costs `O(batch)` instead of `O(ops × batch)`.
+    ///
+    /// The per-op terms split by traffic class:
+    ///
+    /// * **Weight-facing ops** cost the same at any context, so their summed
+    ///   contribution depends only on the batch composition — memoised in
+    ///   `weight_memo` (keyed by the batch vector; joins, leaves and
+    ///   evictions change the key, which *is* the invalidation).
+    /// * **KV-facing ops** alternate score / aggregation per layer with
+    ///   identical shapes in every layer, so the whole KV side collapses to
+    ///   two batch-summed terms (one per parity) multiplied by the op
+    ///   counts. `Cycles` is an integer newtype — the reassociated sums are
+    ///   bit-identical to the reference's per-op accumulation, which the
+    ///   differential suite pins.
+    fn paged_step_cycles_fast(
+        &self,
+        states: &[InFlight],
+        batch: &[usize],
+        kv_factor: f64,
+        kv_costs: &mut HashMap<usize, (OpCost, OpCost)>,
+        weight_memo: &mut HashMap<Vec<usize>, (Cycles, usize)>,
+    ) -> Cycles {
+        let (weight_part, kv_ops) = match weight_memo.get(batch) {
+            Some(&entry) => entry,
+            None => {
+                let ops = states[batch[0]].step_costs.len();
+                let mut weight_part = Cycles::ZERO;
+                let mut kv_ops = 0usize;
+                for op in 0..ops {
+                    if states[batch[0]].step_costs[op].traffic_class == TrafficClass::KvCache {
+                        kv_ops += 1;
+                        continue;
+                    }
+                    let mut compute = Cycles::ZERO;
+                    let mut weight_dram = Cycles::ZERO;
+                    for &idx in batch {
+                        let cost = &states[idx].step_costs[op];
+                        compute += cost.compute_cycles;
+                        weight_dram = weight_dram.max(cost.dram_cycles);
+                    }
+                    weight_part += compute.max(weight_dram);
+                }
+                weight_memo.insert(batch.to_vec(), (weight_part, kv_ops));
+                (weight_part, kv_ops)
+            }
+        };
+        // One batch-summed (compute, dram) pair per parity: even-indexed KV
+        // ops are the score GEMV, odd-indexed ones the context aggregation.
+        let mut scores_compute = Cycles::ZERO;
+        let mut scores_dram = Cycles::ZERO;
+        let mut aggregate_compute = Cycles::ZERO;
+        let mut aggregate_dram = Cycles::ZERO;
+        for &idx in batch {
+            let context = states[idx].context_tokens();
+            let (scores, aggregate) = kv_costs
+                .entry(context)
+                .or_insert_with(|| self.kv_step_costs_at(context));
+            scores_compute += scores.compute_cycles;
+            scores_dram += scores.dram_cycles;
+            aggregate_compute += aggregate.compute_cycles;
+            aggregate_dram += aggregate.dram_cycles;
+        }
+        if !is_one(kv_factor) {
+            scores_dram = scores_dram.scale_round(kv_factor);
+            aggregate_dram = aggregate_dram.scale_round(kv_factor);
+        }
+        let even_term = scores_compute.max(scores_dram);
+        let odd_term = aggregate_compute.max(aggregate_dram);
+        let total = weight_part + even_term * kv_ops.div_ceil(2) + odd_term * (kv_ops / 2);
+        total.max(Cycles::new(1))
+    }
+
+    /// Serve a trace of requests under `policy` and report per-request
+    /// timelines plus aggregate metrics.
+    ///
+    /// This is the heap-scheduled engine: arrivals, prefill-chunk
+    /// completions and decode-step completions are events in an
+    /// [`EventQueue`] keyed on `(Cycles, seq)`, popped in deterministic
+    /// order by a monotonic [`Clock`] instead of min-scanned from the queue
+    /// vectors. Step pricing is incremental (see the private
+    /// `paged_step_cycles_fast` and `step_cycles_memo` helpers).
+    /// The produced [`ServeReport`] is byte-identical to the reference
+    /// engine's — pinned by the differential suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two requests share an id or a policy returns an
+    /// out-of-range index.
+    pub fn run(&self, requests: &[ServeRequest], policy: &dyn SchedulePolicy) -> ServeReport {
+        let clock_hz = self.clock_hz();
+        let mut states: Vec<InFlight> = requests.iter().map(|r| self.admit(r)).collect();
+        {
+            let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), requests.len(), "request ids must be unique");
+        }
+
+        // Arrival order, stable on (cycle, id). All arrivals enter the heap
+        // up front in this order, so same-cycle arrivals pop FIFO — the
+        // reference's drain order.
+        let mut order: Vec<usize> = (0..states.len()).collect();
+        order.sort_by_key(|&i| (states[i].arrival_cycle, states[i].request.id));
+
+        let mut clock = Clock::new();
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for &idx in &order {
+            events.push(states[idx].arrival_cycle, Event::Arrival(idx));
+        }
+
+        let mut cc_queue: Vec<usize> = Vec::new();
+        let mut ready: Vec<usize> = Vec::new();
+        let mut batch: Vec<usize> = Vec::new();
+        // The request whose chunk the CC stage is running, if any; its
+        // completion event is in the heap (at most one outstanding, never
+        // cancelled).
+        let mut cc_busy: Option<usize> = None;
+        // Whether a decode step is in flight (its completion event is in
+        // the heap; at most one outstanding, never cancelled).
+        let mut step_in_flight = false;
+        let mut kv = self.config.kv;
+        let mut paged = self.config.block_tokens.map(|block_tokens| {
+            let pool = PagedKvPool::new(self.config.kv, block_tokens, self.kv_bytes_per_token);
+            match self.config.spill_capacity_bytes {
+                Some(capacity) => pool.with_spill_capacity(capacity),
+                None => pool,
+            }
+        });
+        let sharing = self.config.prefix_sharing;
+        let spilling = self.config.spill_capacity_bytes.is_some();
+        let cc_gated = sharing || self.config.eager_kv_accounting;
+        let accounted = cc_gated || spilling;
+        let mut dma: Option<DmaEngine> =
+            paged.as_ref().filter(|_| sharing || spilling).map(|pool| {
+                let config = self.machine.config();
+                let share = config.allocation.mc_share;
+                let share = if share > 0.0 { share } else { 1.0 };
+                DmaEngine::new(config.dram, pool.block_bytes(), share)
+            });
+        let mut kv_costs: HashMap<usize, (OpCost, OpCost)> = HashMap::new();
+        // Step-pricing memos (see `step_cycles_memo` / `paged_step_cycles_fast`).
+        let mut step_memo: HashMap<(Vec<usize>, u64), Cycles> = HashMap::new();
+        let mut weight_memo: HashMap<Vec<usize>, (Cycles, usize)> = HashMap::new();
+        let mut restarted_prefill_tokens = Tokens::ZERO;
+        let mut completed_order: Vec<usize> = Vec::new();
+        let mut rejected_order: Vec<(usize, Cycles)> = Vec::new();
+        let mut queue_samples: Vec<QueueSample> = Vec::new();
+        let mut decode_steps = 0u64;
+        let mut preemptions = 0u64;
+        let mut cc_resumable: Option<usize> = None;
+
+        // All scheduled completions land strictly after the cycle that
+        // scheduled them (chunks and steps are clamped to ≥ 1 cycle), so the
+        // heap's minimum is each iteration's `now` and every event at that
+        // cycle belongs to that iteration.
+        while let Some(now) = events.next_cycle() {
+            clock.advance_to(now);
+
+            // Pop everything due at `now`, then apply it grouped by kind —
+            // arrivals first (the CC pick must see them), then the chunk
+            // completion, then the step completion — the reference's drain
+            // order, independent of heap insertion order.
+            let mut chunk_done: Option<usize> = None;
+            let mut step_done = false;
+            while let Some((_, event)) = events.pop_due(now) {
+                match event {
+                    Event::Arrival(idx) => cc_queue.push(idx),
+                    Event::ChunkDone(idx) => chunk_done = Some(idx),
+                    Event::StepDone => step_done = true,
+                }
+            }
+            if let Some(idx) = chunk_done {
+                debug_assert_eq!(cc_busy, Some(idx));
+                cc_busy = None;
+                let done = states[idx].chunks_done;
+                let chunk = states[idx].chunk_cycles[done];
+                states[idx].remaining_prefill_cycles -= chunk;
+                states[idx].chunks_done = done + 1;
+                if states[idx].prefill_finished() {
+                    // TTFT freezes at the *first* prefill completion; an
+                    // eviction re-prefill (paged mode) re-materialises
+                    // KV without moving the recorded first token.
+                    if !states[idx].has_first_token {
+                        states[idx].prefill_end = now;
+                        states[idx].has_first_token = true;
+                    }
+                    ready.push(idx);
+                } else {
+                    // Back to the queue: the policy decides at the chunk
+                    // boundary whether this prefill continues or an
+                    // urgent arrival preempts it.
+                    cc_queue.push(idx);
+                    cc_resumable = Some(idx);
+                }
+            }
+            if step_done {
+                step_in_flight = false;
+                for &idx in &batch {
+                    states[idx].remaining_tokens -= 1;
+                    states[idx].generated += 1;
+                }
+                batch.retain(|&idx| {
+                    let finished = states[idx].remaining_tokens == 0;
+                    if finished {
+                        states[idx].finish = now;
+                        match paged.as_mut() {
+                            Some(pool) => pool.release(&mut states[idx].table),
+                            None => kv.release(states[idx].kv_bytes),
+                        }
+                        completed_order.push(idx);
+                    }
+                    !finished
+                });
+            }
+
+            // Dispatch the serial CC stage: one prefill chunk at a time,
+            // chosen by the policy from a snapshot of the queue. Admission
+            // control first splits the queue on TTFT slack (for requests
+            // mid-prefill, the slack of their *remaining* chunks).
+            if cc_busy.is_none() && !cc_queue.is_empty() {
+                if self.config.admission == AdmissionControl::Reject {
+                    let mut i = 0;
+                    while i < cc_queue.len() {
+                        let idx = cc_queue[i];
+                        if states[idx].ttft_feasible_at(now) {
+                            i += 1;
+                        } else {
+                            cc_queue.swap_remove(i);
+                            // Blocks the reject already holds (an attached
+                            // prefix, eager-accounted chunks) go back to the
+                            // pool; a no-op for the empty PR 5 tables. A
+                            // spilled image is read back and dropped so the
+                            // spill area's accounting settles (unpriced: the
+                            // reject leaves the system).
+                            if let Some(pool) = paged.as_mut() {
+                                if let Some(ticket) = states[idx].spill.take() {
+                                    pool.try_restore(&mut states[idx].table, &ticket, true);
+                                }
+                                pool.release(&mut states[idx].table);
+                            }
+                            rejected_order.push((idx, now));
+                        }
+                    }
+                }
+                // Positions into `cc_queue` the policy may choose from:
+                // everything, or (under deferral) the feasible subset when
+                // one exists.
+                let pool: Vec<usize> = if self.config.admission == AdmissionControl::Defer {
+                    let feasible: Vec<usize> = (0..cc_queue.len())
+                        .filter(|&pos| states[cc_queue[pos]].ttft_feasible_at(now))
+                        .collect();
+                    if feasible.is_empty() {
+                        (0..cc_queue.len()).collect()
+                    } else {
+                        feasible
+                    }
+                } else {
+                    (0..cc_queue.len()).collect()
+                };
+                if !pool.is_empty() {
+                    // Two passes under CC-side KV gating: every candidate is
+                    // first tried within the budget; if all are refused while
+                    // nothing is decoding and nothing is ready to decode, the
+                    // queued prefills hold every pool block between them and
+                    // refusing them all would deadlock — the second pass
+                    // admits the policy's pick by force.
+                    'dispatch: for force in [false, true] {
+                        if force && !(cc_gated && batch.is_empty() && ready.is_empty()) {
+                            break;
+                        }
+                        let mut candidates = pool.clone();
+                        let mut snapshot: Vec<QueuedRequest> = candidates
+                            .iter()
+                            .map(|&pos| states[cc_queue[pos]].as_queued())
+                            .collect();
+                        while !candidates.is_empty() {
+                            let pick = policy.choose(&snapshot);
+                            assert!(
+                                pick < candidates.len(),
+                                "policy {} returned index {pick} for a queue of {}",
+                                policy.name(),
+                                candidates.len()
+                            );
+                            let idx = cc_queue[candidates[pick]];
+                            // A refused candidate is skipped this round and
+                            // the policy re-picks among the rest — it
+                            // retries once memory drains.
+                            if cc_gated {
+                                // lint:allow(no-unwrap): cc gating implies paged mode
+                                let kv_pool = paged.as_mut().expect("gating needs a pool");
+                                if force {
+                                    // Make room before forcing: park every
+                                    // *other* queued prefill's eager KV in the
+                                    // DRAM spill area (each reads it back when
+                                    // it next reaches the stage), so the
+                                    // forced stream runs against a drained
+                                    // pool instead of blowing past the budget.
+                                    // Without a spill area this is a no-op and
+                                    // the gate's forced growth is the only
+                                    // escape.
+                                    for &other in cc_queue.iter() {
+                                        if other == idx
+                                            || states[other].spill.is_some()
+                                            || states[other].table.is_empty()
+                                        {
+                                            continue;
+                                        }
+                                        if let Some(ticket) =
+                                            kv_pool.try_spill(&mut states[other].table)
+                                        {
+                                            states[idx].pending_copy_bytes += ticket.bytes();
+                                            states[other].spill = Some(ticket);
+                                        }
+                                    }
+                                }
+                                if !self.cc_chunk_gate(&mut states[idx], kv_pool, force) {
+                                    candidates.swap_remove(pick);
+                                    snapshot.swap_remove(pick);
+                                    continue;
+                                }
+                            }
+                            cc_queue.swap_remove(candidates[pick]);
+                            // A preemption is a pick that displaces the request
+                            // whose chunk just ran: it wanted to continue (it is
+                            // still queued mid-prefill) and something else took the
+                            // stage at its chunk boundary. Continuing an earlier
+                            // victim while the queue holds other mid-prefill
+                            // requests is not a *new* preemption.
+                            if cc_resumable
+                                .is_some_and(|prev| idx != prev && cc_queue.contains(&prev))
+                            {
+                                preemptions += 1;
+                            }
+                            cc_resumable = None;
+                            if states[idx].chunks_done == 0 {
+                                states[idx].prefill_start = now;
+                            }
+                            // A freshly attached prefix owes its copy-on-write
+                            // bytes: the DMA transfer extends this chunk.
+                            let copied =
+                                std::mem::replace(&mut states[idx].pending_copy_bytes, Bytes::ZERO);
+                            let copy_cycles = Self::dma_transfer_cycles(&mut dma, copied, now);
+                            let chunk = states[idx].chunk_cycles[states[idx].chunks_done];
+                            events.push(now + chunk + copy_cycles, Event::ChunkDone(idx));
+                            cc_busy = Some(idx);
+                            break 'dispatch;
+                        }
+                    }
+                }
+            }
+
+            // Dispatch the MC stage: top the batch up from the ready set in
+            // the policy's join order (continuous batching). A join must fit
+            // the KV pool's headroom and the optional hard cap; when the
+            // policy's next pick does not fit, the top-up stops — the pick
+            // blocks at the head of the ready queue until a finishing
+            // stream releases KV bytes (no bypass, so the policy's order is
+            // honoured under memory pressure too). In paged mode a blocked
+            // pick may instead *revoke* the slot of a strictly-less-urgent
+            // running stream, and every stream's table must grow for the
+            // token the step will generate before the step is priced.
+            if !step_in_flight {
+                let has_slot =
+                    |batch_len: usize| self.config.batch_cap.map_or(true, |cap| batch_len < cap);
+                match paged.as_mut() {
+                    None => {
+                        if has_slot(batch.len()) && !ready.is_empty() {
+                            // Snapshot the ready set once per top-up;
+                            // `swap_remove` on both vectors in lockstep
+                            // keeps indices aligned.
+                            let mut snapshot: Vec<QueuedRequest> =
+                                ready.iter().map(|&idx| states[idx].as_queued()).collect();
+                            while has_slot(batch.len()) && !ready.is_empty() {
+                                let pick = policy.choose_join(&snapshot);
+                                assert!(
+                                    pick < ready.len(),
+                                    "policy {} returned join index {pick} for a ready set of {}",
+                                    policy.name(),
+                                    ready.len()
+                                );
+                                if !kv.try_reserve(states[ready[pick]].kv_bytes) {
+                                    break;
+                                }
+                                snapshot.swap_remove(pick);
+                                let idx = ready.swap_remove(pick);
+                                states[idx].decode_start = now;
+                                batch.push(idx);
+                            }
+                        }
+                        if !batch.is_empty() {
+                            let step = self.step_cycles_memo(
+                                &states,
+                                &batch,
+                                kv.kv_traffic_factor(),
+                                &mut step_memo,
+                            );
+                            events.push(now + step, Event::StepDone);
+                            step_in_flight = true;
+                            decode_steps += 1;
+                        }
+                    }
+                    Some(pool) => {
+                        // DMA cycles this dispatch owes: spilled or restored
+                        // KV images and copy-on-write transfers extend the
+                        // decode step that forced them.
+                        let mut dma_cycles = Cycles::ZERO;
+                        // The least-urgent batch member by (priority,
+                        // arrival, id): the eviction victim whenever one
+                        // must be chosen. Deterministic, so equal-priority
+                        // pressure always resolves the same way (the later
+                        // arrival loses) and cannot ping-pong.
+                        let worst_of = |states: &[InFlight], batch: &[usize]| -> Option<usize> {
+                            batch
+                                .iter()
+                                .enumerate()
+                                .max_by_key(|&(_, &v)| {
+                                    let s = &states[v];
+                                    (s.request.slo.priority, s.arrival_cycle, s.request.id)
+                                })
+                                .map(|(pos, _)| pos)
+                        };
+                        if !ready.is_empty() {
+                            let mut snapshot: Vec<QueuedRequest> =
+                                ready.iter().map(|&idx| states[idx].as_queued()).collect();
+                            'topup: while !ready.is_empty() {
+                                let pick = policy.choose_join(&snapshot);
+                                assert!(
+                                    pick < ready.len(),
+                                    "policy {} returned join index {pick} for a ready set of {}",
+                                    policy.name(),
+                                    ready.len()
+                                );
+                                let idx = ready[pick];
+                                let admit = |states: &mut Vec<InFlight>,
+                                             batch: &mut Vec<usize>,
+                                             pool: &mut PagedKvPool,
+                                             dma: &mut Option<DmaEngine>,
+                                             dma_cycles: &mut Cycles|
+                                 -> bool {
+                                    has_slot(batch.len()) && {
+                                        if let Some(ticket) = states[idx].spill {
+                                            // A spilled stream re-joins by
+                                            // reading its image back; forced
+                                            // when the batch is empty, so
+                                            // decode progresses even while
+                                            // queued streams hold blocks.
+                                            let force = batch.is_empty();
+                                            if pool.try_restore(
+                                                &mut states[idx].table,
+                                                &ticket,
+                                                force,
+                                            ) {
+                                                states[idx].spill = None;
+                                                *dma_cycles += Self::dma_transfer_cycles(
+                                                    dma,
+                                                    ticket.bytes(),
+                                                    now,
+                                                );
+                                                true
+                                            } else {
+                                                false
+                                            }
+                                        } else {
+                                            let context = Tokens::new(states[idx].context_tokens());
+                                            if pool.try_grow_to(&mut states[idx].table, context) {
+                                                true
+                                            } else if accounted && batch.is_empty() {
+                                                // Queued streams hold pool
+                                                // blocks, so the sole-owner
+                                                // hatch cannot open; force the
+                                                // join — decode must drain.
+                                                pool.grow_to_forced(
+                                                    &mut states[idx].table,
+                                                    context,
+                                                );
+                                                true
+                                            } else {
+                                                false
+                                            }
+                                        }
+                                    }
+                                };
+                                if !admit(&mut states, &mut batch, pool, &mut dma, &mut dma_cycles)
+                                {
+                                    // Priority-aware decode-slot revocation:
+                                    // only strictly-less-urgent streams can
+                                    // be evicted for the pick, so equal
+                                    // priorities wait instead of thrashing —
+                                    // and only when revoking *all* of them
+                                    // would actually admit the pick, so a
+                                    // victim never pays the re-prefill
+                                    // recompute for nothing.
+                                    let evictable: Vec<usize> = batch
+                                        .iter()
+                                        .filter(|&&v| {
+                                            states[v].request.slo.priority
+                                                > states[idx].request.slo.priority
+                                        })
+                                        .copied()
+                                        .collect();
+                                    let freed: u64 = evictable
+                                        .iter()
+                                        .map(|&v| pool.reclaimable_blocks(&states[v].table))
+                                        .sum();
+                                    let needed = match states[idx].spill {
+                                        // A spilled pick re-admits by restoring
+                                        // its whole image, not by growing from
+                                        // an empty table.
+                                        Some(ticket) => ticket.blocks(),
+                                        None => pool
+                                            .blocks_for(Tokens::new(states[idx].context_tokens()))
+                                            .saturating_sub(states[idx].table.blocks()),
+                                    };
+                                    let occupied = pool.occupied_blocks();
+                                    // Evicting the whole batch makes the pick
+                                    // the sole owner (the escape hatch always
+                                    // admits it); otherwise the freed blocks
+                                    // must leave room under the budget.
+                                    let kv_feasible = evictable.len() == batch.len()
+                                        || pool
+                                            .block_bytes()
+                                            .checked_mul(occupied - freed + needed)
+                                            .unwrap_or(Bytes::MAX)
+                                            <= pool.budget_bytes();
+                                    let slot_feasible = has_slot(batch.len() - evictable.len());
+                                    if !(kv_feasible && slot_feasible) {
+                                        break 'topup;
+                                    }
+                                    loop {
+                                        let pos = worst_of(&states, &batch)
+                                            .filter(|&pos| {
+                                                states[batch[pos]].request.slo.priority
+                                                    > states[idx].request.slo.priority
+                                            })
+                                            // lint:allow(no-unwrap): kv_feasible checked above
+                                            .expect("feasibility guaranteed a victim");
+                                        let victim = batch.remove(pos);
+                                        // Spill-and-restore when the area has
+                                        // room: the victim's KV image parks in
+                                        // DRAM and it re-queues for
+                                        // re-admission with its state intact;
+                                        // recompute from scratch is the
+                                        // fallback (area full or none).
+                                        match pool.try_spill(&mut states[victim].table) {
+                                            Some(ticket) => {
+                                                dma_cycles += Self::dma_transfer_cycles(
+                                                    &mut dma,
+                                                    ticket.bytes(),
+                                                    now,
+                                                );
+                                                states[victim].spill = Some(ticket);
+                                                ready.push(victim);
+                                                snapshot.push(states[victim].as_queued());
+                                            }
+                                            None => {
+                                                pool.evict(&mut states[victim].table);
+                                                restarted_prefill_tokens +=
+                                                    Tokens::new(states[victim].context_tokens());
+                                                self.requeue_for_reprefill(&mut states[victim]);
+                                                cc_queue.push(victim);
+                                            }
+                                        }
+                                        if admit(
+                                            &mut states,
+                                            &mut batch,
+                                            pool,
+                                            &mut dma,
+                                            &mut dma_cycles,
+                                        ) {
+                                            break;
+                                        }
+                                    }
+                                }
+                                snapshot.swap_remove(pick);
+                                ready.swap_remove(pick);
+                                if states[idx].decode_start == 0 {
+                                    states[idx].decode_start = now;
+                                }
+                                batch.push(idx);
+                            }
+                        }
+                        // Growth: room for the token each stream generates
+                        // this step. Under pressure the least-urgent member
+                        // is evicted — possibly the grower itself; a sole
+                        // remaining stream always grows (the pool's
+                        // sole-owner escape hatch), so this terminates.
+                        let mut i = 0;
+                        while i < batch.len() {
+                            let idx = batch[i];
+                            let target = Tokens::new(states[idx].context_tokens() + 1);
+                            if pool.try_grow_to(&mut states[idx].table, target) {
+                                i += 1;
+                                continue;
+                            }
+                            if accounted && batch.len() == 1 {
+                                // Sole batch member, but CC/ready streams hold
+                                // accounted blocks so the pool's own
+                                // sole-owner hatch stays shut: force the
+                                // growth — decode must always progress.
+                                pool.grow_to_forced(&mut states[idx].table, target);
+                                i += 1;
+                                continue;
+                            }
+                            // lint:allow(no-unwrap): loop guard keeps batch non-empty
+                            let pos = worst_of(&states, &batch).expect("non-empty batch");
+                            let victim = batch.remove(pos);
+                            match pool.try_spill(&mut states[victim].table) {
+                                Some(ticket) => {
+                                    dma_cycles +=
+                                        Self::dma_transfer_cycles(&mut dma, ticket.bytes(), now);
+                                    states[victim].spill = Some(ticket);
+                                    ready.push(victim);
+                                }
+                                None => {
+                                    pool.evict(&mut states[victim].table);
+                                    restarted_prefill_tokens +=
+                                        Tokens::new(states[victim].context_tokens());
+                                    self.requeue_for_reprefill(&mut states[victim]);
+                                    cc_queue.push(victim);
+                                }
+                            }
+                            if pos < i {
+                                i -= 1;
+                            }
+                        }
+                        if !batch.is_empty() {
+                            // Spill/restore/copy DMA serialises with the step
+                            // that triggered it: the batch stalls until the
+                            // images have moved.
+                            let step = self.paged_step_cycles_fast(
+                                &states,
+                                &batch,
+                                pool.kv_traffic_factor(),
+                                &mut kv_costs,
+                                &mut weight_memo,
+                            );
+                            events.push(now + step + dma_cycles, Event::StepDone);
+                            step_in_flight = true;
+                            decode_steps += 1;
+                        }
+                    }
+                }
+            }
+
+            queue_samples.push(QueueSample {
+                time_s: now.seconds_at(clock_hz),
+                waiting: cc_queue.len() + ready.len(),
+                active: batch.len(),
+                kv_bytes: paged
+                    .as_ref()
+                    .map_or(kv.reserved_bytes(), |pool| pool.occupied_bytes()),
+            });
+        }
+
+        self.assemble_report(
+            &states,
+            &completed_order,
+            &rejected_order,
+            queue_samples,
+            decode_steps,
+            preemptions,
+            restarted_prefill_tokens,
+            &kv,
+            paged.as_ref(),
+        )
     }
 }
 
@@ -1622,7 +2434,7 @@ mod tests {
                 .iter()
                 .map(|c| (c.decode_start_s, c.id))
                 .collect();
-            starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            starts.sort_by(|a, b| edgemm_core::float::total_cmp(a.0, b.0).then(a.1.cmp(&b.1)));
             starts.iter().position(|&(_, i)| i == id).expect("served")
         };
         // EDF prefills the interactive request first (earliest deadline) and
@@ -2220,5 +3032,54 @@ mod tests {
             zoo::sphinx_tiny(),
             ServeConfig::new().with_chunk_tokens(0),
         );
+    }
+
+    #[test]
+    fn heap_engine_matches_the_reference_engine() {
+        // The in-crate differential check: the heap-scheduled `run` and the
+        // reference advance-and-scan `run_reference` must produce
+        // byte-identical reports across every configuration family. The
+        // workspace-level `tests/properties.rs` widens this over
+        // proptest-randomized traces.
+        let m = machine();
+        let per_token = zoo::sphinx_tiny()
+            .llm
+            .kv_bytes_per_token(m.config().mc_weight_bytes);
+        let kv = KvPool::with_budget(Bytes::new(900 * per_token));
+        let configs = [
+            ServeConfig::with_batch_cap(4),
+            ServeConfig::with_batch_cap(4)
+                .with_chunk_tokens(64)
+                .with_admission(AdmissionControl::Defer),
+            ServeConfig::new().with_kv_pool(kv).with_chunk_tokens(64),
+            ServeConfig::new()
+                .with_kv_pool(kv)
+                .with_chunk_tokens(64)
+                .with_block_tokens(16),
+            ServeConfig::new()
+                .with_kv_pool(kv)
+                .with_chunk_tokens(64)
+                .with_block_tokens(16)
+                .with_prefix_sharing()
+                .with_eager_kv_accounting()
+                .with_spill_capacity(Bytes::new(64 << 20)),
+        ];
+        let traces = [
+            TraceConfig::interactive(10, 40.0, 17).generate(),
+            crate::trace::merge(&[
+                TraceConfig::multi_tenant(3, 12, 10.0, 5).generate(),
+                TraceConfig::background(3, 4.0, 11).generate(),
+            ]),
+        ];
+        for config in configs {
+            for trace in &traces {
+                let sim = ServeSimulator::new(&m, zoo::sphinx_tiny(), config);
+                for kind in [PolicyKind::Fcfs, PolicyKind::EarliestDeadlineFirst] {
+                    let heap = sim.run(trace, kind.policy());
+                    let reference = sim.run_reference(trace, kind.policy());
+                    assert_eq!(heap, reference, "engines diverged: {config:?} {kind:?}");
+                }
+            }
+        }
     }
 }

@@ -1,11 +1,12 @@
 //! The EdgeMM machine model: maps operator streams onto the chip.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 use edgemm_arch::{ChipConfig, ClusterKind};
 use edgemm_core::units::{Bytes, Cycles};
 use edgemm_mem::{BandwidthAllocation, DramModel};
-use edgemm_mllm::{MatmulOp, ModelWorkload, Phase};
+use edgemm_mllm::{MatmulOp, ModelWorkload, OpKind, Phase, TrafficClass};
 
 use crate::kernel::{pruned_k, pruned_weight_bytes, OpCost, PruningEffect};
 use crate::mapping::MappingExplorer;
@@ -102,18 +103,78 @@ impl Default for DecodeOptions {
     }
 }
 
+/// Everything [`Machine::op_cost`] reads from an operator, minus its name
+/// and phase (labels that never enter the cost formulas). Two ops with the
+/// same key — e.g. the identical FFN GEMV repeated in every decoder layer —
+/// price identically, which is what makes the cost cache collapse a
+/// 22-layer stream into a handful of mapping searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CostKey {
+    op_kind: OpKind,
+    m: usize,
+    k: usize,
+    n: usize,
+    weight_class: TrafficClass,
+    weights_from_dram: bool,
+    prunable: bool,
+    cluster: ClusterKind,
+    // f64 keyed by bit pattern: the cache must only ever hit on *exactly*
+    // the same keep ratio, so bitwise identity is the right equivalence.
+    keep_ratio_bits: u64,
+    pruner_overhead: Cycles,
+}
+
+impl CostKey {
+    fn new(op: &MatmulOp, cluster: ClusterKind, pruning: PruningEffect) -> Self {
+        CostKey {
+            op_kind: op.kind,
+            m: op.m,
+            k: op.k,
+            n: op.n,
+            weight_class: op.weight_class,
+            weights_from_dram: op.weights_from_dram,
+            prunable: op.prunable,
+            cluster,
+            keep_ratio_bits: pruning.keep_ratio.to_bits(),
+            pruner_overhead: pruning.pruner_overhead_cycles,
+        }
+    }
+}
+
 /// The machine model: chip + DRAM + mapping explorer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Machine {
     config: SimConfig,
     explorer: MappingExplorer,
+    // Memoised op costs. `op_cost` is a pure function of the [`CostKey`]
+    // and the machine configuration, so a cached value is byte-identical to
+    // a recomputed one; the cache is cleared whenever the configuration
+    // changes (`set_allocation`). A `Mutex` (not `RefCell`) keeps `Machine:
+    // Sync` for callers that share one machine across threads.
+    cost_cache: Mutex<HashMap<CostKey, OpCost>>,
+}
+
+impl Clone for Machine {
+    fn clone(&self) -> Self {
+        Machine {
+            config: self.config.clone(),
+            explorer: self.explorer.clone(),
+            // A fresh (empty) cache: cheaper than cloning under the lock and
+            // semantically identical, since entries are pure recomputations.
+            cost_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Machine {
     /// Build a machine from a simulation configuration.
     pub fn new(config: SimConfig) -> Self {
         let explorer = MappingExplorer::new(&config.chip);
-        Machine { config, explorer }
+        Machine {
+            config,
+            explorer,
+            cost_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The machine's configuration.
@@ -124,6 +185,9 @@ impl Machine {
     /// Replace the bandwidth allocation (used by the dynamic manager).
     pub fn set_allocation(&mut self, allocation: BandwidthAllocation) {
         self.config.allocation = allocation;
+        // The DRAM share enters every op cost; drop the now-stale memo.
+        // lint:allow(no-unwrap): poisoning only follows a prior panic
+        self.cost_cache.lock().expect("cost cache poisoned").clear();
     }
 
     fn cores_of(&self, kind: ClusterKind) -> usize {
@@ -154,7 +218,31 @@ impl Machine {
     }
 
     /// Cost of one operator executed cooperatively by every core of `kind`.
+    ///
+    /// Memoised on everything the formulas read (shape, routing flags,
+    /// cluster kind, pruning): repeated layers and repeated pricing passes
+    /// hit the cache and return the exact `OpCost` the first call computed.
     pub fn op_cost(&self, op: &MatmulOp, kind: ClusterKind, pruning: PruningEffect) -> OpCost {
+        let key = CostKey::new(op, kind, pruning);
+        if let Some(cost) = self
+            .cost_cache
+            .lock()
+            // lint:allow(no-unwrap): poisoning only follows a prior panic
+            .expect("cost cache poisoned")
+            .get(&key)
+        {
+            return *cost;
+        }
+        let cost = self.op_cost_uncached(op, kind, pruning);
+        self.cost_cache
+            .lock()
+            // lint:allow(no-unwrap): poisoning only follows a prior panic
+            .expect("cost cache poisoned")
+            .insert(key, cost);
+        cost
+    }
+
+    fn op_cost_uncached(&self, op: &MatmulOp, kind: ClusterKind, pruning: PruningEffect) -> OpCost {
         let cores = self.cores_of(kind);
         let share = self.share_of(kind);
         // A configuration without this cluster kind cannot execute the op;

@@ -52,6 +52,22 @@ pub fn is_zero_f32(x: f32) -> bool {
     x == 0.0 // lint:allow(float-eq): audited exact sentinel comparison
 }
 
+/// Total-order comparison for `f64` sort keys.
+///
+/// [`f64::total_cmp`] behind a named helper: unlike
+/// `partial_cmp(..).expect("finite")` it cannot panic — `NaN` is ordered
+/// (after `+inf` in IEEE 754 total order) instead of poisoning the sort.
+/// The `float-partial-cmp` lint rule bans the raw `partial_cmp` form on
+/// floats in unit crates in favour of this.
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+/// [`total_cmp`] for `f32` sort keys (pruning magnitude ranks).
+pub fn total_cmp_f32(a: f32, b: f32) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
 /// Dimensionless fraction of two counts: `num as f64 / den as f64`.
 ///
 /// No zero guard — callers that need `0/0 == 0` semantics must check
@@ -97,6 +113,18 @@ mod tests {
         assert!(is_one(1.0));
         assert!(!is_one(1.0 + f64::EPSILON));
         assert!(!is_one(f64::NAN));
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_instead_of_panicking() {
+        use std::cmp::Ordering;
+        assert_eq!(total_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(total_cmp(2.0, 2.0), Ordering::Equal);
+        assert_eq!(total_cmp(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(total_cmp_f32(-0.0, 0.0), Ordering::Less);
+        let mut v = [3.0f64, f64::NAN, 1.0];
+        v.sort_by(|a, b| total_cmp(*a, *b));
+        assert_eq!(&v[..2], &[1.0, 3.0]);
     }
 
     #[test]

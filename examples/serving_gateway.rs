@@ -95,7 +95,7 @@ fn main() {
     let slowest = report
         .completed
         .iter()
-        .max_by(|a, b| a.latency_s().partial_cmp(&b.latency_s()).expect("finite"))
+        .max_by(|a, b| edgemm::float::total_cmp(a.latency_s(), b.latency_s()))
         .expect("non-empty");
     println!(
         "\nslowest request: id {} waited {:.0} ms in queues out of {:.0} ms total",

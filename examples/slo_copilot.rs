@@ -104,7 +104,7 @@ fn main() {
             .iter()
             .filter(|c| c.slo.priority == Priority::Interactive)
             .map(|c| c.time_to_first_token_s())
-            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .max_by(|a, b| edgemm::float::total_cmp(*a, *b))
             .unwrap_or(0.0)
     };
     println!(

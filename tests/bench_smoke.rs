@@ -1,0 +1,100 @@
+//! Smoke checks over the checked-in `BENCH_serving.json`: the file is the
+//! repo's perf record (written by `serving_sweep` under
+//! `EDGEMM_BENCH_JSON=1`), and these assertions keep it structurally sound
+//! and honest — every entry well-formed, the headline multi-tenant point
+//! present, and its `speedup_vs_seed` at or above 1.0 (the event-engine PR
+//! must never check in a regression against the seed loop).
+//!
+//! Parsing is deliberately minimal (no JSON dependency, per the shim
+//! policy): the file is machine-written with one `"key": value` pair per
+//! line, which is the exact shape these helpers read.
+
+use std::path::Path;
+
+fn bench_json() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_serving.json");
+    std::fs::read_to_string(&path).expect("BENCH_serving.json is checked in")
+}
+
+/// Extracts the numeric value of `"key": <number>` from an entry's text.
+fn number(entry: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &entry[entry.find(&needle)? + needle.len()..];
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+/// Splits the array body into object entries by brace balance.
+fn entries(json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in json.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                current.push(c);
+                if depth == 0 {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ if depth > 0 => current.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn bench_file_parses_and_every_entry_is_well_formed() {
+    let json = bench_json();
+    let entries = entries(&json);
+    assert!(
+        !entries.is_empty(),
+        "BENCH_serving.json must contain at least one entry"
+    );
+    for entry in &entries {
+        assert!(
+            entry.contains("\"bench\": \"serving_sweep/"),
+            "entry missing bench name: {entry}"
+        );
+        assert!(
+            entry.contains("\"unit\": \"requests_simulated_per_wall_second\""),
+            "entry missing unit: {entry}"
+        );
+        let wall = number(entry, "wall_s").expect("wall_s present");
+        let rps = number(entry, "requests_per_s").expect("requests_per_s present");
+        let requests = number(entry, "requests_per_trace").expect("requests_per_trace present");
+        let repeats = number(entry, "repeats").expect("repeats present");
+        assert!(wall > 0.0, "wall_s must be positive: {entry}");
+        assert!(rps > 0.0, "requests_per_s must be positive: {entry}");
+        // The recorded rate is derivable from the recorded inputs.
+        let derived = requests * repeats / wall;
+        assert!(
+            (derived - rps).abs() / derived < 0.01,
+            "requests_per_s {rps} inconsistent with {requests} x {repeats} / {wall}"
+        );
+    }
+}
+
+#[test]
+fn golden_multi_tenant_speedup_never_regresses_below_seed() {
+    let json = bench_json();
+    let headline = entries(&json)
+        .into_iter()
+        .find(|e| e.contains("golden_multi_tenant_sharing_point"))
+        .expect("headline multi-tenant entry present");
+    let speedup = number(&headline, "speedup_vs_seed").expect("speedup_vs_seed present");
+    assert!(
+        speedup >= 1.0,
+        "checked-in golden multi-tenant point is slower than the seed: {speedup}"
+    );
+}

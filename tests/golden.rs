@@ -528,6 +528,38 @@ fn golden_multi_tenant_recompute_fallback_point() {
     assert_eq!(fallback.restored_kv_bytes, Bytes::new(0));
 }
 
+/// The heap-scheduled event engine is deterministic run to run: serving the
+/// golden multi-tenant point twice through the *same* system (the second
+/// run hits every warm memo — the machine's op-cost cache, the facade's
+/// pruning cache) and once through a *fresh* system (all caches cold)
+/// produces three fully equal [`ServeReport`]s — every timeline, sample
+/// and counter, not just the headline scalars. This pins the event
+/// engine's cost-memoisation layers (`docs/performance.md`) as pure: a
+/// cache that ever changed a result would split warm from cold here.
+#[test]
+fn golden_heap_engine_is_deterministic_across_runs() {
+    let trace = merge(&[
+        TraceConfig::multi_tenant(3, 24, 8.0, 19).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(4, 3.0, 119)
+        }
+        .generate(),
+    ]);
+    let options = ServeOptions::memory_aware(Bytes::new(8 << 20), 64)
+        .paged(16)
+        .shared_prefixes(Bytes::new(128 << 20));
+    let system = EdgeMm::paper_default();
+    let cold = system.serve(&zoo::sphinx_tiny(), &trace, options);
+    let warm = system.serve(&zoo::sphinx_tiny(), &trace, options);
+    assert_eq!(cold, warm, "warm-cache run diverged from the cold run");
+    let fresh = EdgeMm::paper_default().serve(&zoo::sphinx_tiny(), &trace, options);
+    assert_eq!(cold, fresh, "a fresh system diverged from the first");
+    // The point carries real pressure, so the equality above covers the
+    // eviction, spill and sharing machinery — not just a quiet trace.
+    assert!(cold.evictions > 0 && !cold.spilled_kv_bytes.is_zero());
+}
+
 /// Table I: parameter counts of the six representative MLLMs (exact —
 /// integer arithmetic over the published geometries).
 #[test]

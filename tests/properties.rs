@@ -657,6 +657,79 @@ proptest! {
         prop_assert_eq!(report.spilled_kv_bytes, report.restored_kv_bytes);
     }
 
+    /// The heap-scheduled event engine is the reference engine, byte for
+    /// byte: across every serving preset family (plain batching, SLO-aware
+    /// deferral, chunked memory-aware admission, paged KV with eviction,
+    /// the full shared-prefix/spill stack) and every trace shape (uniform
+    /// interactive, interactive+background merge, multi-tenant), `run` and
+    /// the retired advance-and-scan `run_reference` produce equal
+    /// [`edgemm::serve::ServeReport`]s — every timeline, sample and counter.
+    /// This is the workspace-level widening of the serve crate's in-crate
+    /// differential test over proptest-randomized traces and budgets.
+    #[test]
+    fn heap_engine_is_byte_identical_to_the_reference_engine(
+        preset_sel in 0usize..5,
+        trace_sel in 0usize..3,
+        requests in 1usize..8,
+        rate in 1.0f64..500.0,
+        capacity_tokens in 128u64..1024,
+        block in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let machine = Machine::new(SimConfig::paper_default());
+        let model = tiny_model();
+        let trace = match trace_sel {
+            0 => TraceConfig::interactive(requests, rate, seed).generate(),
+            1 => edgemm::serve::merge(&[
+                TraceConfig::interactive(requests, rate, seed).generate(),
+                TraceConfig::background(requests, rate / 4.0, seed + 1).generate(),
+            ]),
+            _ => TraceConfig::multi_tenant(2, requests + 1, rate, seed).generate(),
+        };
+        // Mirror the facade's `ServeOptions -> ServeConfig` mapping: the
+        // memory-aware presets get an on-chip tier and the spill penalty,
+        // with the budget sized in tokens so pressure (and eviction) varies
+        // with the sampled capacity rather than the model.
+        let per_token = model.llm.kv_bytes_per_token(machine.config().mc_weight_bytes);
+        let pool = || {
+            KvPool::with_budget(Bytes::new(capacity_tokens * per_token))
+                .with_onchip(Bytes::new(64 * per_token))
+                .with_spill_penalty(1.25)
+        };
+        let (config, policy) = match preset_sel {
+            0 => (ServeConfig::with_batch_cap(4), PolicyKind::Fcfs),
+            1 => (
+                ServeConfig::with_batch_cap(4).with_admission(AdmissionControl::Defer),
+                PolicyKind::EarliestDeadlineFirst,
+            ),
+            2 => (
+                ServeConfig::new().with_kv_pool(pool()).with_chunk_tokens(16),
+                PolicyKind::EarliestDeadlineFirst,
+            ),
+            3 => (
+                ServeConfig::new()
+                    .with_kv_pool(pool())
+                    .with_chunk_tokens(16)
+                    .with_block_tokens(block),
+                PolicyKind::EarliestDeadlineFirst,
+            ),
+            _ => (
+                ServeConfig::new()
+                    .with_kv_pool(pool())
+                    .with_chunk_tokens(16)
+                    .with_block_tokens(block)
+                    .with_prefix_sharing()
+                    .with_eager_kv_accounting()
+                    .with_spill_capacity(Bytes::new(16 << 20)),
+                PolicyKind::EarliestDeadlineFirst,
+            ),
+        };
+        let sim = ServeSimulator::new(&machine, model, config);
+        let heap = sim.run(&trace, policy.policy());
+        let reference = sim.run_reference(&trace, policy.policy());
+        prop_assert_eq!(heap, reference);
+    }
+
     /// With sharing, spill and eager accounting all disabled, the paged
     /// simulator is the PR 5 simulator byte for byte — even on traces whose
     /// requests carry `shared_prefix` metadata, which the PR 5 path must
