@@ -50,7 +50,8 @@ pub mod figures;
 mod system;
 
 pub use system::{
-    EdgeMm, PruningMeasurement, RequestOptions, ServeOptions, SystemReport, DEFAULT_SPILL_PENALTY,
+    EdgeMm, PruningMeasurement, RequestOptions, ServeOptions, ServeSession, SystemReport,
+    DEFAULT_SPILL_PENALTY,
 };
 
 pub use edgemm_core::float;

@@ -166,6 +166,16 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Drops every scheduled event and resets the insertion counter,
+    /// keeping the heap's allocation. A cleared queue schedules and pops
+    /// exactly like a freshly constructed one, which is what lets the
+    /// serve engine reuse one queue across simulations without affecting
+    /// results.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +258,23 @@ mod tests {
             Some((Cycles::new(20), "future"))
         );
         assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn a_cleared_queue_behaves_like_a_fresh_one() {
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(9), "stale");
+        queue.push(Cycles::new(1), "stale");
+        queue.clear();
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+        // Same-cycle FIFO starts over: the seq counter was reset, so push
+        // order after clear() is the only tiebreak, as in a fresh queue.
+        for label in ["a", "b", "c"] {
+            queue.push(Cycles::new(4), label);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
     }
 
     #[test]

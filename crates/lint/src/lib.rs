@@ -12,6 +12,7 @@
 //! | `no-unwrap` | no `unwrap`/`expect` in library code (tests/bins/examples exempt) |
 //! | `float-partial-cmp` | no `.partial_cmp(` in the unit-bearing crates; float sort keys must use `edgemm_core::float::total_cmp` (unit newtypes are `Ord` — call `.cmp`) |
 //! | `sim-determinism` | no wall-clock (`std::time`, `SystemTime`, `Instant`) or randomized hashing (`DefaultHasher`, `RandomState`) in the `sim`/`serve`/`mem` cores |
+//! | `raw-thread` | no `thread::spawn` or `Instant` in library code outside `crates/exec`; host parallelism goes through `edgemm_exec::Pool`, timing stays in the bench binary |
 //! | `workspace-sync` | every `[workspace] members` entry is also in `default-members` (the tier-1 silent-skip gotcha) |
 //!
 //! Findings can be suppressed per line with `// lint:allow(<id>)` (on the
@@ -43,18 +44,21 @@ pub enum RuleId {
     FloatPartialCmp,
     /// Wall-clock time source in a deterministic core.
     SimDeterminism,
+    /// Hand-rolled host thread or wall clock outside the execution layer.
+    RawThread,
     /// Workspace member missing from `default-members`.
     WorkspaceSync,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::UnitCast,
         RuleId::FloatEq,
         RuleId::NoUnwrap,
         RuleId::FloatPartialCmp,
         RuleId::SimDeterminism,
+        RuleId::RawThread,
         RuleId::WorkspaceSync,
     ];
 
@@ -66,6 +70,7 @@ impl RuleId {
             RuleId::NoUnwrap => "no-unwrap",
             RuleId::FloatPartialCmp => "float-partial-cmp",
             RuleId::SimDeterminism => "sim-determinism",
+            RuleId::RawThread => "raw-thread",
             RuleId::WorkspaceSync => "workspace-sync",
         }
     }
@@ -87,6 +92,10 @@ impl RuleId {
             RuleId::SimDeterminism => {
                 "no wall clocks (std::time/SystemTime/Instant) or randomized \
                  hashing (DefaultHasher/RandomState) in the sim/serve/mem cores"
+            }
+            RuleId::RawThread => {
+                "no thread::spawn or Instant in library code outside crates/exec; \
+                 fan out through edgemm_exec::Pool (bins/tests exempt)"
             }
             RuleId::WorkspaceSync => {
                 "every [workspace] member must also be listed in default-members"
@@ -182,6 +191,7 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     check_no_unwrap(rel, src, &lexed, &mut findings);
     check_float_partial_cmp(rel, src, &lexed, &mut findings);
     check_sim_determinism(rel, src, &lexed, &mut findings);
+    check_raw_thread(rel, src, &lexed, &mut findings);
     findings
 }
 
@@ -380,6 +390,53 @@ fn check_sim_determinism(rel: &Path, src: &str, lexed: &LexedFile, findings: &mu
                 )
             };
             push_unless_allowed(findings, lexed, rel, tok, RuleId::SimDeterminism, message);
+        }
+    }
+}
+
+/// `raw-thread`: hand-rolled host concurrency (`thread::spawn`) or
+/// wall-clock timing (`Instant`) in library code outside `crates/exec`.
+/// Every other crate must fan out through `edgemm_exec::Pool`, whose
+/// input-index result ordering and `EDGEMM_THREADS=1` serial mode keep
+/// parallel results byte-identical to serial ones — a raw spawn reorders
+/// under load, and a raw clock leaks host time into simulated results.
+/// Bins (including the bench binary, the one sanctioned `Instant` user),
+/// tests, examples and build scripts are exempt via [`scope_of`].
+fn check_raw_thread(rel: &Path, src: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if rel.starts_with("crates/exec/src") {
+        return;
+    }
+    for (i, tok) in lexed.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let (hit, message) = match tok.text(src) {
+            "spawn" => (
+                i >= 2
+                    && lexed.tokens[i - 1].text(src) == "::"
+                    && lexed.tokens[i - 2].text(src) == "thread",
+                "raw `thread::spawn` outside the execution layer; fan out \
+                 through `edgemm_exec::Pool` (par_map/scope) so worker count \
+                 and result order stay deterministic",
+            ),
+            // Inside sim/mem/serve an `Instant` is already `sim-determinism`'s
+            // finding; reporting the same token under two ids would be noise.
+            "Instant" => (
+                !in_unit_crates(rel),
+                "wall-clock `Instant` in library code; timing belongs to the \
+                 bench binary — libraries derive time from modelled cycles",
+            ),
+            _ => (false, ""),
+        };
+        if hit {
+            push_unless_allowed(
+                findings,
+                lexed,
+                rel,
+                tok,
+                RuleId::RawThread,
+                message.to_string(),
+            );
         }
     }
 }

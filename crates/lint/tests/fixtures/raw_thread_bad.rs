@@ -1,0 +1,15 @@
+//! Deliberate raw-thread violations: hand-rolled host concurrency and
+//! wall-clock timing in library code outside `crates/exec`.
+
+use std::thread;
+use std::time::Instant;
+
+pub fn fan_out() -> i32 {
+    let handle = thread::spawn(|| 40 + 2);
+    handle.join().unwrap_or(0)
+}
+
+pub fn time_it() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,13 @@
+//! Host parallelism done right: fan out through the `edgemm-exec` pool
+//! (input-ordered, `EDGEMM_THREADS`-governed) and derive time from
+//! modelled cycles instead of a host clock.
+
+use edgemm_exec::Pool;
+
+pub fn fan_out(items: &[u64]) -> Vec<u64> {
+    Pool::from_env().par_map(items, |_, &x| x * 2)
+}
+
+pub fn simulated_seconds(cycles: u64, hz: f64) -> f64 {
+    cycles as f64 / hz
+}

@@ -212,6 +212,68 @@ fn sim_determinism_does_not_apply_outside_the_cores() {
     );
 }
 
+// --------------------------------------------------------------- raw-thread
+
+#[test]
+fn raw_thread_fires_on_spawn_and_instant_in_library_code() {
+    let findings = lint_source(
+        plain_crate_path(),
+        include_str!("fixtures/raw_thread_bad.rs"),
+    );
+    // The `use` naming Instant, the `thread::spawn`, and `Instant::now()`.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(
+        findings.iter().all(|f| f.rule == RuleId::RawThread),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("thread::spawn"))
+            && findings.iter().any(|f| f.message.contains("Instant")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn raw_thread_is_silent_on_pool_based_parallelism() {
+    let fired = rules_fired(
+        plain_crate_path(),
+        include_str!("fixtures/raw_thread_ok.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected findings: {fired:?}");
+}
+
+#[test]
+fn raw_thread_exempts_the_execution_layer_itself() {
+    let fired = rules_fired(
+        Path::new("crates/exec/src/fixture.rs"),
+        include_str!("fixtures/raw_thread_bad.rs"),
+    );
+    assert!(
+        fired.is_empty(),
+        "crates/exec may spawn and time: {fired:?}"
+    );
+}
+
+#[test]
+fn raw_thread_leaves_instant_in_the_cores_to_sim_determinism() {
+    // Inside sim/mem/serve the wall clock is sim-determinism's finding;
+    // raw-thread reports only the spawn so no token is flagged twice.
+    let findings = lint_source(
+        unit_crate_path(),
+        include_str!("fixtures/raw_thread_bad.rs"),
+    );
+    let raw: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::RawThread)
+        .collect();
+    assert_eq!(raw.len(), 1, "{findings:?}");
+    assert!(raw[0].message.contains("thread::spawn"), "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::SimDeterminism),
+        "{findings:?}"
+    );
+}
+
 // -------------------------------------------------------------- suppression
 
 #[test]

@@ -339,6 +339,46 @@ impl InFlight {
     }
 }
 
+/// Reusable allocations for [`ServeSimulator::run_with_scratch`].
+///
+/// One simulation allocates a dozen collections — the event heap, the
+/// stage queues, the per-run pricing memos — and drops them all at the
+/// end. Callers that simulate repeatedly (the bench's timed repeats, sweep
+/// workers) can pass the same scratch back in so those collections keep
+/// their capacity across runs.
+///
+/// The scratch carries **capacity only, never state**: every collection is
+/// cleared at the start of each run (the memos are trace-dependent — their
+/// keys are indices into that run's request list — so reusing entries
+/// across traces would be wrong, not just stale). A run with a fresh
+/// scratch and a run with a reused one are therefore byte-identical, which
+/// is what lets [`ServeSimulator::run`] delegate here unconditionally.
+#[derive(Debug, Default)]
+pub struct ServeScratch {
+    states: Vec<InFlight>,
+    order: Vec<usize>,
+    events: EventQueue<Event>,
+    cc_queue: Vec<usize>,
+    ready: Vec<usize>,
+    batch: Vec<usize>,
+    completed_order: Vec<usize>,
+    rejected_order: Vec<(usize, Cycles)>,
+    kv_costs: HashMap<usize, (OpCost, OpCost)>,
+    step_memo: HashMap<(Vec<usize>, u64), Cycles>,
+    weight_memo: HashMap<Vec<usize>, (Cycles, usize)>,
+    /// Length of the previous run's sample log; the next run's log is
+    /// pre-sized to it (the log itself moves into the report, so only the
+    /// size hint can be carried over).
+    samples_hint: usize,
+}
+
+impl ServeScratch {
+    /// An empty scratch; capacity grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The multi-request serving simulator over one machine and one model.
 #[derive(Debug)]
 pub struct ServeSimulator<'a> {
@@ -1649,8 +1689,30 @@ impl<'a> ServeSimulator<'a> {
     /// Panics if two requests share an id or a policy returns an
     /// out-of-range index.
     pub fn run(&self, requests: &[ServeRequest], policy: &dyn SchedulePolicy) -> ServeReport {
+        self.run_with_scratch(requests, policy, &mut ServeScratch::new())
+    }
+
+    /// [`Self::run`] reusing the allocations in `scratch`.
+    ///
+    /// Byte-identical to [`Self::run`] for any scratch — the scratch
+    /// carries capacity, never state (see [`ServeScratch`]) — but skips
+    /// the per-run collection churn, which matters when one simulator
+    /// serves many traces back to back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two requests share an id or a policy returns an
+    /// out-of-range index.
+    pub fn run_with_scratch(
+        &self,
+        requests: &[ServeRequest],
+        policy: &dyn SchedulePolicy,
+        scratch: &mut ServeScratch,
+    ) -> ServeReport {
         let clock_hz = self.clock_hz();
-        let mut states: Vec<InFlight> = requests.iter().map(|r| self.admit(r)).collect();
+        let mut states = std::mem::take(&mut scratch.states);
+        states.clear();
+        states.extend(requests.iter().map(|r| self.admit(r)));
         {
             let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
             ids.sort_unstable();
@@ -1661,18 +1723,24 @@ impl<'a> ServeSimulator<'a> {
         // Arrival order, stable on (cycle, id). All arrivals enter the heap
         // up front in this order, so same-cycle arrivals pop FIFO — the
         // reference's drain order.
-        let mut order: Vec<usize> = (0..states.len()).collect();
+        let mut order = std::mem::take(&mut scratch.order);
+        order.clear();
+        order.extend(0..states.len());
         order.sort_by_key(|&i| (states[i].arrival_cycle, states[i].request.id));
 
         let mut clock = Clock::new();
-        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut events = std::mem::take(&mut scratch.events);
+        events.clear();
         for &idx in &order {
             events.push(states[idx].arrival_cycle, Event::Arrival(idx));
         }
 
-        let mut cc_queue: Vec<usize> = Vec::new();
-        let mut ready: Vec<usize> = Vec::new();
-        let mut batch: Vec<usize> = Vec::new();
+        let mut cc_queue = std::mem::take(&mut scratch.cc_queue);
+        cc_queue.clear();
+        let mut ready = std::mem::take(&mut scratch.ready);
+        ready.clear();
+        let mut batch = std::mem::take(&mut scratch.batch);
+        batch.clear();
         // The request whose chunk the CC stage is running, if any; its
         // completion event is in the heap (at most one outstanding, never
         // cancelled).
@@ -1699,14 +1767,21 @@ impl<'a> ServeSimulator<'a> {
                 let share = if share > 0.0 { share } else { 1.0 };
                 DmaEngine::new(config.dram, pool.block_bytes(), share)
             });
-        let mut kv_costs: HashMap<usize, (OpCost, OpCost)> = HashMap::new();
+        let mut kv_costs = std::mem::take(&mut scratch.kv_costs);
+        kv_costs.clear();
         // Step-pricing memos (see `step_cycles_memo` / `paged_step_cycles_fast`).
-        let mut step_memo: HashMap<(Vec<usize>, u64), Cycles> = HashMap::new();
-        let mut weight_memo: HashMap<Vec<usize>, (Cycles, usize)> = HashMap::new();
+        // Their keys are indices into this run's `states`, so they are
+        // cleared per run — only the table capacity is reused.
+        let mut step_memo = std::mem::take(&mut scratch.step_memo);
+        step_memo.clear();
+        let mut weight_memo = std::mem::take(&mut scratch.weight_memo);
+        weight_memo.clear();
         let mut restarted_prefill_tokens = Tokens::ZERO;
-        let mut completed_order: Vec<usize> = Vec::new();
-        let mut rejected_order: Vec<(usize, Cycles)> = Vec::new();
-        let mut queue_samples: Vec<QueueSample> = Vec::new();
+        let mut completed_order = std::mem::take(&mut scratch.completed_order);
+        completed_order.clear();
+        let mut rejected_order = std::mem::take(&mut scratch.rejected_order);
+        rejected_order.clear();
+        let mut queue_samples: Vec<QueueSample> = Vec::with_capacity(scratch.samples_hint);
         let mut decode_steps = 0u64;
         let mut preemptions = 0u64;
         let mut cc_resumable: Option<usize> = None;
@@ -2214,7 +2289,8 @@ impl<'a> ServeSimulator<'a> {
             });
         }
 
-        self.assemble_report(
+        scratch.samples_hint = queue_samples.len();
+        let report = self.assemble_report(
             &states,
             &completed_order,
             &rejected_order,
@@ -2224,7 +2300,20 @@ impl<'a> ServeSimulator<'a> {
             restarted_prefill_tokens,
             &kv,
             paged.as_ref(),
-        )
+        );
+        // Hand the allocations back for the next run.
+        scratch.states = states;
+        scratch.order = order;
+        scratch.events = events;
+        scratch.cc_queue = cc_queue;
+        scratch.ready = ready;
+        scratch.batch = batch;
+        scratch.completed_order = completed_order;
+        scratch.rejected_order = rejected_order;
+        scratch.kv_costs = kv_costs;
+        scratch.step_memo = step_memo;
+        scratch.weight_memo = weight_memo;
+        report
     }
 }
 
@@ -3071,13 +3160,60 @@ mod tests {
                 TraceConfig::background(3, 4.0, 11).generate(),
             ]),
         ];
-        for config in configs {
-            for trace in &traces {
+        // The config × trace × policy combinations are independent
+        // simulations; fan them out across the host pool. A divergence
+        // panics inside its worker and `par_map` re-raises the smallest
+        // combo index, so the reported failure is the same one the old
+        // nested loops hit first.
+        let combos: Vec<(usize, usize, PolicyKind)> = (0..configs.len())
+            .flat_map(|ci| {
+                (0..traces.len()).flat_map(move |ti| {
+                    [PolicyKind::Fcfs, PolicyKind::EarliestDeadlineFirst]
+                        .into_iter()
+                        .map(move |kind| (ci, ti, kind))
+                })
+            })
+            .collect();
+        edgemm_exec::Pool::from_env().par_map(&combos, |_, &(ci, ti, kind)| {
+            let config = configs[ci];
+            let sim = ServeSimulator::new(&m, zoo::sphinx_tiny(), config);
+            let heap = sim.run(&traces[ti], kind.policy());
+            let reference = sim.run_reference(&traces[ti], kind.policy());
+            assert_eq!(heap, reference, "engines diverged: {config:?} {kind:?}");
+        });
+    }
+
+    #[test]
+    fn a_reused_scratch_is_byte_identical_to_a_fresh_one() {
+        // One scratch threaded through different simulators, traces and
+        // policies — the worst case for stale carried state — must
+        // reproduce every fresh-scratch report exactly.
+        let m = machine();
+        let per_token = zoo::sphinx_tiny()
+            .llm
+            .kv_bytes_per_token(m.config().mc_weight_bytes);
+        let kv = KvPool::with_budget(Bytes::new(900 * per_token));
+        let configs = [
+            ServeConfig::with_batch_cap(4).with_chunk_tokens(64),
+            ServeConfig::new()
+                .with_kv_pool(kv)
+                .with_chunk_tokens(64)
+                .with_block_tokens(16),
+        ];
+        let traces = [
+            TraceConfig::interactive(8, 40.0, 3).generate(),
+            TraceConfig::multi_tenant(2, 8, 10.0, 9).generate(),
+        ];
+        let mut scratch = ServeScratch::new();
+        for _ in 0..2 {
+            for config in configs {
                 let sim = ServeSimulator::new(&m, zoo::sphinx_tiny(), config);
-                for kind in [PolicyKind::Fcfs, PolicyKind::EarliestDeadlineFirst] {
-                    let heap = sim.run(trace, kind.policy());
-                    let reference = sim.run_reference(trace, kind.policy());
-                    assert_eq!(heap, reference, "engines diverged: {config:?} {kind:?}");
+                for trace in &traces {
+                    for kind in [PolicyKind::Fcfs, PolicyKind::EarliestDeadlineFirst] {
+                        let reused = sim.run_with_scratch(trace, kind.policy(), &mut scratch);
+                        let fresh = sim.run(trace, kind.policy());
+                        assert_eq!(reused, fresh, "scratch leaked state: {config:?} {kind:?}");
+                    }
                 }
             }
         }

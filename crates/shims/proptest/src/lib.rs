@@ -22,6 +22,14 @@
 //! shrinking) and sampled values must be `Clone + Debug` (the body re-runs
 //! on cloned candidates).
 //!
+//! Cases execute on the `edgemm-exec` pool (`EDGEMM_THREADS` threads;
+//! `1` = serial). Because case `i`'s inputs are derived from `(test name,
+//! i)` alone, the sampled values are identical at every thread count, and
+//! the runner always reports the failure with the **smallest case index**
+//! (chunks of cases are scanned in order), so the failing case — and
+//! therefore the shrink, which re-runs serially on the caller's thread —
+//! is byte-identical to a serial run.
+//!
 //! The default case count matches upstream proptest: **256 cases per
 //! property**, overridable through the `PROPTEST_CASES` environment
 //! variable (same knob as upstream), e.g. `PROPTEST_CASES=1024 cargo test`
@@ -271,9 +279,15 @@ pub fn catch_case(run: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(),
     // printed report; acceptable for a deterministic offline shim.)
     let hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+    let outcome = catch_case_quiet(run);
     std::panic::set_hook(hook);
-    match outcome {
+    outcome
+}
+
+/// [`catch_case`] without the panic-hook swap, for callers that have
+/// already silenced the hook for a whole batch (see [`scan_cases`]).
+fn catch_case_quiet(run: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(), TestCaseError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = payload
@@ -283,6 +297,119 @@ pub fn catch_case(run: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(),
                 .unwrap_or_else(|| "test body panicked".to_string());
             Err(TestCaseError::Fail(format!("panic: {msg}")))
         }
+    }
+}
+
+/// Result of scanning a property's cases. Used by the [`proptest!`]
+/// expansion; not part of the public proptest API surface.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Cases that ran to completion (`prop_assume!` rejections excluded),
+    /// counted up to — not including — the first failure.
+    pub executed: u32,
+    /// The failing case with the smallest index, if any case failed.
+    pub failure: Option<CaseFailure>,
+}
+
+/// One failing case, identified by its deterministic index. Used by the
+/// [`proptest!`] expansion; not part of the public proptest API surface.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct CaseFailure {
+    /// The case index; re-deriving `TestRng::for_named_case(name, case)`
+    /// reproduces its exact inputs.
+    pub case: u64,
+    /// The failure message the case produced.
+    pub message: String,
+}
+
+/// Runs `run(case)` for every case index in `0..cases` on the
+/// `edgemm-exec` pool and reports the first failure **in case order**.
+///
+/// `run` must be a pure function of the case index (the [`proptest!`]
+/// expansion derives all inputs from `(test name, case)`), which makes the
+/// outcome independent of the thread count: chunks of indices are scanned
+/// in order, every case of a chunk completes before the chunk is judged,
+/// and the failing chunk resolves to its smallest failing index — exactly
+/// the failure a serial loop hits first. Used by the [`proptest!`]
+/// expansion; not part of the public proptest API surface.
+#[doc(hidden)]
+pub fn scan_cases<F>(cases: u32, run: F) -> ScanOutcome
+where
+    F: Fn(u64) -> Result<(), TestCaseError> + Sync,
+{
+    scan_cases_with_pool(edgemm_exec::Pool::from_env(), cases, run)
+}
+
+/// [`scan_cases`] with an explicit pool, so the serial/parallel agreement
+/// is testable without touching the process environment.
+#[doc(hidden)]
+pub fn scan_cases_with_pool<F>(pool: edgemm_exec::Pool, cases: u32, run: F) -> ScanOutcome
+where
+    F: Fn(u64) -> Result<(), TestCaseError> + Sync,
+{
+    // Silence the default panic hook for the whole scan instead of per
+    // case (see `catch_case` for the trade-off of the process-global swap).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = scan_cases_quiet(pool, cases, &run);
+    std::panic::set_hook(hook);
+    outcome
+}
+
+fn scan_cases_quiet<F>(pool: edgemm_exec::Pool, cases: u32, run: &F) -> ScanOutcome
+where
+    F: Fn(u64) -> Result<(), TestCaseError> + Sync,
+{
+    let total = u64::from(cases);
+    let mut executed: u32 = 0;
+    if pool.is_serial() {
+        for case in 0..total {
+            match catch_case_quiet(|| run(case)) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    return ScanOutcome {
+                        executed,
+                        failure: Some(CaseFailure { case, message }),
+                    };
+                }
+            }
+        }
+        return ScanOutcome {
+            executed,
+            failure: None,
+        };
+    }
+    // A few chunks of work per worker keeps the pool busy while bounding
+    // how far past a failure the scan can run.
+    let chunk_len = (pool.threads() * 4) as u64;
+    let mut start = 0u64;
+    while start < total {
+        let end = total.min(start + chunk_len);
+        let indices: Vec<u64> = (start..end).collect();
+        let outcomes = pool.par_map(&indices, |_, &case| catch_case_quiet(|| run(case)));
+        for (case, outcome) in indices.iter().zip(outcomes) {
+            match outcome {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    return ScanOutcome {
+                        executed,
+                        failure: Some(CaseFailure {
+                            case: *case,
+                            message,
+                        }),
+                    };
+                }
+            }
+        }
+        start = end;
+    }
+    ScanOutcome {
+        executed,
+        failure: None,
     }
 }
 
@@ -370,17 +497,35 @@ macro_rules! proptest {
         $crate::proptest!(@accum ($cfg) $(#[$meta])* fn $name
             [$($acc)* ($arg, $crate::any::<$ty>())] () $body);
     };
-    // Every parameter munched: emit the test fn. Values live in RefCells
-    // so one zero-argument closure can re-run the body on current values —
-    // both for the initial case and for every shrink candidate.
+    // Every parameter munched: emit the test fn. Phase 1 scans every case
+    // on the `edgemm-exec` pool; phase 2 (only on failure) re-derives the
+    // failing case serially and shrinks it. Case inputs are a pure
+    // function of (test name, case index), so both phases see identical
+    // values at any thread count.
     (@accum ($cfg:expr) $(#[$meta:meta])* fn $name:ident
         [$(($arg:ident, $strat:expr))*] () $body:block) => {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut executed: u32 = 0;
-            for case in 0..config.cases {
-                let mut rng = $crate::TestRng::for_named_case(stringify!($name), case as u64);
+            let scan = |case: u64| -> ::core::result::Result<(), $crate::TestCaseError> {
+                let mut rng = $crate::TestRng::for_named_case(stringify!($name), case);
+                $(
+                    // A property is allowed to ignore a parameter (it
+                    // still participates in sampling and shrinking).
+                    #[allow(unused_variables)]
+                    let $arg = $crate::Strategy::sample(&($strat), &mut rng);
+                )*
+                $body
+                ::core::result::Result::Ok(())
+            };
+            let outcome = $crate::scan_cases(config.cases, scan);
+            if let ::core::option::Option::Some(failure) = outcome.failure {
+                // Re-derive the failing case's inputs from the same
+                // (name, case) seed the scan used. Values live in RefCells
+                // so one zero-argument closure can re-run the body on
+                // current values — for every shrink candidate.
+                let case = failure.case;
+                let mut rng = $crate::TestRng::for_named_case(stringify!($name), case);
                 let mut original_inputs: ::std::vec::Vec<::std::string::String> =
                     ::std::vec::Vec::new();
                 $(
@@ -392,74 +537,65 @@ macro_rules! proptest {
                 )*
                 let run = || -> ::core::result::Result<(), $crate::TestCaseError> {
                     $(
-                        // A property is allowed to ignore a parameter (it
-                        // still participates in sampling and shrinking).
                         #[allow(unused_variables)]
                         let $arg = ::core::clone::Clone::clone(&*$arg.borrow());
                     )*
                     $body
                     ::core::result::Result::Ok(())
                 };
-                match $crate::catch_case(&run) {
-                    ::core::result::Result::Ok(()) => executed += 1,
-                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
-                    ::core::result::Result::Err($crate::TestCaseError::Fail(first_msg)) => {
-                        // Shrink: bisect each parameter toward its origin
-                        // while the failure reproduces, repeating passes
-                        // until no parameter improves (a candidate that
-                        // passes or is rejected raises the bisection floor
-                        // instead).
-                        let mut msg = first_msg;
-                        let mut passes = 0u32;
-                        loop {
-                            passes += 1;
-                            let mut improved = false;
-                            let _ = &mut improved;
-                            $(
-                                let mut lo = ::core::option::Option::None;
-                                for _ in 0..64 {
-                                    let cand = {
-                                        let hi = $arg.borrow();
-                                        $crate::Strategy::shrink(&($strat), lo.as_ref(), &*hi)
-                                    };
-                                    let ::core::option::Option::Some(cand) = cand else {
-                                        break;
-                                    };
-                                    let prev = $arg.replace(cand);
-                                    match $crate::catch_case(&run) {
-                                        ::core::result::Result::Err(
-                                            $crate::TestCaseError::Fail(m),
-                                        ) => {
-                                            msg = m;
-                                            improved = true;
-                                        }
-                                        _ => {
-                                            lo = ::core::option::Option::Some($arg.replace(prev));
-                                        }
-                                    }
-                                }
-                            )*
-                            if !improved || passes >= 8 {
+                // Shrink: bisect each parameter toward its origin while
+                // the failure reproduces, repeating passes until no
+                // parameter improves (a candidate that passes or is
+                // rejected raises the bisection floor instead).
+                let mut msg = failure.message;
+                let mut passes = 0u32;
+                loop {
+                    passes += 1;
+                    let mut improved = false;
+                    let _ = &mut improved;
+                    $(
+                        let mut lo = ::core::option::Option::None;
+                        for _ in 0..64 {
+                            let cand = {
+                                let hi = $arg.borrow();
+                                $crate::Strategy::shrink(&($strat), lo.as_ref(), &*hi)
+                            };
+                            let ::core::option::Option::Some(cand) = cand else {
                                 break;
+                            };
+                            let prev = $arg.replace(cand);
+                            match $crate::catch_case(&run) {
+                                ::core::result::Result::Err(
+                                    $crate::TestCaseError::Fail(m),
+                                ) => {
+                                    msg = m;
+                                    improved = true;
+                                }
+                                _ => {
+                                    lo = ::core::option::Option::Some($arg.replace(prev));
+                                }
                             }
                         }
-                        let shrunk: ::std::vec::Vec<::std::string::String> = ::std::vec![
-                            $(format!(concat!(stringify!($arg), " = {:?}"), &*$arg.borrow())),*
-                        ];
-                        panic!(
-                            "property {} failed at case {}: {}\ninputs: {}\nshrunk: {}",
-                            stringify!($name),
-                            case,
-                            msg,
-                            original_inputs.join("  "),
-                            shrunk.join("  "),
-                        );
+                    )*
+                    if !improved || passes >= 8 {
+                        break;
                     }
                 }
+                let shrunk: ::std::vec::Vec<::std::string::String> = ::std::vec![
+                    $(format!(concat!(stringify!($arg), " = {:?}"), &*$arg.borrow())),*
+                ];
+                panic!(
+                    "property {} failed at case {}: {}\ninputs: {}\nshrunk: {}",
+                    stringify!($name),
+                    case,
+                    msg,
+                    original_inputs.join("  "),
+                    shrunk.join("  "),
+                );
             }
             // A property whose assumption rejects every case proved nothing.
             assert!(
-                executed > 0,
+                outcome.executed > 0,
                 "property {}: all {} cases were rejected by prop_assume!",
                 stringify!($name),
                 config.cases,
@@ -654,6 +790,70 @@ mod tests {
             }
         }
         panics_on_everything();
+    }
+
+    #[test]
+    fn scans_agree_on_the_first_failure_across_thread_counts() {
+        // Several cases fail; the reported one must always be the smallest
+        // index (37), with the same message and executed count, no matter
+        // how many threads scanned.
+        let run = |case: u64| -> Result<(), TestCaseError> {
+            match case {
+                37 | 40 | 120 => Err(TestCaseError::Fail(format!("case {case} fails"))),
+                11 => Err(TestCaseError::Reject("skip".to_string())),
+                _ => Ok(()),
+            }
+        };
+        let serial = crate::scan_cases_with_pool(edgemm_exec::Pool::serial(), 200, run);
+        let serial_failure = match &serial.failure {
+            Some(failure) => (failure.case, failure.message.clone()),
+            None => panic!("serial scan should fail"),
+        };
+        assert_eq!(serial_failure, (37, "case 37 fails".to_string()));
+        // 0..37 minus the one rejected case.
+        assert_eq!(serial.executed, 36);
+        for threads in [2, 3, 4, 9] {
+            let pool = edgemm_exec::Pool::with_threads(threads);
+            let parallel = crate::scan_cases_with_pool(pool, 200, run);
+            let parallel_failure = match &parallel.failure {
+                Some(failure) => (failure.case, failure.message.clone()),
+                None => panic!("parallel scan should fail"),
+            };
+            assert_eq!(parallel_failure, serial_failure);
+            assert_eq!(parallel.executed, serial.executed);
+        }
+    }
+
+    #[test]
+    fn scans_convert_hard_panics_identically_across_thread_counts() {
+        let run = |case: u64| -> Result<(), TestCaseError> {
+            assert!(case < 37, "case {case} hard-panics");
+            Ok(())
+        };
+        let serial = crate::scan_cases_with_pool(edgemm_exec::Pool::serial(), 64, run);
+        let parallel = crate::scan_cases_with_pool(edgemm_exec::Pool::with_threads(4), 64, run);
+        for outcome in [&serial, &parallel] {
+            let failure = match &outcome.failure {
+                Some(failure) => failure,
+                None => panic!("scan should fail"),
+            };
+            assert_eq!(failure.case, 37);
+            assert_eq!(failure.message, "panic: case 37 hard-panics");
+            assert_eq!(outcome.executed, 37);
+        }
+    }
+
+    #[test]
+    fn clean_scans_count_every_executed_case() {
+        let run = |_case: u64| -> Result<(), TestCaseError> { Ok(()) };
+        for pool in [
+            edgemm_exec::Pool::serial(),
+            edgemm_exec::Pool::with_threads(4),
+        ] {
+            let outcome = crate::scan_cases_with_pool(pool, 100, run);
+            assert!(outcome.failure.is_none());
+            assert_eq!(outcome.executed, 100);
+        }
     }
 
     #[test]

@@ -763,4 +763,116 @@ proptest! {
         prop_assert_eq!(paged.spilled_kv_bytes, Bytes::ZERO);
         prop_assert_eq!(paged.restored_kv_bytes, Bytes::ZERO);
     }
+
+    /// Fanning a sweep of serving points over the `edgemm-exec` pool is
+    /// byte-identical to running them serially: same [`ServeReport`]s in
+    /// the same (input) order, and the rendered JSON bytes match exactly —
+    /// the determinism contract the parallel `serving_sweep` bench and the
+    /// `raw-thread` lint rule rest on.
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial(
+        requests in 1usize..6,
+        rate in 1.0f64..100.0,
+        seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let trace = TraceConfig::multi_tenant(2, requests, rate, seed).generate();
+        // One point per serving-preset family, so the parallel workers
+        // exercise every code path the bench sweeps.
+        let points = [
+            ServeOptions { batch_cap: Some(2), ..ServeOptions::default() },
+            ServeOptions::with_pruning(),
+            ServeOptions::slo_aware(),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32).paged(16),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32)
+                .paged(16)
+                .shared_prefixes(Bytes::new(8 << 20)),
+        ];
+        let serve = |_: usize, options: &ServeOptions| system.serve(&model, &trace, *options);
+        let serial = edgemm_exec::Pool::serial().par_map(&points, serve);
+        let parallel = edgemm_exec::Pool::with_threads(threads).par_map(&points, serve);
+        prop_assert_eq!(&serial, &parallel);
+        let serial_json: String = serial.iter().map(report_json).collect();
+        let parallel_json: String = parallel.iter().map(report_json).collect();
+        prop_assert_eq!(serial_json.into_bytes(), parallel_json.into_bytes());
+        // The full Debug rendering covers every field the JSON summary
+        // doesn't — timelines, samples, per-class stats.
+        prop_assert_eq!(format!("{serial:?}").into_bytes(), format!("{parallel:?}").into_bytes());
+    }
+
+    /// A reused [`edgemm::ServeSession`] is byte-identical to one-shot
+    /// [`EdgeMm::serve`] calls: the session's persistent caches and scratch
+    /// carry *capacity* across traces, never state.
+    #[test]
+    fn session_reuse_is_byte_identical_to_one_shot_serves(
+        requests in 1usize..6,
+        rate in 1.0f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let traces = [
+            TraceConfig::interactive(requests, rate, seed).generate(),
+            TraceConfig::multi_tenant(2, requests, rate, seed + 1).generate(),
+            TraceConfig::interactive(requests + 2, rate / 2.0, seed + 2).generate(),
+        ];
+        for options in [
+            ServeOptions::with_pruning(),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32)
+                .paged(16)
+                .shared_prefixes(Bytes::new(8 << 20)),
+        ] {
+            let mut session = system.serve_session(&model, options);
+            for trace in &traces {
+                let reused = session.serve(trace);
+                let fresh = system.serve(&model, trace, options);
+                prop_assert_eq!(reused, fresh);
+            }
+        }
+    }
+}
+
+/// Hand-rendered JSON summary of a [`edgemm::serve::ServeReport`] (the
+/// serde shim's derives are no-ops, so byte-level JSON comparison needs a
+/// real renderer). `{:?}` on the floats round-trips full precision, which
+/// is what makes byte equality equivalent to value equality.
+fn report_json(report: &edgemm::serve::ServeReport) -> String {
+    format!(
+        "{{\"completed\": {}, \"rejected\": {}, \"p50_latency_s\": {:?}, \
+         \"p99_latency_s\": {:?}, \"tokens_per_second\": {:?}, \
+         \"peak_kv_bytes\": {:?}, \"preemptions\": {}, \"evictions\": {}, \
+         \"spilled_kv_bytes\": {:?}, \"restored_kv_bytes\": {:?}, \
+         \"restarted_prefill_tokens\": {:?}}}",
+        report.completed.len(),
+        report.rejected.len(),
+        report.p50_latency_s(),
+        report.p99_latency_s(),
+        report.tokens_per_second(),
+        report.peak_kv_bytes,
+        report.preemptions,
+        report.evictions,
+        report.spilled_kv_bytes,
+        report.restored_kv_bytes,
+        report.restarted_prefill_tokens,
+    )
+}
+
+/// Everything the parallel sweep shares across worker threads must be
+/// `Send + Sync` — pinned here so a future `Rc`/`RefCell`/raw-pointer
+/// addition fails this test instead of breaking `Pool::par_map` callers.
+#[test]
+fn parallel_serving_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EdgeMm>();
+    assert_send_sync::<Machine>();
+    assert_send_sync::<ServeOptions>();
+    assert_send_sync::<ServeConfig>();
+    assert_send_sync::<ServeSimulator<'static>>();
+    assert_send_sync::<edgemm::ServeSession<'static>>();
+    assert_send_sync::<TraceConfig>();
+    assert_send_sync::<ServeRequest>();
+    assert_send_sync::<edgemm::serve::ServeReport>();
 }
