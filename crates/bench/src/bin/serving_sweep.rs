@@ -22,6 +22,10 @@
 //!    block allocation with mid-decode eviction — splitting the interactive
 //!    misses into TTFT and TPOT so the decode-slot revocation win (and the
 //!    re-prefill recompute tax it pays) are both visible.
+//! 5. **Fleet routing**: the multi-tenant overload trace through the fleet
+//!    gateway per (replica count x routing policy) — SLO attainment, load
+//!    imbalance and cross-replica restarted-prefill tokens show what each
+//!    router trades at 4-16 replicas.
 //!
 //! Every section computes its sweep points through the `edgemm-exec` pool
 //! (`Pool::par_map`), so independent points run on all host cores while the
@@ -36,13 +40,14 @@
 //! Set `EDGEMM_BENCH_JSON=1` to also time the pinned serving workloads and
 //! write `BENCH_serving.json` — requests simulated per wall-second for the
 //! three golden points (each with `speedup_vs_seed` against its seed-engine
-//! baseline), plus a `full_sweep` entry timing the whole four-section sweep
-//! serially and at `EDGEMM_THREADS`, whose ratio is the recorded
-//! `parallel_speedup` (ROADMAP direction 3).
+//! baseline), a `fleet` entry timing the 16-replica golden routing point
+//! across every policy, plus a `full_sweep` entry timing the whole
+//! five-section sweep serially and at `EDGEMM_THREADS`, whose ratio is the
+//! recorded `parallel_speedup` (ROADMAP direction 3).
 
 use edgemm::serve::{merge, AdmissionControl, PolicyKind, ServeRequest, TraceConfig};
 use edgemm::units::Bytes;
-use edgemm::{EdgeMm, ServeOptions};
+use edgemm::{EdgeMm, RoutingKind, ServeOptions};
 use edgemm_exec::Pool;
 use edgemm_mllm::zoo;
 
@@ -94,11 +99,16 @@ struct SweepRows {
     slo: Vec<String>,
     memory: Vec<String>,
     paged: Vec<String>,
+    fleet: Vec<String>,
 }
 
 impl SweepRows {
     fn points(&self) -> usize {
-        self.latency.len() + self.slo.len() + self.memory.len() + self.paged.len()
+        self.latency.len()
+            + self.slo.len()
+            + self.memory.len()
+            + self.paged.len()
+            + self.fleet.len()
     }
 }
 
@@ -111,6 +121,7 @@ fn sweep_rows(system: &EdgeMm, sweep: &Sweep, smoke: bool, pool: &Pool) -> Sweep
         slo: slo_rows(system, sweep, pool),
         memory: memory_rows(system, sweep, smoke, pool),
         paged: paged_rows(system, sweep, smoke, pool),
+        fleet: fleet_rows(system, smoke, pool),
     }
 }
 
@@ -401,6 +412,81 @@ fn paged_sweep(rows: &[String], sweep: &Sweep) {
     );
 }
 
+/// The multi-tenant overload trace of the fleet section — the full scale is
+/// the exact trace `golden_fleet_routing_point` pins (six tenants plus
+/// long-prompt background), the smoke scale a quarter of it.
+fn fleet_trace(smoke: bool) -> Vec<ServeRequest> {
+    let (requests, background) = if smoke { (24, 4) } else { (96, 8) };
+    merge(&[
+        TraceConfig::multi_tenant(6, requests, 48.0, 23).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(background, 12.0, 123)
+        }
+        .generate(),
+    ])
+}
+
+/// The fleet serving stack: paged KV with prefix sharing but no spill area,
+/// so every eviction recomputes — restarted-prefill tokens measure how much
+/// KV each routing policy threw away (`golden_fleet_routing_point` pins the
+/// 16-replica cell of this grid).
+fn fleet_options() -> ServeOptions {
+    ServeOptions {
+        prefix_sharing: true,
+        ..ServeOptions::memory_aware(Bytes::new(8 << 20), 64).paged(16)
+    }
+}
+
+fn fleet_rows(system: &EdgeMm, smoke: bool, pool: &Pool) -> Vec<String> {
+    let model = zoo::sphinx_tiny();
+    let trace = fleet_trace(smoke);
+    let options = fleet_options();
+    let replica_counts: &[usize] = if smoke { &[2, 4] } else { &[4, 8, 16] };
+    let points: Vec<(usize, RoutingKind)> = replica_counts
+        .iter()
+        .flat_map(|&replicas| {
+            RoutingKind::ALL
+                .into_iter()
+                .map(move |kind| (replicas, kind))
+        })
+        .collect();
+    pool.par_map(&points, |_, &(replicas, kind)| {
+        let report = system.serve_fleet(&model, &trace, replicas, kind, options);
+        format!(
+            "{:>9} {:>16} {:>6.1} {:>8} {:>9.2} {:>8.2}s {:>6}",
+            replicas,
+            kind.name(),
+            report.slo_attainment() * 100.0,
+            report.restarted_prefill_tokens(),
+            report.load_imbalance(),
+            report.makespan_s,
+            report.stale_completions,
+        )
+    })
+}
+
+fn fleet_sweep(rows: &[String], smoke: bool) {
+    let total = fleet_trace(smoke).len();
+    println!(
+        "\n== Fleet routing (gateway over N replicas: replica count x policy, \
+         {total} multi-tenant requests, 8 MiB paged KV + sharing per replica) =="
+    );
+    println!(
+        "{:>9} {:>16} {:>6} {:>8} {:>9} {:>9} {:>6}",
+        "replicas", "routing", "att%", "restart", "imbal", "makespan", "stale"
+    );
+    for row in rows {
+        println!("{row}");
+    }
+    println!(
+        "\n(restart = re-prefilled tokens summed over replicas — duplicated tenant \
+         prefixes overflow the paged\n pools and evict; imbal = max replica share x \
+         replica count (1.0 = perfectly even); stale = superseded\n completion events \
+         the gateway lazily discarded. docs/fleet.md walks the 16-replica row by hand.)"
+    );
+}
+
 /// Seed baselines for `speedup_vs_seed`, in requests simulated per
 /// wall-second, all captured the same way: the seed engine (the PR 5
 /// advance-and-scan loop, retained as `ServeSimulator::run_reference`)
@@ -448,7 +534,11 @@ fn time_section(
 ///   8 MiB budget (chunk 320, block 16).
 /// * `plain_sweep_point`: the unconstrained continuous-batching sweep cell
 ///   (interactive trace, constant cap, no memory model).
-/// * `full_sweep`: wall seconds for all four sweep sections' points,
+/// * `fleet`: the 16-replica golden fleet routing point served through
+///   every routing policy per repeat — requests routed (dispatched) per
+///   wall-second, with the replica count, policy count and worker threads
+///   recorded alongside.
+/// * `full_sweep`: wall seconds for all five sweep sections' points,
 ///   computed serially and again at `EDGEMM_THREADS` workers —
 ///   `parallel_speedup` is the ratio, and the recorded `threads` /
 ///   `host_parallelism` say what the host could actually offer.
@@ -520,6 +610,48 @@ fn bench_json(system: &EdgeMm, sweep: &Sweep, smoke: bool) {
             trace.len(),
         ));
     }
+    // The fleet entry: the golden 16-replica routing point through every
+    // policy per repeat. Routing rebuilds each replica's simulator per
+    // serve, so this times the whole gateway path (dispatch, projection,
+    // completion events), not just the inner serve loop.
+    let fleet_trace = fleet_trace(smoke);
+    let fleet_replicas = if smoke { 4 } else { 16 };
+    let fleet_options = fleet_options();
+    let fleet_model = zoo::sphinx_tiny();
+    let mut fleet_routed = 0usize;
+    let fleet_start = Instant::now();
+    for _ in 0..repeats {
+        for kind in RoutingKind::ALL {
+            fleet_routed += system
+                .serve_fleet(
+                    &fleet_model,
+                    &fleet_trace,
+                    fleet_replicas,
+                    kind,
+                    fleet_options,
+                )
+                .dispatched();
+        }
+    }
+    let fleet_wall_s = fleet_start.elapsed().as_secs_f64();
+    let fleet_requests_per_s = fleet_routed as f64 / fleet_wall_s;
+    let fleet_pool = Pool::from_env();
+    println!(
+        "[bench] fleet: {fleet_requests_per_s:.1} requests routed/wall-second \
+         ({fleet_replicas} replicas x {} policies)",
+        RoutingKind::ALL.len()
+    );
+    entries.push(format!(
+        "  {{\n    \"bench\": \"serving_sweep/fleet\",\n    \
+         \"unit\": \"fleet_requests_routed_per_wall_second\",\n    \
+         \"requests_per_trace\": {},\n    \"replicas\": {fleet_replicas},\n    \
+         \"policies\": {},\n    \"repeats\": {repeats},\n    \
+         \"threads\": {},\n    \"wall_s\": {fleet_wall_s:.6},\n    \
+         \"requests_per_s\": {fleet_requests_per_s:.1}\n  }}",
+        fleet_trace.len(),
+        RoutingKind::ALL.len(),
+        fleet_pool.threads(),
+    ));
     // The full-sweep timing: the printed run in main() already served as
     // the warm-up pass for both timed passes below.
     let serial_start = Instant::now();
@@ -567,6 +699,7 @@ fn main() {
     slo_sweep(&rows.slo, &sweep);
     memory_sweep(&rows.memory, &sweep);
     paged_sweep(&rows.paged, &sweep);
+    fleet_sweep(&rows.fleet, smoke);
     let bench = std::env::var("EDGEMM_BENCH_JSON").is_ok_and(|v| v != "0" && !v.is_empty());
     if bench {
         bench_json(&system, &sweep, smoke);

@@ -65,9 +65,12 @@ fn serving_sweep() {
     let (slo, rest) = rest
         .split_once("== Memory pressure")
         .unwrap_or_else(|| panic!("missing memory pressure section:\n{rest}"));
-    let (memory, paged) = rest
+    let (memory, rest) = rest
         .split_once("== Paged vs reserved")
         .unwrap_or_else(|| panic!("missing paged-vs-reserved section:\n{rest}"));
+    let (paged, fleet) = rest
+        .split_once("== Fleet routing")
+        .unwrap_or_else(|| panic!("missing fleet routing section:\n{rest}"));
     // Latency section: one line per (rate, cap, policy): 2 x 2 x 4 in smoke.
     let points = latency
         .lines()
@@ -127,6 +130,31 @@ fn serving_sweep() {
         assert!(
             paged.contains(marker),
             "paged sweep lost {marker}:\n{paged}"
+        );
+    }
+    // Fleet section: one line per (replica count, routing policy): 2 x 4 in
+    // smoke. Data rows lead with the replica count.
+    let fleet_points = fleet
+        .lines()
+        .filter(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
+        .count();
+    assert_eq!(fleet_points, 8, "unexpected fleet routing output:\n{fleet}");
+    for marker in [
+        "round-robin",
+        "least-kv",
+        "power-of-two",
+        "prefix-affinity",
+        "restart",
+        "stale",
+    ] {
+        assert!(
+            fleet.contains(marker),
+            "fleet sweep lost {marker}:\n{fleet}"
         );
     }
 }

@@ -41,6 +41,7 @@
 //! | `edgemm-sim` | the performance simulator and mapping explorer |
 //! | `edgemm-sched` | pipeline model, token-length-driven bandwidth manager |
 //! | `edgemm-serve` | multi-request serving: continuous batching, scheduling policies |
+//! | `edgemm-fleet` | fleet tier: N replicas behind a routed gateway on one event clock |
 //! | `edgemm-baseline` | Snitch SIMD baseline, RTX 3060 roofline model |
 
 #![forbid(unsafe_code)]
@@ -57,9 +58,12 @@ pub use system::{
 pub use edgemm_core::float;
 pub use edgemm_core::units;
 
+pub use edgemm_fleet::{FleetReport, RoutingKind};
+
 pub use edgemm_arch as arch;
 pub use edgemm_baseline as baseline;
 pub use edgemm_coproc as coproc;
+pub use edgemm_fleet as fleet;
 pub use edgemm_isa as isa;
 pub use edgemm_mem as mem;
 pub use edgemm_mllm as mllm;

@@ -5,6 +5,7 @@ use std::sync::Mutex;
 
 use edgemm_arch::PowerModel;
 use edgemm_core::units::Bytes;
+use edgemm_fleet::{FleetGateway, FleetReplica, FleetReport, RoutingKind};
 use edgemm_mllm::{ActivationGenerator, ActivationProfile, MllmConfig, ModelWorkload, Phase};
 use edgemm_pruning::{DynamicTopK, Pruner};
 use edgemm_sched::{Pipeline, RooflineStage};
@@ -446,6 +447,23 @@ impl EdgeMm {
     /// removes rebuild overhead, never state isolation (pinned by the
     /// `session_reuse_is_byte_identical_to_one_shot_serves` property).
     pub fn serve_session(&self, model: &MllmConfig, options: ServeOptions) -> ServeSession<'_> {
+        ServeSession {
+            simulator: ServeSimulator::new(
+                &self.machine,
+                model.clone(),
+                self.serving_config(model, options),
+            ),
+            scratch: ServeScratch::new(),
+            policy: options.policy,
+        }
+    }
+
+    /// The engine-level [`ServeConfig`] a serving run under `options` uses:
+    /// the one place [`ServeOptions`] is lowered onto this system's machine
+    /// (KV on-chip tier sizing, spill penalty, measured pruning effect) —
+    /// shared by sessions and fleet replicas so both tiers serve under
+    /// exactly the same configuration.
+    fn serving_config(&self, model: &MllmConfig, options: ServeOptions) -> ServeConfig {
         let kv = match options.kv_budget_bytes {
             None => edgemm_serve::KvPool::unbounded(),
             Some(budget) => {
@@ -462,7 +480,7 @@ impl EdgeMm {
                     .with_spill_penalty(DEFAULT_SPILL_PENALTY)
             }
         };
-        let config = ServeConfig {
+        ServeConfig {
             batch_cap: options.batch_cap,
             chunk_tokens: options.chunk_tokens,
             kv,
@@ -472,12 +490,67 @@ impl EdgeMm {
             eager_kv_accounting: options.eager_kv_accounting,
             pruning: self.serving_pruning(model, options),
             admission: options.admission,
-        };
-        ServeSession {
-            simulator: ServeSimulator::new(&self.machine, model.clone(), config),
-            scratch: ServeScratch::new(),
-            policy: options.policy,
         }
+    }
+
+    /// Serve `requests` across a homogeneous fleet of `replicas` copies of
+    /// this system behind a routed gateway (see `edgemm_fleet`): arrivals,
+    /// dispatches and per-replica drains interleave on one fleet clock, and
+    /// `routing` picks each request's replica from per-replica load
+    /// projections at its arrival instant. Every replica serves under these
+    /// same `options` (policy, admission, memory model).
+    ///
+    /// A fleet of one replica is byte-identical to [`Self::serve`] under
+    /// every routing policy (property-pinned). The power-of-two-choices
+    /// router draws from a generator seeded with `options.seed`, so fleet
+    /// runs are as deterministic as single-machine ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn serve_fleet(
+        &self,
+        model: &MllmConfig,
+        requests: &[ServeRequest],
+        replicas: usize,
+        routing: RoutingKind,
+        options: ServeOptions,
+    ) -> FleetReport {
+        let systems: Vec<&EdgeMm> = std::iter::repeat(self).take(replicas).collect();
+        Self::serve_fleet_on(&systems, model, requests, routing, options)
+    }
+
+    /// Serve `requests` across a heterogeneous fleet — one replica per
+    /// system in `systems`, each priced on its own machine (the Fig.
+    /// 11-style mixed-configuration tier: e.g. a pool of `paper_default`
+    /// chips fronted by a few `homo_mc` decode specialists). Semantics
+    /// otherwise match [`Self::serve_fleet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `systems` is empty.
+    pub fn serve_fleet_on(
+        systems: &[&EdgeMm],
+        model: &MllmConfig,
+        requests: &[ServeRequest],
+        routing: RoutingKind,
+        options: ServeOptions,
+    ) -> FleetReport {
+        let replicas: Vec<FleetReplica<'_>> = systems
+            .iter()
+            .map(|system| {
+                FleetReplica::new(
+                    ServeSimulator::new(
+                        &system.machine,
+                        model.clone(),
+                        system.serving_config(model, options),
+                    ),
+                    options.policy,
+                )
+            })
+            .collect();
+        let mut routing = routing.policy(options.seed);
+        FleetGateway::new(replicas).serve(requests, routing.as_mut())
     }
 
     /// Generate a synthetic trace and serve it (see [`Self::serve`]).

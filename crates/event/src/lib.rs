@@ -242,6 +242,48 @@ mod tests {
     }
 
     #[test]
+    fn same_cycle_fifo_survives_interleaved_push_and_pop() {
+        // Pops interleaved with pushes at one cycle must not disturb the
+        // FIFO tie order: the seq counter never resets mid-stream, so an
+        // event pushed after a pop still sorts behind everything pushed
+        // before it. This is what lets a caller drain a few due events,
+        // schedule follow-ups at the same cycle, and keep a deterministic
+        // order — the fleet gateway's arrival/completion interleaving
+        // leans on exactly this.
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(7), "a");
+        queue.push(Cycles::new(7), "b");
+        assert_eq!(queue.pop(), Some((Cycles::new(7), "a")));
+        queue.push(Cycles::new(7), "c");
+        queue.push(Cycles::new(7), "d");
+        assert_eq!(queue.pop(), Some((Cycles::new(7), "b")));
+        queue.push(Cycles::new(7), "e");
+        let rest: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(rest, ["c", "d", "e"]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_earlier_cycles_ahead_of_later_ties() {
+        // A push at an earlier cycle made *after* same-cycle events were
+        // pushed (and some popped) still pops first: cycle dominates seq.
+        let mut queue = EventQueue::new();
+        queue.push(Cycles::new(5), "tie-1");
+        queue.push(Cycles::new(5), "tie-2");
+        assert_eq!(queue.pop(), Some((Cycles::new(5), "tie-1")));
+        queue.push(Cycles::new(3), "earlier");
+        queue.push(Cycles::new(5), "tie-3");
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).collect();
+        assert_eq!(
+            order,
+            [
+                (Cycles::new(3), "earlier"),
+                (Cycles::new(5), "tie-2"),
+                (Cycles::new(5), "tie-3")
+            ]
+        );
+    }
+
+    #[test]
     fn pop_due_respects_the_horizon() {
         let mut queue = EventQueue::new();
         queue.push(Cycles::new(10), "due");

@@ -1,0 +1,419 @@
+//! The fleet gateway: one event-driven dispatch loop over N replicas.
+//!
+//! Every replica is a full [`ServeSimulator`] (the PR 8 heap engine) over
+//! its own machine; the gateway owns a [`Clock`] + [`EventQueue`] pair from
+//! `edgemm-event` — the same discrete-event core the chip-level engine runs
+//! on — and interleaves three kinds of happenings on that single fleet
+//! clock:
+//!
+//! 1. **Arrival**: a request reaches the gateway at its trace arrival time.
+//! 2. **Dispatch**: the [`RoutePolicy`] picks a
+//!    replica from the per-replica load projection at the arrival instant
+//!    (dispatch is instantaneous: it happens at the arrival's cycle, after
+//!    the arrival pops).
+//! 3. **Completion**: a replica drains its queue. Each dispatch schedules a
+//!    completion event at the replica's newly projected drain time; an
+//!    event scheduled before a later dispatch carries a stale generation
+//!    tag and is ignored when popped (the queue has no cancellation — this
+//!    is the same lazy-invalidation idiom the chip engine uses for
+//!    reschedulable work).
+//!
+//! ## Why re-simulation is the load model
+//!
+//! A replica's "current load" is not tracked incrementally: after every
+//! dispatch the replica's whole assigned sub-trace is re-served through its
+//! persistent simulator + scratch (the PR 9 session-reuse machinery makes
+//! this cheap), and the resulting [`ServeReport`] *is* the projection the
+//! next routing decision reads — in-flight depth and resident KV bytes are
+//! evaluated from it at the fleet clock. This buys two properties worth the
+//! O(n²/2R) re-serve cost: the projection is exactly what the replica will
+//! report (no drift between a shadow model and the engine), and the final
+//! per-replica report is byte-identical to a one-shot serve of the same
+//! sub-trace — which is what pins a fleet of one to the single-machine
+//! engine, byte for byte.
+
+use edgemm_core::units::Cycles;
+use edgemm_event::{Clock, EventQueue};
+use edgemm_serve::{PolicyKind, ServeReport, ServeRequest, ServeScratch, ServeSimulator};
+
+use crate::report::FleetReport;
+use crate::route::{ReplicaView, RoutePolicy};
+
+/// Resolution of the fleet clock: cycles per second. Replica engines run at
+/// their own chip clocks; the gateway only needs a common timeline to order
+/// arrivals and drains on, so it uses a fixed 1 GHz tick (nanoseconds).
+pub const FLEET_CLOCK_HZ: f64 = 1.0e9;
+
+/// What the gateway's event queue carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEvent {
+    /// Request `requests[i]` reaches the gateway.
+    Arrival(usize),
+    /// Replica `replica` drains everything dispatched to it by the
+    /// dispatch numbered `generation` (the length of its sub-trace when
+    /// the event was scheduled). Stale if the replica has been dispatched
+    /// to since.
+    Completion { replica: usize, generation: usize },
+}
+
+/// One serving replica handed to the gateway: a configured simulator plus
+/// the scheduling policy its own CC/MC pipeline runs under. Replicas may be
+/// heterogeneous — each simulator borrows its own machine, so a Fig.
+/// 11-style mixed fleet is just a mixed vector.
+#[derive(Debug)]
+pub struct FleetReplica<'a> {
+    simulator: ServeSimulator<'a>,
+    policy: PolicyKind,
+}
+
+impl<'a> FleetReplica<'a> {
+    /// A replica serving through `simulator` under `policy`.
+    pub fn new(simulator: ServeSimulator<'a>, policy: PolicyKind) -> Self {
+        FleetReplica { simulator, policy }
+    }
+}
+
+/// A replica plus the gateway's per-replica dispatch state.
+#[derive(Debug)]
+struct ReplicaState<'a> {
+    simulator: ServeSimulator<'a>,
+    policy: PolicyKind,
+    scratch: ServeScratch,
+    /// Original trace indices dispatched here, kept sorted ascending so the
+    /// sub-trace preserves the caller's submission order (what makes a
+    /// fleet of one serve exactly the caller's slice).
+    assigned: Vec<usize>,
+    /// The sub-trace itself, index-aligned with `assigned`.
+    subtrace: Vec<ServeRequest>,
+    /// Projection of the current sub-trace through the replica engine.
+    report: ServeReport,
+}
+
+impl ReplicaState<'_> {
+    /// Insert original-trace request `idx` keeping submission order.
+    fn assign(&mut self, idx: usize, request: ServeRequest) {
+        let pos = self.assigned.partition_point(|&i| i < idx);
+        self.assigned.insert(pos, idx);
+        self.subtrace.insert(pos, request);
+    }
+
+    /// Re-serve the sub-trace through the persistent engine, refreshing the
+    /// projection the next routing decision (and the final report) reads.
+    fn project(&mut self) {
+        self.report = self.simulator.run_with_scratch(
+            &self.subtrace,
+            self.policy.policy(),
+            &mut self.scratch,
+        );
+    }
+
+    /// Absolute model time at which the replica has finished (completed or
+    /// rejected) everything dispatched so far; 0 for an idle replica.
+    fn drain_s(&self) -> f64 {
+        let finishes = self.report.completed.iter().map(|r| r.finish_s);
+        let rejects = self.report.rejected.iter().map(|r| r.reject_s);
+        finishes.chain(rejects).fold(0.0, f64::max)
+    }
+
+    /// The replica's load as seen at fleet time `now_s`.
+    fn view(&self, replica: usize, now_s: f64) -> ReplicaView {
+        let finished = self
+            .report
+            .completed
+            .iter()
+            .filter(|r| r.finish_s <= now_s)
+            .count()
+            + self
+                .report
+                .rejected
+                .iter()
+                .filter(|r| r.reject_s <= now_s)
+                .count();
+        let kv_bytes = self
+            .report
+            .queue_samples
+            .iter()
+            .take_while(|s| s.time_s <= now_s)
+            .last()
+            .map(|s| s.kv_bytes)
+            .unwrap_or_default();
+        ReplicaView {
+            replica,
+            dispatched: self.assigned.len(),
+            in_flight: self.assigned.len() - finished,
+            kv_bytes,
+        }
+    }
+}
+
+/// The routed multi-replica gateway. Build one from replicas, then
+/// [`serve`](Self::serve) traces through it; replica pricing caches and
+/// scratch persist across calls (the fleet-level analogue of a
+/// `ServeSession`), while all dispatch state is per-call.
+#[derive(Debug)]
+pub struct FleetGateway<'a> {
+    replicas: Vec<ReplicaState<'a>>,
+}
+
+impl<'a> FleetGateway<'a> {
+    /// A gateway over the given replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<FleetReplica<'a>>) -> Self {
+        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
+        FleetGateway {
+            replicas: replicas
+                .into_iter()
+                .map(|r| {
+                    let mut scratch = ServeScratch::new();
+                    let report = r
+                        .simulator
+                        .run_with_scratch(&[], r.policy.policy(), &mut scratch);
+                    ReplicaState {
+                        simulator: r.simulator,
+                        policy: r.policy,
+                        scratch,
+                        assigned: Vec::new(),
+                        subtrace: Vec::new(),
+                        report,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of replicas behind the gateway.
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Serve `requests` across the fleet under `routing`.
+    ///
+    /// Arrivals are processed in fleet-clock order (same-instant arrivals
+    /// in submission order, via the event queue's same-cycle FIFO
+    /// guarantee); each is routed exactly once, against views projected at
+    /// its arrival instant, and the dispatched replica is immediately
+    /// re-projected so the next decision sees it. The returned
+    /// [`FleetReport`] carries each replica's final report — byte-identical
+    /// to a one-shot serve of that replica's sub-trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routing` returns an out-of-range replica index or a
+    /// request arrives at a negative or non-finite time.
+    pub fn serve(
+        &mut self,
+        requests: &[ServeRequest],
+        routing: &mut dyn RoutePolicy,
+    ) -> FleetReport {
+        for replica in &mut self.replicas {
+            replica.assigned.clear();
+            replica.subtrace.clear();
+            replica.project();
+        }
+        let mut clock = Clock::new();
+        let mut events = EventQueue::new();
+        for (i, request) in requests.iter().enumerate() {
+            assert!(
+                request.arrival_s >= 0.0 && request.arrival_s.is_finite(),
+                "request {} arrives at invalid time {}",
+                request.id,
+                request.arrival_s
+            );
+            events.push(
+                Cycles::from_seconds_round(request.arrival_s, FLEET_CLOCK_HZ),
+                FleetEvent::Arrival(i),
+            );
+        }
+        let mut assignments = vec![0usize; requests.len()];
+        let mut routed = vec![false; requests.len()];
+        let mut completion_events = 0u64;
+        let mut stale_completions = 0u64;
+        while let Some((cycle, event)) = events.pop() {
+            clock.advance_to(cycle);
+            match event {
+                FleetEvent::Arrival(i) => {
+                    let now_s = cycle.seconds_at(FLEET_CLOCK_HZ);
+                    let views: Vec<ReplicaView> = self
+                        .replicas
+                        .iter()
+                        .enumerate()
+                        .map(|(k, r)| r.view(k, now_s))
+                        .collect();
+                    let target = routing.route(&requests[i], &views);
+                    assert!(
+                        target < self.replicas.len(),
+                        "routing policy `{}` returned replica {} of {}",
+                        routing.name(),
+                        target,
+                        self.replicas.len()
+                    );
+                    assert!(!routed[i], "request {} routed twice", requests[i].id);
+                    routed[i] = true;
+                    assignments[i] = target;
+                    let replica = &mut self.replicas[target];
+                    replica.assign(i, requests[i]);
+                    replica.project();
+                    let drain = Cycles::from_seconds_round(replica.drain_s(), FLEET_CLOCK_HZ);
+                    events.push(
+                        drain.max(cycle),
+                        FleetEvent::Completion {
+                            replica: target,
+                            generation: replica.assigned.len(),
+                        },
+                    );
+                }
+                FleetEvent::Completion {
+                    replica,
+                    generation,
+                } => {
+                    if generation == self.replicas[replica].assigned.len() {
+                        completion_events += 1;
+                    } else {
+                        stale_completions += 1;
+                    }
+                }
+            }
+        }
+        debug_assert!(routed.iter().all(|&r| r), "every request was routed");
+        FleetReport {
+            replicas: self.replicas.iter().map(|r| r.report.clone()).collect(),
+            assignments,
+            completion_events,
+            stale_completions,
+            makespan_s: clock.now().seconds_at(FLEET_CLOCK_HZ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{LeastKvLoaded, PrefixAffinity, RoundRobin, RoutingKind};
+    use edgemm_mllm::zoo;
+    use edgemm_serve::{ServeConfig, TraceConfig};
+    use edgemm_sim::{Machine, SimConfig};
+
+    fn machine() -> Machine {
+        Machine::new(SimConfig::paper_default())
+    }
+
+    fn replica(machine: &Machine) -> FleetReplica<'_> {
+        FleetReplica::new(
+            ServeSimulator::new(machine, zoo::sphinx_tiny(), ServeConfig::with_batch_cap(4)),
+            PolicyKind::Fcfs,
+        )
+    }
+
+    fn trace(requests: usize, seed: u64) -> Vec<ServeRequest> {
+        TraceConfig::interactive(requests, 20.0, seed).generate()
+    }
+
+    #[test]
+    fn a_fleet_of_one_serves_the_whole_trace_verbatim() {
+        let m = machine();
+        let trace = trace(6, 11);
+        let mut gateway = FleetGateway::new(vec![replica(&m)]);
+        let report = gateway.serve(&trace, &mut RoundRobin::new());
+        let direct = ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::with_batch_cap(4))
+            .run(&trace, PolicyKind::Fcfs.policy());
+        assert_eq!(report.replicas.len(), 1);
+        assert_eq!(report.replicas[0], direct);
+        assert!(report.assignments.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn every_request_lands_on_exactly_one_replica() {
+        let m = machine();
+        let trace = trace(9, 3);
+        let mut gateway = FleetGateway::new(vec![replica(&m), replica(&m), replica(&m)]);
+        for kind in RoutingKind::ALL {
+            let report = gateway.serve(&trace, kind.policy(5).as_mut());
+            assert_eq!(report.dispatched(), trace.len(), "{}", kind.name());
+            assert_eq!(report.submitted(), trace.len(), "{}", kind.name());
+            assert_eq!(
+                report.completed() + report.rejected(),
+                trace.len(),
+                "{}",
+                kind.name()
+            );
+            assert_eq!(
+                report.completion_events + report.stale_completions,
+                u64::try_from(trace.len()).expect("fits"),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_splits_a_saturated_trace_evenly() {
+        let m = machine();
+        let trace = TraceConfig::saturated(8, 24, 8).generate();
+        let mut gateway = FleetGateway::new(vec![replica(&m), replica(&m)]);
+        let report = gateway.serve(&trace, &mut RoundRobin::new());
+        // All arrivals share cycle 0; the queue's FIFO tie order must hand
+        // them to the rotation in submission order.
+        assert_eq!(report.assignments, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let imbalance = report.load_imbalance();
+        assert!((imbalance - 1.0).abs() < 1e-12, "even split: {imbalance}");
+    }
+
+    #[test]
+    fn repeat_serves_through_one_gateway_are_identical() {
+        let m = machine();
+        let trace = trace(7, 23);
+        let mut gateway = FleetGateway::new(vec![replica(&m), replica(&m)]);
+        let first = gateway.serve(&trace, &mut LeastKvLoaded);
+        let second = gateway.serve(&trace, &mut LeastKvLoaded);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn a_later_dispatch_stales_the_pending_completion() {
+        let m = machine();
+        // Two requests far apart in time on one replica: the first drain
+        // completion pops current (the replica really is idle in between);
+        // with both close together the first is staled by the second
+        // dispatch before it pops.
+        let near = TraceConfig::saturated(2, 16, 4).generate();
+        let mut gateway = FleetGateway::new(vec![replica(&m)]);
+        let report = gateway.serve(&near, &mut PrefixAffinity::new());
+        assert_eq!(report.stale_completions, 1);
+        assert_eq!(report.completion_events, 1);
+    }
+
+    #[test]
+    fn heterogeneous_replicas_serve_under_their_own_configs() {
+        let m = machine();
+        let fast = FleetReplica::new(
+            ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::with_batch_cap(8)),
+            PolicyKind::EarliestDeadlineFirst,
+        );
+        let slow = FleetReplica::new(
+            ServeSimulator::new(&m, zoo::sphinx_tiny(), ServeConfig::with_batch_cap(1)),
+            PolicyKind::Fcfs,
+        );
+        let trace = trace(8, 41);
+        let mut gateway = FleetGateway::new(vec![fast, slow]);
+        let report = gateway.serve(&trace, &mut RoundRobin::new());
+        assert_eq!(report.submitted(), trace.len());
+        assert!(report.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn makespan_covers_the_last_drain() {
+        let m = machine();
+        let trace = trace(5, 2);
+        let mut gateway = FleetGateway::new(vec![replica(&m), replica(&m)]);
+        let report = gateway.serve(&trace, &mut LeastKvLoaded);
+        let last_finish = report
+            .replicas
+            .iter()
+            .flat_map(|r| r.completed.iter().map(|c| c.finish_s))
+            .fold(0.0, f64::max);
+        assert!(report.makespan_s >= last_finish - 1e-9);
+    }
+}

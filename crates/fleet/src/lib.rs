@@ -1,0 +1,49 @@
+//! # edgemm-fleet
+//!
+//! The fleet tier of the EdgeMM reproduction: N serving replicas — each a
+//! full [`edgemm_serve::ServeSimulator`] over its own machine — behind one
+//! gateway driven by a single [`edgemm_event::EventQueue`]. Request
+//! arrivals, routing decisions and per-replica drain completions interleave
+//! on one fleet clock, so the tier above a single chip reuses the exact
+//! discrete-event core the chip-level engine runs on.
+//!
+//! The paper (PAPER.md) prices one chip serving one queue; production
+//! traffic from millions of users needs many chips behind a router. This
+//! crate composes that router entirely from costs the simulator already
+//! models: every replica is priced by the PR 8 heap engine, and the gateway
+//! only decides *which* replica's queue each request joins.
+//!
+//! ## Layout
+//!
+//! * [`route`] — the [`RoutePolicy`] trait and the four built-in policies
+//!   (round-robin, least-KV-loaded, power-of-two-choices, prefix-affinity),
+//!   enumerable through [`RoutingKind`].
+//! * [`gateway`] — [`FleetGateway`]: the event-driven dispatch loop over
+//!   [`FleetReplica`]s and the replica load projection it routes on.
+//! * [`report`] — [`FleetReport`]: per-replica [`edgemm_serve::ServeReport`]s
+//!   plus fleet-level SLO attainment, load imbalance and cross-replica
+//!   restarted-prefill accounting.
+//!
+//! ## Determinism
+//!
+//! The gateway is bit-deterministic: routing happens in fleet-clock order
+//! (ties broken by submission order through the event queue's FIFO
+//! guarantee), the only randomized policy (power-of-two-choices) draws from
+//! a caller-seeded [`rand::rngs::StdRng`], and nothing reads host time or
+//! hashes with a random state. A fleet of one replica degenerates to the
+//! single-machine engine byte for byte — pinned by the workspace
+//! `fleet_of_one_is_byte_identical_to_serve` property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gateway;
+pub mod report;
+pub mod route;
+
+pub use gateway::{FleetGateway, FleetReplica, FLEET_CLOCK_HZ};
+pub use report::FleetReport;
+pub use route::{
+    LeastKvLoaded, PowerOfTwoChoices, PrefixAffinity, ReplicaView, RoundRobin, RoutePolicy,
+    RoutingKind,
+};

@@ -1,0 +1,118 @@
+//! Fleet-level reporting: per-replica serve reports plus the cross-replica
+//! aggregates a routing policy is judged on.
+
+use edgemm_core::float::{count, fraction};
+use edgemm_core::units::{Bytes, Tokens};
+use edgemm_serve::ServeReport;
+
+/// What a fleet serve returns: each replica's full [`ServeReport`] (exactly
+/// what a one-shot serve of that replica's sub-trace would report), the
+/// request-to-replica assignment, and the gateway's event accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Final per-replica reports, in replica order. A replica nothing was
+    /// dispatched to carries an empty report.
+    pub replicas: Vec<ServeReport>,
+    /// `assignments[i]` is the replica the `i`-th submitted request was
+    /// dispatched to.
+    pub assignments: Vec<usize>,
+    /// Completion events that were current when popped: the fleet clock
+    /// observed that replica actually drained at that instant.
+    pub completion_events: u64,
+    /// Completion events invalidated by a later dispatch to the same
+    /// replica before they popped (the queue has no cancellation; stale
+    /// generations are counted and dropped).
+    pub stale_completions: u64,
+    /// Fleet-clock time of the last event processed: when the last replica
+    /// drained the last request (0 for an empty trace).
+    pub makespan_s: f64,
+}
+
+impl FleetReport {
+    /// Requests dispatched across the fleet.
+    pub fn dispatched(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Requests completed across all replicas.
+    pub fn completed(&self) -> usize {
+        self.replicas.iter().map(|r| r.completed.len()).sum()
+    }
+
+    /// Requests rejected by admission control across all replicas.
+    pub fn rejected(&self) -> usize {
+        self.replicas.iter().map(|r| r.rejected.len()).sum()
+    }
+
+    /// Requests submitted across all replicas (completed plus rejected);
+    /// equals [`Self::dispatched`] by the gateway's conservation invariant
+    /// (property-tested).
+    pub fn submitted(&self) -> usize {
+        self.replicas.iter().map(|r| r.submitted()).sum()
+    }
+
+    /// Fleet-wide SLO attainment: the fraction of all dispatched requests
+    /// that completed within every deadline their class sets, rejected
+    /// requests counting as misses — the submission-weighted aggregate of
+    /// the per-replica attainments. 1.0 for an empty fleet run.
+    pub fn slo_attainment(&self) -> f64 {
+        let submitted = self.submitted();
+        if submitted == 0 {
+            return 1.0;
+        }
+        let met: usize = self
+            .replicas
+            .iter()
+            .map(|r| r.completed.iter().filter(|c| c.meets_slo()).count())
+            .sum();
+        fraction(met, submitted)
+    }
+
+    /// Dispatched requests that missed their SLO (deadline-blowing
+    /// completions plus rejections), summed across replicas.
+    pub fn deadline_misses(&self) -> usize {
+        self.replicas.iter().map(|r| r.deadline_misses()).sum()
+    }
+
+    /// Prompt tokens re-prefilled after mid-decode evictions, summed across
+    /// replicas — the fleet-level cost of scattering tenants whose shared
+    /// prefixes then thrash each replica's KV pool. The number
+    /// prefix-affinity routing exists to shrink.
+    pub fn restarted_prefill_tokens(&self) -> Tokens {
+        self.replicas
+            .iter()
+            .map(|r| r.restarted_prefill_tokens)
+            .sum()
+    }
+
+    /// Largest per-replica KV high-water mark.
+    pub fn peak_kv_bytes(&self) -> Bytes {
+        self.replicas
+            .iter()
+            .map(|r| r.peak_kv_bytes)
+            .fold(Bytes::ZERO, Bytes::max)
+    }
+
+    /// Output tokens generated across the fleet.
+    pub fn total_output_tokens(&self) -> Tokens {
+        self.replicas.iter().map(|r| r.total_output_tokens).sum()
+    }
+
+    /// Per-replica load imbalance: the busiest replica's dispatched count
+    /// over the fleet mean. 1.0 is a perfectly even split (and the value
+    /// for an empty run); R is the worst case (everything on one of R
+    /// replicas).
+    pub fn load_imbalance(&self) -> f64 {
+        let total = self.submitted();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self
+            .replicas
+            .iter()
+            .map(|r| r.submitted())
+            .max()
+            .unwrap_or(0);
+        fraction(max, total) * count(self.replicas.len())
+    }
+}

@@ -7,11 +7,11 @@
 //!
 //! | id | invariant |
 //! |----|-----------|
-//! | `unit-cast` | no raw `as` numeric casts in the unit-bearing crates (`sim`, `mem`, `serve`); use `edgemm_core::units` |
+//! | `unit-cast` | no raw `as` numeric casts in the unit-bearing crates (`sim`, `mem`, `serve`, `fleet`); use `edgemm_core::units` |
 //! | `float-eq` | no `==`/`!=` against float literals outside tests; use `edgemm_core::float` helpers |
 //! | `no-unwrap` | no `unwrap`/`expect` in library code (tests/bins/examples exempt) |
 //! | `float-partial-cmp` | no `.partial_cmp(` in the unit-bearing crates; float sort keys must use `edgemm_core::float::total_cmp` (unit newtypes are `Ord` — call `.cmp`) |
-//! | `sim-determinism` | no wall-clock (`std::time`, `SystemTime`, `Instant`) or randomized hashing (`DefaultHasher`, `RandomState`) in the `sim`/`serve`/`mem` cores |
+//! | `sim-determinism` | no wall-clock (`std::time`, `SystemTime`, `Instant`) or randomized hashing (`DefaultHasher`, `RandomState`) in the `sim`/`serve`/`mem`/`fleet` cores |
 //! | `raw-thread` | no `thread::spawn` or `Instant` in library code outside `crates/exec`; host parallelism goes through `edgemm_exec::Pool`, timing stays in the bench binary |
 //! | `workspace-sync` | every `[workspace] members` entry is also in `default-members` (the tier-1 silent-skip gotcha) |
 //!
@@ -168,9 +168,14 @@ pub fn scope_of(rel: &Path) -> Scope {
 /// Whether `rel` is inside one of the unit-bearing crates the `unit-cast`
 /// and `sim-determinism` rules police.
 fn in_unit_crates(rel: &Path) -> bool {
-    ["crates/sim/src", "crates/mem/src", "crates/serve/src"]
-        .iter()
-        .any(|prefix| rel.starts_with(prefix))
+    [
+        "crates/sim/src",
+        "crates/mem/src",
+        "crates/serve/src",
+        "crates/fleet/src",
+    ]
+    .iter()
+    .any(|prefix| rel.starts_with(prefix))
 }
 
 const NUMERIC_TYPES: [&str; 14] = [

@@ -1,5 +1,5 @@
 // Fixture: raw numeric casts that `unit-cast` must flag when the file
-// pretends to live in a unit-bearing crate (crates/sim|mem|serve/src).
+// pretends to live in a unit-bearing crate (crates/sim|mem|serve|fleet/src).
 pub fn cycles_to_seconds(cycles: u64, clock_hz: f64) -> f64 {
     cycles as f64 / clock_hz
 }

@@ -42,6 +42,21 @@ fn unit_cast_is_silent_on_unit_safe_code() {
 }
 
 #[test]
+fn the_fleet_crate_is_unit_bearing() {
+    // PR 10 put the fleet gateway under the same unit discipline as the
+    // simulator cores: raw casts and host-time calls must fire there too.
+    let fleet = Path::new("crates/fleet/src/gateway.rs");
+    let fired = rules_fired(fleet, include_str!("fixtures/unit_cast_bad.rs"));
+    assert_eq!(fired.len(), 2, "one finding per cast: {fired:?}");
+    assert!(fired.iter().all(|r| *r == RuleId::UnitCast));
+    let timed = rules_fired(fleet, "use std::time::Instant;\n");
+    assert!(
+        timed.contains(&RuleId::SimDeterminism),
+        "host time must be flagged in the fleet tier: {timed:?}"
+    );
+}
+
+#[test]
 fn unit_cast_does_not_apply_outside_unit_crates() {
     let fired = rules_fired(
         plain_crate_path(),

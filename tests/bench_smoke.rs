@@ -3,7 +3,8 @@
 //! `EDGEMM_BENCH_JSON=1`), and these assertions keep it structurally sound
 //! and honest — every entry well-formed, all three pinned serving sections
 //! present with `speedup_vs_seed` at or above 1.0 (no PR may check in a
-//! regression against the seed loop), and the `full_sweep` entry's
+//! regression against the seed loop), the `fleet` entry recorded at the
+//! golden 16-replica x 4-policy routing point, and the `full_sweep` entry's
 //! `parallel_speedup` consistent with its recorded wall times and at or
 //! above 1.0 whenever the recording host actually had cores to parallelise
 //! over.
@@ -97,6 +98,26 @@ fn bench_file_parses_and_every_entry_is_well_formed() {
             );
             continue;
         }
+        if entry.contains("\"unit\": \"fleet_requests_routed_per_wall_second\"") {
+            // The fleet entry: the golden routing point served through
+            // every policy per repeat, so the routed-request count is
+            // trace x policies x repeats.
+            let wall = number(entry, "wall_s").expect("wall_s present");
+            let rps = number(entry, "requests_per_s").expect("requests_per_s present");
+            let requests = number(entry, "requests_per_trace").expect("requests_per_trace present");
+            let replicas = number(entry, "replicas").expect("replicas present");
+            let policies = number(entry, "policies").expect("policies present");
+            let repeats = number(entry, "repeats").expect("repeats present");
+            let threads = number(entry, "threads").expect("threads present");
+            assert!(wall > 0.0 && rps > 0.0, "fleet timings positive: {entry}");
+            assert!(replicas >= 1.0 && policies >= 1.0 && threads >= 1.0);
+            let derived = requests * policies * repeats / wall;
+            assert!(
+                (derived - rps).abs() / derived < 0.01,
+                "requests_per_s {rps} inconsistent with {requests} x {policies} x {repeats} / {wall}"
+            );
+            continue;
+        }
         assert!(
             entry.contains("\"unit\": \"requests_simulated_per_wall_second\""),
             "entry missing unit: {entry}"
@@ -161,4 +182,28 @@ fn full_sweep_parallelism_never_checks_in_a_slowdown() {
             "pool overhead out of bounds on a {host}-core host: {speedup}"
         );
     }
+}
+
+#[test]
+fn fleet_entry_records_the_golden_routing_scale() {
+    let json = bench_json();
+    let entry = entries(&json)
+        .into_iter()
+        .find(|e| e.contains("serving_sweep/fleet\""))
+        .expect("fleet entry present");
+    // The recorded point is the golden one: 16 replicas, every routing
+    // policy, the 104-request multi-tenant overload trace.
+    assert_eq!(
+        number(&entry, "replicas"),
+        Some(16.0),
+        "golden replica count"
+    );
+    assert_eq!(
+        number(&entry, "policies"),
+        Some(4.0),
+        "every routing policy"
+    );
+    assert_eq!(number(&entry, "requests_per_trace"), Some(104.0));
+    let rps = number(&entry, "requests_per_s").expect("requests_per_s present");
+    assert!(rps > 0.0, "fleet routing rate positive: {rps}");
 }

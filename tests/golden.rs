@@ -11,8 +11,8 @@
 
 use edgemm::figures::{fig11_hetero, table1_models, table2_gpu_comparison};
 use edgemm::serve::{merge, AdmissionControl, PolicyKind, Priority, ServeReport, TraceConfig};
-use edgemm::units::Bytes;
-use edgemm::{EdgeMm, RequestOptions, ServeOptions};
+use edgemm::units::{Bytes, Tokens};
+use edgemm::{EdgeMm, FleetReport, RequestOptions, RoutingKind, ServeOptions};
 use edgemm_mllm::{zoo, ModelWorkload};
 
 fn probing() -> bool {
@@ -588,5 +588,152 @@ fn golden_table1_parameter_counts() {
                 row.total_params
             );
         }
+    }
+}
+
+/// A 16-replica multi-tenant overload point through the fleet gateway: the
+/// per-policy SLO attainments, restarted-prefill totals and load imbalance
+/// pin the whole routing stack — event interleaving, load projection and
+/// every built-in `RoutePolicy` — to six significant figures. The point is
+/// memory-tight (1 MiB KV budget per replica, prefix sharing on, no spill
+/// area) so evictions recompute prefills: scattering a tenant across
+/// replicas duplicates its prefix blocks into every pool it touches, which
+/// is exactly what prefix-affinity routing exists to avoid — pinned below
+/// as a *strict* restarted-token win over least-KV-loaded.
+#[test]
+fn golden_fleet_routing_point() {
+    const REPLICAS: usize = 16;
+    let system = EdgeMm::paper_default();
+    let trace = merge(&[
+        TraceConfig::multi_tenant(6, 96, 48.0, 23).generate(),
+        TraceConfig {
+            text_tokens: (512, 768),
+            ..TraceConfig::background(8, 12.0, 123)
+        }
+        .generate(),
+    ]);
+    // Paged + shared prefixes but *no* spill area: evictions fall back to
+    // re-prefill, so restarted tokens measure real cross-replica waste.
+    let options = ServeOptions {
+        prefix_sharing: true,
+        ..ServeOptions::memory_aware(Bytes::new(8 << 20), 64).paged(16)
+    };
+    let reports: Vec<(RoutingKind, FleetReport)> = RoutingKind::ALL
+        .iter()
+        .map(|&kind| {
+            (
+                kind,
+                system.serve_fleet(&zoo::sphinx_tiny(), &trace, REPLICAS, kind, options),
+            )
+        })
+        .collect();
+    for (kind, report) in &reports {
+        assert_eq!(report.dispatched(), trace.len(), "{}", kind.name());
+        assert_eq!(
+            report.completed() + report.rejected(),
+            trace.len(),
+            "{}",
+            kind.name()
+        );
+    }
+    let by_kind = |kind: RoutingKind| -> &FleetReport {
+        &reports
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("all kinds served")
+            .1
+    };
+    if probing() {
+        for (kind, report) in &reports {
+            println!(
+                "fleet.{}.slo_attainment = {:.12e}",
+                kind.name(),
+                report.slo_attainment()
+            );
+            println!(
+                "fleet.{}.restarted = {}",
+                kind.name(),
+                report.restarted_prefill_tokens()
+            );
+            println!(
+                "fleet.{}.imbalance = {:.12e}",
+                kind.name(),
+                report.load_imbalance()
+            );
+            println!(
+                "fleet.{}.makespan = {:.12e}",
+                kind.name(),
+                report.makespan_s
+            );
+        }
+    }
+    // The PR 7 sharing win must survive sharding: pinning tenants to
+    // replicas strictly reduces re-prefilled tokens vs load-only routing.
+    let affinity = by_kind(RoutingKind::PrefixAffinity);
+    let least_kv = by_kind(RoutingKind::LeastKvLoaded);
+    assert!(
+        affinity.restarted_prefill_tokens() < least_kv.restarted_prefill_tokens(),
+        "prefix-affinity ({}) must strictly beat least-kv ({}) on restarted prefill tokens",
+        affinity.restarted_prefill_tokens(),
+        least_kv.restarted_prefill_tokens()
+    );
+    if probing() {
+        return;
+    }
+    // (kind, slo_attainment, restarted tokens, load imbalance, makespan s)
+    // probed 2026-08-08 via EDGEMM_GOLDEN_PROBE=1.
+    let golden: &[(RoutingKind, f64, usize, f64, f64)] = &[
+        (
+            RoutingKind::RoundRobin,
+            1.0,
+            926,
+            1.076923076923,
+            4.326068816,
+        ),
+        (
+            RoutingKind::LeastKvLoaded,
+            0.634615384615,
+            6492,
+            1.538461538462,
+            4.60672643,
+        ),
+        (
+            RoutingKind::PowerOfTwoChoices,
+            0.807692307692,
+            6903,
+            1.538461538462,
+            5.486243155,
+        ),
+        (
+            RoutingKind::PrefixAffinity,
+            0.5,
+            0,
+            3.538461538462,
+            7.991980671,
+        ),
+    ];
+    for &(kind, attainment, restarted, imbalance, makespan_s) in golden {
+        let report = by_kind(kind);
+        assert_close(
+            &format!("fleet.{}.slo_attainment", kind.name()),
+            report.slo_attainment(),
+            attainment,
+        );
+        assert_eq!(
+            report.restarted_prefill_tokens(),
+            Tokens::new(restarted),
+            "fleet.{}.restarted drifted",
+            kind.name()
+        );
+        assert_close(
+            &format!("fleet.{}.imbalance", kind.name()),
+            report.load_imbalance(),
+            imbalance,
+        );
+        assert_close(
+            &format!("fleet.{}.makespan", kind.name()),
+            report.makespan_s,
+            makespan_s,
+        );
     }
 }

@@ -8,7 +8,7 @@ use edgemm::serve::{
 };
 use edgemm::sim::{DecodeOptions, Machine, PruningEffect, SimConfig};
 use edgemm::units::{Bytes, Tokens};
-use edgemm::{EdgeMm, RequestOptions, ServeOptions};
+use edgemm::{EdgeMm, RequestOptions, RoutingKind, ServeOptions};
 use edgemm_mllm::{
     zoo, LlmConfig, MllmConfig, ModelWorkload, ProjectorConfig, ProjectorKind, VisionEncoderConfig,
 };
@@ -833,6 +833,132 @@ proptest! {
             }
         }
     }
+
+    /// A fleet of one replica degenerates to the single-machine engine
+    /// byte for byte: under every routing policy and every serving preset
+    /// family, the sole per-replica [`edgemm::serve::ServeReport`] inside
+    /// the `FleetReport` is Debug-byte identical to [`EdgeMm::serve`] on
+    /// the same trace and options. This is the fleet tier's differential
+    /// anchor, in the style of the heap-vs-reference engine pin above.
+    #[test]
+    fn fleet_of_one_is_byte_identical_to_serve(
+        requests in 1usize..4,
+        rate in 1.0f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let trace = TraceConfig::multi_tenant(2, requests, rate, seed).generate();
+        // One point per serving preset family (plain batching, pruning,
+        // SLO-aware, memory-aware, paged, paged + shared prefixes).
+        let points = [
+            ServeOptions { batch_cap: Some(2), ..ServeOptions::default() },
+            ServeOptions::with_pruning(),
+            ServeOptions::slo_aware(),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32).paged(16),
+            ServeOptions::memory_aware(Bytes::new(256 << 10), 32)
+                .paged(16)
+                .shared_prefixes(Bytes::new(8 << 20)),
+        ];
+        for options in points {
+            let direct = system.serve(&model, &trace, options);
+            for kind in RoutingKind::ALL {
+                let fleet = system.serve_fleet(&model, &trace, 1, kind, options);
+                prop_assert_eq!(fleet.replicas.len(), 1);
+                prop_assert_eq!(fleet.dispatched(), trace.len());
+                prop_assert_eq!(
+                    format!("{:?}", &fleet.replicas[0]).into_bytes(),
+                    format!("{direct:?}").into_bytes()
+                );
+            }
+        }
+    }
+
+    /// Fleet-wide request conservation: every submitted request is routed
+    /// to exactly one replica, each replica's report accounts for exactly
+    /// the requests assigned to it, and no request is lost or duplicated —
+    /// dispatched == Σ per-replica (completed + rejected), with the id
+    /// multiset preserved.
+    #[test]
+    fn fleet_conserves_requests_across_replicas(
+        requests in 1usize..5,
+        replicas in 1usize..6,
+        rate in 1.0f64..200.0,
+        seed in 0u64..1000,
+        kind_sel in 0usize..4,
+    ) {
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let kind = RoutingKind::ALL[kind_sel];
+        let trace = TraceConfig::multi_tenant(3, requests, rate, seed).generate();
+        let options = ServeOptions::memory_aware(Bytes::new(256 << 10), 32)
+            .paged(16)
+            .shared_prefixes(Bytes::new(8 << 20));
+        let report = system.serve_fleet(&model, &trace, replicas, kind, options);
+        prop_assert_eq!(report.assignments.len(), trace.len());
+        prop_assert!(report.assignments.iter().all(|&r| r < replicas));
+        prop_assert_eq!(report.completed() + report.rejected(), trace.len());
+        prop_assert_eq!(
+            report.completion_events + report.stale_completions,
+            trace.len() as u64
+        );
+        // Each replica reports exactly the requests routed to it …
+        for (r, replica) in report.replicas.iter().enumerate() {
+            let assigned = report.assignments.iter().filter(|&&a| a == r).count();
+            prop_assert_eq!(replica.submitted(), assigned);
+        }
+        // … and the fleet-wide id multiset is the trace's, exactly once.
+        let mut served: Vec<u64> = report
+            .replicas
+            .iter()
+            .flat_map(|r| {
+                r.completed
+                    .iter()
+                    .map(|c| c.id)
+                    .chain(r.rejected.iter().map(|j| j.id))
+            })
+            .collect();
+        served.sort_unstable();
+        let mut submitted: Vec<u64> = trace.iter().map(|r| r.id).collect();
+        submitted.sort_unstable();
+        prop_assert_eq!(served, submitted);
+    }
+
+    /// Fleet routing is bit-deterministic: re-running the same fleet point
+    /// reproduces the identical `FleetReport` (Debug bytes), and fanning
+    /// the points over the `edgemm-exec` pool changes nothing — the
+    /// determinism contract behind the fleet sweep section, and the
+    /// in-process counterpart of CI's `EDGEMM_THREADS=1` vs `=4` runs.
+    /// Power-of-two-choices holds because its sampler is seeded from the
+    /// serve options, never from host entropy (sim-determinism lint).
+    #[test]
+    fn fleet_routing_is_deterministic_across_runs_and_pools(
+        requests in 1usize..4,
+        rate in 1.0f64..100.0,
+        seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let system = EdgeMm::paper_default();
+        let model = tiny_model();
+        let trace = TraceConfig::multi_tenant(2, requests, rate, seed).generate();
+        let options = ServeOptions::slo_aware();
+        let points: Vec<(RoutingKind, usize)> = RoutingKind::ALL
+            .iter()
+            .flat_map(|&kind| [(kind, 2), (kind, 5)])
+            .collect();
+        let serve = |_: usize, &(kind, replicas): &(RoutingKind, usize)| {
+            format!("{:?}", system.serve_fleet(&model, &trace, replicas, kind, options))
+        };
+        let first = edgemm_exec::Pool::serial().par_map(&points, serve);
+        let second = edgemm_exec::Pool::serial().par_map(&points, serve);
+        let pooled = edgemm_exec::Pool::with_threads(threads).par_map(&points, serve);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(
+            first.concat().into_bytes(),
+            pooled.concat().into_bytes()
+        );
+    }
 }
 
 /// Hand-rendered JSON summary of a [`edgemm::serve::ServeReport`] (the
@@ -875,4 +1001,9 @@ fn parallel_serving_types_are_send_and_sync() {
     assert_send_sync::<TraceConfig>();
     assert_send_sync::<ServeRequest>();
     assert_send_sync::<edgemm::serve::ServeReport>();
+    assert_send_sync::<RoutingKind>();
+    assert_send_sync::<edgemm::FleetReport>();
+    assert_send_sync::<edgemm::fleet::ReplicaView>();
+    assert_send_sync::<edgemm::fleet::FleetGateway<'static>>();
+    assert_send_sync::<edgemm::fleet::FleetReplica<'static>>();
 }
